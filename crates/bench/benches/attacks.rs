@@ -1,0 +1,60 @@
+//! Criterion benches for the lower-bound attacks: how expensive is it to
+//! forge a counterexample (or to fail trying)?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcp_core::Instance;
+use lcp_graph::Graph;
+use lcp_lower_bounds::gluing::{glue_cycles, GluingAttack};
+use lcp_lower_bounds::join_collision::{join_collision_attack, rooted_tree_family};
+use lcp_lower_bounds::strawman::{ParityLeader, TruncatedUniversal};
+use lcp_schemes::leader::LeaderElection;
+use std::hint::black_box;
+
+fn leader_at_a(g: Graph) -> Instance<bool> {
+    let labels = (0..g.n()).map(|v| v == 0).collect();
+    Instance::with_node_data(g, labels)
+}
+
+fn bench_gluing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gluing-attack");
+    group.sample_size(10);
+    for n in [9usize, 15] {
+        group.bench_with_input(BenchmarkId::new("fools-strawman", n), &n, |b, &n| {
+            b.iter(|| {
+                glue_cycles(
+                    &ParityLeader,
+                    &GluingAttack::new(black_box(n), 2),
+                    leader_at_a,
+                    None,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("survived-by-honest", n), &n, |b, &n| {
+            b.iter(|| {
+                glue_cycles(
+                    &LeaderElection,
+                    &GluingAttack::new(black_box(n), 2),
+                    leader_at_a,
+                    None,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_collision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join-collision-attack");
+    group.sample_size(10);
+    let family = rooted_tree_family(6, 1000).expect("enumeration in range");
+    group.bench_function("trees-k6-budget48", |b| {
+        let scheme = TruncatedUniversal::new("fixpoint-free", 48, |g: &Graph| {
+            lcp_graph::iso::fixpoint_free_automorphism(g).is_some()
+        });
+        b.iter(|| join_collision_attack(&scheme, black_box(&family)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gluing, bench_join_collision);
+criterion_main!(benches);

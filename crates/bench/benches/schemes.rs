@@ -1,0 +1,87 @@
+//! Criterion micro-benches: prover and verifier cost for representative
+//! schemes across the hierarchy levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcp_core::{evaluate, Instance, Scheme};
+use lcp_graph::generators;
+use lcp_schemes::bipartite::Bipartite;
+use lcp_schemes::chromatic::NonBipartite;
+use lcp_schemes::leader::LeaderElection;
+use lcp_schemes::universal::prime_order;
+use std::hint::black_box;
+
+fn bench_provers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prove");
+    for n in [32usize, 128, 512] {
+        let even = Instance::unlabeled(generators::cycle(n));
+        group.bench_with_input(BenchmarkId::new("bipartite", n), &even, |b, inst| {
+            b.iter(|| Bipartite.prove(black_box(inst)))
+        });
+        let odd = Instance::unlabeled(generators::cycle(n + 1));
+        group.bench_with_input(BenchmarkId::new("chromatic>2", n + 1), &odd, |b, inst| {
+            b.iter(|| NonBipartite.prove(black_box(inst)))
+        });
+        let leader: Instance<bool> = Instance::with_node_data(
+            generators::cycle(n),
+            (0..n).map(|v| v == 0).collect(),
+        );
+        group.bench_with_input(BenchmarkId::new("leader-election", n), &leader, |b, inst| {
+            b.iter(|| LeaderElection.prove(black_box(inst)))
+        });
+    }
+    // The universal O(n²) prover, at smaller sizes.
+    let uni = prime_order();
+    for n in [11usize, 23, 47] {
+        let inst = Instance::unlabeled(generators::cycle(n));
+        group.bench_with_input(BenchmarkId::new("universal", n), &inst, |b, inst| {
+            b.iter(|| uni.prove(black_box(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verifiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify-all-nodes");
+    for n in [32usize, 128, 512] {
+        let inst = Instance::unlabeled(generators::cycle(n));
+        let proof = Bipartite.prove(&inst).expect("even cycle");
+        group.bench_with_input(
+            BenchmarkId::new("bipartite", n),
+            &(inst, proof),
+            |b, (inst, proof)| b.iter(|| evaluate(&Bipartite, black_box(inst), black_box(proof))),
+        );
+        let odd = Instance::unlabeled(generators::cycle(n + 1));
+        let oproof = NonBipartite.prove(&odd).expect("odd cycle");
+        group.bench_with_input(
+            BenchmarkId::new("chromatic>2", n + 1),
+            &(odd, oproof),
+            |b, (inst, proof)| {
+                b.iter(|| evaluate(&NonBipartite, black_box(inst), black_box(proof)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulator_ablation(c: &mut Criterion) {
+    // Ablation: centralized view extraction vs full message passing.
+    let mut group = c.benchmark_group("executor-ablation");
+    let n = 128;
+    let inst = Instance::unlabeled(generators::cycle(n));
+    let proof = Bipartite.prove(&inst).expect("even cycle");
+    group.bench_function("centralized", |b| {
+        b.iter(|| evaluate(&Bipartite, black_box(&inst), black_box(&proof)))
+    });
+    group.bench_function("message-passing", |b| {
+        b.iter(|| lcp_sim::run_distributed(&Bipartite, black_box(&inst), black_box(&proof)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_provers,
+    bench_verifiers,
+    bench_simulator_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,164 @@
+//! Regenerates **Figure 1** (the §5.3 gluing construction) and runs the
+//! §5/§6 lower-bound experiments:
+//!
+//! 1. prints the exact identifier pattern of the figure (`n = 10, r = 1,
+//!    k = 2`, cycles `C(3,12)`, `C(3,17)`, `C(8,17)`, `C(8,12)`);
+//! 2. runs the gluing attack against the 1-bit strawman (fooled) and the
+//!    honest `Θ(log n)` schemes (survive), sweeping `n`;
+//! 3. runs the §6.1/§6.2 join-collision attacks over proof-size budgets,
+//!    locating the threshold where truncated universal encodings break;
+//! 4. runs the §6.3 fooling attack on the 3-colouring gadgets.
+
+use lcp_core::{Instance, Scheme};
+use lcp_graph::Graph;
+use lcp_lower_bounds::fooling::{fooling_attack, FoolingOutcome, GadgetLayout};
+use lcp_lower_bounds::gluing::{cycle_ids, glue_cycles, GluingAttack, GluingOutcome};
+use lcp_lower_bounds::join_collision::{
+    join_collision_attack, rooted_tree_family, JoinOutcome,
+};
+use lcp_lower_bounds::strawman::{ParityLeader, TruncatedUniversal};
+use lcp_schemes::cycles::OddCycle;
+use lcp_schemes::leader::LeaderElection;
+use rand::SeedableRng;
+
+fn leader_at_a(g: Graph) -> Instance<bool> {
+    let labels = (0..g.n()).map(|v| v == 0).collect();
+    Instance::with_node_data(g, labels)
+}
+
+fn gluing_summary<N, E>(outcome: &GluingOutcome<N, E>) -> String {
+    match outcome {
+        GluingOutcome::Fooled(ce) => format!("FOOLED (forged {}-cycle accepted)", ce.n()),
+        GluingOutcome::NoMonochromaticCycle { colors, pairs } => {
+            format!("survived ({pairs} donors, {colors} colours)")
+        }
+        GluingOutcome::GluedInstanceIsYes => "glued instance stayed yes".into(),
+        GluingOutcome::SchemeSurvived { rejecting } => {
+            format!("survived (rejected at {} nodes)", rejecting.len())
+        }
+        GluingOutcome::ProverFailed => "prover failed".into(),
+    }
+}
+
+fn main() {
+    println!("Figure 1 — gluing cycles together (§5.3)");
+    println!("=========================================");
+    println!("identifier patterns at n = 10 (the figure's example):");
+    for (a, b) in [(3u64, 12u64), (3, 17), (8, 17), (8, 12)] {
+        let ids: Vec<String> = cycle_ids(10, a, b).iter().map(|x| x.to_string()).collect();
+        println!("  C({a},{b}): {}", ids.join(" "));
+    }
+    println!();
+
+    println!("gluing attack vs the 1-bit parity-leader strawman (k = 2):");
+    for n in [9usize, 11, 15, 21, 31] {
+        let outcome = glue_cycles(&ParityLeader, &GluingAttack::new(n, 2), leader_at_a, None);
+        println!("  n = {n:>3}: {}", gluing_summary(&outcome));
+    }
+    println!();
+
+    println!("the same with k = 3 (a monochromatic 6-cycle glues three donors):");
+    for n in [11usize, 15] {
+        let outcome = glue_cycles(&ParityLeader, &GluingAttack::new(n, 3), leader_at_a, None);
+        println!("  n = {n:>3}: {}", gluing_summary(&outcome));
+    }
+    println!();
+
+    println!("the same attack vs the honest Θ(log n) schemes:");
+    for n in [9usize, 15, 21] {
+        let leader = glue_cycles(&LeaderElection, &GluingAttack::new(n, 2), leader_at_a, None);
+        let odd = glue_cycles(&OddCycle, &GluingAttack::new(n, 2), Instance::unlabeled, None);
+        println!(
+            "  n = {n:>3}: leader election: {}; odd n(G): {}",
+            gluing_summary(&leader),
+            gluing_summary(&odd)
+        );
+    }
+    println!();
+
+    println!("§6.2 — join-collision attack on fixpoint-free tree symmetry");
+    println!("(rooted trees on 6 nodes; sweep the proof-size budget)");
+    let family = rooted_tree_family(6, 1000).expect("enumeration in range");
+    for budget in [16usize, 32, 48, 96, 512, 4096] {
+        let scheme = TruncatedUniversal::new("fixpoint-free", budget, |g: &Graph| {
+            lcp_graph::iso::fixpoint_free_automorphism(g).is_some()
+        });
+        let outcome = join_collision_attack(&scheme, &family);
+        let line = match &outcome {
+            JoinOutcome::Fooled(ce) => format!("FOOLED (hybrid on {} nodes accepted)", ce.n()),
+            JoinOutcome::NoCollision {
+                candidates,
+                distinct_windows,
+            } => format!("survived ({candidates} donors, {distinct_windows} windows)"),
+            other => format!("{other:?}"),
+        };
+        println!("  budget = {budget:>5} bits: {line}");
+    }
+    let honest = lcp_schemes::tree_universal::tree_fixpoint_free();
+    let outcome = join_collision_attack(&honest, &family);
+    println!(
+        "  honest Θ(n) scheme: {}",
+        match outcome {
+            JoinOutcome::NoCollision {
+                candidates,
+                distinct_windows,
+            } => format!("survived ({candidates} donors, {distinct_windows} windows)"),
+            other => format!("{other:?}"),
+        }
+    );
+    println!();
+
+    println!("§6.1 — join-collision attack on symmetric graphs");
+    println!("(sampled 7-node asymmetric halves; sweep the budget)");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let family = lcp_lower_bounds::join_collision::asymmetric_family(7, 12, &mut rng)
+        .expect("sampling in range");
+    for budget in [32usize, 64, 512, 8192] {
+        let scheme = TruncatedUniversal::new("symmetric", budget, lcp_graph::iso::is_symmetric);
+        let outcome = join_collision_attack(&scheme, &family);
+        let line = match &outcome {
+            JoinOutcome::Fooled(ce) => format!("FOOLED (hybrid on {} nodes accepted)", ce.n()),
+            JoinOutcome::NoCollision {
+                candidates,
+                distinct_windows,
+            } => format!("survived ({candidates} donors, {distinct_windows} windows)"),
+            other => format!("{other:?}"),
+        };
+        println!("  budget = {budget:>5} bits: {line}");
+    }
+    println!();
+
+    println!("§6.3 — fooling-set attack on non-3-colourability");
+    println!("(k = 1 gadget grid: 16 candidate sets A; wire-window collisions)");
+    for budget in [64usize, 96, 2048] {
+        let scheme = TruncatedUniversal::new("chromatic>3", budget, |g: &Graph| {
+            !lcp_graph::coloring::is_k_colorable(g, 3)
+        });
+        let layout = GadgetLayout::for_radius(1, scheme.radius());
+        let outcome = fooling_attack(&scheme, &layout, 16, 11);
+        let line = match &outcome {
+            FoolingOutcome::Fooled(ce) => {
+                format!("FOOLED (3-colourable hybrid on {} nodes accepted)", ce.n())
+            }
+            FoolingOutcome::NoCollision {
+                candidates,
+                distinct_windows,
+            } => format!("survived ({candidates} donors, {distinct_windows} windows)"),
+            other => format!("{other:?}"),
+        };
+        println!("  budget = {budget:>5} bits: {line}");
+    }
+    let honest = lcp_schemes::universal::non_three_colorable();
+    let layout = GadgetLayout::for_radius(1, honest.radius());
+    let outcome = fooling_attack(&honest, &layout, 6, 13);
+    println!(
+        "  honest O(n²) scheme: {}",
+        match outcome {
+            FoolingOutcome::NoCollision {
+                candidates,
+                distinct_windows,
+            } => format!("survived ({candidates} donors, {distinct_windows} windows)"),
+            other => format!("{other:?}"),
+        }
+    );
+}

@@ -1,0 +1,238 @@
+//! Regenerates **Table 1(b)**: the local proof complexity of verifying
+//! solutions of graph problems.
+
+use lcp_bench::{param_row, print_table, run_row, Row};
+use lcp_core::harness::GrowthClass;
+use lcp_core::{EdgeMap, Instance, Scheme};
+use lcp_graph::matching::{self as gm, EdgeWeightMap};
+use lcp_graph::{generators, hamilton, spanning, traversal};
+use lcp_schemes::complement::Complement;
+use lcp_schemes::cycles::MaxMatchingCycle;
+use lcp_schemes::hamiltonian::HamiltonianCycle;
+use lcp_schemes::lcl;
+use lcp_schemes::leader::LeaderElection;
+use lcp_schemes::matching::{
+    MaximalMatching, MaxWeightMatchingBipartite, MaximumMatchingBipartite, WeightedEdge,
+};
+use lcp_schemes::spanning_tree::SpanningTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // ---- LCP(0) ----
+    let maximal: Vec<Instance> = [10usize, 20, 40]
+        .iter()
+        .map(|&n| {
+            let g = generators::random_connected(n, n / 2, &mut rng);
+            let m = gm::greedy_maximal_matching(&g);
+            Instance::unlabeled(g).with_edge_set(m)
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.1",
+        "maximal matching",
+        "general",
+        "0",
+        &MaximalMatching,
+        &maximal,
+        GrowthClass::Zero,
+    ));
+    let mis_instances: Vec<Instance<bool>> = [10usize, 20, 40]
+        .iter()
+        .map(|&n| {
+            let g = generators::random_connected(n, n / 3, &mut rng);
+            let mut in_set = vec![false; g.n()];
+            let mut blocked = vec![false; g.n()];
+            for v in g.nodes() {
+                if !blocked[v] {
+                    in_set[v] = true;
+                    for &u in g.neighbors(v) {
+                        blocked[u] = true;
+                    }
+                    blocked[v] = true;
+                }
+            }
+            Instance::with_node_data(g, in_set)
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.2",
+        "LCL problem (maximal indep. set)",
+        "general",
+        "0",
+        &lcl::mis(),
+        &mis_instances,
+        GrowthClass::Zero,
+    ));
+    let agree_instances: Vec<Instance<u64>> = [10usize, 40]
+        .iter()
+        .map(|&n| Instance::with_node_data(generators::cycle(n), vec![7; n]))
+        .collect();
+    rows.push(run_row(
+        "T1b.3",
+        "LD problem (agreement)",
+        "conn.",
+        "0",
+        &lcl::agreement(),
+        &agree_instances,
+        GrowthClass::Zero,
+    ));
+
+    // ---- LCP(O(1)) ----
+    let koenig: Vec<Instance> = [6usize, 12, 24]
+        .iter()
+        .map(|&half| {
+            let g = generators::random_bipartite(half, half, 0.4, &mut rng);
+            let side = traversal::bipartition(&g).unwrap();
+            let m = gm::maximum_bipartite_matching(&g, &side);
+            Instance::unlabeled(g).with_edge_set(m.edges())
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.4",
+        "maximum matching (König cover)",
+        "bipartite",
+        "Θ(1)",
+        &MaximumMatchingBipartite,
+        &koenig,
+        GrowthClass::Constant,
+    ));
+
+    // ---- LCP(O(log W)) ----
+    let mut weight_pairs = Vec::new();
+    for w_max in [3u64, 15, 255, 4095] {
+        let g = generators::complete_bipartite(6, 6);
+        let side = traversal::bipartition(&g).unwrap();
+        let weights: EdgeWeightMap = g
+            .edges()
+            .enumerate()
+            .map(|(i, e)| (e, (i as u64 * 7 + 3) % (w_max + 1)))
+            .collect();
+        let sol = gm::max_weight_bipartite_matching(&g, &side, &weights);
+        let matched: std::collections::BTreeSet<_> = sol.edges().into_iter().collect();
+        let mut data = EdgeMap::new();
+        for (k, w) in &weights {
+            data.insert(
+                *k,
+                WeightedEdge {
+                    weight: *w,
+                    matched: matched.contains(k),
+                },
+            );
+        }
+        let inst = Instance::with_data(g, vec![(); 12], data);
+        let proof = MaxWeightMatchingBipartite
+            .prove(&inst)
+            .expect("optimal matching certifiable");
+        weight_pairs.push((w_max as usize, proof.size()));
+    }
+    let w_ok = weight_pairs.windows(2).all(|w| w[0].1 <= w[1].1)
+        && weight_pairs.last().unwrap().1 <= 2 * 13 + 1;
+    rows.push(param_row(
+        "T1b.5",
+        "max-weight matching (LP duals)",
+        "bipartite",
+        "O(log W)",
+        "W",
+        &weight_pairs,
+        w_ok,
+    ));
+
+    // ---- LogLCP ----
+    let co_maximal: Vec<Instance> = [8usize, 32, 128, 512]
+        .iter()
+        .map(|&n| Instance::unlabeled(generators::path(n))) // empty matching: not maximal
+        .collect();
+    rows.push(run_row(
+        "T1b.6",
+        "coLCP(0): non-maximal matching",
+        "conn.",
+        "O(log n)",
+        &Complement::new(MaximalMatching),
+        &co_maximal,
+        GrowthClass::Logarithmic,
+    ));
+    let leaders: Vec<Instance<bool>> = [8usize, 32, 128, 512]
+        .iter()
+        .map(|&n| {
+            let g = generators::cycle(n);
+            Instance::with_node_data(g, (0..n).map(|v| v == n / 2).collect())
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.7",
+        "leader election",
+        "conn.",
+        "Θ(log n)",
+        &LeaderElection,
+        &leaders,
+        GrowthClass::Logarithmic,
+    ));
+    let trees: Vec<Instance> = [8usize, 32, 128, 512]
+        .iter()
+        .map(|&n| {
+            let g = generators::random_connected(n, n / 2, &mut rng);
+            let t = spanning::bfs_spanning_tree(&g, 0);
+            let edges = t.edges();
+            Instance::unlabeled(g).with_edge_set(edges.iter().map(|&(c, p)| (c, p)))
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.8",
+        "spanning tree",
+        "conn.",
+        "Θ(log n)",
+        &SpanningTree,
+        &trees,
+        GrowthClass::Logarithmic,
+    ));
+    let cycle_matchings: Vec<Instance> = [9usize, 33, 129, 513]
+        .iter()
+        .map(|&n| {
+            let g = generators::cycle(n);
+            let m: Vec<(usize, usize)> = (0..n / 2).map(|i| (2 * i, 2 * i + 1)).collect();
+            Instance::unlabeled(g).with_edge_set(m)
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.9",
+        "maximum matching",
+        "cycles",
+        "Θ(log n)",
+        &MaxMatchingCycle,
+        &cycle_matchings,
+        GrowthClass::Logarithmic,
+    ));
+    let hams: Vec<Instance> = [8usize, 32, 128, 512]
+        .iter()
+        .map(|&n| {
+            let g = generators::cycle(n);
+            let cycle = hamilton::hamiltonian_cycle(&g).expect("cycles are Hamiltonian");
+            let edges: Vec<(usize, usize)> = (0..n)
+                .map(|i| (cycle[i], cycle[(i + 1) % n]))
+                .collect();
+            Instance::unlabeled(g).with_edge_set(edges)
+        })
+        .collect();
+    rows.push(run_row(
+        "T1b.10",
+        "Hamiltonian cycle",
+        "conn.",
+        "Θ(log n)",
+        &HamiltonianCycle,
+        &hams,
+        GrowthClass::Logarithmic,
+    ));
+
+    print_table(
+        "Table 1(b) — local proof complexity of graph problems (measured)",
+        &rows,
+    );
+    println!(
+        "note: NLD / NLD#n (unlimited proofs) are definitional rows; LCP′(∞) contains\n\
+         all computable properties via the universal scheme (see table1a row T1a.18)."
+    );
+}

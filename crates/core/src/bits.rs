@@ -1,0 +1,412 @@
+//! Bit strings and bit-level codecs.
+//!
+//! Proof sizes in the LCP model are measured in *bits per node*, so the
+//! encodings matter: a scheme claiming `O(log n)` bits must actually emit
+//! them. [`BitWriter`] / [`BitReader`] provide fixed-width fields and
+//! Elias-γ codes; verifiers treat any decode failure as a rejection.
+
+use std::error::Error;
+use std::fmt;
+
+/// A finite binary string, the value a proof assigns to one node (§2.1).
+///
+/// Bits are addressed in write order (index 0 first). The empty string
+/// `ε` is the size-0 proof.
+///
+/// ```
+/// use lcp_core::BitString;
+///
+/// let s = BitString::from_bits([true, false, true]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.get(1), Some(false));
+/// assert_eq!(format!("{s:?}"), "bits\"101\"");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitString {
+    bytes: Vec<u8>,
+    len: usize,
+}
+
+impl BitString {
+    /// The empty bit string `ε`.
+    pub fn new() -> Self {
+        BitString::default()
+    }
+
+    /// Builds a bit string from booleans.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut s = BitString::new();
+        for b in bits {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index`, if in range.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        (index < self.len).then(|| self.bytes[index / 8] >> (index % 8) & 1 == 1)
+    }
+
+    /// The first bit, if any. Handy for 1-bit proofs.
+    pub fn first(&self) -> Option<bool> {
+        self.get(0)
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        if self.len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            self.bytes[self.len / 8] |= 1 << (self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(|i| self.get(i).expect("in range"))
+    }
+
+    /// Flips the bit at `index`; used by the adversarial proof mutator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn flip(&mut self, index: usize) {
+        assert!(index < self.len, "bit index {index} out of range");
+        self.bytes[index / 8] ^= 1 << (index % 8);
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bits\"")?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitString::from_bits(iter)
+    }
+}
+
+/// Errors raised while decoding a bit string.
+///
+/// A verifier that hits a codec error on a proof must reject: a malformed
+/// proof is an invalid proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The reader ran past the end of the string.
+    OutOfBits,
+    /// A γ-coded value had an implausible length prefix.
+    Malformed,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::OutOfBits => write!(f, "ran out of bits while decoding"),
+            CodecError::Malformed => write!(f, "malformed variable-length code"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Incremental writer producing a [`BitString`].
+///
+/// ```
+/// use lcp_core::{BitWriter, BitReader};
+///
+/// # fn main() -> Result<(), lcp_core::CodecError> {
+/// let mut w = BitWriter::new();
+/// w.write_u64(5, 3);
+/// w.write_bit(true);
+/// let s = w.finish();
+/// assert_eq!(s.len(), 4);
+///
+/// let mut r = BitReader::new(&s);
+/// assert_eq!(r.read_u64(3)?, 5);
+/// assert!(r.read_bit()?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    out: BitString,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends one bit.
+    pub fn write_bit(&mut self, bit: bool) -> &mut Self {
+        self.out.push(bit);
+        self
+    }
+
+    /// Appends `width` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit in `width` bits or `width > 64`.
+    pub fn write_u64(&mut self, value: u64, width: u32) -> &mut Self {
+        assert!(width <= 64, "width {width} exceeds u64");
+        assert!(
+            width == 64 || value < 1u64 << width,
+            "value {value} does not fit in {width} bits"
+        );
+        for i in (0..width).rev() {
+            self.out.push(value >> i & 1 == 1);
+        }
+        self
+    }
+
+    /// Appends `value` in Elias-γ code (self-delimiting; codes `v ≥ 0` by
+    /// shifting to `v + 1`). Costs `2⌊log₂(v+1)⌋ + 1` bits.
+    pub fn write_gamma(&mut self, value: u64) -> &mut Self {
+        let v = value + 1;
+        let k = v.ilog2();
+        for _ in 0..k {
+            self.out.push(false);
+        }
+        self.write_u64(v, k + 1);
+        self
+    }
+
+    /// Consumes the writer, returning the accumulated string.
+    pub fn finish(self) -> BitString {
+        self.out
+    }
+
+    /// Bits written so far.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Sequential reader over a [`BitString`]; see [`BitWriter`] for a
+/// round-trip example.
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    src: &'a BitString,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Starts reading `src` from the first bit.
+    pub fn new(src: &'a BitString) -> Self {
+        BitReader { src, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::OutOfBits`] at end of string.
+    pub fn read_bit(&mut self) -> Result<bool, CodecError> {
+        let b = self.src.get(self.pos).ok_or(CodecError::OutOfBits)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `width` bits as an MSB-first integer.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::OutOfBits`] if fewer than `width` bits remain.
+    pub fn read_u64(&mut self, width: u32) -> Result<u64, CodecError> {
+        assert!(width <= 64, "width {width} exceeds u64");
+        let mut v = 0u64;
+        for _ in 0..width {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v)
+    }
+
+    /// Reads an Elias-γ coded value (inverse of [`BitWriter::write_gamma`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::OutOfBits`] / [`CodecError::Malformed`] on truncated
+    /// or absurd prefixes.
+    pub fn read_gamma(&mut self) -> Result<u64, CodecError> {
+        let mut k = 0u32;
+        while !self.read_bit()? {
+            k += 1;
+            if k > 64 {
+                return Err(CodecError::Malformed);
+            }
+        }
+        let mut v = 1u64;
+        for _ in 0..k {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Ok(v - 1)
+    }
+
+    /// Bits not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.src.len() - self.pos
+    }
+
+    /// Whether every bit has been consumed.
+    ///
+    /// Strict verifiers check this: trailing garbage makes a proof
+    /// malformed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_string() {
+        let s = BitString::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.get(0), None);
+        assert_eq!(s.first(), None);
+        assert_eq!(format!("{s:?}"), "bits\"\"");
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut s = BitString::new();
+        for i in 0..20 {
+            s.push(i % 3 == 0);
+        }
+        assert_eq!(s.len(), 20);
+        for i in 0..20 {
+            assert_eq!(s.get(i), Some(i % 3 == 0), "bit {i}");
+        }
+        assert_eq!(s.get(20), None);
+    }
+
+    #[test]
+    fn from_iterator_and_iter_roundtrip() {
+        let bits = vec![true, true, false, true, false];
+        let s: BitString = bits.iter().copied().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn flip_toggles() {
+        let mut s = BitString::from_bits([false, false]);
+        s.flip(1);
+        assert_eq!(s.get(1), Some(true));
+        s.flip(1);
+        assert_eq!(s.get(1), Some(false));
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        for value in [0u64, 1, 5, 255, 1 << 20, u64::MAX] {
+            let width = if value == u64::MAX { 64 } else { 64.min(value.max(1).ilog2() + 1) };
+            let mut w = BitWriter::new();
+            w.write_u64(value, width);
+            let s = w.finish();
+            assert_eq!(s.len() as u32, width);
+            let mut r = BitReader::new(&s);
+            assert_eq!(r.read_u64(width).unwrap(), value);
+            assert!(r.is_exhausted());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflowing_width_panics() {
+        BitWriter::new().write_u64(8, 3);
+    }
+
+    #[test]
+    fn gamma_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in 0..100u64 {
+            w.write_gamma(v);
+        }
+        w.write_gamma(u64::MAX - 1);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        for v in 0..100u64 {
+            assert_eq!(r.read_gamma().unwrap(), v);
+        }
+        assert_eq!(r.read_gamma().unwrap(), u64::MAX - 1);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn gamma_length_matches_formula() {
+        for v in [0u64, 1, 2, 3, 7, 8, 100] {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            assert_eq!(w.len() as u32, 2 * (v + 1).ilog2() + 1, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn out_of_bits_errors() {
+        let s = BitString::from_bits([true]);
+        let mut r = BitReader::new(&s);
+        assert!(r.read_bit().is_ok());
+        assert_eq!(r.read_bit(), Err(CodecError::OutOfBits));
+        let mut r2 = BitReader::new(&s);
+        assert_eq!(r2.read_u64(2), Err(CodecError::OutOfBits));
+    }
+
+    #[test]
+    fn truncated_gamma_errors() {
+        // A single 0 bit promises at least one more bit.
+        let s = BitString::from_bits([false]);
+        assert_eq!(BitReader::new(&s).read_gamma(), Err(CodecError::OutOfBits));
+    }
+
+    #[test]
+    fn mixed_payload_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bit(true).write_u64(42, 7).write_gamma(9).write_bit(false);
+        let s = w.finish();
+        let mut r = BitReader::new(&s);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_u64(7).unwrap(), 42);
+        assert_eq!(r.read_gamma().unwrap(), 9);
+        assert!(!r.read_bit().unwrap());
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent() {
+        // The derived order is unspecified but must be a total order usable
+        // as a map key; equal strings compare equal.
+        let a = BitString::from_bits([false, true]);
+        let b = BitString::from_bits([false, true]);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        assert_ne!(a, BitString::from_bits([true, false]));
+    }
+}

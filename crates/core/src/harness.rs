@@ -1,0 +1,528 @@
+//! Conformance harness: turning the model's quantifiers into executable
+//! checks.
+//!
+//! * `∀` yes-instances, the honest proof is accepted — [`check_completeness`].
+//! * `∀` proofs of a no-instance, some node rejects — decided exactly by
+//!   [`check_soundness_exhaustive`] on small instances, and attacked
+//!   heuristically by [`adversarial_proof_search`] on larger ones.
+//! * The "Proof size s" column of Table 1 — [`measure_sizes`] +
+//!   [`classify_growth`].
+
+use crate::bits::BitString;
+use crate::instance::Instance;
+use crate::proof::Proof;
+use crate::scheme::{evaluate, Scheme};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::fmt;
+
+/// A completeness violation: a yes-instance the scheme failed on.
+#[derive(Clone, Debug)]
+pub struct CompletenessFailure {
+    /// Index of the failing instance in the input slice.
+    pub instance: usize,
+    /// What went wrong.
+    pub reason: CompletenessError,
+}
+
+/// Ways completeness can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompletenessError {
+    /// The prover returned `None` although `holds` is true.
+    ProverRefused,
+    /// The honest proof was rejected by the listed nodes.
+    Rejected(Vec<usize>),
+    /// The prover labelled a no-instance (`holds` is false) with a proof
+    /// that all nodes accepted — a soundness smell surfaced during a
+    /// completeness sweep.
+    AcceptedNoInstance,
+}
+
+impl fmt::Display for CompletenessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompletenessError::ProverRefused => write!(f, "prover refused a yes-instance"),
+            CompletenessError::Rejected(nodes) => {
+                write!(f, "honest proof rejected at nodes {nodes:?}")
+            }
+            CompletenessError::AcceptedNoInstance => {
+                write!(f, "a no-instance was fully accepted")
+            }
+        }
+    }
+}
+
+/// Sweeps instances: yes-instances must be provable and accepted;
+/// no-instances, if the prover emits anything, must not be fully accepted.
+///
+/// Returns the per-instance proof sizes of the yes-instances on success.
+///
+/// # Errors
+///
+/// The first [`CompletenessFailure`] encountered.
+pub fn check_completeness<S: Scheme>(
+    scheme: &S,
+    instances: &[Instance<S::Node, S::Edge>],
+) -> Result<Vec<usize>, CompletenessFailure> {
+    let mut sizes = Vec::new();
+    for (i, inst) in instances.iter().enumerate() {
+        let truth = scheme.holds(inst);
+        match (truth, scheme.prove(inst)) {
+            (true, None) => {
+                return Err(CompletenessFailure {
+                    instance: i,
+                    reason: CompletenessError::ProverRefused,
+                })
+            }
+            (true, Some(proof)) => {
+                let verdict = evaluate(scheme, inst, &proof);
+                if !verdict.accepted() {
+                    return Err(CompletenessFailure {
+                        instance: i,
+                        reason: CompletenessError::Rejected(verdict.rejecting()),
+                    });
+                }
+                sizes.push(proof.size());
+            }
+            (false, Some(proof)) => {
+                if evaluate(scheme, inst, &proof).accepted() {
+                    return Err(CompletenessFailure {
+                        instance: i,
+                        reason: CompletenessError::AcceptedNoInstance,
+                    });
+                }
+            }
+            (false, None) => {}
+        }
+    }
+    Ok(sizes)
+}
+
+/// All bit strings with at most `max_bits` bits, shortest first
+/// (`2^(max_bits+1) − 1` strings).
+pub fn all_bitstrings_up_to(max_bits: usize) -> Vec<BitString> {
+    let mut out = vec![BitString::new()];
+    for len in 1..=max_bits {
+        for value in 0u64..(1 << len) {
+            out.push(BitString::from_bits(
+                (0..len).rev().map(|i| value >> i & 1 == 1),
+            ));
+        }
+    }
+    out
+}
+
+/// Outcome of an exhaustive soundness check on one no-instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Soundness {
+    /// Every proof up to the size bound was rejected by some node;
+    /// carries the number of proofs enumerated.
+    Holds(u64),
+    /// A fully-accepted proof for the no-instance — a genuine violation.
+    Violated(Proof),
+}
+
+/// Exhaustively enumerates **every** proof of size ≤ `max_bits` on a
+/// no-instance and checks that each is rejected somewhere.
+///
+/// The search space has `(2^(max_bits+1) − 1)^n` proofs, so keep
+/// `n · max_bits` small (the point is to decide the `∀ P` quantifier
+/// *exactly* on small instances).
+///
+/// # Panics
+///
+/// Panics if `inst` is a yes-instance (soundness is about no-instances)
+/// or if the search space exceeds `10^8` proofs.
+pub fn check_soundness_exhaustive<S: Scheme>(
+    scheme: &S,
+    inst: &Instance<S::Node, S::Edge>,
+    max_bits: usize,
+) -> Soundness {
+    assert!(
+        !scheme.holds(inst),
+        "exhaustive soundness check requires a no-instance"
+    );
+    let n = inst.n();
+    let strings = all_bitstrings_up_to(max_bits);
+    let space = (strings.len() as f64).powi(n as i32);
+    assert!(
+        space <= 1e8,
+        "search space of {space:.1e} proofs is too large; shrink n or max_bits"
+    );
+    let mut indices = vec![0usize; n];
+    let mut tried = 0u64;
+    loop {
+        let proof = Proof::from_strings(indices.iter().map(|&i| strings[i].clone()).collect());
+        tried += 1;
+        if evaluate(scheme, inst, &proof).accepted() {
+            return Soundness::Violated(proof);
+        }
+        // Odometer increment.
+        let mut pos = 0;
+        loop {
+            if pos == n {
+                return Soundness::Holds(tried);
+            }
+            indices[pos] += 1;
+            if indices[pos] < strings.len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+    }
+}
+
+/// A uniformly random proof: each node gets `max_bits` random bits.
+pub fn random_proof(n: usize, max_bits: usize, rng: &mut StdRng) -> Proof {
+    Proof::from_fn(n, |_| {
+        BitString::from_bits((0..max_bits).map(|_| rng.random_bool(0.5)))
+    })
+}
+
+/// Randomized adversarial proof search on a no-instance: hill-climbs the
+/// number of accepting nodes by flipping random bits, restarting from
+/// random proofs.
+///
+/// Returns a fully-accepted proof (a soundness violation for the given
+/// size budget) if one is found within `iterations` verifier sweeps.
+/// Finding `None` is *evidence*, not proof, of soundness — use
+/// [`check_soundness_exhaustive`] for certainty on small instances.
+///
+/// # Panics
+///
+/// Panics if `inst` is a yes-instance.
+pub fn adversarial_proof_search<S: Scheme>(
+    scheme: &S,
+    inst: &Instance<S::Node, S::Edge>,
+    size_budget: usize,
+    iterations: usize,
+    rng: &mut StdRng,
+) -> Option<Proof> {
+    assert!(
+        !scheme.holds(inst),
+        "adversarial search requires a no-instance"
+    );
+    let n = inst.n();
+    if n == 0 {
+        return None;
+    }
+    let score = |p: &Proof| -> usize {
+        evaluate(scheme, inst, p)
+            .outputs()
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    };
+    let mut current = random_proof(n, size_budget, rng);
+    let mut current_score = score(&current);
+    for iter in 0..iterations {
+        if current_score == n {
+            return Some(current);
+        }
+        // Occasional restart to escape local optima.
+        if iter % 200 == 199 {
+            current = random_proof(n, size_budget, rng);
+            current_score = score(&current);
+            continue;
+        }
+        let mut candidate = current.clone();
+        let v = rng.random_range(0..n);
+        if size_budget == 0 {
+            continue;
+        }
+        let mut s = candidate.get(v).clone();
+        if s.is_empty() {
+            s = BitString::from_bits((0..size_budget).map(|_| rng.random_bool(0.5)));
+        } else {
+            let idx = rng.random_range(0..s.len());
+            s.flip(idx);
+        }
+        candidate.set(v, s);
+        let cand_score = score(&candidate);
+        if cand_score >= current_score {
+            current = candidate;
+            current_score = cand_score;
+        }
+    }
+    (current_score == n).then_some(current)
+}
+
+/// One measured point of the "Proof size s" column: instance size vs.
+/// honest proof size in bits per node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizePoint {
+    /// `n(G)` of the instance.
+    pub n: usize,
+    /// `|P|` of the honest proof.
+    pub bits: usize,
+}
+
+/// Proves every (yes-)instance and records `(n, |P|)` points.
+///
+/// # Panics
+///
+/// Panics if the prover refuses an instance — callers feed yes-instances.
+pub fn measure_sizes<S: Scheme>(
+    scheme: &S,
+    instances: &[Instance<S::Node, S::Edge>],
+) -> Vec<SizePoint> {
+    instances
+        .iter()
+        .map(|inst| {
+            let proof = scheme
+                .prove(inst)
+                .unwrap_or_else(|| panic!("{} refused an instance", scheme.name()));
+            SizePoint {
+                n: inst.n(),
+                bits: proof.size(),
+            }
+        })
+        .collect()
+}
+
+/// Growth classes used to compare measured proof sizes against the
+/// paper's asymptotic claims.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthClass {
+    /// Identically zero — `LCP(0)`.
+    Zero,
+    /// Bounded — `LCP(O(1))`.
+    Constant,
+    /// `Θ(log n)` — `LogLCP`.
+    Logarithmic,
+    /// `Θ(n)`.
+    Linear,
+    /// `Θ(n²)` (the `n²/log n` lower bound also lands here at feasible n).
+    Quadratic,
+}
+
+impl fmt::Display for GrowthClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GrowthClass::Zero => "0",
+            GrowthClass::Constant => "Θ(1)",
+            GrowthClass::Logarithmic => "Θ(log n)",
+            GrowthClass::Linear => "Θ(n)",
+            GrowthClass::Quadratic => "Θ(n²)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Fits measured `(n, bits)` points against candidate growth shapes by
+/// least squares and returns the best-fitting class.
+///
+/// The classification is deliberately coarse — it reproduces the *shape*
+/// claims of Table 1, not constants. Points should span at least a factor
+/// of 4 in `n` for the classes to separate.
+pub fn classify_growth(points: &[SizePoint]) -> GrowthClass {
+    assert!(!points.is_empty(), "need at least one measurement");
+    if points.iter().all(|p| p.bits == 0) {
+        return GrowthClass::Zero;
+    }
+    let lo = points.iter().map(|p| p.bits).min().expect("nonempty");
+    let hi = points.iter().map(|p| p.bits).max().expect("nonempty");
+    if hi <= lo.max(1) * 2 && hi.saturating_sub(lo) <= 3 {
+        return GrowthClass::Constant;
+    }
+    // Least-squares fit bits ≈ a · f(n) + b for each candidate f; compare
+    // residuals (normalized by total variance).
+    let candidates: [(GrowthClass, fn(f64) -> f64); 4] = [
+        (GrowthClass::Logarithmic, |n| n.log2()),
+        (GrowthClass::Linear, |n| n),
+        (GrowthClass::Quadratic, |n| n * n),
+        (GrowthClass::Constant, |_| 1.0),
+    ];
+    let ys: Vec<f64> = points.iter().map(|p| p.bits as f64).collect();
+    let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+    let var_y: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+    let mut best = (GrowthClass::Constant, f64::INFINITY);
+    for (class, f) in candidates {
+        let xs: Vec<f64> = points.iter().map(|p| f(p.n as f64)).collect();
+        let mean_x = xs.iter().sum::<f64>() / xs.len() as f64;
+        let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
+        let sxy: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mean_x) * (y - mean_y))
+            .sum();
+        let a = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+        let b = mean_y - a * mean_x;
+        let sse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (y - (a * x + b)).powi(2))
+            .sum();
+        let normalized = if var_y == 0.0 { 0.0 } else { sse / var_y };
+        if normalized < best.1 - 1e-9 {
+            best = (class, normalized);
+        }
+    }
+    best.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::View;
+    use lcp_graph::generators;
+    use rand::SeedableRng;
+
+    /// The 1-bit bipartiteness scheme, used as the harness guinea pig.
+    struct Bipartite;
+    impl Scheme for Bipartite {
+        type Node = ();
+        type Edge = ();
+        fn name(&self) -> String {
+            "bipartite".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn holds(&self, inst: &Instance) -> bool {
+            lcp_graph::traversal::is_bipartite(inst.graph())
+        }
+        fn prove(&self, inst: &Instance) -> Option<Proof> {
+            let colors = lcp_graph::traversal::bipartition(inst.graph())?;
+            Some(Proof::from_fn(inst.n(), |v| {
+                BitString::from_bits([colors[v] == 1])
+            }))
+        }
+        fn verify(&self, view: &View) -> bool {
+            let c = view.center();
+            let mine = view.proof(c).first();
+            mine.is_some()
+                && view
+                    .neighbors(c)
+                    .iter()
+                    .all(|&u| view.proof(u).first().is_some_and(|b| Some(b) != mine))
+        }
+    }
+
+    #[test]
+    fn completeness_sweep_passes_on_even_cycles() {
+        let instances: Vec<Instance> = (2..8)
+            .map(|k| Instance::unlabeled(generators::cycle(2 * k)))
+            .collect();
+        let sizes = check_completeness(&Bipartite, &instances).unwrap();
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn completeness_sweep_tolerates_no_instances() {
+        let instances = vec![
+            Instance::unlabeled(generators::cycle(5)),
+            Instance::unlabeled(generators::cycle(6)),
+        ];
+        assert!(check_completeness(&Bipartite, &instances).is_ok());
+    }
+
+    #[test]
+    fn exhaustive_soundness_on_odd_cycle() {
+        let inst = Instance::unlabeled(generators::cycle(5));
+        match check_soundness_exhaustive(&Bipartite, &inst, 1) {
+            Soundness::Holds(tried) => assert_eq!(tried, 3u64.pow(5)),
+            Soundness::Violated(p) => panic!("bipartite scheme fooled by {p:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no-instance")]
+    fn exhaustive_soundness_rejects_yes_instances() {
+        let inst = Instance::unlabeled(generators::cycle(4));
+        let _ = check_soundness_exhaustive(&Bipartite, &inst, 1);
+    }
+
+    #[test]
+    fn adversarial_search_fails_against_sound_scheme() {
+        let inst = Instance::unlabeled(generators::cycle(7));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(adversarial_proof_search(&Bipartite, &inst, 1, 500, &mut rng).is_none());
+    }
+
+    #[test]
+    fn adversarial_search_breaks_a_broken_scheme() {
+        /// Deliberately unsound: accepts when every node holds bit 1.
+        struct Gullible;
+        impl Scheme for Gullible {
+            type Node = ();
+            type Edge = ();
+            fn name(&self) -> String {
+                "gullible".into()
+            }
+            fn radius(&self) -> usize {
+                0
+            }
+            fn holds(&self, _: &Instance) -> bool {
+                false // everything is a no-instance
+            }
+            fn prove(&self, _: &Instance) -> Option<Proof> {
+                None
+            }
+            fn verify(&self, view: &View) -> bool {
+                view.proof(view.center()).first() == Some(true)
+            }
+        }
+        let inst = Instance::unlabeled(generators::cycle(6));
+        let mut rng = StdRng::seed_from_u64(2);
+        let forged = adversarial_proof_search(&Gullible, &inst, 1, 2000, &mut rng)
+            .expect("hill climbing finds the all-ones proof");
+        assert!(evaluate(&Gullible, &inst, &forged).accepted());
+    }
+
+    #[test]
+    fn bitstring_enumeration_counts() {
+        assert_eq!(all_bitstrings_up_to(0).len(), 1);
+        assert_eq!(all_bitstrings_up_to(1).len(), 3);
+        assert_eq!(all_bitstrings_up_to(3).len(), 15);
+        // No duplicates.
+        let all = all_bitstrings_up_to(3);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn growth_classification() {
+        let zero: Vec<SizePoint> = (1..6).map(|k| SizePoint { n: 10 * k, bits: 0 }).collect();
+        assert_eq!(classify_growth(&zero), GrowthClass::Zero);
+
+        let constant: Vec<SizePoint> = (1..6).map(|k| SizePoint { n: 10 * k, bits: 2 }).collect();
+        assert_eq!(classify_growth(&constant), GrowthClass::Constant);
+
+        let log: Vec<SizePoint> = (2..10)
+            .map(|k| {
+                let n = 1usize << k;
+                SizePoint { n, bits: 3 * k as usize + 2 }
+            })
+            .collect();
+        assert_eq!(classify_growth(&log), GrowthClass::Logarithmic);
+
+        let linear: Vec<SizePoint> = (1..10)
+            .map(|k| SizePoint { n: 8 * k, bits: 16 * k + 3 })
+            .collect();
+        assert_eq!(classify_growth(&linear), GrowthClass::Linear);
+
+        let quad: Vec<SizePoint> = (1..10)
+            .map(|k| SizePoint { n: 8 * k, bits: (8 * k) * (8 * k) })
+            .collect();
+        assert_eq!(classify_growth(&quad), GrowthClass::Quadratic);
+    }
+
+    #[test]
+    fn measure_sizes_reports_one_bit_for_bipartite() {
+        let instances: Vec<Instance> = (2..6)
+            .map(|k| Instance::unlabeled(generators::cycle(2 * k)))
+            .collect();
+        let points = measure_sizes(&Bipartite, &instances);
+        assert_eq!(classify_growth(&points), GrowthClass::Constant);
+    }
+
+    #[test]
+    fn random_proof_respects_budget() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_proof(5, 4, &mut rng);
+        assert_eq!(p.n(), 5);
+        assert!(p.size() <= 4);
+    }
+}

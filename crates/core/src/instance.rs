@@ -1,0 +1,190 @@
+//! Instances: a graph plus optional node and edge labels.
+//!
+//! §2 allows nodes and edges to carry weights, colours, labels, etc., and
+//! §2.3 extends verification to *solutions of graph problems* encoded as
+//! labellings (e.g. "edges with label 1 induce a spanning tree").
+//! [`Instance`] bundles a graph with per-node data `N` and per-edge data
+//! `E`; pure graph properties use `N = E = ()` with an empty edge map.
+
+use lcp_graph::{norm_edge, Graph};
+use std::collections::BTreeMap;
+
+/// Edge labelling keyed by normalized index pairs; *presence* in the map
+/// is itself information (e.g. membership in a matching with `E = ()`).
+pub type EdgeMap<E> = BTreeMap<(usize, usize), E>;
+
+/// An input to a proof labelling scheme: graph + node labels + edge
+/// labels.
+///
+/// ```
+/// use lcp_core::Instance;
+/// use lcp_graph::generators;
+///
+/// // A maximal-matching instance: the solution is the edge subset.
+/// let g = generators::path(4);
+/// let inst = Instance::unlabeled(g).with_edge_set([(1, 2)]);
+/// assert!(inst.edge_label(2, 1).is_some());
+/// assert!(inst.edge_label(0, 1).is_none());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Instance<N = (), E = ()> {
+    graph: Graph,
+    node_data: Vec<N>,
+    edge_data: EdgeMap<E>,
+}
+
+impl Instance<(), ()> {
+    /// An instance with no labels at all (a pure graph property input).
+    pub fn unlabeled(graph: Graph) -> Self {
+        let n = graph.n();
+        Instance {
+            graph,
+            node_data: vec![(); n],
+            edge_data: EdgeMap::new(),
+        }
+    }
+
+    /// Adds a unit edge label to every listed edge (order-insensitive);
+    /// the usual encoding of an edge-subset solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair is not an edge of the graph.
+    pub fn with_edge_set<I>(mut self, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        for (u, v) in edges {
+            assert!(self.graph.has_edge(u, v), "({u}, {v}) is not an edge");
+            self.edge_data.insert(norm_edge(u, v), ());
+        }
+        self
+    }
+}
+
+impl<N, E> Instance<N, E> {
+    /// Builds an instance with explicit per-node data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_data.len() != graph.n()`.
+    pub fn with_node_data(graph: Graph, node_data: Vec<N>) -> Self {
+        assert_eq!(
+            node_data.len(),
+            graph.n(),
+            "one node datum per node required"
+        );
+        Instance {
+            graph,
+            node_data,
+            edge_data: EdgeMap::new(),
+        }
+    }
+
+    /// Builds an instance with node and edge data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch or an edge key is not an edge.
+    pub fn with_data(graph: Graph, node_data: Vec<N>, edge_data: EdgeMap<E>) -> Self {
+        assert_eq!(node_data.len(), graph.n(), "one node datum per node");
+        for &(u, v) in edge_data.keys() {
+            assert!(graph.has_edge(u, v), "({u}, {v}) is not an edge");
+            assert!(u <= v, "edge keys must be normalized");
+        }
+        Instance {
+            graph,
+            node_data,
+            edge_data,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of nodes (`n(G)`).
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The label of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn node_label(&self, v: usize) -> &N {
+        &self.node_data[v]
+    }
+
+    /// All node labels in index order.
+    pub fn node_labels(&self) -> &[N] {
+        &self.node_data
+    }
+
+    /// The label of edge `{u, v}`, if present.
+    pub fn edge_label(&self, u: usize, v: usize) -> Option<&E> {
+        self.edge_data.get(&norm_edge(u, v))
+    }
+
+    /// The whole edge labelling.
+    pub fn edge_labels(&self) -> &EdgeMap<E> {
+        &self.edge_data
+    }
+
+    /// The labelled edge set as normalized pairs (for `E`-as-subset uses).
+    pub fn labelled_edges(&self) -> Vec<(usize, usize)> {
+        self.edge_data.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcp_graph::generators;
+
+    #[test]
+    fn unlabeled_instance() {
+        let inst = Instance::unlabeled(generators::cycle(4));
+        assert_eq!(inst.n(), 4);
+        assert!(inst.edge_labels().is_empty());
+        assert_eq!(*inst.node_label(2), ());
+    }
+
+    #[test]
+    fn edge_set_normalizes_keys() {
+        let inst = Instance::unlabeled(generators::path(3)).with_edge_set([(1, 0)]);
+        assert!(inst.edge_label(0, 1).is_some());
+        assert!(inst.edge_label(1, 0).is_some());
+        assert_eq!(inst.labelled_edges(), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an edge")]
+    fn edge_set_validates() {
+        let _ = Instance::unlabeled(generators::path(3)).with_edge_set([(0, 2)]);
+    }
+
+    #[test]
+    fn node_data_roundtrip() {
+        let inst: Instance<u32> = Instance::with_node_data(generators::path(3), vec![10u32, 20, 30]);
+        assert_eq!(*inst.node_label(1), 20);
+        assert_eq!(inst.node_labels(), &[10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one node datum per node")]
+    fn node_data_length_checked() {
+        let _: Instance<u8> = Instance::with_node_data(generators::path(3), vec![1u8]);
+    }
+
+    #[test]
+    fn with_data_accepts_weights() {
+        let mut weights = EdgeMap::new();
+        weights.insert((0, 1), 7u64);
+        let inst = Instance::with_data(generators::path(3), vec![(), (), ()], weights);
+        assert_eq!(inst.edge_label(0, 1), Some(&7));
+        assert_eq!(inst.edge_label(1, 2), None);
+    }
+}

@@ -1,0 +1,123 @@
+//! Proofs: per-node bit strings (§2.1).
+
+use crate::bits::BitString;
+
+/// A proof `P : V(G) → {0,1}*`, stored per node index.
+///
+/// The *size* `|P|` is the maximum number of bits at any node — the
+/// quantity Table 1 classifies. The empty proof `ε` has size 0.
+///
+/// ```
+/// use lcp_core::{BitString, Proof};
+///
+/// let p = Proof::from_fn(3, |v| BitString::from_bits((0..v).map(|_| true)));
+/// assert_eq!(p.size(), 2);
+/// assert_eq!(p.total_bits(), 3);
+/// assert!(p.get(0).is_empty());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Proof {
+    per_node: Vec<BitString>,
+}
+
+impl Proof {
+    /// The empty proof `ε` for `n` nodes (0 bits everywhere).
+    pub fn empty(n: usize) -> Self {
+        Proof {
+            per_node: vec![BitString::new(); n],
+        }
+    }
+
+    /// Builds a proof by evaluating `f` at every node index.
+    pub fn from_fn<F>(n: usize, mut f: F) -> Self
+    where
+        F: FnMut(usize) -> BitString,
+    {
+        Proof {
+            per_node: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Builds a proof from explicit per-node strings.
+    pub fn from_strings(strings: Vec<BitString>) -> Self {
+        Proof { per_node: strings }
+    }
+
+    /// Number of nodes the proof labels.
+    pub fn n(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// The proof string of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn get(&self, v: usize) -> &BitString {
+        &self.per_node[v]
+    }
+
+    /// Replaces the proof string of node `v` (adversarial testing hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set(&mut self, v: usize, s: BitString) {
+        self.per_node[v] = s;
+    }
+
+    /// The proof size `|P|`: maximum bits at any node (0 for empty graphs).
+    pub fn size(&self) -> usize {
+        self.per_node.iter().map(BitString::len).max().unwrap_or(0)
+    }
+
+    /// Total bits across all nodes.
+    pub fn total_bits(&self) -> usize {
+        self.per_node.iter().map(BitString::len).sum()
+    }
+
+    /// Iterates over the per-node strings in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &BitString> {
+        self.per_node.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_proof_has_size_zero() {
+        let p = Proof::empty(5);
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.size(), 0);
+        assert_eq!(p.total_bits(), 0);
+        assert!(p.iter().all(BitString::is_empty));
+    }
+
+    #[test]
+    fn size_is_max_not_total() {
+        let p = Proof::from_strings(vec![
+            BitString::from_bits([true]),
+            BitString::from_bits([true, false, true]),
+            BitString::new(),
+        ]);
+        assert_eq!(p.size(), 3);
+        assert_eq!(p.total_bits(), 4);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut p = Proof::empty(2);
+        p.set(1, BitString::from_bits([true, true]));
+        assert_eq!(p.get(1).len(), 2);
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn proof_on_zero_nodes() {
+        let p = Proof::empty(0);
+        assert_eq!(p.size(), 0);
+        assert_eq!(p.n(), 0);
+    }
+}

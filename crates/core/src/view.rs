@@ -1,0 +1,429 @@
+//! Local views: the triple `(G[v,r], P[v,r], v)` a verifier sees (§2.1).
+//!
+//! A [`View`] is *extracted* — a standalone copy of the radius-`r` ball
+//! around the centre, with its own dense indices. A verifier receives only
+//! the view, so locality is enforced by construction rather than by
+//! convention: there is no way to read labels, proofs, or edges beyond the
+//! horizon.
+
+use crate::bits::BitString;
+use crate::instance::{EdgeMap, Instance};
+use crate::proof::Proof;
+use lcp_graph::{norm_edge, Graph, NodeId};
+
+/// The radius-`r` view of one node: induced subgraph, identifiers, labels,
+/// proof restriction, and the centre.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct View<N = (), E = ()> {
+    center: usize,
+    radius: usize,
+    ids: Vec<NodeId>,
+    adj: Vec<Vec<usize>>,
+    dist: Vec<usize>,
+    node_data: Vec<N>,
+    edge_data: EdgeMap<E>,
+    proofs: Vec<BitString>,
+}
+
+impl<N: Clone, E: Clone> View<N, E> {
+    /// Extracts the view `(G[v,r], P[v,r], v)` from an instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `proof.n()` mismatches the graph.
+    pub fn extract(inst: &Instance<N, E>, proof: &Proof, v: usize, radius: usize) -> Self {
+        let g = inst.graph();
+        assert!(v < g.n(), "view centre {v} out of range");
+        assert_eq!(proof.n(), g.n(), "proof must label every node");
+        let members = lcp_graph::traversal::ball(g, v, radius);
+        let mut old_to_new = vec![usize::MAX; g.n()];
+        for (new, &old) in members.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut adj = vec![Vec::new(); members.len()];
+        let mut edge_data = EdgeMap::new();
+        for (new_u, &old_u) in members.iter().enumerate() {
+            for &old_w in g.neighbors(old_u) {
+                let new_w = old_to_new[old_w];
+                if new_w == usize::MAX {
+                    continue; // beyond the horizon
+                }
+                adj[new_u].push(new_w);
+                if new_u < new_w {
+                    if let Some(label) = inst.edge_label(old_u, old_w) {
+                        edge_data.insert((new_u, new_w), label.clone());
+                    }
+                }
+            }
+        }
+        // Distances from the centre, measured inside the ball (equal to
+        // distances in G for all ball members).
+        let dist_in_g = lcp_graph::traversal::bfs_distances(g, v);
+        View {
+            center: old_to_new[v],
+            radius,
+            ids: members.iter().map(|&u| g.id(u)).collect(),
+            dist: members
+                .iter()
+                .map(|&u| dist_in_g[u].expect("ball members are reachable"))
+                .collect(),
+            node_data: members.iter().map(|&u| inst.node_label(u).clone()).collect(),
+            proofs: members.iter().map(|&u| proof.get(u).clone()).collect(),
+            adj,
+            edge_data,
+        }
+    }
+}
+
+impl<N, E> View<N, E> {
+    /// Assembles a view from raw parts — the constructor used by the
+    /// message-passing simulator in `lcp-sim`, which must build the view
+    /// from knowledge a node gathered over `radius` communication rounds.
+    ///
+    /// All vectors are indexed by view-node index; `adj` lists must be
+    /// sorted and symmetric, and `edge_data` keys normalized. Library
+    /// users normally want [`View::extract`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics when lengths disagree, the centre is out of range, adjacency
+    /// is unsorted/asymmetric, or a distance exceeds `radius`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        center: usize,
+        radius: usize,
+        ids: Vec<NodeId>,
+        adj: Vec<Vec<usize>>,
+        dist: Vec<usize>,
+        node_data: Vec<N>,
+        edge_data: EdgeMap<E>,
+        proofs: Vec<BitString>,
+    ) -> Self {
+        let n = ids.len();
+        assert!(center < n, "centre out of range");
+        assert_eq!(adj.len(), n, "adjacency length mismatch");
+        assert_eq!(dist.len(), n, "distance length mismatch");
+        assert_eq!(node_data.len(), n, "node data length mismatch");
+        assert_eq!(proofs.len(), n, "proof length mismatch");
+        assert_eq!(dist[center], 0, "centre must be at distance 0");
+        for (u, list) in adj.iter().enumerate() {
+            assert!(list.windows(2).all(|w| w[0] < w[1]), "adjacency unsorted");
+            for &w in list {
+                assert!(w < n, "adjacency index out of range");
+                assert!(adj[w].binary_search(&u).is_ok(), "adjacency asymmetric");
+            }
+        }
+        for d in &dist {
+            assert!(*d <= radius, "distance beyond radius");
+        }
+        for &(u, w) in edge_data.keys() {
+            assert!(u <= w && adj[u].binary_search(&w).is_ok(), "edge label off-edge");
+        }
+        View {
+            center,
+            radius,
+            ids,
+            adj,
+            dist,
+            node_data,
+            edge_data,
+            proofs,
+        }
+    }
+
+    /// The centre's index *within the view*.
+    pub fn center(&self) -> usize {
+        self.center
+    }
+
+    /// The extraction radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of nodes in the view.
+    pub fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Identifier of view node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn id(&self, u: usize) -> NodeId {
+        self.ids[u]
+    }
+
+    /// All identifiers in view-index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// View index of the node with identifier `id`, if visible.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.ids.iter().position(|&x| x == id)
+    }
+
+    /// Distance from the centre (in the original graph, ≤ radius).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn dist(&self, u: usize) -> usize {
+        self.dist[u]
+    }
+
+    /// Sorted neighbours of `u` within the view.
+    ///
+    /// Note: for `u` at distance exactly `r` this can be a strict subset
+    /// of its true neighbourhood — exactly as in the paper's `G[v,r]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u` within the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Whether `{u, w}` is an edge of the view.
+    pub fn has_edge(&self, u: usize, w: usize) -> bool {
+        u < self.n() && w < self.n() && self.adj[u].binary_search(&w).is_ok()
+    }
+
+    /// Iterates over view node indices.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.n()
+    }
+
+    /// All view edges as normalized pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for u in self.nodes() {
+            for &w in &self.adj[u] {
+                if u < w {
+                    out.push((u, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// The node label of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn node_label(&self, u: usize) -> &N {
+        &self.node_data[u]
+    }
+
+    /// The edge label of `{u, w}` within the view, if present.
+    pub fn edge_label(&self, u: usize, w: usize) -> Option<&E> {
+        self.edge_data.get(&norm_edge(u, w))
+    }
+
+    /// The proof string of `u` (the restriction `P[v,r]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn proof(&self, u: usize) -> &BitString {
+        &self.proofs[u]
+    }
+
+    /// Restricts the view to a smaller radius `r' ≤ r`, producing the
+    /// view `(G[v,r'], P[v,r'], v)` a shorter-horizon verifier would see.
+    ///
+    /// Used by scheme *combinators* — e.g. the §7.3 complement adapter
+    /// simulates an inner radius-`r'` verifier at the root of its
+    /// spanning tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_radius` exceeds the current radius.
+    pub fn restrict(&self, new_radius: usize) -> Self
+    where
+        N: Clone,
+        E: Clone,
+    {
+        assert!(
+            new_radius <= self.radius,
+            "cannot widen a view ({new_radius} > {})",
+            self.radius
+        );
+        let keep: Vec<usize> = self.nodes().filter(|&u| self.dist[u] <= new_radius).collect();
+        let mut old_to_new = vec![usize::MAX; self.n()];
+        for (new, &old) in keep.iter().enumerate() {
+            old_to_new[old] = new;
+        }
+        let mut adj = vec![Vec::new(); keep.len()];
+        let mut edge_data = EdgeMap::new();
+        for (nu, &ou) in keep.iter().enumerate() {
+            for &ow in &self.adj[ou] {
+                let nw = old_to_new[ow];
+                if nw == usize::MAX {
+                    continue;
+                }
+                adj[nu].push(nw);
+                if nu < nw {
+                    if let Some(l) = self.edge_label(ou, ow) {
+                        edge_data.insert((nu, nw), l.clone());
+                    }
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        View {
+            center: old_to_new[self.center],
+            radius: new_radius,
+            ids: keep.iter().map(|&u| self.ids[u]).collect(),
+            dist: keep.iter().map(|&u| self.dist[u]).collect(),
+            node_data: keep.iter().map(|&u| self.node_data[u].clone()).collect(),
+            proofs: keep.iter().map(|&u| self.proofs[u].clone()).collect(),
+            adj,
+            edge_data,
+        }
+    }
+
+    /// A copy of the view with every proof string blanked to `ε` — what an
+    /// inner `LCP(0)` verifier must be shown (§7.3 simulates the inner
+    /// verifier "with the empty proof").
+    pub fn with_proofs_cleared(&self) -> Self
+    where
+        N: Clone,
+        E: Clone,
+    {
+        let mut v = self.clone();
+        for p in &mut v.proofs {
+            *p = BitString::new();
+        }
+        v
+    }
+
+    /// Materializes the view's topology as a standalone [`Graph`]
+    /// (same identifiers), so graph algorithms can run on it.
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::from_ids(self.ids.iter().copied()).expect("view ids are unique");
+        for (u, w) in self.edges() {
+            g.add_edge(u, w).expect("view is simple");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcp_graph::generators;
+
+    fn proof_of_ids(g: &Graph) -> Proof {
+        Proof::from_fn(g.n(), |v| {
+            let mut w = crate::bits::BitWriter::new();
+            w.write_gamma(g.id(v).0);
+            w.finish()
+        })
+    }
+
+    #[test]
+    fn radius_zero_view_is_lonely() {
+        let g = generators::cycle(5);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &Proof::empty(5), 2, 0);
+        assert_eq!(v.n(), 1);
+        assert_eq!(v.center(), 0);
+        assert_eq!(v.degree(0), 0);
+        assert_eq!(v.id(0), NodeId(3));
+    }
+
+    #[test]
+    fn radius_one_view_of_cycle() {
+        let g = generators::cycle(6);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &Proof::empty(6), 0, 1);
+        assert_eq!(v.n(), 3);
+        assert_eq!(v.dist(v.center()), 0);
+        // Centre sees both neighbours, which are not adjacent to each other.
+        assert_eq!(v.degree(v.center()), 2);
+        let others: Vec<usize> = v.nodes().filter(|&u| u != v.center()).collect();
+        assert!(!v.has_edge(others[0], others[1]));
+        // Boundary nodes have visible degree 1 (their far edges are hidden).
+        assert_eq!(v.degree(others[0]), 1);
+    }
+
+    #[test]
+    fn view_on_triangle_sees_closing_edge() {
+        let g = generators::cycle(3);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &Proof::empty(3), 0, 1);
+        assert_eq!(v.n(), 3);
+        assert_eq!(v.edges().len(), 3, "induced view includes the far edge");
+    }
+
+    #[test]
+    fn proofs_and_ids_restricted_consistently() {
+        let g = generators::path(7);
+        let p = proof_of_ids(&g);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &p, 3, 2);
+        assert_eq!(v.n(), 5);
+        for u in v.nodes() {
+            let mut r = crate::bits::BitReader::new(v.proof(u));
+            assert_eq!(r.read_gamma().unwrap(), v.id(u).0, "proof follows node");
+        }
+    }
+
+    #[test]
+    fn labels_travel_with_the_view() {
+        let g = generators::path(4);
+        let inst: Instance<u8> = Instance::with_node_data(g, vec![0u8, 1, 2, 3]);
+        let v = View::extract(&inst, &Proof::empty(4), 1, 1);
+        let idx2 = v.index_of(NodeId(3)).unwrap(); // node index 2 has id 3
+        assert_eq!(*v.node_label(idx2), 2);
+    }
+
+    #[test]
+    fn edge_labels_restricted_to_view() {
+        let g = generators::path(5); // 0-1-2-3-4
+        let inst = Instance::unlabeled(g).with_edge_set([(0, 1), (3, 4)]);
+        let v = View::extract(&inst, &Proof::empty(5), 1, 1);
+        // View holds nodes 0,1,2; edge (0,1) labelled, (3,4) invisible.
+        let i0 = v.index_of(NodeId(1)).unwrap();
+        let i1 = v.index_of(NodeId(2)).unwrap();
+        assert!(v.edge_label(i0, i1).is_some());
+        assert_eq!(v.n(), 3);
+    }
+
+    #[test]
+    fn distances_match_original_graph() {
+        let g = generators::grid(3, 3);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &Proof::empty(9), 4, 2);
+        assert_eq!(v.n(), 9);
+        for u in v.nodes() {
+            assert!(v.dist(u) <= 2);
+        }
+        assert_eq!(v.dist(v.center()), 0);
+    }
+
+    #[test]
+    fn to_graph_matches_view_topology() {
+        let g = generators::complete(4);
+        let inst = Instance::unlabeled(g);
+        let v = View::extract(&inst, &Proof::empty(4), 0, 1);
+        let h = v.to_graph();
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 6);
+    }
+}

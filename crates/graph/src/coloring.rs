@@ -1,0 +1,194 @@
+//! Graph colouring: greedy bounds, exact chromatic number, and
+//! k-colourability witnesses.
+//!
+//! The colouring schemes of Table 1(a) ("chromatic number ≤ k" with
+//! `O(log k)` bits) need an actual proper colouring as the proof, and the
+//! §6.3 gadget validation needs an exact 3-colourability decision — both
+//! live here.
+
+use crate::Graph;
+
+/// A proper colouring with colours `0..k` in greedy (first-fit) order.
+///
+/// Uses at most `max_degree + 1` colours.
+pub fn greedy_coloring(g: &Graph) -> Vec<usize> {
+    let mut color = vec![usize::MAX; g.n()];
+    for u in g.nodes() {
+        let mut used: Vec<bool> = vec![false; g.degree(u) + 1];
+        for &v in g.neighbors(u) {
+            if color[v] != usize::MAX && color[v] < used.len() {
+                used[color[v]] = true;
+            }
+        }
+        color[u] = used.iter().position(|&b| !b).expect("first-fit colour exists");
+    }
+    color
+}
+
+/// Whether `coloring` is a proper colouring of `g` (no monochromatic edge).
+pub fn is_proper_coloring(g: &Graph, coloring: &[usize]) -> bool {
+    coloring.len() == g.n() && g.edges().all(|(u, v)| coloring[u] != coloring[v])
+}
+
+/// A proper colouring with at most `k` colours, or `None` if `g` is not
+/// k-colourable.
+///
+/// Exact backtracking with DSATUR-style most-saturated-first ordering;
+/// exponential in the worst case, intended for the instance sizes of the
+/// experiments (hundreds of nodes for sparse/gadget graphs, small `n`
+/// otherwise).
+pub fn k_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    if g.n() == 0 {
+        return Some(Vec::new());
+    }
+    if k == 0 {
+        return None;
+    }
+    let n = g.n();
+    let mut color = vec![usize::MAX; n];
+    // neighbour_colors[u] tracks which colours touch u (bitmask, k ≤ 64).
+    assert!(k <= 64, "k_coloring supports at most 64 colours");
+    let mut nbr_mask = vec![0u64; n];
+    fn pick_next(g: &Graph, color: &[usize], nbr_mask: &[u64]) -> Option<usize> {
+        // Most saturated uncoloured node, ties broken by degree.
+        g.nodes()
+            .filter(|&u| color[u] == usize::MAX)
+            .max_by_key(|&u| (nbr_mask[u].count_ones(), g.degree(u)))
+    }
+    fn rec(g: &Graph, k: usize, color: &mut [usize], nbr_mask: &mut [u64]) -> bool {
+        let Some(u) = pick_next(g, color, nbr_mask) else {
+            return true;
+        };
+        for c in 0..k {
+            if nbr_mask[u] >> c & 1 == 1 {
+                continue;
+            }
+            color[u] = c;
+            let mut touched = Vec::new();
+            for &v in g.neighbors(u) {
+                if color[v] == usize::MAX && nbr_mask[v] >> c & 1 == 0 {
+                    nbr_mask[v] |= 1 << c;
+                    touched.push(v);
+                }
+            }
+            if rec(g, k, color, nbr_mask) {
+                return true;
+            }
+            for v in touched {
+                nbr_mask[v] &= !(1 << c);
+            }
+            color[u] = usize::MAX;
+        }
+        false
+    }
+    rec(g, k, &mut color, &mut nbr_mask).then_some(color)
+}
+
+/// Whether `g` is k-colourable.
+pub fn is_k_colorable(g: &Graph, k: usize) -> bool {
+    k_coloring(g, k).is_some()
+}
+
+/// The chromatic number `χ(g)` (0 for the empty graph), by incremental
+/// exact search.
+///
+/// Exponential in the worst case; intended for small instances.
+pub fn chromatic_number(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    if g.m() == 0 {
+        return 1;
+    }
+    // Lower bound 2 (there is an edge); upper bound from greedy.
+    let upper = greedy_coloring(g).iter().max().expect("nonempty") + 1;
+    for k in 2..upper {
+        if is_k_colorable(g, k) {
+            return k;
+        }
+    }
+    upper
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_is_proper() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            let g = generators::gnp(15, 0.3, &mut rng);
+            let c = greedy_coloring(&g);
+            assert!(is_proper_coloring(&g, &c));
+            assert!(c.iter().max().map_or(0, |&m| m + 1) <= g.max_degree() + 1);
+        }
+    }
+
+    #[test]
+    fn chromatic_numbers_of_known_graphs() {
+        assert_eq!(chromatic_number(&generators::complete(5)), 5);
+        assert_eq!(chromatic_number(&generators::cycle(6)), 2);
+        assert_eq!(chromatic_number(&generators::cycle(7)), 3);
+        assert_eq!(chromatic_number(&generators::path(4)), 2);
+        assert_eq!(chromatic_number(&generators::star(5)), 2);
+        assert_eq!(chromatic_number(&generators::complete_bipartite(3, 4)), 2);
+        assert_eq!(chromatic_number(&Graph::with_contiguous_ids(3)), 1);
+        assert_eq!(chromatic_number(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn petersen_graph_is_3_chromatic() {
+        // Petersen graph: outer C5 (0..4), inner pentagram (5..9), spokes.
+        let mut g = Graph::with_contiguous_ids(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5).unwrap();
+            g.add_edge(5 + i, 5 + (i + 2) % 5).unwrap();
+            g.add_edge(i, 5 + i).unwrap();
+        }
+        assert!(!is_k_colorable(&g, 2));
+        let c = k_coloring(&g, 3).unwrap();
+        assert!(is_proper_coloring(&g, &c));
+        assert!(c.iter().all(|&x| x < 3));
+        assert_eq!(chromatic_number(&g), 3);
+    }
+
+    #[test]
+    fn k_coloring_rejects_infeasible() {
+        assert_eq!(k_coloring(&generators::complete(4), 3), None);
+        assert_eq!(k_coloring(&generators::cycle(5), 2), None);
+        assert_eq!(k_coloring(&generators::cycle(5), 0), None);
+    }
+
+    #[test]
+    fn empty_graph_cases() {
+        assert_eq!(k_coloring(&Graph::new(), 0), Some(vec![]));
+        assert!(is_k_colorable(&Graph::with_contiguous_ids(3), 1));
+    }
+
+    #[test]
+    fn proper_coloring_predicate() {
+        let g = generators::path(3);
+        assert!(is_proper_coloring(&g, &[0, 1, 0]));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1]));
+        assert!(!is_proper_coloring(&g, &[0, 1])); // wrong length
+    }
+
+    #[test]
+    fn exact_matches_greedy_upper_bound_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..5 {
+            let g = generators::gnp(10, 0.4, &mut rng);
+            let chi = chromatic_number(&g);
+            let greedy = greedy_coloring(&g).iter().max().map_or(0, |&m| m + 1);
+            assert!(chi <= greedy);
+            assert!(is_proper_coloring(&g, &k_coloring(&g, chi).unwrap()));
+            if chi > 1 {
+                assert!(!is_k_colorable(&g, chi - 1));
+            }
+        }
+    }
+}

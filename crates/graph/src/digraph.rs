@@ -1,0 +1,275 @@
+//! Simple directed graphs, used for the directed `s`–`t` (un)reachability
+//! schemes of §4.1.
+
+use crate::{GraphError, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finite, simple, directed graph with explicit [`NodeId`] identifiers.
+///
+/// Mirrors [`crate::Graph`] but keeps separate out- and in-adjacency lists.
+/// Anti-parallel arcs (`u → v` and `v → u`) are allowed; parallel arcs and
+/// self-loops are not.
+///
+/// ```
+/// use lcp_graph::{DiGraph, NodeId};
+///
+/// # fn main() -> Result<(), lcp_graph::GraphError> {
+/// let mut g = DiGraph::from_ids((1..=3).map(NodeId))?;
+/// g.add_arc(0, 1)?;
+/// g.add_arc(1, 2)?;
+/// assert!(g.has_arc(0, 1));
+/// assert!(!g.has_arc(1, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct DiGraph {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    out: Vec<Vec<usize>>,
+    inn: Vec<Vec<usize>>,
+    m: usize,
+}
+
+impl DiGraph {
+    /// Creates an empty directed graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Creates a directed graph with the given identifiers and no arcs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if an identifier repeats.
+    pub fn from_ids<I>(ids: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut g = DiGraph::new();
+        for id in ids {
+            g.add_node(id)?;
+        }
+        Ok(g)
+    }
+
+    /// Adds a node and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if the identifier is taken.
+    pub fn add_node(&mut self, id: NodeId) -> Result<usize, GraphError> {
+        if self.index.contains_key(&id) {
+            return Err(GraphError::DuplicateNode(id));
+        }
+        let idx = self.ids.len();
+        self.ids.push(id);
+        self.index.insert(id, idx);
+        self.out.push(Vec::new());
+        self.inn.push(Vec::new());
+        Ok(idx)
+    }
+
+    /// Adds the arc `u → v` by internal index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range indices, self-loops, and duplicate arcs.
+    pub fn add_arc(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n() {
+            return Err(GraphError::IndexOutOfRange(u));
+        }
+        if v >= self.n() {
+            return Err(GraphError::IndexOutOfRange(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(self.ids[u]));
+        }
+        match self.out[u].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(self.ids[u], self.ids[v])),
+            Err(pos) => self.out[u].insert(pos, v),
+        }
+        let pos = self.inn[v]
+            .binary_search(&u)
+            .expect_err("arc lists must stay consistent");
+        self.inn[v].insert(pos, u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of arcs.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Identifier of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn id(&self, u: usize) -> NodeId {
+        self.ids[u]
+    }
+
+    /// All identifiers in index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Index of the node carrying `id`, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Sorted out-neighbours of `u` (targets of arcs `u → ·`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn out_neighbors(&self, u: usize) -> &[usize] {
+        &self.out[u]
+    }
+
+    /// Sorted in-neighbours of `u` (sources of arcs `· → u`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn in_neighbors(&self, u: usize) -> &[usize] {
+        &self.inn[u]
+    }
+
+    /// Whether the arc `u → v` is present.
+    pub fn has_arc(&self, u: usize, v: usize) -> bool {
+        u < self.n() && v < self.n() && self.out[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all node indices.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.n()
+    }
+
+    /// All arcs as `(source, target)` index pairs, in source order.
+    pub fn arcs(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.m);
+        for u in self.nodes() {
+            for &v in &self.out[u] {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// Nodes reachable from `s` by directed paths (including `s`).
+    pub fn reachable_from(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n()];
+        if s >= self.n() {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::from([s]);
+        seen[s] = true;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.out[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Forgets arc directions, producing the underlying undirected graph.
+    ///
+    /// Anti-parallel arc pairs collapse into a single edge.
+    pub fn to_undirected(&self) -> crate::Graph {
+        let mut g = crate::Graph::from_ids(self.ids.iter().copied()).expect("ids unique");
+        for (u, v) in self.arcs() {
+            if !g.has_edge(u, v) {
+                g.add_edge(u, v).expect("indices valid");
+            }
+        }
+        g
+    }
+}
+
+impl fmt::Debug for DiGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DiGraph(n={}, m={}; ", self.n(), self.m())?;
+        let arcs: Vec<String> = self
+            .arcs()
+            .into_iter()
+            .map(|(u, v)| format!("{}->{}", self.ids[u], self.ids[v]))
+            .collect();
+        write!(f, "[{}])", arcs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_path() -> DiGraph {
+        let mut g = DiGraph::from_ids((1..=3).map(NodeId)).unwrap();
+        g.add_arc(0, 1).unwrap();
+        g.add_arc(1, 2).unwrap();
+        g
+    }
+
+    #[test]
+    fn arcs_are_directed() {
+        let g = two_path();
+        assert!(g.has_arc(0, 1));
+        assert!(!g.has_arc(1, 0));
+        assert_eq!(g.out_neighbors(1), &[2]);
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn antiparallel_arcs_allowed() {
+        let mut g = DiGraph::from_ids((1..=2).map(NodeId)).unwrap();
+        g.add_arc(0, 1).unwrap();
+        g.add_arc(1, 0).unwrap();
+        assert_eq!(g.m(), 2);
+        // ... but an exact duplicate is not.
+        assert!(g.add_arc(0, 1).is_err());
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = DiGraph::from_ids([NodeId(1)]).unwrap();
+        assert_eq!(g.add_arc(0, 0), Err(GraphError::SelfLoop(NodeId(1))));
+    }
+
+    #[test]
+    fn reachability_follows_arc_direction() {
+        let g = two_path();
+        assert_eq!(g.reachable_from(0), vec![true, true, true]);
+        assert_eq!(g.reachable_from(2), vec![false, false, true]);
+    }
+
+    #[test]
+    fn to_undirected_collapses_antiparallel() {
+        let mut g = DiGraph::from_ids((1..=3).map(NodeId)).unwrap();
+        g.add_arc(0, 1).unwrap();
+        g.add_arc(1, 0).unwrap();
+        g.add_arc(1, 2).unwrap();
+        let u = g.to_undirected();
+        assert_eq!(u.m(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn arcs_listing_is_deterministic() {
+        let g = two_path();
+        assert_eq!(g.arcs(), vec![(0, 1), (1, 2)]);
+    }
+}

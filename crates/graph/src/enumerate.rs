@@ -1,0 +1,186 @@
+//! Exhaustive and sampled enumeration of small graphs up to isomorphism.
+//!
+//! §6.1 needs the family `F_k`: one representative of every isomorphism
+//! class of *asymmetric connected* graphs on `k` nodes (`log |F_k| =
+//! Θ(k²)` by Erdős–Rényi). Exhaustive enumeration is feasible for `k ≤ 6`;
+//! beyond that, [`sample_asymmetric_connected`] collects distinct classes
+//! by rejection sampling, which is all the fooling experiments need.
+
+use crate::iso::{canonical_code, is_symmetric, CanonicalCode};
+use crate::{Graph, GraphError};
+use rand::rngs::StdRng;
+use std::collections::HashSet;
+
+/// Largest `k` for which exhaustive enumeration is allowed (2^21 edge
+/// masks at `k = 7` is already minutes of work; we stop at 6).
+pub const MAX_EXHAUSTIVE_NODES: usize = 6;
+
+/// All graphs on `k` labelled-then-deduplicated nodes, one per
+/// isomorphism class, with identifiers `1..=k`.
+///
+/// Counts match OEIS A000088: 1, 2, 4, 11, 34, 156 for `k = 1..=6`.
+///
+/// # Errors
+///
+/// Returns an error if `k = 0` or `k >` [`MAX_EXHAUSTIVE_NODES`].
+pub fn all_graphs_up_to_iso(k: usize) -> Result<Vec<Graph>, GraphError> {
+    if k == 0 || k > MAX_EXHAUSTIVE_NODES {
+        return Err(GraphError::InvalidConstruction(format!(
+            "exhaustive enumeration supports 1..={MAX_EXHAUSTIVE_NODES} nodes, got {k}"
+        )));
+    }
+    let pairs: Vec<(usize, usize)> = (0..k)
+        .flat_map(|u| ((u + 1)..k).map(move |v| (u, v)))
+        .collect();
+    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut out = Vec::new();
+    for mask in 0u64..(1u64 << pairs.len()) {
+        let mut g = Graph::with_contiguous_ids(k);
+        for (bit, &(u, v)) in pairs.iter().enumerate() {
+            if mask >> bit & 1 == 1 {
+                g.add_edge(u, v).expect("pairs are distinct");
+            }
+        }
+        let code = canonical_code(&g).expect("k <= MAX_CANON_NODES");
+        if seen.insert(code) {
+            out.push(g);
+        }
+    }
+    Ok(out)
+}
+
+/// One representative per isomorphism class of *connected* graphs on `k`
+/// nodes.
+///
+/// Counts match OEIS A001349: 1, 1, 2, 6, 21, 112 for `k = 1..=6`.
+///
+/// # Errors
+///
+/// Same bounds as [`all_graphs_up_to_iso`].
+pub fn connected_graphs_up_to_iso(k: usize) -> Result<Vec<Graph>, GraphError> {
+    Ok(all_graphs_up_to_iso(k)?
+        .into_iter()
+        .filter(crate::traversal::is_connected)
+        .collect())
+}
+
+/// The family `F_k` of §6.1: one representative per isomorphism class of
+/// asymmetric connected graphs on `k` nodes.
+///
+/// Nonempty only from `k = 1` (trivially) and `k ≥ 6`; the count at
+/// `k = 6` is 8.
+///
+/// # Errors
+///
+/// Same bounds as [`all_graphs_up_to_iso`].
+pub fn asymmetric_connected_graphs(k: usize) -> Result<Vec<Graph>, GraphError> {
+    Ok(connected_graphs_up_to_iso(k)?
+        .into_iter()
+        .filter(|g| !is_symmetric(g))
+        .collect())
+}
+
+/// Collects up to `count` pairwise non-isomorphic asymmetric connected
+/// graphs on `k` nodes by seeded rejection sampling (G(k, 1/2) conditioned
+/// on connectivity and asymmetry, deduplicated by canonical code).
+///
+/// Gives up after `max_attempts` draws, returning what it has; by
+/// Erdős–Rényi almost all graphs qualify, so for `k ≥ 7` the yield is
+/// high.
+///
+/// # Errors
+///
+/// Returns an error if `k` exceeds [`crate::iso::MAX_CANON_NODES`] (the
+/// deduplication needs canonical codes).
+pub fn sample_asymmetric_connected(
+    k: usize,
+    count: usize,
+    max_attempts: usize,
+    rng: &mut StdRng,
+) -> Result<Vec<Graph>, GraphError> {
+    if k == 0 || k > crate::iso::MAX_CANON_NODES {
+        return Err(GraphError::InvalidConstruction(format!(
+            "sampling supports 1..={} nodes, got {k}",
+            crate::iso::MAX_CANON_NODES
+        )));
+    }
+    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut out = Vec::new();
+    for _ in 0..max_attempts {
+        if out.len() == count {
+            break;
+        }
+        let g = crate::generators::gnp(k, 0.5, rng);
+        if !crate::traversal::is_connected(&g) || is_symmetric(&g) {
+            continue;
+        }
+        let code = canonical_code(&g)?;
+        if seen.insert(code) {
+            out.push(g);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn graph_counts_match_a000088() {
+        let expected = [1usize, 2, 4, 11, 34];
+        for (i, &count) in expected.iter().enumerate() {
+            assert_eq!(all_graphs_up_to_iso(i + 1).unwrap().len(), count);
+        }
+    }
+
+    #[test]
+    fn connected_counts_match_a001349() {
+        let expected = [1usize, 1, 2, 6, 21];
+        for (i, &count) in expected.iter().enumerate() {
+            assert_eq!(connected_graphs_up_to_iso(i + 1).unwrap().len(), count);
+        }
+    }
+
+    #[test]
+    #[ignore = "k = 6 exhaustive pass takes ~10s in debug builds; run with --ignored"]
+    fn six_node_counts() {
+        assert_eq!(all_graphs_up_to_iso(6).unwrap().len(), 156);
+        assert_eq!(connected_graphs_up_to_iso(6).unwrap().len(), 112);
+        assert_eq!(asymmetric_connected_graphs(6).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn no_small_asymmetric_graphs() {
+        // Between 2 and 5 nodes every connected graph has a symmetry.
+        for k in 2..=5 {
+            assert!(asymmetric_connected_graphs(k).unwrap().is_empty(), "k = {k}");
+        }
+        // The single-node graph is trivially asymmetric.
+        assert_eq!(asymmetric_connected_graphs(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sampling_yields_distinct_asymmetric_graphs() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let graphs = sample_asymmetric_connected(7, 20, 5000, &mut rng).unwrap();
+        assert!(graphs.len() >= 10, "expected a healthy yield at k = 7");
+        for g in &graphs {
+            assert_eq!(g.n(), 7);
+            assert!(crate::traversal::is_connected(g));
+            assert!(!is_symmetric(g));
+        }
+        // Pairwise non-isomorphic by construction.
+        let codes: HashSet<_> = graphs.iter().map(|g| canonical_code(g).unwrap()).collect();
+        assert_eq!(codes.len(), graphs.len());
+    }
+
+    #[test]
+    fn enumeration_bounds() {
+        assert!(all_graphs_up_to_iso(0).is_err());
+        assert!(all_graphs_up_to_iso(7).is_err());
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_asymmetric_connected(17, 1, 10, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or mutating graphs.
+///
+/// All graphs in this workspace are *simple*: no self-loops, no parallel
+/// edges, and identifiers are unique. Constructors validate their input
+/// (C-VALIDATE) and report violations through this type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The identifier is already present in the graph.
+    DuplicateNode(NodeId),
+    /// The identifier does not name a node of the graph.
+    UnknownNode(NodeId),
+    /// An internal index was out of range for the graph.
+    IndexOutOfRange(usize),
+    /// The edge joins a node to itself; simple graphs forbid self-loops.
+    SelfLoop(NodeId),
+    /// The edge is already present in the graph.
+    DuplicateEdge(NodeId, NodeId),
+    /// A constructor received parameters outside its domain
+    /// (e.g. a cycle on fewer than 3 nodes).
+    InvalidConstruction(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::DuplicateNode(id) => write!(f, "duplicate node identifier {id}"),
+            GraphError::UnknownNode(id) => write!(f, "unknown node identifier {id}"),
+            GraphError::IndexOutOfRange(i) => write!(f, "node index {i} out of range"),
+            GraphError::SelfLoop(id) => write!(f, "self-loop at node {id}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {{{a}, {b}}}"),
+            GraphError::InvalidConstruction(msg) => write!(f, "invalid construction: {msg}"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            GraphError::DuplicateNode(NodeId(3)).to_string(),
+            GraphError::UnknownNode(NodeId(9)).to_string(),
+            GraphError::IndexOutOfRange(4).to_string(),
+            GraphError::SelfLoop(NodeId(1)).to_string(),
+            GraphError::DuplicateEdge(NodeId(1), NodeId(2)).to_string(),
+            GraphError::InvalidConstruction("cycle needs >= 3 nodes".into()).to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<GraphError>();
+    }
+}

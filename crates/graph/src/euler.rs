@@ -1,0 +1,63 @@
+//! Eulerian graphs — the paper's first example of a locally checkable
+//! property (§1.1).
+//!
+//! A connected graph is Eulerian iff every degree is even; the "every
+//! degree is even" part is what a radius-0 verifier checks, and the
+//! connectivity is the family promise `F` = connected graphs.
+
+use crate::Graph;
+
+/// Whether every node of `g` has even degree.
+///
+/// This is the locally checkable part of the Eulerian property: a
+/// radius-0 verifier at `v` outputs `degree(v) % 2 == 0`.
+pub fn all_degrees_even(g: &Graph) -> bool {
+    g.nodes().all(|u| g.degree(u) % 2 == 0)
+}
+
+/// Whether `g` is Eulerian: connected with every degree even (the closed
+/// Eulerian-circuit convention; the empty graph counts as Eulerian).
+pub fn is_eulerian(g: &Graph) -> bool {
+    all_degrees_even(g) && crate::traversal::is_connected(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cycles_are_eulerian() {
+        for n in 3..8 {
+            assert!(is_eulerian(&generators::cycle(n)));
+        }
+    }
+
+    #[test]
+    fn paths_are_not_eulerian() {
+        assert!(!is_eulerian(&generators::path(4)));
+        assert!(!all_degrees_even(&generators::path(4)));
+    }
+
+    #[test]
+    fn k5_is_eulerian_k4_is_not() {
+        assert!(is_eulerian(&generators::complete(5)));
+        assert!(!is_eulerian(&generators::complete(4)));
+    }
+
+    #[test]
+    fn disconnected_even_degrees_not_eulerian() {
+        let g = crate::ops::disjoint_union(
+            &generators::cycle(3),
+            &crate::ops::shift_ids(&generators::cycle(3), 10),
+        )
+        .unwrap();
+        assert!(all_degrees_even(&g));
+        assert!(!is_eulerian(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_eulerian() {
+        assert!(is_eulerian(&Graph::new()));
+    }
+}

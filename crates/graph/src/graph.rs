@@ -1,0 +1,529 @@
+//! Simple undirected graphs with first-class node identifiers.
+
+use crate::{GraphError, NodeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finite, simple, undirected graph whose nodes carry explicit
+/// [`NodeId`] identifiers.
+///
+/// Nodes are addressed internally by dense indices `0..n` (insertion
+/// order); every node additionally has a unique identifier, as required by
+/// the LCP model (§2 of the paper). Adjacency lists are kept sorted so all
+/// iteration orders are deterministic.
+///
+/// ```
+/// use lcp_graph::{Graph, NodeId};
+///
+/// # fn main() -> Result<(), lcp_graph::GraphError> {
+/// let mut g = Graph::new();
+/// let a = g.add_node(NodeId(10))?;
+/// let b = g.add_node(NodeId(20))?;
+/// g.add_edge(a, b)?;
+/// assert_eq!(g.n(), 2);
+/// assert_eq!(g.m(), 1);
+/// assert!(g.has_edge(a, b));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Graph {
+    ids: Vec<NodeId>,
+    index: HashMap<NodeId, usize>,
+    adj: Vec<Vec<usize>>,
+    m: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Creates an empty graph with room for `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        Graph {
+            ids: Vec::with_capacity(n),
+            index: HashMap::with_capacity(n),
+            adj: Vec::with_capacity(n),
+            m: 0,
+        }
+    }
+
+    /// Creates a graph with the given identifiers and no edges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if an identifier repeats.
+    pub fn from_ids<I>(ids: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut g = Graph::new();
+        for id in ids {
+            g.add_node(id)?;
+        }
+        Ok(g)
+    }
+
+    /// Creates a graph with identifiers `1..=n` and no edges.
+    ///
+    /// This is the "contiguous identifiers" convention used by most
+    /// generators; the LCP model allows any `poly(n)`-bounded identifiers.
+    pub fn with_contiguous_ids(n: usize) -> Self {
+        Graph::from_ids((1..=n as u64).map(NodeId)).expect("contiguous ids are unique")
+    }
+
+    /// Creates a graph from identifiers and identifier pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates node/edge validation errors ([`GraphError`]).
+    pub fn from_edge_ids<I, E>(ids: I, edges: E) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+        E: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut g = Graph::from_ids(ids)?;
+        for (a, b) in edges {
+            g.add_edge_ids(a, b)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds the path `ids[0] – ids[1] – … – ids[k-1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when identifiers repeat or fewer than one node is
+    /// given.
+    pub fn path_with_ids<I>(ids: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut g = Graph::from_ids(ids)?;
+        if g.n() == 0 {
+            return Err(GraphError::InvalidConstruction(
+                "path needs at least 1 node".into(),
+            ));
+        }
+        for u in 1..g.n() {
+            g.add_edge(u - 1, u)?;
+        }
+        Ok(g)
+    }
+
+    /// Builds the cycle `ids[0] – ids[1] – … – ids[k-1] – ids[0]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when identifiers repeat or fewer than three nodes
+    /// are given (simple graphs have no 1- or 2-cycles).
+    pub fn cycle_with_ids<I>(ids: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = NodeId>,
+    {
+        let mut g = Graph::from_ids(ids)?;
+        if g.n() < 3 {
+            return Err(GraphError::InvalidConstruction(
+                "cycle needs at least 3 nodes".into(),
+            ));
+        }
+        for u in 1..g.n() {
+            g.add_edge(u - 1, u)?;
+        }
+        g.add_edge(g.n() - 1, 0)?;
+        Ok(g)
+    }
+
+    /// Adds a node with the given identifier and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if the identifier is taken.
+    pub fn add_node(&mut self, id: NodeId) -> Result<usize, GraphError> {
+        if self.index.contains_key(&id) {
+            return Err(GraphError::DuplicateNode(id));
+        }
+        let idx = self.ids.len();
+        self.ids.push(id);
+        self.index.insert(id, idx);
+        self.adj.push(Vec::new());
+        Ok(idx)
+    }
+
+    /// Adds the undirected edge `{u, v}` by internal index.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range indices, self-loops, and duplicate edges.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n() {
+            return Err(GraphError::IndexOutOfRange(u));
+        }
+        if v >= self.n() {
+            return Err(GraphError::IndexOutOfRange(v));
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop(self.ids[u]));
+        }
+        match self.adj[u].binary_search(&v) {
+            Ok(_) => return Err(GraphError::DuplicateEdge(self.ids[u], self.ids[v])),
+            Err(pos) => self.adj[u].insert(pos, v),
+        }
+        let pos = self.adj[v]
+            .binary_search(&u)
+            .expect_err("edge sets must stay symmetric");
+        self.adj[v].insert(pos, u);
+        self.m += 1;
+        Ok(())
+    }
+
+    /// Adds the undirected edge `{a, b}` by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown identifiers, self-loops, and duplicate edges.
+    pub fn add_edge_ids(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        let u = self.index_of(a).ok_or(GraphError::UnknownNode(a))?;
+        let v = self.index_of(b).ok_or(GraphError::UnknownNode(b))?;
+        self.add_edge(u, v)
+    }
+
+    /// Number of nodes, written `n(G)` in the paper.
+    pub fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Identifier of the node at index `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn id(&self, u: usize) -> NodeId {
+        self.ids[u]
+    }
+
+    /// All identifiers, in index order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+
+    /// Index of the node carrying identifier `id`, if present.
+    pub fn index_of(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Whether some node carries identifier `id`.
+    pub fn contains_id(&self, id: NodeId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// Sorted neighbour indices of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether the edge `{u, v}` is present (by index).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u < self.n() && v < self.n() && self.adj[u].binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all node indices.
+    pub fn nodes(&self) -> std::ops::Range<usize> {
+        0..self.n()
+    }
+
+    /// Iterates over all edges as index pairs `(u, v)` with `u < v`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            graph: self,
+            u: 0,
+            pos: 0,
+        }
+    }
+
+    /// The subgraph induced by `nodes` (indices into `self`).
+    ///
+    /// Returns the new graph (which keeps the original identifiers) and the
+    /// mapping `new index -> old index`. Duplicate entries in `nodes` are
+    /// ignored after the first occurrence.
+    pub fn induced(&self, nodes: &[usize]) -> (Graph, Vec<usize>) {
+        let mut picked = Vec::new();
+        let mut seen = vec![false; self.n()];
+        for &u in nodes {
+            if u < self.n() && !seen[u] {
+                seen[u] = true;
+                picked.push(u);
+            }
+        }
+        let mut old_to_new = vec![usize::MAX; self.n()];
+        let mut g = Graph::with_capacity(picked.len());
+        for (new, &old) in picked.iter().enumerate() {
+            old_to_new[old] = new;
+            g.add_node(self.ids[old]).expect("ids unique in source");
+        }
+        for (new_u, &old_u) in picked.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let new_v = old_to_new[old_v];
+                if new_v != usize::MAX && new_u < new_v {
+                    g.add_edge(new_u, new_v).expect("source graph is simple");
+                }
+            }
+        }
+        (g, picked)
+    }
+
+    /// Re-assigns identifiers through `f`, keeping the structure intact.
+    ///
+    /// Graph properties are closed under exactly this operation (§2.2), so
+    /// tests use it to confirm invariance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateNode`] if `f` is not injective on the
+    /// current identifier set.
+    pub fn relabel<F>(&self, mut f: F) -> Result<Graph, GraphError>
+    where
+        F: FnMut(NodeId) -> NodeId,
+    {
+        let mut g = Graph::with_capacity(self.n());
+        for &id in &self.ids {
+            g.add_node(f(id))?;
+        }
+        for (u, v) in self.edges() {
+            g.add_edge(u, v)?;
+        }
+        Ok(g)
+    }
+
+    /// The degree sequence in non-increasing order.
+    pub fn degree_sequence(&self) -> Vec<usize> {
+        let mut d: Vec<usize> = self.adj.iter().map(Vec::len).collect();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        d
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={}; ", self.n(), self.m())?;
+        let edges: Vec<String> = self
+            .edges()
+            .map(|(u, v)| format!("{}-{}", self.ids[u], self.ids[v]))
+            .collect();
+        write!(f, "[{}])", edges.join(", "))
+    }
+}
+
+/// Iterator over the edges of a [`Graph`]; see [`Graph::edges`].
+#[derive(Debug)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    u: usize,
+    pos: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        while self.u < self.graph.n() {
+            let nbrs = &self.graph.adj[self.u];
+            while self.pos < nbrs.len() {
+                let v = nbrs[self.pos];
+                self.pos += 1;
+                if v > self.u {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.pos = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::cycle_with_ids([NodeId(1), NodeId(2), NodeId(3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn build_triangle() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2) && g.has_edge(0, 2));
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn duplicate_node_rejected() {
+        let mut g = Graph::new();
+        g.add_node(NodeId(5)).unwrap();
+        assert_eq!(g.add_node(NodeId(5)), Err(GraphError::DuplicateNode(NodeId(5))));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = Graph::from_ids([NodeId(1)]).unwrap();
+        assert_eq!(g.add_edge(0, 0), Err(GraphError::SelfLoop(NodeId(1))));
+    }
+
+    #[test]
+    fn duplicate_edge_rejected() {
+        let mut g = Graph::from_ids([NodeId(1), NodeId(2)]).unwrap();
+        g.add_edge(0, 1).unwrap();
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(GraphError::DuplicateEdge(NodeId(2), NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        let mut g = Graph::from_ids([NodeId(1)]).unwrap();
+        assert_eq!(g.add_edge(0, 3), Err(GraphError::IndexOutOfRange(3)));
+        assert_eq!(g.add_edge(9, 0), Err(GraphError::IndexOutOfRange(9)));
+    }
+
+    #[test]
+    fn unknown_id_edge_rejected() {
+        let mut g = Graph::from_ids([NodeId(1), NodeId(2)]).unwrap();
+        assert_eq!(
+            g.add_edge_ids(NodeId(1), NodeId(9)),
+            Err(GraphError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut g = Graph::from_ids((1..=5).map(NodeId)).unwrap();
+        g.add_edge(0, 4).unwrap();
+        g.add_edge(0, 2).unwrap();
+        g.add_edge(0, 1).unwrap();
+        g.add_edge(0, 3).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn id_index_roundtrip() {
+        let g = triangle();
+        for u in g.nodes() {
+            assert_eq!(g.index_of(g.id(u)), Some(u));
+        }
+        assert_eq!(g.index_of(NodeId(99)), None);
+        assert!(g.contains_id(NodeId(2)));
+        assert!(!g.contains_id(NodeId(4)));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_ids_and_edges() {
+        // Path 1-2-3-4 plus chord 1-3.
+        let mut g = Graph::path_with_ids((1..=4).map(NodeId)).unwrap();
+        g.add_edge(0, 2).unwrap();
+        let (h, map) = g.induced(&[0, 2, 3]);
+        assert_eq!(h.n(), 3);
+        assert_eq!(map, vec![0, 2, 3]);
+        assert_eq!(h.ids(), &[NodeId(1), NodeId(3), NodeId(4)]);
+        // Edges 1-3 (chord) and 3-4 survive; 1-2 and 2-3 drop out.
+        assert_eq!(h.m(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+        assert!(!h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn induced_ignores_duplicates_and_out_of_range() {
+        let g = triangle();
+        let (h, map) = g.induced(&[1, 1, 2, 7]);
+        assert_eq!(h.n(), 2);
+        assert_eq!(map, vec![1, 2]);
+        assert_eq!(h.m(), 1);
+    }
+
+    #[test]
+    fn relabel_keeps_structure() {
+        let g = triangle();
+        let h = g.relabel(|id| NodeId(id.0 * 10)).unwrap();
+        assert_eq!(h.ids(), &[NodeId(10), NodeId(20), NodeId(30)]);
+        assert_eq!(h.m(), 3);
+        assert!(h.has_edge(0, 1));
+    }
+
+    #[test]
+    fn relabel_rejects_collisions() {
+        let g = triangle();
+        assert!(g.relabel(|_| NodeId(7)).is_err());
+    }
+
+    #[test]
+    fn cycle_too_small_rejected() {
+        assert!(Graph::cycle_with_ids([NodeId(1), NodeId(2)]).is_err());
+        assert!(Graph::path_with_ids(std::iter::empty()).is_err());
+    }
+
+    #[test]
+    fn degree_sequence_sorted() {
+        let mut g = Graph::path_with_ids((1..=4).map(NodeId)).unwrap();
+        g.add_edge(0, 2).unwrap();
+        assert_eq!(g.degree_sequence(), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn debug_output_mentions_edges() {
+        let g = triangle();
+        let s = format!("{g:?}");
+        assert!(s.contains("n=3"));
+        assert!(s.contains("1-2"));
+    }
+
+    #[test]
+    fn with_contiguous_ids_starts_at_one() {
+        let g = Graph::with_contiguous_ids(4);
+        assert_eq!(g.ids(), &[NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+    }
+}

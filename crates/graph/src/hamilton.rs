@@ -1,0 +1,125 @@
+//! Hamiltonian-cycle search (exponential backtracking, prover-side only).
+//!
+//! The Table 1(b) scheme verifies a *given* Hamiltonian cycle; this
+//! solver lets the property-flavoured scheme and the instance generators
+//! find one. Nondeterminism is free for provers, so exponential time is
+//! acceptable here — the verifier stays local and cheap.
+
+use crate::Graph;
+
+/// Finds a Hamiltonian cycle as a node sequence (endpoint not repeated),
+/// or `None` if none exists.
+///
+/// Backtracking with degree-based pruning; intended for the small and
+/// medium instances of the test and bench sweeps.
+pub fn hamiltonian_cycle(g: &Graph) -> Option<Vec<usize>> {
+    let n = g.n();
+    if n < 3 {
+        return None;
+    }
+    if g.nodes().any(|u| g.degree(u) < 2) {
+        return None;
+    }
+    let mut path = vec![0usize];
+    let mut used = vec![false; n];
+    used[0] = true;
+    fn rec(g: &Graph, path: &mut Vec<usize>, used: &mut [bool]) -> bool {
+        if path.len() == g.n() {
+            return g.has_edge(*path.last().expect("nonempty"), path[0]);
+        }
+        let u = *path.last().expect("nonempty");
+        // Prune: any unused node with < 2 unused-or-endpoint neighbours
+        // can never be covered.
+        for v in g.nodes() {
+            if used[v] {
+                continue;
+            }
+            let free = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| !used[w] || w == path[0] || w == u)
+                .count();
+            if free < 2 {
+                return false;
+            }
+        }
+        for &v in g.neighbors(u) {
+            if used[v] {
+                continue;
+            }
+            used[v] = true;
+            path.push(v);
+            if rec(g, path, used) {
+                return true;
+            }
+            path.pop();
+            used[v] = false;
+        }
+        false
+    }
+    rec(g, &mut path, &mut used).then_some(path)
+}
+
+/// Whether `g` has a Hamiltonian cycle.
+pub fn is_hamiltonian(g: &Graph) -> bool {
+    hamiltonian_cycle(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn assert_valid_ham(g: &Graph, cycle: &[usize]) {
+        assert_eq!(cycle.len(), g.n());
+        let mut seen = vec![false; g.n()];
+        for &v in cycle {
+            assert!(!seen[v], "repeated node");
+            seen[v] = true;
+        }
+        for i in 0..cycle.len() {
+            assert!(g.has_edge(cycle[i], cycle[(i + 1) % cycle.len()]));
+        }
+    }
+
+    #[test]
+    fn cycles_and_cliques_are_hamiltonian() {
+        for n in 3..9 {
+            let c = generators::cycle(n);
+            assert_valid_ham(&c, &hamiltonian_cycle(&c).unwrap());
+            let k = generators::complete(n);
+            assert_valid_ham(&k, &hamiltonian_cycle(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn trees_and_stars_are_not() {
+        assert!(!is_hamiltonian(&generators::path(5)));
+        assert!(!is_hamiltonian(&generators::star(4)));
+        assert!(!is_hamiltonian(&generators::complete_binary_tree(3)));
+    }
+
+    #[test]
+    fn petersen_graph_is_not_hamiltonian() {
+        let mut g = Graph::with_contiguous_ids(10);
+        for i in 0..5 {
+            g.add_edge(i, (i + 1) % 5).unwrap();
+            g.add_edge(5 + i, 5 + (i + 2) % 5).unwrap();
+            g.add_edge(i, 5 + i).unwrap();
+        }
+        assert!(!is_hamiltonian(&g));
+    }
+
+    #[test]
+    fn grid_hamiltonicity_depends_on_parity() {
+        // Grids with an even number of cells are Hamiltonian; 3×3 is not.
+        assert!(is_hamiltonian(&generators::grid(3, 4)));
+        assert!(!is_hamiltonian(&generators::grid(3, 3)));
+    }
+
+    #[test]
+    fn k33_is_hamiltonian() {
+        let g = generators::complete_bipartite(3, 3);
+        assert_valid_ham(&g, &hamiltonian_cycle(&g).unwrap());
+    }
+}

@@ -1,0 +1,78 @@
+use std::fmt;
+
+/// A node identifier in the LCP model.
+///
+/// The paper assumes `V(G) ⊆ {1, 2, …, poly(n(G))}`, i.e. identifiers are
+/// small natural numbers with `O(log n)` bits (§2). Identifiers are *not*
+/// internal indices: a graph on `n` nodes may carry identifiers far larger
+/// than `n`, and algorithms must behave identically under identifier
+/// re-assignment (graph properties are closed under re-assignment, §2.2).
+///
+/// ```
+/// use lcp_graph::NodeId;
+///
+/// let v = NodeId(42);
+/// assert_eq!(v.bits(), 6);
+/// assert_eq!(format!("{v}"), "42");
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Number of bits needed to write this identifier in binary.
+    ///
+    /// Used when measuring proof sizes: schemes that embed identifiers in
+    /// proofs pay `bits()` bits for them, which is `O(log n)` under the
+    /// model's identifier-size assumption.
+    ///
+    /// `NodeId(0)` is defined to take 1 bit.
+    pub fn bits(self) -> u32 {
+        u64::max(self.0, 1).ilog2() + 1
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_of_small_ids() {
+        assert_eq!(NodeId(0).bits(), 1);
+        assert_eq!(NodeId(1).bits(), 1);
+        assert_eq!(NodeId(2).bits(), 2);
+        assert_eq!(NodeId(3).bits(), 2);
+        assert_eq!(NodeId(4).bits(), 3);
+        assert_eq!(NodeId(255).bits(), 8);
+        assert_eq!(NodeId(256).bits(), 9);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(NodeId::from(7u64), NodeId(7));
+        assert_eq!(u64::from(NodeId(7)), 7);
+    }
+
+    #[test]
+    fn display_is_raw_number() {
+        assert_eq!(NodeId(123).to_string(), "123");
+    }
+}

@@ -1,0 +1,469 @@
+//! Canonical forms, isomorphism tests, and automorphism search.
+//!
+//! §6.1 of the paper builds its Ω(n²) lower bound from *canonical forms*
+//! `C(G)` (equal for isomorphic graphs) and from the distinction between
+//! *symmetric* graphs (those with a nontrivial automorphism) and
+//! *asymmetric* ones. This module makes both notions executable for the
+//! small graphs those experiments enumerate.
+//!
+//! Canonical codes are exact (search over refinement-compatible
+//! orderings), so they are restricted to graphs with at most
+//! [`MAX_CANON_NODES`] nodes — far beyond what the §6.1/§6.2 enumerations
+//! need.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Maximum node count supported by the exact canonicalization search.
+///
+/// The canonical code packs the adjacency upper triangle into a `u128`,
+/// which caps `n` at 16 (`16 · 15 / 2 = 120 ≤ 128` bits).
+pub const MAX_CANON_NODES: usize = 16;
+
+/// A canonical code: the lexicographically-minimal upper-triangle
+/// adjacency bitstring over all vertex orderings.
+///
+/// Two graphs have equal codes **iff** they are isomorphic (and have equal
+/// node counts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalCode {
+    n: usize,
+    bits: u128,
+}
+
+impl CanonicalCode {
+    /// Number of nodes of the encoded graph.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The packed upper-triangle adjacency bits.
+    pub fn bits(&self) -> u128 {
+        self.bits
+    }
+}
+
+/// Iterated degree refinement (1-dimensional Weisfeiler–Leman): colours
+/// stabilize so that equally-coloured nodes have equal multisets of
+/// neighbour colours.
+///
+/// Returned colours are dense in `0..k` and ordered canonically (by the
+/// signature they refine to), so they are isomorphism-invariant.
+pub fn refine_colors(g: &Graph, initial: &[usize]) -> Vec<usize> {
+    let n = g.n();
+    let mut color = initial.to_vec();
+    loop {
+        // Signature: (own colour, sorted neighbour colours).
+        let mut sigs: Vec<(usize, Vec<usize>)> = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut nb: Vec<usize> = g.neighbors(u).iter().map(|&v| color[v]).collect();
+            nb.sort_unstable();
+            sigs.push((color[u], nb));
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+        let mut new_color = vec![0usize; n];
+        let mut next = 0;
+        for i in 0..n {
+            if i > 0 && sigs[order[i]] != sigs[order[i - 1]] {
+                next += 1;
+            }
+            new_color[order[i]] = next;
+        }
+        if new_color == color {
+            return color;
+        }
+        color = new_color;
+    }
+}
+
+fn code_of_order(g: &Graph, order: &[usize]) -> u128 {
+    let n = order.len();
+    let mut bits: u128 = 0;
+    let mut pos = 0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if g.has_edge(order[i], order[j]) {
+                bits |= 1u128 << pos;
+            }
+            pos += 1;
+        }
+    }
+    bits
+}
+
+/// The canonical code of `g`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidConstruction`] if `g` has more than
+/// [`MAX_CANON_NODES`] nodes.
+pub fn canonical_code(g: &Graph) -> Result<CanonicalCode, GraphError> {
+    Ok(CanonicalCode {
+        n: g.n(),
+        bits: code_of_order(g, &canonical_order(g)?),
+    })
+}
+
+/// A vertex ordering realizing the canonical code (`order[i]` is the old
+/// index placed at canonical position `i`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidConstruction`] if `g` has more than
+/// [`MAX_CANON_NODES`] nodes.
+pub fn canonical_order(g: &Graph) -> Result<Vec<usize>, GraphError> {
+    if g.n() > MAX_CANON_NODES {
+        return Err(GraphError::InvalidConstruction(format!(
+            "canonicalization supports at most {MAX_CANON_NODES} nodes, got {}",
+            g.n()
+        )));
+    }
+    let n = g.n();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let base = refine_colors(g, &vec![0; n]);
+    let mut best: Option<(u128, Vec<usize>)> = None;
+    let mut prefix: Vec<usize> = Vec::with_capacity(n);
+    search_orders(g, &base, &mut prefix, &mut best);
+    Ok(best.expect("at least one ordering exists").1)
+}
+
+/// Enumerates refinement-compatible discrete orderings: repeatedly take
+/// the first colour class (after individualizing the prefix) and branch on
+/// its members.
+fn search_orders(
+    g: &Graph,
+    base: &[usize],
+    prefix: &mut Vec<usize>,
+    best: &mut Option<(u128, Vec<usize>)>,
+) {
+    let n = g.n();
+    if prefix.len() == n {
+        let code = code_of_order(g, prefix);
+        if best.as_ref().is_none_or(|(b, _)| code < *b) {
+            *best = Some((code, prefix.clone()));
+        }
+        return;
+    }
+    // Individualize the prefix: give position i the unique colour i, then
+    // refine the rest.
+    let mut init = vec![usize::MAX; n];
+    let mut in_prefix = vec![false; n];
+    for (i, &u) in prefix.iter().enumerate() {
+        init[u] = i;
+        in_prefix[u] = true;
+    }
+    for u in 0..n {
+        if !in_prefix[u] {
+            init[u] = prefix.len() + base[u];
+        }
+    }
+    let refined = refine_colors(g, &init);
+    // The first (smallest-colour) class among unplaced nodes.
+    let min_color = (0..n)
+        .filter(|&u| !in_prefix[u])
+        .map(|u| refined[u])
+        .min()
+        .expect("some node is unplaced");
+    let candidates: Vec<usize> = (0..n)
+        .filter(|&u| !in_prefix[u] && refined[u] == min_color)
+        .collect();
+    for u in candidates {
+        prefix.push(u);
+        search_orders(g, base, prefix, best);
+        prefix.pop();
+    }
+}
+
+/// The canonical form `C(G)`: an isomorphic copy with identifiers
+/// `1..=n` in canonical order, as used in §6.1.
+///
+/// Isomorphic graphs map to *equal* canonical forms.
+///
+/// # Errors
+///
+/// Returns an error if `g` exceeds [`MAX_CANON_NODES`] nodes.
+pub fn canonical_form(g: &Graph) -> Result<Graph, GraphError> {
+    canonical_copy(g, 0)
+}
+
+/// The shifted canonical copy `C(G, i)` of §6.1: the canonical form with
+/// identifiers `{i+1, …, i+n}`, so that `v ↦ i + v` is an isomorphism from
+/// `C(G)` to `C(G, i)`.
+///
+/// # Errors
+///
+/// Returns an error if `g` exceeds [`MAX_CANON_NODES`] nodes.
+pub fn canonical_copy(g: &Graph, offset: u64) -> Result<Graph, GraphError> {
+    let order = canonical_order(g)?;
+    let n = g.n();
+    let mut new_index = vec![0usize; n];
+    for (i, &old) in order.iter().enumerate() {
+        new_index[old] = i;
+    }
+    let mut h = Graph::from_ids((1..=n as u64).map(|v| NodeId(offset + v)))?;
+    for (u, v) in g.edges() {
+        h.add_edge(new_index[u], new_index[v])?;
+    }
+    Ok(h)
+}
+
+/// Whether `g` and `h` are isomorphic.
+///
+/// # Errors
+///
+/// Returns an error if either graph exceeds [`MAX_CANON_NODES`] nodes.
+pub fn is_isomorphic(g: &Graph, h: &Graph) -> Result<bool, GraphError> {
+    if g.n() != h.n() || g.m() != h.m() {
+        return Ok(false);
+    }
+    Ok(canonical_code(g)? == canonical_code(h)?)
+}
+
+/// Searches for an automorphism of `g` satisfying `constraint` and differing
+/// from the identity, via colour-refinement-pruned backtracking.
+///
+/// `constraint` is called as `constraint(v, image)` and must return whether
+/// mapping `v ↦ image` is allowed. The identity automorphism is reported
+/// only if no other satisfying automorphism exists *and* the identity
+/// satisfies the constraint — callers looking for *nontrivial* maps get
+/// exactly that because the search skips the identity.
+fn search_automorphism<F>(g: &Graph, constraint: F) -> Option<Vec<usize>>
+where
+    F: Fn(usize, usize) -> bool,
+{
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    let colors = refine_colors(g, &vec![0; n]);
+    let mut map = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    fn rec<F: Fn(usize, usize) -> bool>(
+        g: &Graph,
+        colors: &[usize],
+        constraint: &F,
+        v: usize,
+        map: &mut [usize],
+        used: &mut [bool],
+        identity_so_far: bool,
+    ) -> bool {
+        let n = g.n();
+        if v == n {
+            return !identity_so_far;
+        }
+        for img in 0..n {
+            if used[img] || colors[img] != colors[v] || !constraint(v, img) {
+                continue;
+            }
+            // Adjacency consistency with previously mapped vertices.
+            let ok = (0..v).all(|u| g.has_edge(u, v) == g.has_edge(map[u], img));
+            if !ok {
+                continue;
+            }
+            // Prune the pure-identity branch at the last vertex.
+            if v == n - 1 && identity_so_far && img == v {
+                continue;
+            }
+            map[v] = img;
+            used[img] = true;
+            if rec(g, colors, constraint, v + 1, map, used, identity_so_far && img == v) {
+                return true;
+            }
+            used[img] = false;
+            map[v] = usize::MAX;
+        }
+        false
+    }
+    rec(g, &colors, &constraint, 0, &mut map, &mut used, true).then_some(map)
+}
+
+/// A nontrivial automorphism of `g` (as an index permutation), or `None`
+/// if `g` is asymmetric.
+///
+/// "Symmetric graph" in §6.1 means exactly: this returns `Some`.
+pub fn nontrivial_automorphism(g: &Graph) -> Option<Vec<usize>> {
+    search_automorphism(g, |_, _| true)
+}
+
+/// Whether `g` has a nontrivial automorphism (§6.1's *symmetric* graphs).
+pub fn is_symmetric(g: &Graph) -> bool {
+    nontrivial_automorphism(g).is_some()
+}
+
+/// A fixpoint-free automorphism (`g(v) ≠ v` for all `v`), or `None`.
+///
+/// This is the §6.2 property on trees, implemented for arbitrary graphs.
+pub fn fixpoint_free_automorphism(g: &Graph) -> Option<Vec<usize>> {
+    if g.n() == 0 {
+        return None;
+    }
+    search_automorphism(g, |v, img| v != img)
+}
+
+/// Checks that `map` is an automorphism of `g` (a permutation preserving
+/// adjacency). Used by tests and by verifiers that receive a claimed
+/// automorphism inside a proof.
+pub fn is_automorphism(g: &Graph, map: &[usize]) -> bool {
+    let n = g.n();
+    if map.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &img in map {
+        if img >= n || seen[img] {
+            return false;
+        }
+        seen[img] = true;
+    }
+    g.edges().all(|(u, v)| g.has_edge(map[u], map[v]))
+        && (0..n).all(|u| {
+            g.neighbors(u).len() == g.neighbors(map[u]).len()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    /// Random relabelling + random index shuffle of `g`.
+    fn scramble(g: &Graph, rng: &mut StdRng) -> Graph {
+        let n = g.n();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(rng);
+        let mut ids: Vec<u64> = (1..=n as u64).map(|x| x * 7 + 3).collect();
+        ids.shuffle(rng);
+        let mut h = Graph::from_ids(ids.iter().map(|&x| NodeId(x))).unwrap();
+        for (u, v) in g.edges() {
+            h.add_edge(perm[u], perm[v]).unwrap();
+        }
+        h
+    }
+
+    #[test]
+    fn canonical_code_invariant_under_scrambling() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [4, 6, 8] {
+            for _ in 0..8 {
+                let g = generators::gnp(n, 0.4, &mut rng);
+                let h = scramble(&g, &mut rng);
+                assert_eq!(canonical_code(&g).unwrap(), canonical_code(&h).unwrap());
+                assert!(is_isomorphic(&g, &h).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn non_isomorphic_graphs_get_distinct_codes() {
+        let p4 = generators::path(4);
+        let s3 = generators::star(3); // also 4 nodes, 3 edges, different shape
+        assert!(!is_isomorphic(&p4, &s3).unwrap());
+        assert_ne!(canonical_code(&p4).unwrap(), canonical_code(&s3).unwrap());
+    }
+
+    #[test]
+    fn c6_vs_two_triangles() {
+        let c6 = generators::cycle(6);
+        let two_k3 = crate::ops::disjoint_union(
+            &generators::cycle(3),
+            &crate::ops::shift_ids(&generators::cycle(3), 10),
+        )
+        .unwrap();
+        assert!(!is_isomorphic(&c6, &two_k3).unwrap());
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp(7, 0.5, &mut rng);
+        let c1 = canonical_form(&g).unwrap();
+        let c2 = canonical_form(&c1).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn canonical_copy_shifts_ids() {
+        let g = generators::cycle(4);
+        let c = canonical_copy(&g, 100).unwrap();
+        assert_eq!(c.ids(), &[NodeId(101), NodeId(102), NodeId(103), NodeId(104)]);
+        assert!(is_isomorphic(&g, &c).unwrap());
+    }
+
+    #[test]
+    fn too_large_graph_rejected() {
+        let g = generators::path(MAX_CANON_NODES + 1);
+        assert!(canonical_code(&g).is_err());
+    }
+
+    #[test]
+    fn cycles_are_symmetric() {
+        for n in 3..8 {
+            let g = generators::cycle(n);
+            let a = nontrivial_automorphism(&g).unwrap();
+            assert!(is_automorphism(&g, &a));
+            assert!(a.iter().enumerate().any(|(v, &img)| v != img));
+        }
+    }
+
+    #[test]
+    fn smallest_asymmetric_tree_is_recognized() {
+        // The 7-node "spider" with legs of lengths 1, 2, 3 is the smallest
+        // asymmetric tree.
+        let mut g = Graph::with_contiguous_ids(7);
+        // centre 0; leg A: 1; leg B: 2-3; leg C: 4-5-6
+        for (u, v) in [(0, 1), (0, 2), (2, 3), (0, 4), (4, 5), (5, 6)] {
+            g.add_edge(u, v).unwrap();
+        }
+        assert!(!is_symmetric(&g));
+        assert_eq!(fixpoint_free_automorphism(&g), None);
+    }
+
+    #[test]
+    fn even_cycle_has_fixpoint_free_automorphism() {
+        let g = generators::cycle(6);
+        let a = fixpoint_free_automorphism(&g).unwrap();
+        assert!(is_automorphism(&g, &a));
+        assert!(a.iter().enumerate().all(|(v, &img)| v != img));
+    }
+
+    #[test]
+    fn star_has_symmetry_but_not_fixpoint_free() {
+        // Swapping two leaves fixes the centre: symmetric, but every
+        // automorphism fixes the centre.
+        let g = generators::star(3);
+        assert!(is_symmetric(&g));
+        assert_eq!(fixpoint_free_automorphism(&g), None);
+    }
+
+    #[test]
+    fn path2_has_fixpoint_free_swap() {
+        let g = generators::path(2);
+        let a = fixpoint_free_automorphism(&g).unwrap();
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn refinement_separates_degrees() {
+        let g = generators::star(3);
+        let c = refine_colors(&g, &vec![0; 4]);
+        assert_ne!(c[0], c[1]);
+        assert_eq!(c[1], c[2]);
+        assert_eq!(c[2], c[3]);
+    }
+
+    #[test]
+    fn is_automorphism_rejects_non_permutations() {
+        let g = generators::cycle(4);
+        assert!(!is_automorphism(&g, &[0, 0, 1, 2]));
+        assert!(!is_automorphism(&g, &[0, 1, 2]));
+        assert!(is_automorphism(&g, &[1, 2, 3, 0]));
+        // Swapping two adjacent nodes of a path is not an automorphism.
+        let p = generators::path(3);
+        assert!(!is_automorphism(&p, &[1, 0, 2]));
+    }
+}

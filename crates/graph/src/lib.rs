@@ -1,0 +1,84 @@
+//! # `lcp-graph` — the graph substrate of the LCP reproduction
+//!
+//! This crate provides the graph model on which the locally-checkable-proof
+//! machinery of Göös & Suomela, *Locally Checkable Proofs* (PODC 2011) runs,
+//! together with every classical graph algorithm the paper's constructions
+//! depend on.
+//!
+//! Unlike general-purpose graph crates, node **identifiers are first-class**:
+//! the LCP model assumes `V(G) ⊆ {1, 2, …, poly(n)}` and several of the
+//! paper's constructions manipulate identifiers directly (identifier-pattern
+//! cycles `C(a, b)` in §5.3, shifted canonical copies `C(G, i)` in §6.1, DFS
+//! interval identifiers in §7.1). A [`Graph`] therefore stores an explicit
+//! [`NodeId`] per vertex, and all algorithms are stable under identifier
+//! re-assignment.
+//!
+//! ## Module map
+//!
+//! * [`graph`] / [`digraph`] — simple undirected / directed graphs.
+//! * [`generators`] — deterministic and seeded random instance families.
+//! * [`traversal`] — BFS/DFS, components, bipartitions, odd/even cycles.
+//! * [`spanning`] — spanning trees and forests, rooted-tree utilities.
+//! * [`matching`] — maximal & maximum matching, König covers, LP duals.
+//! * [`menger`] — vertex-disjoint `s`–`t` paths and minimum separators.
+//! * [`coloring`] — greedy, DSATUR, exact chromatic number, k-colourability.
+//! * [`iso`] — canonical forms, isomorphism, automorphisms.
+//! * [`tree`] — AHU codes, tree automorphisms, rooted-tree enumeration.
+//! * [`enumerate`] — exhaustive small-graph enumeration up to isomorphism.
+//! * [`line_graph`] — Beineke's forbidden subgraphs and `L(G)`.
+//! * [`euler`] — Eulerian-graph tests.
+//! * [`ops`] — disjoint union, relabelling, the `⊙` join of §6.1.
+//!
+//! ## Example
+//!
+//! ```
+//! use lcp_graph::{Graph, NodeId};
+//! use lcp_graph::traversal::bfs_distances;
+//!
+//! # fn main() -> Result<(), lcp_graph::GraphError> {
+//! let g = Graph::cycle_with_ids((1..=5).map(NodeId))?;
+//! let d = bfs_distances(&g, 0);
+//! assert_eq!(d[2], Some(2));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod coloring;
+pub mod digraph;
+pub mod enumerate;
+pub mod euler;
+pub mod generators;
+pub mod graph;
+pub mod hamilton;
+pub mod iso;
+pub mod line_graph;
+pub mod matching;
+pub mod menger;
+pub mod ops;
+pub mod spanning;
+pub mod traversal;
+pub mod tree;
+
+mod error;
+mod id;
+
+pub use digraph::DiGraph;
+pub use error::GraphError;
+pub use graph::Graph;
+pub use id::NodeId;
+
+/// Normalizes an undirected edge on internal indices so that the smaller
+/// endpoint comes first.
+///
+/// Edge-keyed maps throughout the workspace use this normal form.
+///
+/// ```
+/// assert_eq!(lcp_graph::norm_edge(4, 1), (1, 4));
+/// ```
+pub fn norm_edge(u: usize, v: usize) -> (usize, usize) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}

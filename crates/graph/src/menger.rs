@@ -1,0 +1,377 @@
+//! Menger machinery: maximum sets of internally vertex-disjoint `s`–`t`
+//! paths and minimum vertex separators.
+//!
+//! The §4.2 scheme certifies "`s`–`t` vertex connectivity = k" with (i) `k`
+//! vertex-disjoint paths and (ii) a partition `S ∪ C ∪ T` with `|C| = k`
+//! whose middle layer each path crosses exactly once. Both certificates
+//! come out of one unit-capacity max-flow on the node-split graph, which
+//! this module implements from scratch.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// A maximum set of internally vertex-disjoint `s`–`t` paths together with
+/// a minimum `s`–`t` vertex separator (Menger's theorem: the two have
+/// equal size when `s` and `t` are non-adjacent).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MengerCertificate {
+    /// Vertex-disjoint paths, each written `s, …, t`.
+    pub paths: Vec<Vec<usize>>,
+    /// A minimum separator: internal nodes whose removal disconnects `s`
+    /// from `t`. Empty when `s` and `t` are adjacent (no separator
+    /// exists) or disconnected.
+    pub separator: Vec<usize>,
+}
+
+/// Simple unit-ish capacity max-flow (Edmonds–Karp) on an explicit
+/// residual graph.
+struct FlowNetwork {
+    to: Vec<usize>,
+    cap: Vec<i64>,
+    head: Vec<Vec<usize>>, // per-node edge indices
+}
+
+impl FlowNetwork {
+    fn new(n: usize) -> Self {
+        FlowNetwork {
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    fn add_edge(&mut self, u: usize, v: usize, cap: i64) {
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.head[u].push(e);
+        self.to.push(u);
+        self.cap.push(0);
+        self.head[v].push(e + 1);
+    }
+
+    fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        let mut total = 0;
+        loop {
+            // BFS for a shortest augmenting path.
+            let mut pred: Vec<Option<usize>> = vec![None; self.head.len()]; // edge used to reach node
+            let mut queue = VecDeque::from([s]);
+            let mut seen = vec![false; self.head.len()];
+            seen[s] = true;
+            while let Some(u) = queue.pop_front() {
+                for &e in &self.head[u] {
+                    let v = self.to[e];
+                    if !seen[v] && self.cap[e] > 0 {
+                        seen[v] = true;
+                        pred[v] = Some(e);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            if !seen[t] {
+                return total;
+            }
+            // Bottleneck along the path.
+            let mut bottleneck = i64::MAX;
+            let mut v = t;
+            while v != s {
+                let e = pred[v].expect("path exists");
+                bottleneck = bottleneck.min(self.cap[e]);
+                v = self.to[e ^ 1];
+            }
+            let mut v = t;
+            while v != s {
+                let e = pred[v].expect("path exists");
+                self.cap[e] -= bottleneck;
+                self.cap[e ^ 1] += bottleneck;
+                v = self.to[e ^ 1];
+            }
+            total += bottleneck;
+        }
+    }
+
+    /// Nodes reachable from `s` in the residual graph.
+    fn residual_reachable(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.head.len()];
+        seen[s] = true;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.head[u] {
+                let v = self.to[e];
+                if !seen[v] && self.cap[e] > 0 {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Computes a maximum family of internally vertex-disjoint `s`–`t` paths
+/// and (when `s` and `t` are non-adjacent) a matching minimum separator.
+///
+/// Paths are *shortcut*: no path has a chord among its own vertices, the
+/// "locally minimal" normalization §4.2 assumes.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either is out of range.
+pub fn menger_certificate(g: &Graph, s: usize, t: usize) -> MengerCertificate {
+    assert!(s < g.n() && t < g.n(), "endpoints out of range");
+    assert_ne!(s, t, "endpoints must differ");
+    let n = g.n();
+    // Split nodes: in(v) = 2v, out(v) = 2v + 1.
+    let inn = |v: usize| 2 * v;
+    let out = |v: usize| 2 * v + 1;
+    let big = n as i64 + 1;
+    let mut net = FlowNetwork::new(2 * n);
+    for v in 0..n {
+        let c = if v == s || v == t { big } else { 1 };
+        net.add_edge(inn(v), out(v), c);
+    }
+    for (u, v) in g.edges() {
+        // Edge arcs are uncapacitated so the minimum cut consists of
+        // vertex-split arcs only; the direct s–t edge (if any) stays at 1
+        // so it counts as a single path.
+        let c = if (u == s || u == t) && (v == s || v == t) { 1 } else { big };
+        net.add_edge(out(u), inn(v), c);
+        net.add_edge(out(v), inn(u), c);
+    }
+    let flow = net.max_flow(out(s), inn(t)) as usize;
+
+    // Decompose the flow into paths: walk flow-carrying edges from s.
+    // flow on edge e = cap[e^1] for forward edges (initial cap minus residual).
+    let mut used_flow: Vec<i64> = (0..net.to.len())
+        .map(|e| if e % 2 == 0 { net.cap[e ^ 1] } else { 0 })
+        .collect();
+    let mut paths = Vec::new();
+    for _ in 0..flow {
+        // DFS from out(s) to inn(t) over positive-flow edges.
+        let mut path_nodes = vec![s];
+        let mut cur = out(s);
+        let mut guard = 0;
+        while cur != inn(t) {
+            guard += 1;
+            assert!(guard <= 4 * n + 4, "flow decomposition must terminate");
+            let &e = net.head[cur]
+                .iter()
+                .find(|&&e| e % 2 == 0 && used_flow[e] > 0)
+                .expect("flow conservation guarantees an outgoing unit");
+            used_flow[e] -= 1;
+            cur = net.to[e];
+            // Record original nodes when stepping onto an in-vertex.
+            if cur % 2 == 0 {
+                path_nodes.push(cur / 2);
+            }
+        }
+        paths.push(shortcut_path(g, path_nodes));
+    }
+
+    // Separator: min-cut nodes are those whose in-half is residually
+    // reachable but out-half is not. Only defined when s, t non-adjacent.
+    let separator = if g.has_edge(s, t) {
+        Vec::new()
+    } else {
+        let reach = net.residual_reachable(out(s));
+        (0..n)
+            .filter(|&v| v != s && v != t && reach[inn(v)] && !reach[out(v)])
+            .collect()
+    };
+    MengerCertificate { paths, separator }
+}
+
+/// Removes chords within a single path: while some `path[i]`–`path[j]`
+/// edge with `j > i + 1` exists, splice out the interior.
+fn shortcut_path(g: &Graph, mut path: Vec<usize>) -> Vec<usize> {
+    'outer: loop {
+        for i in 0..path.len() {
+            for j in ((i + 2)..path.len()).rev() {
+                if g.has_edge(path[i], path[j]) {
+                    path.drain(i + 1..j);
+                    continue 'outer;
+                }
+            }
+        }
+        return path;
+    }
+}
+
+/// The local vertex connectivity `κ(s, t)`: the maximum number of
+/// internally vertex-disjoint `s`–`t` paths.
+///
+/// # Panics
+///
+/// Panics if `s == t` or either is out of range.
+pub fn local_vertex_connectivity(g: &Graph, s: usize, t: usize) -> usize {
+    menger_certificate(g, s, t).paths.len()
+}
+
+/// Exhaustive minimum `s`–`t` separator size for ground truth on small
+/// graphs: the smallest set of internal nodes whose removal disconnects
+/// `s` from `t`. Returns `None` when `s` and `t` are adjacent.
+pub fn min_separator_bruteforce(g: &Graph, s: usize, t: usize) -> Option<usize> {
+    if g.has_edge(s, t) {
+        return None;
+    }
+    let internal: Vec<usize> = g.nodes().filter(|&v| v != s && v != t).collect();
+    assert!(
+        internal.len() <= 20,
+        "brute-force separator search is for small graphs"
+    );
+    let mut best = internal.len();
+    for mask in 0u32..(1u32 << internal.len()) {
+        let size = mask.count_ones() as usize;
+        if size >= best {
+            continue;
+        }
+        let removed: Vec<usize> = internal
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| mask >> i & 1 == 1)
+            .map(|(_, &v)| v)
+            .collect();
+        let keep: Vec<usize> = g.nodes().filter(|v| !removed.contains(v)).collect();
+        let (h, map) = g.induced(&keep);
+        let hs = map.iter().position(|&x| x == s).expect("s kept");
+        let ht = map.iter().position(|&x| x == t).expect("t kept");
+        if crate::traversal::bfs_distances(&h, hs)[ht].is_none() {
+            best = size;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn assert_valid_paths(g: &Graph, s: usize, t: usize, paths: &[Vec<usize>]) {
+        let mut seen_internal = vec![false; g.n()];
+        for p in paths {
+            assert_eq!(*p.first().unwrap(), s);
+            assert_eq!(*p.last().unwrap(), t);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "non-edge on path");
+            }
+            for &v in &p[1..p.len() - 1] {
+                assert!(!seen_internal[v], "paths share internal node {v}");
+                assert!(v != s && v != t);
+                seen_internal[v] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_has_connectivity_two() {
+        let g = generators::cycle(8);
+        let cert = menger_certificate(&g, 0, 4);
+        assert_eq!(cert.paths.len(), 2);
+        assert_valid_paths(&g, 0, 4, &cert.paths);
+        assert_eq!(cert.separator.len(), 2);
+    }
+
+    #[test]
+    fn complete_bipartite_same_side() {
+        let g = generators::complete_bipartite(3, 4);
+        // Nodes 0 and 1 are on the small side: κ = 4.
+        let cert = menger_certificate(&g, 0, 1);
+        assert_eq!(cert.paths.len(), 4);
+        assert_valid_paths(&g, 0, 1, &cert.paths);
+        assert_eq!(cert.separator.len(), 4);
+    }
+
+    #[test]
+    fn adjacent_endpoints_have_no_separator() {
+        let g = generators::complete(4);
+        let cert = menger_certificate(&g, 0, 1);
+        assert_eq!(cert.paths.len(), 3); // direct edge + 2 two-hop paths
+        assert!(cert.separator.is_empty());
+        assert_valid_paths(&g, 0, 1, &cert.paths);
+    }
+
+    #[test]
+    fn disconnected_endpoints_give_zero() {
+        let g = crate::ops::disjoint_union(
+            &generators::cycle(3),
+            &crate::ops::shift_ids(&generators::cycle(3), 10),
+        )
+        .unwrap();
+        let cert = menger_certificate(&g, 0, 4);
+        assert!(cert.paths.is_empty());
+        assert!(cert.separator.is_empty());
+    }
+
+    #[test]
+    fn grid_corners_have_connectivity_two() {
+        let g = generators::grid(3, 3);
+        let cert = menger_certificate(&g, 0, 8);
+        assert_eq!(cert.paths.len(), 2);
+        assert_valid_paths(&g, 0, 8, &cert.paths);
+    }
+
+    #[test]
+    fn separator_actually_separates() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut checked = 0;
+        for _ in 0..30 {
+            let g = generators::random_connected(9, 6, &mut rng);
+            let (s, t) = (0, 8);
+            if g.has_edge(s, t) {
+                continue;
+            }
+            checked += 1;
+            let cert = menger_certificate(&g, s, t);
+            assert_eq!(cert.paths.len(), cert.separator.len(), "Menger equality");
+            assert_valid_paths(&g, s, t, &cert.paths);
+            // Removing the separator must disconnect s from t.
+            let keep: Vec<usize> = g
+                .nodes()
+                .filter(|v| !cert.separator.contains(v))
+                .collect();
+            let (h, map) = g.induced(&keep);
+            let hs = map.iter().position(|&x| x == s).unwrap();
+            let ht = map.iter().position(|&x| x == t).unwrap();
+            assert_eq!(crate::traversal::bfs_distances(&h, hs)[ht], None);
+        }
+        assert!(checked >= 5, "want some non-adjacent test cases");
+    }
+
+    #[test]
+    fn matches_bruteforce_on_small_graphs() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..20 {
+            let g = generators::random_connected(7, 4, &mut rng);
+            let (s, t) = (0, 6);
+            if g.has_edge(s, t) {
+                continue;
+            }
+            let cert = menger_certificate(&g, s, t);
+            let brute = min_separator_bruteforce(&g, s, t).unwrap();
+            assert_eq!(cert.separator.len(), brute);
+        }
+    }
+
+    #[test]
+    fn paths_are_chordless_within_themselves() {
+        let g = generators::complete(6);
+        let cert = menger_certificate(&g, 0, 1);
+        for p in &cert.paths {
+            for i in 0..p.len() {
+                for j in (i + 2)..p.len() {
+                    if !(i == 0 && j == p.len() - 1) {
+                        assert!(
+                            !g.has_edge(p[i], p[j]) || (p[i] == 0 && p[j] == 1),
+                            "chord {}-{} left in path {p:?}",
+                            p[i],
+                            p[j],
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

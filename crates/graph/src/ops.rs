@@ -1,0 +1,150 @@
+//! Graph surgery: disjoint unions, identifier shifts, and the path-join
+//! used by the `⊙` construction of §6.1.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Disjoint union of two graphs.
+///
+/// Indices of `a` come first, then indices of `b` (shifted by `a.n()`).
+///
+/// # Errors
+///
+/// Returns [`GraphError::DuplicateNode`] if the identifier sets intersect —
+/// use [`shift_ids`] first to separate them.
+pub fn disjoint_union(a: &Graph, b: &Graph) -> Result<Graph, GraphError> {
+    let mut g = Graph::with_capacity(a.n() + b.n());
+    for &id in a.ids() {
+        g.add_node(id)?;
+    }
+    for &id in b.ids() {
+        g.add_node(id)?;
+    }
+    for (u, v) in a.edges() {
+        g.add_edge(u, v)?;
+    }
+    for (u, v) in b.edges() {
+        g.add_edge(a.n() + u, a.n() + v)?;
+    }
+    Ok(g)
+}
+
+/// Adds `offset` to every identifier.
+///
+/// This is the paper's `C(G, i)` shift (§6.1): `g.relabel(v ↦ v + i)`.
+pub fn shift_ids(g: &Graph, offset: u64) -> Graph {
+    g.relabel(|id| NodeId(id.0 + offset))
+        .expect("shifting by a constant keeps ids distinct")
+}
+
+/// Joins two graphs with a fresh path.
+///
+/// Builds the disjoint union of `a` and `b`, adds `path_ids` as a fresh
+/// path (in order), and connects its first node to `a_attach` (an index
+/// into `a`) and its last node to `b_attach` (an index into `b`). With an
+/// empty `path_ids`, the attachment nodes are joined by a direct edge.
+///
+/// This generalizes the §6.1 construction `G₁ ⊙ G₂`, where a path of `k`
+/// fresh nodes `(1, 2, …, k)` joins node `k+1` of `C(G₁, k)` to node
+/// `2k+1` of `C(G₂, 2k)`.
+///
+/// # Errors
+///
+/// Returns an error when identifier sets collide or attachment indices are
+/// out of range.
+pub fn join_with_path(
+    a: &Graph,
+    a_attach: usize,
+    b: &Graph,
+    b_attach: usize,
+    path_ids: &[NodeId],
+) -> Result<Graph, GraphError> {
+    if a_attach >= a.n() {
+        return Err(GraphError::IndexOutOfRange(a_attach));
+    }
+    if b_attach >= b.n() {
+        return Err(GraphError::IndexOutOfRange(b_attach));
+    }
+    let mut g = disjoint_union(a, b)?;
+    let b_attach = a.n() + b_attach;
+    if path_ids.is_empty() {
+        g.add_edge(a_attach, b_attach)?;
+        return Ok(g);
+    }
+    let mut prev = a_attach;
+    for &id in path_ids {
+        let u = g.add_node(id)?;
+        g.add_edge(prev, u)?;
+        prev = u;
+    }
+    g.add_edge(prev, b_attach)?;
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn union_requires_disjoint_ids() {
+        let g = generators::cycle(3);
+        assert!(disjoint_union(&g, &g).is_err());
+        let h = shift_ids(&g, 10);
+        let u = disjoint_union(&g, &h).unwrap();
+        assert_eq!(u.n(), 6);
+        assert_eq!(u.m(), 6);
+        assert!(!is_connected(&u));
+    }
+
+    #[test]
+    fn shift_preserves_structure() {
+        let g = generators::path(4);
+        let h = shift_ids(&g, 100);
+        assert_eq!(h.ids()[0], NodeId(101));
+        assert_eq!(h.m(), 3);
+    }
+
+    #[test]
+    fn join_with_empty_path_adds_edge() {
+        let a = generators::cycle(3);
+        let b = shift_ids(&generators::cycle(3), 10);
+        let g = join_with_path(&a, 0, &b, 2, &[]).unwrap();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 7);
+        assert!(is_connected(&g));
+        assert!(g.has_edge(0, 5));
+    }
+
+    #[test]
+    fn join_with_path_inserts_fresh_nodes() {
+        let a = generators::cycle(3);
+        let b = shift_ids(&generators::cycle(3), 10);
+        let mid = [NodeId(100), NodeId(101)];
+        let g = join_with_path(&a, 1, &b, 0, &mid).unwrap();
+        assert_eq!(g.n(), 8);
+        assert_eq!(g.m(), 3 + 3 + 3);
+        assert!(is_connected(&g));
+        let p = g.index_of(NodeId(100)).unwrap();
+        let q = g.index_of(NodeId(101)).unwrap();
+        assert!(g.has_edge(1, p));
+        assert!(g.has_edge(p, q));
+        assert!(g.has_edge(q, 3));
+        assert_eq!(g.degree(p), 2);
+    }
+
+    #[test]
+    fn join_validates_attachment_indices() {
+        let a = generators::cycle(3);
+        let b = shift_ids(&generators::cycle(3), 10);
+        assert!(join_with_path(&a, 9, &b, 0, &[]).is_err());
+        assert!(join_with_path(&a, 0, &b, 9, &[]).is_err());
+    }
+
+    #[test]
+    fn join_rejects_id_collisions_in_path() {
+        let a = generators::cycle(3);
+        let b = shift_ids(&generators::cycle(3), 10);
+        assert!(join_with_path(&a, 0, &b, 0, &[NodeId(1)]).is_err());
+    }
+}

@@ -1,0 +1,525 @@
+//! Breadth- and depth-first traversal, components, bipartitions, and cycle
+//! finders.
+//!
+//! These are the workhorse routines behind most provers: shortest-path
+//! markings (§4.1), spanning-tree certificates (§5.1), odd-cycle witnesses
+//! for non-bipartiteness (§5.1), and the even-cycle search that makes the
+//! Bondy–Simonovits step of the gluing attack (§5.3) constructive.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from `s`; `None` marks unreachable nodes.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn bfs_distances(g: &Graph, s: usize) -> Vec<Option<usize>> {
+    bfs_with_parents(g, s).0
+}
+
+/// BFS distances and parent pointers (`parent[s] = None`).
+///
+/// Parents follow the sorted-adjacency order, so the BFS tree is
+/// deterministic.
+///
+/// # Panics
+///
+/// Panics if `s` is out of range.
+pub fn bfs_with_parents(g: &Graph, s: usize) -> (Vec<Option<usize>>, Vec<Option<usize>>) {
+    assert!(s < g.n(), "BFS source {s} out of range");
+    let mut dist = vec![None; g.n()];
+    let mut parent = vec![None; g.n()];
+    let mut queue = VecDeque::from([s]);
+    dist[s] = Some(0);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in g.neighbors(u) {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                parent[v] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// A shortest `s`–`t` path as a node-index sequence, or `None` if `t` is
+/// unreachable.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is out of range.
+pub fn shortest_path(g: &Graph, s: usize, t: usize) -> Option<Vec<usize>> {
+    assert!(t < g.n(), "path target {t} out of range");
+    let (dist, parent) = bfs_with_parents(g, s);
+    dist[t]?;
+    let mut path = vec![t];
+    let mut cur = t;
+    while let Some(p) = parent[cur] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Component identifier for each node; identifiers are dense, in order of
+/// the lowest-index node of each component.
+pub fn connected_components(g: &Graph) -> Vec<usize> {
+    let mut comp = vec![usize::MAX; g.n()];
+    let mut next = 0;
+    for s in g.nodes() {
+        if comp[s] != usize::MAX {
+            continue;
+        }
+        let mut queue = VecDeque::from([s]);
+        comp[s] = next;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v] == usize::MAX {
+                    comp[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components (0 for the empty graph).
+pub fn component_count(g: &Graph) -> usize {
+    connected_components(g).iter().max().map_or(0, |&c| c + 1)
+}
+
+/// Whether the graph is connected. The empty graph counts as connected.
+pub fn is_connected(g: &Graph) -> bool {
+    component_count(g) <= 1
+}
+
+/// A proper 2-colouring (`0`/`1` per node), or `None` if the graph is not
+/// bipartite.
+///
+/// Every component is coloured starting from its lowest-index node, which
+/// receives colour `0`.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let mut color = vec![u8::MAX; g.n()];
+    for s in g.nodes() {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    queue.push_back(v);
+                } else if color[v] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Whether the graph is bipartite (equivalently, has no odd cycle).
+pub fn is_bipartite(g: &Graph) -> bool {
+    bipartition(g).is_some()
+}
+
+/// Finds a simple odd cycle, returned as a node-index sequence without
+/// repeating the endpoint, or `None` if the graph is bipartite.
+///
+/// The witness comes from a same-layer BFS edge: if `{u, v}` joins two
+/// nodes at equal BFS depth, the tree paths to their lowest common
+/// ancestor plus the edge itself close a simple cycle of odd length.
+pub fn find_odd_cycle(g: &Graph) -> Option<Vec<usize>> {
+    let comp = connected_components(g);
+    let mut seen_comp = vec![false; g.n()];
+    for s in g.nodes() {
+        if seen_comp[comp[s]] {
+            continue;
+        }
+        seen_comp[comp[s]] = true;
+        let (dist, parent) = bfs_with_parents(g, s);
+        for (u, v) in g.edges() {
+            if comp[u] != comp[s] {
+                continue;
+            }
+            let (du, dv) = (dist[u].expect("same component"), dist[v].expect("same component"));
+            if du != dv {
+                continue;
+            }
+            // Walk both endpoints up to their lowest common ancestor.
+            let mut up_u = vec![u];
+            let mut up_v = vec![v];
+            let (mut cu, mut cv) = (u, v);
+            while cu != cv {
+                cu = parent[cu].expect("non-root nodes have parents");
+                cv = parent[cv].expect("non-root nodes have parents");
+                up_u.push(cu);
+                up_v.push(cv);
+            }
+            // up_u ends at the LCA; drop the duplicate from the v side.
+            up_v.pop();
+            up_v.reverse();
+            up_u.extend(up_v);
+            debug_assert_eq!(up_u.len() % 2, 1, "same-layer edge closes an odd cycle");
+            return Some(up_u);
+        }
+    }
+    None
+}
+
+/// The ball `V[v, r]`: all nodes within distance `r` of `v`, sorted by
+/// index.
+///
+/// This is exactly the node set of the paper's local view `G[v, r]` (§2.1).
+///
+/// # Panics
+///
+/// Panics if `v` is out of range.
+pub fn ball(g: &Graph, v: usize, r: usize) -> Vec<usize> {
+    assert!(v < g.n(), "ball center {v} out of range");
+    let mut dist = vec![usize::MAX; g.n()];
+    let mut queue = VecDeque::from([v]);
+    dist[v] = 0;
+    let mut members = vec![v];
+    while let Some(u) = queue.pop_front() {
+        if dist[u] == r {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w] == usize::MAX {
+                dist[w] = dist[u] + 1;
+                members.push(w);
+                queue.push_back(w);
+            }
+        }
+    }
+    members.sort_unstable();
+    members
+}
+
+/// Discovery and finishing times of a depth-first traversal, as used by the
+/// §7.1 translation from the port-numbering model to unique identifiers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DfsTimes {
+    /// Discovery time of each node (1-based), `usize::MAX` if unreached.
+    pub discovery: Vec<usize>,
+    /// Finishing time of each node (1-based), `usize::MAX` if unreached.
+    pub finish: Vec<usize>,
+    /// DFS-tree parent of each node (`None` for the root and unreached nodes).
+    pub parent: Vec<Option<usize>>,
+}
+
+/// Runs a deterministic DFS from `root`, assigning discovery/finish times
+/// from a single shared clock (as in CLRS); neighbours are explored in
+/// sorted order.
+///
+/// Only the component of `root` is traversed.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn dfs_times(g: &Graph, root: usize) -> DfsTimes {
+    assert!(root < g.n(), "DFS root {root} out of range");
+    let mut t = DfsTimes {
+        discovery: vec![usize::MAX; g.n()],
+        finish: vec![usize::MAX; g.n()],
+        parent: vec![None; g.n()],
+    };
+    let mut clock = 0usize;
+    // Iterative DFS: stack holds (node, position in its adjacency list).
+    let mut stack = vec![(root, 0usize)];
+    clock += 1;
+    t.discovery[root] = clock;
+    while let Some(&mut (u, ref mut pos)) = stack.last_mut() {
+        let nbrs = g.neighbors(u);
+        if *pos < nbrs.len() {
+            let v = nbrs[*pos];
+            *pos += 1;
+            if t.discovery[v] == usize::MAX {
+                t.parent[v] = Some(u);
+                clock += 1;
+                t.discovery[v] = clock;
+                stack.push((v, 0));
+            }
+        } else {
+            clock += 1;
+            t.finish[u] = clock;
+            stack.pop();
+        }
+    }
+    t
+}
+
+/// Searches for a simple cycle of exactly `len` nodes, returning it as a
+/// node-index sequence (endpoint not repeated).
+///
+/// This implements the constructive side of the Bondy–Simonovits step in
+/// the gluing attack (§5.3): the theorem guarantees a `2k`-cycle inside any
+/// sufficiently dense monochromatic subgraph, and this routine digs it out.
+/// The search is a depth-first enumeration capped at `step_budget`
+/// expansions, so it may return `None` either because no such cycle exists
+/// or because the budget ran out; callers distinguish the two via
+/// [`CycleSearch`].
+pub fn find_cycle_of_length(g: &Graph, len: usize, step_budget: usize) -> CycleSearch {
+    if len < 3 || g.n() < len {
+        return CycleSearch::Absent;
+    }
+    let mut budget = step_budget;
+    let mut on_path = vec![false; g.n()];
+    // Anchor the cycle at its minimum-index vertex to avoid re-discovering
+    // rotations and reflections of the same cycle.
+    for s in g.nodes() {
+        if g.degree(s) < 2 {
+            continue;
+        }
+        let mut path = vec![s];
+        on_path[s] = true;
+        if dfs_cycle(g, s, len, &mut path, &mut on_path, &mut budget) {
+            return CycleSearch::Found(path);
+        }
+        on_path[s] = false;
+        if budget == 0 {
+            return CycleSearch::BudgetExhausted;
+        }
+    }
+    CycleSearch::Absent
+}
+
+/// Outcome of [`find_cycle_of_length`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CycleSearch {
+    /// A cycle of the requested length, as a node-index sequence.
+    Found(Vec<usize>),
+    /// The exhaustive search finished without finding a cycle.
+    Absent,
+    /// The step budget ran out before the search was exhaustive.
+    BudgetExhausted,
+}
+
+impl CycleSearch {
+    /// The found cycle, if any.
+    pub fn cycle(self) -> Option<Vec<usize>> {
+        match self {
+            CycleSearch::Found(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+fn dfs_cycle(
+    g: &Graph,
+    anchor: usize,
+    len: usize,
+    path: &mut Vec<usize>,
+    on_path: &mut [bool],
+    budget: &mut usize,
+) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    let u = *path.last().expect("path never empty");
+    if path.len() == len {
+        return g.has_edge(u, anchor);
+    }
+    for &v in g.neighbors(u) {
+        // Only the anchor may have a smaller index than path nodes.
+        if v <= anchor || on_path[v] {
+            continue;
+        }
+        path.push(v);
+        on_path[v] = true;
+        if dfs_cycle(g, anchor, len, path, on_path, budget) {
+            return true;
+        }
+        on_path[v] = false;
+        path.pop();
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::NodeId;
+
+    fn path5() -> Graph {
+        Graph::path_with_ids((1..=5).map(NodeId)).unwrap()
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path5();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let mut g = path5();
+        g.add_node(NodeId(99)).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[5], None);
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let g = generators::cycle(6);
+        let p = shortest_path(&g, 0, 3).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], 0);
+        assert_eq!(p[3], 3);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn shortest_path_none_when_disconnected() {
+        let mut g = path5();
+        g.add_node(NodeId(99)).unwrap();
+        assert_eq!(shortest_path(&g, 0, 5), None);
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = crate::ops::disjoint_union(
+            &generators::cycle(3),
+            &crate::ops::shift_ids(&generators::cycle(3), 10),
+        )
+        .unwrap();
+        let comp = connected_components(&g);
+        assert_eq!(comp, vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(component_count(&g), 2);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(is_connected(&Graph::new()));
+        assert_eq!(component_count(&Graph::new()), 0);
+    }
+
+    #[test]
+    fn even_cycle_is_bipartite_odd_is_not() {
+        assert!(is_bipartite(&generators::cycle(8)));
+        assert!(!is_bipartite(&generators::cycle(7)));
+    }
+
+    #[test]
+    fn bipartition_is_proper() {
+        let g = generators::complete_bipartite(3, 4);
+        let c = bipartition(&g).unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(c[u], c[v]);
+        }
+    }
+
+    #[test]
+    fn odd_cycle_witness_is_an_odd_cycle() {
+        let g = generators::cycle(9);
+        let cyc = find_odd_cycle(&g).unwrap();
+        assert_eq!(cyc.len() % 2, 1);
+        assert!(cyc.len() >= 3);
+        for i in 0..cyc.len() {
+            assert!(g.has_edge(cyc[i], cyc[(i + 1) % cyc.len()]));
+        }
+        // Simple: no repeated nodes.
+        let mut sorted = cyc.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cyc.len());
+    }
+
+    #[test]
+    fn odd_cycle_in_petersen_like_graph() {
+        // A triangle hanging off a long even cycle.
+        let mut g = generators::cycle(8);
+        let a = g.add_node(NodeId(100)).unwrap();
+        g.add_edge(0, a).unwrap();
+        g.add_edge(1, a).unwrap();
+        let cyc = find_odd_cycle(&g).unwrap();
+        assert_eq!(cyc.len() % 2, 1);
+        for i in 0..cyc.len() {
+            assert!(g.has_edge(cyc[i], cyc[(i + 1) % cyc.len()]));
+        }
+    }
+
+    #[test]
+    fn no_odd_cycle_in_bipartite() {
+        assert_eq!(find_odd_cycle(&generators::complete_bipartite(3, 3)), None);
+        assert_eq!(find_odd_cycle(&generators::cycle(10)), None);
+    }
+
+    #[test]
+    fn ball_radius_grows() {
+        let g = generators::cycle(10);
+        assert_eq!(ball(&g, 0, 0), vec![0]);
+        assert_eq!(ball(&g, 0, 1), vec![0, 1, 9]);
+        assert_eq!(ball(&g, 0, 2), vec![0, 1, 2, 8, 9]);
+        assert_eq!(ball(&g, 0, 10).len(), 10);
+    }
+
+    #[test]
+    fn dfs_times_form_nested_intervals() {
+        let g = generators::complete(4);
+        let t = dfs_times(&g, 0);
+        // All nodes reached, times are a permutation of 1..=2n.
+        let mut all: Vec<usize> = t.discovery.iter().chain(t.finish.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=8).collect::<Vec<_>>());
+        // Parent intervals strictly contain child intervals.
+        for v in g.nodes() {
+            if let Some(p) = t.parent[v] {
+                assert!(t.discovery[p] < t.discovery[v]);
+                assert!(t.finish[v] < t.finish[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn find_exact_cycles() {
+        let g = generators::cycle(6);
+        assert!(matches!(find_cycle_of_length(&g, 6, 10_000), CycleSearch::Found(_)));
+        assert_eq!(find_cycle_of_length(&g, 4, 10_000), CycleSearch::Absent);
+        let k33 = generators::complete_bipartite(3, 3);
+        let c = find_cycle_of_length(&k33, 4, 10_000).cycle().unwrap();
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            assert!(k33.has_edge(c[i], c[(i + 1) % 4]));
+        }
+        assert!(matches!(
+            find_cycle_of_length(&k33, 6, 100_000),
+            CycleSearch::Found(_)
+        ));
+        // Odd cycles do not exist in bipartite graphs.
+        assert_eq!(find_cycle_of_length(&k33, 5, 100_000), CycleSearch::Absent);
+    }
+
+    #[test]
+    fn cycle_search_budget_reported() {
+        let g = generators::complete(12);
+        assert_eq!(
+            find_cycle_of_length(&g, 12, 1),
+            CycleSearch::BudgetExhausted
+        );
+    }
+
+    #[test]
+    fn cycle_search_trivial_cases() {
+        assert_eq!(find_cycle_of_length(&generators::cycle(3), 2, 100), CycleSearch::Absent);
+        assert_eq!(
+            find_cycle_of_length(&generators::cycle(3), 4, 100),
+            CycleSearch::Absent
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! Trees: recognition, centres, AHU canonical codes, and exhaustive
+//! rooted-tree enumeration (OEIS A000081).
+//!
+//! §6.2 of the paper enumerates rooted trees with `k` nodes (`log |F_k| =
+//! Θ(k)`, citing A000081) and joins pairs of them; this module provides
+//! that family via the Beyer–Hedetniemi level-sequence successor
+//! algorithm, plus the AHU code used to compare rooted trees.
+
+use crate::{Graph, GraphError, NodeId};
+
+/// Whether `g` is a tree (connected and `m = n − 1`); the empty graph is
+/// not a tree.
+pub fn is_tree(g: &Graph) -> bool {
+    g.n() > 0 && g.m() == g.n() - 1 && crate::traversal::is_connected(g)
+}
+
+/// Whether `g` is a forest (every component a tree).
+pub fn is_forest(g: &Graph) -> bool {
+    let comps = crate::traversal::component_count(g);
+    g.m() + comps == g.n()
+}
+
+/// The centre(s) of a tree: one or two nodes, found by repeatedly peeling
+/// leaves.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree.
+pub fn tree_centers(g: &Graph) -> Vec<usize> {
+    assert!(is_tree(g), "tree_centers requires a tree");
+    let n = g.n();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut degree: Vec<usize> = g.nodes().map(|u| g.degree(u)).collect();
+    let mut layer: Vec<usize> = g.nodes().filter(|&u| degree[u] == 1).collect();
+    let mut remaining = n;
+    while remaining > 2 {
+        remaining -= layer.len();
+        let mut next = Vec::new();
+        for &u in &layer {
+            for &v in g.neighbors(u) {
+                if degree[v] > 1 {
+                    degree[v] -= 1;
+                    if degree[v] == 1 {
+                        next.push(v);
+                    }
+                }
+            }
+            degree[u] = 0;
+        }
+        layer = next;
+    }
+    layer.sort_unstable();
+    layer
+}
+
+/// The AHU canonical code of the tree `g` rooted at `root`: a
+/// parenthesization string that is equal for two rooted trees **iff** they
+/// are isomorphic as rooted trees.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree or `root` is out of range.
+pub fn ahu_code(g: &Graph, root: usize) -> String {
+    assert!(is_tree(g), "ahu_code requires a tree");
+    assert!(root < g.n(), "root out of range");
+    fn rec(g: &Graph, u: usize, parent: Option<usize>) -> String {
+        let mut child_codes: Vec<String> = g
+            .neighbors(u)
+            .iter()
+            .filter(|&&v| Some(v) != parent)
+            .map(|&v| rec(g, v, Some(u)))
+            .collect();
+        child_codes.sort();
+        format!("({})", child_codes.concat())
+    }
+    rec(g, root, None)
+}
+
+/// The AHU code of an *unrooted* tree: root at the centre (for bicentral
+/// trees, the lexicographically smaller of the two centre codes).
+///
+/// Equal for two trees **iff** they are isomorphic.
+///
+/// # Panics
+///
+/// Panics if `g` is not a tree.
+pub fn unrooted_ahu_code(g: &Graph) -> String {
+    tree_centers(g)
+        .into_iter()
+        .map(|c| ahu_code(g, c))
+        .min()
+        .expect("trees have at least one centre")
+}
+
+/// A rooted tree represented by its level sequence: `level[i]` is the
+/// depth (root = 1) of the `i`-th node in preorder.
+///
+/// This is the representation enumerated by [`rooted_trees`].
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LevelSequence(pub Vec<usize>);
+
+impl LevelSequence {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Materializes the level sequence as a [`Graph`] plus the root index.
+    ///
+    /// Nodes get identifiers `offset+1 ..= offset+n` in preorder, so the
+    /// root always carries identifier `offset + 1` — this is the "rooted
+    /// canonical copy" convention the §6.2 join construction relies on.
+    pub fn to_graph(&self, offset: u64) -> (Graph, usize) {
+        let n = self.n();
+        let mut g = Graph::from_ids((1..=n as u64).map(|v| NodeId(offset + v)))
+            .expect("contiguous ids are unique");
+        // Parent of node i = nearest previous node with level one less.
+        let mut stack: Vec<usize> = Vec::new(); // indices forming current path
+        for i in 0..n {
+            let level = self.0[i];
+            stack.truncate(level - 1);
+            if let Some(&p) = stack.last() {
+                g.add_edge(p, i).expect("preorder edges are fresh");
+            }
+            stack.push(i);
+        }
+        (g, 0)
+    }
+}
+
+/// Enumerates **all** rooted trees on `n` nodes (up to rooted isomorphism)
+/// as level sequences, via the Beyer–Hedetniemi successor algorithm.
+///
+/// Counts follow OEIS A000081: 1, 1, 2, 4, 9, 20, 48, 115, …
+///
+/// # Errors
+///
+/// Returns an error for `n = 0` or `n > 18` (the count explodes past any
+/// experimental use; 18 already gives 10,599,568 trees).
+pub fn rooted_trees(n: usize) -> Result<Vec<LevelSequence>, GraphError> {
+    if n == 0 || n > 18 {
+        return Err(GraphError::InvalidConstruction(format!(
+            "rooted tree enumeration supports 1..=18 nodes, got {n}"
+        )));
+    }
+    let mut out = Vec::new();
+    // Start from the path: levels 1, 2, …, n.
+    let mut level: Vec<usize> = (1..=n).collect();
+    loop {
+        out.push(LevelSequence(level.clone()));
+        // Find the last position with level > 2.
+        let Some(p) = (0..n).rev().find(|&i| level[i] > 2) else {
+            break;
+        };
+        // q: last position before p with level[q] = level[p] − 1.
+        let q = (0..p)
+            .rev()
+            .find(|&i| level[i] == level[p] - 1)
+            .expect("level sequences descend by 1 from the root");
+        // Copy the block starting at q over the tail.
+        for i in p..n {
+            level[i] = level[i - (p - q)];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tree_recognition() {
+        assert!(is_tree(&generators::path(5)));
+        assert!(is_tree(&generators::star(4)));
+        assert!(!is_tree(&generators::cycle(4)));
+        assert!(!is_tree(&Graph::new()));
+        let forest = crate::ops::disjoint_union(
+            &generators::path(3),
+            &crate::ops::shift_ids(&generators::path(2), 10),
+        )
+        .unwrap();
+        assert!(!is_tree(&forest));
+        assert!(is_forest(&forest));
+        assert!(!is_forest(&generators::cycle(3)));
+    }
+
+    #[test]
+    fn centers_of_paths() {
+        assert_eq!(tree_centers(&generators::path(5)), vec![2]);
+        assert_eq!(tree_centers(&generators::path(6)), vec![2, 3]);
+        assert_eq!(tree_centers(&generators::path(1)), vec![0]);
+        assert_eq!(tree_centers(&generators::path(2)), vec![0, 1]);
+    }
+
+    #[test]
+    fn center_of_star_is_hub() {
+        assert_eq!(tree_centers(&generators::star(5)), vec![0]);
+    }
+
+    #[test]
+    fn ahu_distinguishes_rooted_shapes() {
+        let p3 = generators::path(3);
+        // Rooted at the middle vs at an end: different rooted trees.
+        assert_ne!(ahu_code(&p3, 1), ahu_code(&p3, 0));
+        // Rooted at either end: same rooted tree.
+        assert_eq!(ahu_code(&p3, 0), ahu_code(&p3, 2));
+    }
+
+    #[test]
+    fn unrooted_ahu_is_isomorphism_invariant() {
+        let g = generators::complete_binary_tree(3);
+        let h = g.relabel(|id| NodeId(1000 - id.0)).unwrap();
+        assert_eq!(unrooted_ahu_code(&g), unrooted_ahu_code(&h));
+        assert_ne!(
+            unrooted_ahu_code(&generators::path(4)),
+            unrooted_ahu_code(&generators::star(3))
+        );
+    }
+
+    #[test]
+    fn rooted_tree_counts_match_a000081() {
+        let expected = [1usize, 1, 2, 4, 9, 20, 48, 115, 286];
+        for (i, &count) in expected.iter().enumerate() {
+            let n = i + 1;
+            assert_eq!(rooted_trees(n).unwrap().len(), count, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_distinct_rooted_trees() {
+        for n in 1..=7 {
+            let seqs = rooted_trees(n).unwrap();
+            let mut codes = HashSet::new();
+            for seq in &seqs {
+                let (g, root) = seq.to_graph(0);
+                assert!(is_tree(&g), "level sequence must build a tree");
+                assert_eq!(g.n(), n);
+                assert!(codes.insert(ahu_code(&g, root)), "duplicate rooted tree");
+            }
+        }
+    }
+
+    #[test]
+    fn level_sequence_graph_has_root_id_offset_plus_one() {
+        let seqs = rooted_trees(4).unwrap();
+        let (g, root) = seqs[0].to_graph(100);
+        assert_eq!(root, 0);
+        assert_eq!(g.id(root), NodeId(101));
+    }
+
+    #[test]
+    fn enumeration_bounds_checked() {
+        assert!(rooted_trees(0).is_err());
+        assert!(rooted_trees(19).is_err());
+    }
+}

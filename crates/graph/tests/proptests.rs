@@ -1,0 +1,166 @@
+//! Property-based tests for the graph substrate: classical invariants
+//! checked against brute force on random instances.
+
+use lcp_graph::{
+    coloring, enumerate, generators, iso, line_graph, matching, menger, ops, spanning,
+    traversal, tree, Graph, NodeId,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seeded_graph() -> impl Strategy<Value = Graph> {
+    (3usize..12, 0usize..14, any::<u64>()).prop_map(|(n, extra, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::random_connected(n, extra, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn handshake_lemma(g in seeded_graph()) {
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.m());
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(g in seeded_graph()) {
+        let d = traversal::bfs_distances(&g, 0);
+        for (u, v) in g.edges() {
+            let (du, dv) = (d[u].unwrap(), d[v].unwrap());
+            prop_assert!(du.abs_diff(dv) <= 1, "edge ({u},{v}) jumps distance");
+        }
+    }
+
+    #[test]
+    fn spanning_tree_has_n_minus_one_edges_and_spans(g in seeded_graph()) {
+        let t = spanning::bfs_spanning_tree(&g, 0);
+        prop_assert_eq!(t.size(), g.n());
+        let edges = t.edges();
+        prop_assert_eq!(edges.len(), g.n() - 1);
+        prop_assert!(spanning::is_spanning_tree(&g, &edges).unwrap());
+        prop_assert_eq!(t.subtree_sizes()[t.root()], g.n());
+    }
+
+    #[test]
+    fn bipartition_agrees_with_odd_cycle_search(g in seeded_graph()) {
+        match traversal::bipartition(&g) {
+            Some(colors) => {
+                prop_assert!(g.edges().all(|(u, v)| colors[u] != colors[v]));
+                prop_assert_eq!(traversal::find_odd_cycle(&g), None);
+            }
+            None => {
+                let cyc = traversal::find_odd_cycle(&g).expect("non-bipartite has odd cycle");
+                prop_assert_eq!(cyc.len() % 2, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn menger_paths_equal_bruteforce_separator(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_connected(8, 5, &mut rng);
+        let (s, t) = (0, 7);
+        prop_assume!(!g.has_edge(s, t));
+        let cert = menger::menger_certificate(&g, s, t);
+        let brute = menger::min_separator_bruteforce(&g, s, t).unwrap();
+        prop_assert_eq!(cert.paths.len(), brute);
+        prop_assert_eq!(cert.separator.len(), brute);
+    }
+
+    #[test]
+    fn kuhn_equals_bruteforce_matching(seed in any::<u64>(), a in 2usize..6, b in 2usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_bipartite(a, b, 0.5, &mut rng);
+        let side = traversal::bipartition(&g).unwrap();
+        let m = matching::maximum_bipartite_matching(&g, &side);
+        prop_assert_eq!(m.size(), matching::maximum_matching_bruteforce(&g));
+    }
+
+    #[test]
+    fn chromatic_number_bounds(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(8, 0.4, &mut rng);
+        let chi = coloring::chromatic_number(&g);
+        // Bounds: clique-free lower bound via edges, greedy upper bound.
+        if g.m() > 0 {
+            prop_assert!(chi >= 2);
+        }
+        prop_assert!(chi <= g.max_degree() + 1);
+        if chi > 0 {
+            let c = coloring::k_coloring(&g, chi).expect("chi is achievable");
+            prop_assert!(coloring::is_proper_coloring(&g, &c));
+        }
+    }
+
+    #[test]
+    fn line_graph_of_graph_is_line_graph(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(6, 0.45, &mut rng);
+        let lg = line_graph::line_graph(&g);
+        prop_assert!(line_graph::is_line_graph(&lg));
+        prop_assert!(line_graph::is_line_graph_beineke(&lg));
+        // |V(L(G))| = m, and degree sums follow Whitney's formula.
+        prop_assert_eq!(lg.n(), g.m());
+    }
+
+    #[test]
+    fn canonical_form_identifies_relabelings(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::gnp(7, 0.4, &mut rng);
+        let h = g.relabel(|id| NodeId(id.0 * 17 + 3)).unwrap();
+        prop_assert!(iso::is_isomorphic(&g, &h).unwrap());
+        prop_assert_eq!(
+            iso::canonical_form(&g).unwrap(),
+            iso::canonical_form(&h).unwrap()
+        );
+    }
+
+    #[test]
+    fn unrooted_ahu_is_a_complete_tree_invariant(seed in any::<u64>(), n in 2usize..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t1 = generators::random_tree(n, &mut rng);
+        let t2 = generators::random_tree(n, &mut rng);
+        let same_code = tree::unrooted_ahu_code(&t1) == tree::unrooted_ahu_code(&t2);
+        let isomorphic = iso::is_isomorphic(&t1, &t2).unwrap();
+        prop_assert_eq!(same_code, isomorphic);
+    }
+
+    #[test]
+    fn disjoint_union_preserves_counts(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = generators::random_connected(5, 3, &mut rng);
+        let b = ops::shift_ids(&generators::random_connected(4, 2, &mut rng), 100);
+        let u = ops::disjoint_union(&a, &b).unwrap();
+        prop_assert_eq!(u.n(), a.n() + b.n());
+        prop_assert_eq!(u.m(), a.m() + b.m());
+        prop_assert_eq!(traversal::component_count(&u), 2);
+    }
+
+    #[test]
+    fn dfs_intervals_nest_or_are_disjoint(g in seeded_graph()) {
+        let t = traversal::dfs_times(&g, 0);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v { continue; }
+                let (xu, yu) = (t.discovery[u], t.finish[u]);
+                let (xv, yv) = (t.discovery[v], t.finish[v]);
+                let nested = (xu < xv && yv < yu) || (xv < xu && yu < yv);
+                let disjoint = yu < xv || yv < xu;
+                prop_assert!(nested || disjoint, "intervals cross at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_asymmetric_graphs_are_asymmetric(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = enumerate::sample_asymmetric_connected(7, 3, 2000, &mut rng).unwrap();
+        for g in sample {
+            prop_assert!(!iso::is_symmetric(&g));
+            prop_assert!(traversal::is_connected(&g));
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Evaluation of local formulas, both on full graphs (ground truth) and
+//! on extracted views (what the verifier does).
+
+use crate::formula::LocalFormula;
+use lcp_core::View;
+use lcp_graph::{traversal, Graph};
+
+/// Variable environment: `env[0] = x` (possibly invisible), `env[1] = y`,
+/// then bound variables. `None` means "outside the local view".
+type Env = Vec<Option<usize>>;
+
+fn eval_rec<F, D, Q>(
+    f: &LocalFormula,
+    env: &mut Env,
+    adj: &impl Fn(usize, usize) -> bool,
+    rel: &F,
+    dist_from_y: &D,
+    domain: &Q,
+) -> bool
+where
+    F: Fn(usize, usize) -> bool,
+    D: Fn(usize) -> Option<usize>,
+    Q: Fn() -> Vec<usize>,
+{
+    match f {
+        LocalFormula::True => true,
+        LocalFormula::False => false,
+        LocalFormula::Adj(i, j) => match (env[*i], env[*j]) {
+            (Some(u), Some(w)) => u != w && adj(u, w),
+            _ => false,
+        },
+        LocalFormula::Eq(i, j) => {
+            if i == j {
+                return true;
+            }
+            match (env[*i], env[*j]) {
+                (Some(u), Some(w)) => u == w,
+                _ => false,
+            }
+        }
+        LocalFormula::InSet(i, r) => env[*i].is_some_and(|u| rel(u, *r)),
+        LocalFormula::Not(g) => !eval_rec(g, env, adj, rel, dist_from_y, domain),
+        LocalFormula::And(fs) => fs
+            .iter()
+            .all(|g| eval_rec(g, env, adj, rel, dist_from_y, domain)),
+        LocalFormula::Or(fs) => fs
+            .iter()
+            .any(|g| eval_rec(g, env, adj, rel, dist_from_y, domain)),
+        LocalFormula::ExistsNear { radius, body } => {
+            let nodes = domain();
+            nodes.iter().any(|&z| {
+                if dist_from_y(z).is_none_or(|d| d > *radius) {
+                    return false;
+                }
+                env.push(Some(z));
+                let ok = eval_rec(body, env, adj, rel, dist_from_y, domain);
+                env.pop();
+                ok
+            })
+        }
+        LocalFormula::ForallNear { radius, body } => {
+            let nodes = domain();
+            nodes.iter().all(|&z| {
+                if dist_from_y(z).is_none_or(|d| d > *radius) {
+                    return true;
+                }
+                env.push(Some(z));
+                let ok = eval_rec(body, env, adj, rel, dist_from_y, domain);
+                env.pop();
+                ok
+            })
+        }
+    }
+}
+
+/// Evaluates a matrix at one view, with `y :=` the view centre.
+///
+/// `x` is the view index of the global witness if visible, `None`
+/// otherwise; `relations(u, r)` answers `X_r(u)` for view nodes.
+pub fn evaluate_at<N, E, F>(
+    matrix: &LocalFormula,
+    view: &View<N, E>,
+    x: Option<usize>,
+    relations: F,
+) -> bool
+where
+    F: Fn(usize, usize) -> bool,
+{
+    let mut env: Env = vec![x, Some(view.center())];
+    let nodes: Vec<usize> = view.nodes().collect();
+    eval_rec(
+        matrix,
+        &mut env,
+        &|u, w| view.has_edge(u, w),
+        &relations,
+        &|u| Some(view.dist(u)),
+        &|| nodes.clone(),
+    )
+}
+
+/// Ground truth: evaluates `∀y : matrix(X, x, y)` on a whole graph with
+/// explicit relations (`relations[r][v]`) and witness node `x`.
+pub fn evaluate_global(
+    matrix: &LocalFormula,
+    g: &Graph,
+    x: usize,
+    relations: &[Vec<bool>],
+) -> bool {
+    let nodes: Vec<usize> = g.nodes().collect();
+    g.nodes().all(|y| {
+        let dist = traversal::bfs_distances(g, y);
+        let mut env: Env = vec![Some(x), Some(y)];
+        eval_rec(
+            matrix,
+            &mut env,
+            &|u, w| g.has_edge(u, w),
+            &|u, r| relations[r][u],
+            &|u| dist[u],
+            &|| nodes.clone(),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::LocalFormula::*;
+    use lcp_core::{Instance, Proof};
+    use lcp_graph::generators;
+
+    #[test]
+    fn adjacency_atoms() {
+        let g = generators::path(3);
+        // ∀y: ∃z near 1: adj(y, z) — every node has a neighbour.
+        let f = ExistsNear {
+            radius: 1,
+            body: Box::new(Adj(1, 2)),
+        };
+        assert!(evaluate_global(&f, &g, 0, &[]));
+        // A lone node fails it.
+        let lonely = lcp_graph::Graph::with_contiguous_ids(1);
+        assert!(!evaluate_global(&f, &lonely, 0, &[]));
+    }
+
+    #[test]
+    fn relation_atoms() {
+        let g = generators::path(3);
+        // ∀y: X₀(y)
+        let f = InSet(1, 0);
+        assert!(evaluate_global(&f, &g, 0, &[vec![true; 3]]));
+        assert!(!evaluate_global(&f, &g, 0, &[vec![true, false, true]]));
+    }
+
+    #[test]
+    fn witness_variable_usable() {
+        let g = generators::path(3);
+        // ∀y: y = x ∨ adj(x, y) — witness dominates the graph (true for
+        // the middle node of P3 only).
+        let f = Or(vec![
+            Eq(0, 1),
+            ExistsNear {
+                radius: 1,
+                body: Box::new(And(vec![Eq(2, 0), Adj(1, 2)])),
+            },
+        ]);
+        assert!(evaluate_global(&f, &g, 1, &[]));
+        assert!(!evaluate_global(&f, &g, 0, &[]));
+    }
+
+    #[test]
+    fn view_and_global_evaluation_agree() {
+        // Property checked per-y: "y has a neighbour in X₀".
+        let f = ExistsNear {
+            radius: 1,
+            body: Box::new(And(vec![Adj(1, 2), InSet(2, 0)])),
+        };
+        let g = generators::cycle(6);
+        let relations = vec![vec![true, false, false, true, false, false]];
+        let inst = Instance::unlabeled(g.clone());
+        let proof = Proof::empty(6);
+        for y in g.nodes() {
+            let view = View::extract(&inst, &proof, y, 2);
+            let local = evaluate_at(&f, &view, None, |u, r| {
+                let orig = g.index_of(view.id(u)).unwrap();
+                relations[r][orig]
+            });
+            // Global semantics for this particular y.
+            let dist = lcp_graph::traversal::bfs_distances(&g, y);
+            let nodes: Vec<usize> = g.nodes().collect();
+            let mut env = vec![None, Some(y)];
+            let global = super::eval_rec(
+                &f,
+                &mut env,
+                &|u, w| g.has_edge(u, w),
+                &|u, r| relations[r][u],
+                &|u| dist[u],
+                &|| nodes.clone(),
+            );
+            assert_eq!(local, global, "disagreement at y = {y}");
+        }
+    }
+
+    #[test]
+    fn invisible_witness_atoms_are_false() {
+        let g = generators::path(5);
+        let inst = Instance::unlabeled(g);
+        let proof = Proof::empty(5);
+        let view = View::extract(&inst, &proof, 0, 1);
+        // x invisible: adj(x, y) and x = y are false, X(x) is false.
+        assert!(!evaluate_at(&Adj(0, 1), &view, None, |_, _| true));
+        assert!(!evaluate_at(&Eq(0, 1), &view, None, |_, _| true));
+        assert!(!evaluate_at(&InSet(0, 0), &view, None, |_, _| true));
+        // But ¬(x = y) is true.
+        assert!(evaluate_at(&Eq(0, 1).not(), &view, None, |_, _| true));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        // "y lies on a triangle": ∃z₁∃z₂ near 1: adj(y,z₁) ∧ adj(y,z₂) ∧ adj(z₁,z₂).
+        let f = ExistsNear {
+            radius: 1,
+            body: Box::new(ExistsNear {
+                radius: 1,
+                body: Box::new(And(vec![Adj(1, 2), Adj(1, 3), Adj(2, 3)])),
+            }),
+        };
+        assert!(evaluate_global(&f, &generators::complete(4), 0, &[]));
+        assert!(!evaluate_global(&f, &generators::cycle(5), 0, &[]));
+    }
+}

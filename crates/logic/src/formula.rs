@@ -1,0 +1,178 @@
+//! Formula ASTs: local first-order matrices and monadic Σ¹₁ sentences.
+
+/// A first-order formula over graphs with free monadic relation symbols
+/// `X₀ … X_{k−1}`, *local around the designated variable `y`*.
+///
+/// Variable numbering convention (Schwentick–Barthelmann normal form):
+///
+/// * variable `0` is `x` — the existentially quantified global witness
+///   node (may lie outside the local view);
+/// * variable `1` is `y` — the node being checked (the view centre);
+/// * variables `2, 3, …` are introduced by [`LocalFormula::ExistsNear`] /
+///   [`LocalFormula::ForallNear`], which quantify over nodes within a
+///   fixed distance of `y`.
+///
+/// Locality: every quantifier is radius-bounded around `y`, so the whole
+/// matrix is determined by the radius-[`LocalFormula::radius_bound`] view
+/// of `y`. Atoms mentioning `x` evaluate to *false* when `x` is outside
+/// that view — sentences in genuine local normal form never depend on
+/// such invisible atoms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalFormula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// `adj(vᵢ, vⱼ)` — the two bound nodes are adjacent.
+    Adj(usize, usize),
+    /// `vᵢ = vⱼ`.
+    Eq(usize, usize),
+    /// `X_r(vᵢ)` — node `vᵢ` is in relation `r`.
+    InSet(usize, usize),
+    /// Negation.
+    Not(Box<LocalFormula>),
+    /// Finite conjunction (empty = true).
+    And(Vec<LocalFormula>),
+    /// Finite disjunction (empty = false).
+    Or(Vec<LocalFormula>),
+    /// `∃z (dist(z, y) ≤ radius ∧ body)`; `z` gets the next variable index.
+    ExistsNear {
+        /// Distance bound from `y`.
+        radius: usize,
+        /// Body with one more bound variable.
+        body: Box<LocalFormula>,
+    },
+    /// `∀z (dist(z, y) ≤ radius → body)`; `z` gets the next variable index.
+    ForallNear {
+        /// Distance bound from `y`.
+        radius: usize,
+        /// Body with one more bound variable.
+        body: Box<LocalFormula>,
+    },
+}
+
+impl LocalFormula {
+    /// Convenience: `¬self`.
+    pub fn not(self) -> LocalFormula {
+        LocalFormula::Not(Box::new(self))
+    }
+
+    /// The smallest view radius around `y` that determines the formula:
+    /// the maximum quantifier depth-sum plus 1 (atoms `adj` reach one step
+    /// beyond their deepest variable).
+    pub fn radius_bound(&self) -> usize {
+        match self {
+            LocalFormula::True | LocalFormula::False => 0,
+            LocalFormula::Adj(_, _) => 1,
+            LocalFormula::Eq(_, _) | LocalFormula::InSet(_, _) => 0,
+            LocalFormula::Not(f) => f.radius_bound(),
+            LocalFormula::And(fs) | LocalFormula::Or(fs) => {
+                fs.iter().map(LocalFormula::radius_bound).max().unwrap_or(0)
+            }
+            LocalFormula::ExistsNear { radius, body }
+            | LocalFormula::ForallNear { radius, body } => radius + body.radius_bound(),
+        }
+    }
+
+    /// Number of bound variables the formula expects *beyond* `x` and `y`
+    /// at top level (0 when used as a Σ¹₁ matrix).
+    pub fn max_relation(&self) -> Option<usize> {
+        match self {
+            LocalFormula::InSet(_, r) => Some(*r),
+            LocalFormula::Not(f) => f.max_relation(),
+            LocalFormula::And(fs) | LocalFormula::Or(fs) => {
+                fs.iter().filter_map(LocalFormula::max_relation).max()
+            }
+            LocalFormula::ExistsNear { body, .. } | LocalFormula::ForallNear { body, .. } => {
+                body.max_relation()
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A monadic Σ¹₁ sentence in local normal form:
+/// `∃X₀ … ∃X_{k−1} ∃x ∀y : matrix(X₀, …, X_{k−1}, x, y)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sigma11 {
+    /// Human-readable name (used by harness reports).
+    pub name: String,
+    /// Number `k` of existential monadic relations.
+    pub relations: usize,
+    /// The first-order matrix `φ`, local around `y`.
+    pub matrix: LocalFormula,
+}
+
+impl Sigma11 {
+    /// Builds a sentence, validating that the matrix does not mention
+    /// relations beyond `relations`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix references relation `X_r` with `r ≥ relations`.
+    pub fn new(name: impl Into<String>, relations: usize, matrix: LocalFormula) -> Self {
+        if let Some(max) = matrix.max_relation() {
+            assert!(
+                max < relations,
+                "matrix references X_{max} but only {relations} relations are quantified"
+            );
+        }
+        Sigma11 {
+            name: name.into(),
+            relations,
+            matrix,
+        }
+    }
+
+    /// View radius a verifier needs to evaluate the matrix at `y`.
+    pub fn verifier_radius(&self) -> usize {
+        // +1: the evaluation also needs y's incident edges for Adj(0/1, ·)
+        // atoms and the spanning-tree certificate check.
+        self.matrix.radius_bound().max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_bound_composes() {
+        use LocalFormula::*;
+        assert_eq!(True.radius_bound(), 0);
+        assert_eq!(Adj(0, 1).radius_bound(), 1);
+        let f = ExistsNear {
+            radius: 2,
+            body: Box::new(Adj(1, 2)),
+        };
+        assert_eq!(f.radius_bound(), 3);
+        let nested = ForallNear {
+            radius: 1,
+            body: Box::new(ExistsNear {
+                radius: 1,
+                body: Box::new(Eq(2, 3)),
+            }),
+        };
+        assert_eq!(nested.radius_bound(), 2);
+    }
+
+    #[test]
+    fn max_relation_found() {
+        use LocalFormula::*;
+        let f = And(vec![InSet(1, 0), Or(vec![InSet(1, 2)])]);
+        assert_eq!(f.max_relation(), Some(2));
+        assert_eq!(True.max_relation(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix references X_2")]
+    fn sentence_validates_relation_count() {
+        let _ = Sigma11::new("bad", 2, LocalFormula::InSet(1, 2));
+    }
+
+    #[test]
+    fn verifier_radius_at_least_one() {
+        let s = Sigma11::new("triv", 0, LocalFormula::True);
+        assert_eq!(s.verifier_radius(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! Stock monadic Σ¹₁ sentences and their witness finders.
+//!
+//! Each function returns a [`Sigma11`] sentence; the companion
+//! `*_witness` functions are the centralized solvers a prover uses to
+//! find the existential relations (and, where relevant, the witness node
+//! `x`). §7.5 notes that some NP-complete properties — 3-colourability
+//! chief among them — are monadic Σ¹₁, which is why the witness finders
+//! are allowed to be exponential-time: nondeterminism is free for the
+//! prover.
+
+use crate::formula::{LocalFormula, Sigma11};
+use crate::scheme::Witness;
+use lcp_graph::{coloring, Graph};
+
+use LocalFormula::{Adj, And, Eq, ExistsNear, ForallNear, InSet, Or};
+
+/// `k`-colourability: `∃X₀…X_{k−1} ∀y`: `y` is in exactly one class and no
+/// neighbour shares its class.
+///
+/// For `k = 3` this is the paper's flagship example of an NP-complete
+/// monadic Σ¹₁ property (§7.5, citing Fagin/Schwentick).
+pub fn k_colorable(k: usize) -> Sigma11 {
+    assert!(k >= 1, "colourability needs at least one colour");
+    // Exactly one class contains y.
+    let exactly_one = Or((0..k)
+        .map(|c| {
+            And(std::iter::once(InSet(1, c))
+                .chain((0..k).filter(|&d| d != c).map(|d| InSet(1, d).not()))
+                .collect())
+        })
+        .collect());
+    // No neighbour shares y's class: ∀z near 1: adj(y,z) → ∧_c ¬(X_c(y) ∧ X_c(z)).
+    let proper = ForallNear {
+        radius: 1,
+        body: Box::new(Or(vec![
+            Adj(1, 2).not(),
+            And((0..k)
+                .map(|c| And(vec![InSet(1, c), InSet(2, c)]).not())
+                .collect()),
+        ])),
+    };
+    Sigma11::new(format!("{k}-colourable"), k, And(vec![exactly_one, proper]))
+}
+
+/// Witness for [`k_colorable`]: an exact colouring solver.
+pub fn k_colorable_witness(g: &Graph, k: usize) -> Option<Witness> {
+    let coloring = coloring::k_coloring(g, k)?;
+    let relations = (0..k)
+        .map(|c| coloring.iter().map(|&col| col == c).collect())
+        .collect();
+    Some(Witness {
+        relations,
+        leader: 0,
+    })
+}
+
+/// Perfect code (efficient dominating set): `∃X ∀y`: exactly one node of
+/// the closed neighbourhood `N[y]` is in `X`.
+pub fn perfect_code() -> Sigma11 {
+    let in_closed = |a: usize, b: usize| Or(vec![Eq(a, b), Adj(a, b)]);
+    let matrix = ExistsNear {
+        radius: 1,
+        body: Box::new(And(vec![
+            InSet(2, 0),
+            in_closed(1, 2),
+            ForallNear {
+                radius: 1,
+                body: Box::new(Or(vec![
+                    And(vec![InSet(3, 0), in_closed(1, 3)]).not(),
+                    Eq(2, 3),
+                ])),
+            },
+        ])),
+    };
+    Sigma11::new("perfect-code", 1, matrix)
+}
+
+/// Witness for [`perfect_code`]: exhaustive subset search (ground truth
+/// for small graphs).
+pub fn perfect_code_witness(g: &Graph) -> Option<Witness> {
+    let n = g.n();
+    assert!(n <= 24, "perfect-code brute force is for small graphs");
+    'subsets: for mask in 0u64..(1 << n) {
+        for y in g.nodes() {
+            let mut count = (mask >> y & 1) as u32;
+            for &u in g.neighbors(y) {
+                count += (mask >> u & 1) as u32;
+            }
+            if count != 1 {
+                continue 'subsets;
+            }
+        }
+        return Some(Witness {
+            relations: vec![(0..n).map(|v| mask >> v & 1 == 1).collect()],
+            leader: 0,
+        });
+    }
+    None
+}
+
+/// Independent dominating set: `∃X ∀y`: if `y ∈ X` no neighbour is in
+/// `X`; if `y ∉ X` some neighbour is.
+pub fn independent_dominating_set() -> Sigma11 {
+    let no_nbr_in = ForallNear {
+        radius: 1,
+        body: Box::new(Or(vec![Adj(1, 2).not(), InSet(2, 0).not()])),
+    };
+    let some_nbr_in = ExistsNear {
+        radius: 1,
+        body: Box::new(And(vec![Adj(1, 2), InSet(2, 0)])),
+    };
+    let matrix = And(vec![
+        Or(vec![InSet(1, 0).not(), no_nbr_in]),
+        Or(vec![InSet(1, 0), some_nbr_in]),
+    ]);
+    Sigma11::new("independent-dominating-set", 1, matrix)
+}
+
+/// Witness for [`independent_dominating_set`]: a greedy maximal
+/// independent set (always independent dominating).
+pub fn independent_dominating_witness(g: &Graph) -> Option<Witness> {
+    let mut in_set = vec![false; g.n()];
+    let mut blocked = vec![false; g.n()];
+    for v in g.nodes() {
+        if !blocked[v] {
+            in_set[v] = true;
+            blocked[v] = true;
+            for &u in g.neighbors(v) {
+                blocked[u] = true;
+            }
+        }
+    }
+    Some(Witness {
+        relations: vec![in_set],
+        leader: 0,
+    })
+}
+
+/// "Contains a triangle", with the `∃x` witness doing real work: the
+/// matrix only constrains `y = x`, where it demands a triangle through
+/// `x`'s neighbourhood.
+pub fn has_triangle() -> Sigma11 {
+    let triangle_at_y = ExistsNear {
+        radius: 1,
+        body: Box::new(ExistsNear {
+            radius: 1,
+            body: Box::new(And(vec![Adj(1, 2), Adj(1, 3), Adj(2, 3)])),
+        }),
+    };
+    let matrix = Or(vec![Eq(0, 1).not(), triangle_at_y]);
+    Sigma11::new("has-triangle", 0, matrix)
+}
+
+/// Witness for [`has_triangle`]: any triangle corner.
+pub fn has_triangle_witness(g: &Graph) -> Option<Witness> {
+    for (u, v) in g.edges() {
+        for &w in g.neighbors(u) {
+            if w != v && g.has_edge(v, w) {
+                return Some(Witness {
+                    relations: vec![],
+                    leader: u,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_global;
+    use lcp_graph::generators;
+
+    #[test]
+    fn three_colorability_of_known_graphs() {
+        let s = k_colorable(3);
+        let c5 = generators::cycle(5);
+        let w = k_colorable_witness(&c5, 3).unwrap();
+        assert!(evaluate_global(&s.matrix, &c5, w.leader, &w.relations));
+        assert!(k_colorable_witness(&generators::complete(4), 3).is_none());
+    }
+
+    #[test]
+    fn two_colorability_matches_bipartiteness() {
+        let s = k_colorable(2);
+        for n in 3..9 {
+            let c = generators::cycle(n);
+            let w = k_colorable_witness(&c, 2);
+            assert_eq!(w.is_some(), n % 2 == 0, "C_{n}");
+            if let Some(w) = w {
+                assert!(evaluate_global(&s.matrix, &c, w.leader, &w.relations));
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_coloring_fails_matrix() {
+        let s = k_colorable(2);
+        let c4 = generators::cycle(4);
+        // All nodes in class 0: exactly-one holds, properness fails.
+        let bad = vec![vec![true; 4], vec![false; 4]];
+        assert!(!evaluate_global(&s.matrix, &c4, 0, &bad));
+        // A node in both classes: exactly-one fails.
+        let ambiguous = vec![vec![true, false, true, false], vec![true, true, false, true]];
+        assert!(!evaluate_global(&s.matrix, &c4, 0, &ambiguous));
+    }
+
+    #[test]
+    fn perfect_codes_on_cycles() {
+        // C_n has a perfect code iff 3 | n.
+        let s = perfect_code();
+        for n in 3..10 {
+            let c = generators::cycle(n);
+            let w = perfect_code_witness(&c);
+            assert_eq!(w.is_some(), n % 3 == 0, "C_{n}");
+            if let Some(w) = w {
+                assert!(evaluate_global(&s.matrix, &c, w.leader, &w.relations));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_dominating_always_exists() {
+        let s = independent_dominating_set();
+        for g in [
+            generators::cycle(7),
+            generators::complete(5),
+            generators::grid(3, 4),
+            generators::star(6),
+        ] {
+            let w = independent_dominating_witness(&g).unwrap();
+            assert!(
+                evaluate_global(&s.matrix, &g, w.leader, &w.relations),
+                "greedy MIS should satisfy the sentence on {g:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_detection() {
+        let s = has_triangle();
+        let k4 = generators::complete(4);
+        let w = has_triangle_witness(&k4).unwrap();
+        assert!(evaluate_global(&s.matrix, &k4, w.leader, &w.relations));
+        assert!(has_triangle_witness(&generators::cycle(6)).is_none());
+        // No witness can make C6 satisfy it.
+        for x in 0..6 {
+            assert!(!evaluate_global(&s.matrix, &generators::cycle(6), x, &[]));
+        }
+    }
+}

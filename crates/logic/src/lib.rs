@@ -1,0 +1,29 @@
+//! # `lcp-logic` — monadic Σ¹₁ properties as LogLCP schemes (§7.5)
+//!
+//! §7.5 of the paper observes that on connected graphs every monadic Σ¹₁
+//! graph property is in `LogLCP`. The argument is constructive, and this
+//! crate executes it:
+//!
+//! 1. A sentence in Schwentick–Barthelmann local normal form
+//!    `∃X₁ … ∃X_k ∃x ∀y : φ(X₁, …, X_k, x, y)` is represented by
+//!    [`Sigma11`], with `φ` a [`LocalFormula`] whose quantifiers are
+//!    radius-bounded around `y`.
+//! 2. A *witness* (the relations `A₁ … A_k` and the node `a`) is turned
+//!    into a locally checkable proof: one bit per relation per node, plus
+//!    a spanning-tree certificate rooted at `a` proving `∃x`
+//!    ([`Sigma11Scheme`]).
+//! 3. The verifier checks the tree certificate and evaluates `φ` with
+//!    `y :=` itself inside its radius-`r` view — legal because `φ` is
+//!    local around `y`.
+//!
+//! Stock sentences ([`formulas`]) include k-colourability, perfect codes,
+//! independent dominating sets, and triangle-freeness-with-witness.
+
+pub mod eval;
+pub mod formula;
+pub mod formulas;
+pub mod scheme;
+
+pub use eval::{evaluate_at, evaluate_global};
+pub use formula::{LocalFormula, Sigma11};
+pub use scheme::{Sigma11Scheme, Witness};

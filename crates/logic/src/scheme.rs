@@ -1,0 +1,242 @@
+//! The §7.5 compiler: a monadic Σ¹₁ sentence plus a witness finder
+//! becomes a LogLCP proof labelling scheme.
+
+use crate::eval::{evaluate_at, evaluate_global};
+use crate::formula::Sigma11;
+use lcp_core::components::TreeCert;
+use lcp_core::{BitReader, BitWriter, Instance, Proof, Scheme, View};
+use lcp_graph::spanning::bfs_spanning_tree;
+use lcp_graph::{traversal, Graph, NodeId};
+
+/// A witness for a Σ¹₁ sentence: the monadic relations `A₀ … A_{k−1}`
+/// plus the node interpreting `∃x`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness {
+    /// `relations[r][v]` = whether node `v` is in `X_r`.
+    pub relations: Vec<Vec<bool>>,
+    /// The witness node `a` interpreting `∃x`.
+    pub leader: usize,
+}
+
+/// The compiled LogLCP scheme for one sentence (§7.5): per node, `k`
+/// relation bits followed by a spanning-tree certificate rooted at the
+/// witness node.
+///
+/// The proof size is `k + O(log n)` bits, so every monadic Σ¹₁ property
+/// of connected graphs lands in `LogLCP` — the paper's Theorem from §7.5
+/// made executable.
+///
+/// The family promise is *connected* graphs (the tree certificate needs
+/// it, see `lcp_core::components::TreeCert`).
+pub struct Sigma11Scheme<W> {
+    sentence: Sigma11,
+    witness_finder: W,
+}
+
+impl<W> Sigma11Scheme<W>
+where
+    W: Fn(&Graph) -> Option<Witness>,
+{
+    /// Compiles a sentence with its witness finder.
+    ///
+    /// The finder is the prover's nondeterminism: it must return a
+    /// witness for every graph satisfying the sentence and `None`
+    /// otherwise (the constructors in [`crate::formulas`] pair sentences
+    /// with complete finders).
+    pub fn new(sentence: Sigma11, witness_finder: W) -> Self {
+        Sigma11Scheme {
+            sentence,
+            witness_finder,
+        }
+    }
+
+    /// The compiled sentence.
+    pub fn sentence(&self) -> &Sigma11 {
+        &self.sentence
+    }
+}
+
+impl<W> Scheme for Sigma11Scheme<W>
+where
+    W: Fn(&Graph) -> Option<Witness>,
+{
+    type Node = ();
+    type Edge = ();
+
+    fn name(&self) -> String {
+        format!("sigma11:{}", self.sentence.name)
+    }
+
+    fn radius(&self) -> usize {
+        self.sentence.verifier_radius()
+    }
+
+    fn holds(&self, inst: &Instance) -> bool {
+        let g = inst.graph();
+        if g.n() == 0 || !traversal::is_connected(g) {
+            return false; // outside the family promise / vacuous
+        }
+        match (self.witness_finder)(g) {
+            Some(w) => evaluate_global(&self.sentence.matrix, g, w.leader, &w.relations),
+            None => false,
+        }
+    }
+
+    fn prove(&self, inst: &Instance) -> Option<Proof> {
+        let g = inst.graph();
+        if g.n() == 0 || !traversal::is_connected(g) {
+            return None;
+        }
+        let witness = (self.witness_finder)(g)?;
+        debug_assert!(
+            evaluate_global(&self.sentence.matrix, g, witness.leader, &witness.relations),
+            "witness finder returned a non-witness"
+        );
+        let tree = bfs_spanning_tree(g, witness.leader);
+        let certs = TreeCert::prove(g, &tree);
+        let k = self.sentence.relations;
+        Some(Proof::from_fn(g.n(), |v| {
+            let mut w = BitWriter::new();
+            for r in 0..k {
+                w.write_bit(witness.relations[r][v]);
+            }
+            certs[v].encode(&mut w);
+            w.finish()
+        }))
+    }
+
+    fn verify(&self, view: &View) -> bool {
+        let k = self.sentence.relations;
+        // Decode every visible node's proof: k bits + tree certificate.
+        let decode = |u: usize| -> Option<(Vec<bool>, TreeCert)> {
+            let mut r = BitReader::new(view.proof(u));
+            let mut bits = Vec::with_capacity(k);
+            for _ in 0..k {
+                bits.push(r.read_bit().ok()?);
+            }
+            let cert = TreeCert::decode(&mut r).ok()?;
+            r.is_exhausted().then_some((bits, cert))
+        };
+        let Some((_, my_cert)) = decode(view.center()) else {
+            return false;
+        };
+        if !TreeCert::verify_at_center(view, |u| decode(u).map(|(_, c)| c)) {
+            return false;
+        }
+        // The witness x is the root; visible iff its identifier is in view.
+        let x = view.index_of(NodeId(my_cert.root_id));
+        evaluate_at(&self.sentence.matrix, view, x, |u, r| {
+            decode(u).is_some_and(|(bits, _)| bits[r])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas;
+    use lcp_core::harness::{
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, Soundness,
+    };
+    use lcp_core::evaluate;
+    use lcp_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn three_col() -> Sigma11Scheme<impl Fn(&Graph) -> Option<Witness>> {
+        Sigma11Scheme::new(formulas::k_colorable(3), |g| {
+            formulas::k_colorable_witness(g, 3)
+        })
+    }
+
+    #[test]
+    fn three_colorable_graphs_certified() {
+        let scheme = three_col();
+        let instances: Vec<Instance> = vec![
+            Instance::unlabeled(generators::cycle(5)),
+            Instance::unlabeled(generators::cycle(6)),
+            Instance::unlabeled(generators::grid(3, 4)),
+            Instance::unlabeled(generators::complete(3)),
+        ];
+        let sizes = check_completeness(&scheme, &instances).unwrap();
+        assert_eq!(sizes.len(), 4);
+    }
+
+    #[test]
+    fn k4_is_not_three_colorable_and_resists_forgery() {
+        let scheme = three_col();
+        let inst = Instance::unlabeled(generators::complete(4));
+        assert!(!scheme.holds(&inst));
+        assert!(scheme.prove(&inst).is_none());
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(
+            adversarial_proof_search(&scheme, &inst, 8, 800, &mut rng).is_none(),
+            "no small proof should 3-colour K4"
+        );
+    }
+
+    #[test]
+    fn perfect_code_scheme_roundtrip() {
+        let scheme = Sigma11Scheme::new(formulas::perfect_code(), formulas::perfect_code_witness);
+        let yes = Instance::unlabeled(generators::cycle(6));
+        let proof = scheme.prove(&yes).unwrap();
+        assert!(evaluate(&scheme, &yes, &proof).accepted());
+        // C5 has no perfect code.
+        let no = Instance::unlabeled(generators::cycle(5));
+        assert!(!scheme.holds(&no));
+        assert!(scheme.prove(&no).is_none());
+    }
+
+    #[test]
+    fn perfect_code_exhaustive_soundness_on_tiny_no_instance() {
+        // K3 with a pendant: closed neighbourhoods overlap so no perfect
+        // code… actually verify via ground truth first.
+        let scheme = Sigma11Scheme::new(formulas::perfect_code(), formulas::perfect_code_witness);
+        let no = Instance::unlabeled(generators::cycle(4));
+        assert!(!scheme.holds(&no));
+        // Budget 2: relation bit + tiny certs; the space stays feasible.
+        match check_soundness_exhaustive(&scheme, &no, 2) {
+            Soundness::Holds(_) => {}
+            Soundness::Violated(p) => panic!("perfect-code scheme fooled by {p:?}"),
+        }
+    }
+
+    #[test]
+    fn triangle_witness_scheme() {
+        let scheme = Sigma11Scheme::new(formulas::has_triangle(), formulas::has_triangle_witness);
+        let yes = Instance::unlabeled(generators::complete(4));
+        let proof = scheme.prove(&yes).unwrap();
+        assert!(evaluate(&scheme, &yes, &proof).accepted());
+        let no = Instance::unlabeled(generators::cycle(8));
+        assert!(!scheme.holds(&no));
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(adversarial_proof_search(&scheme, &no, 6, 500, &mut rng).is_none());
+    }
+
+    #[test]
+    fn proof_size_is_logarithmic() {
+        use lcp_core::harness::{classify_growth, measure_sizes, GrowthClass};
+        let scheme = Sigma11Scheme::new(formulas::independent_dominating_set(), |g| {
+            formulas::independent_dominating_witness(g)
+        });
+        let instances: Vec<Instance> = [8usize, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&n| Instance::unlabeled(generators::cycle(n)))
+            .collect();
+        let points = measure_sizes(&scheme, &instances);
+        assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
+    }
+
+    #[test]
+    fn disconnected_inputs_are_outside_the_family() {
+        let scheme = three_col();
+        let g = lcp_graph::ops::disjoint_union(
+            &generators::cycle(3),
+            &lcp_graph::ops::shift_ids(&generators::cycle(3), 10),
+        )
+        .unwrap();
+        let inst = Instance::unlabeled(g);
+        assert!(!scheme.holds(&inst));
+        assert!(scheme.prove(&inst).is_none());
+    }
+}

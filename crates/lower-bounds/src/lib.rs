@@ -1,0 +1,57 @@
+//! # `lcp-lower-bounds` — the paper's lower bounds as executable attacks
+//!
+//! The lower-bound proofs of §5 and §6 are all of one shape: find two
+//! yes-instances whose proofs *collide* on a small window, cut-and-paste
+//! them into a no-instance whose every local view matches one of the
+//! donors, and watch the verifier accept. This crate runs that argument
+//! against *concrete* [`lcp_core::Scheme`] objects:
+//!
+//! * [`gluing`] — §5.3 / Figure 1: glue `k` compatible `n`-cycles into a
+//!   `kn`-cycle. Kills `o(log n)`-bit schemes for odd `n(G)`, leader
+//!   election, spanning trees, non-bipartiteness, maximum matchings on
+//!   cycles.
+//! * [`join_collision`] — §6.1 / §6.2: join two asymmetric graphs (or
+//!   rooted trees) by a path; a window collision merges `G₁⊙G₁` and
+//!   `G₂⊙G₂` into the asymmetric `G₁⊙G₂`. Kills `o(n²)`-bit symmetry
+//!   schemes and `o(n)`-bit tree-symmetry schemes.
+//! * [`fooling`] — §6.3: 3-colouring gadget graphs `G_A` joined by
+//!   colour-propagating wires; a wire-window collision between
+//!   `G_{A,Ā}` and `G_{B,B̄}` yields the 3-colourable-but-accepted
+//!   `G_{A,B̄}`. Kills sub-brute-force schemes for non-3-colourability.
+//! * [`strawman`] — honest-but-undersized schemes (constant-size parity
+//!   counters, truncated universal encodings) that are *complete* and
+//!   locally plausible, so the attacks have something real to break;
+//!   the genuine `Θ(log n)` / `Θ(n²)` schemes of `lcp-schemes` resist
+//!   the very same attacks.
+//!
+//! Every attack returns a structured outcome: either a
+//! [`CounterExample`] — a genuine no-instance together with a stitched
+//! proof accepted by **every** node — or a structured explanation of why
+//! the scheme survived (typically: its proofs are too large for a window
+//! collision, which is the empirical face of the upper bound).
+
+pub mod fooling;
+pub mod gluing;
+pub mod join_collision;
+pub mod strawman;
+
+use lcp_core::{Instance, Proof, Verdict};
+
+/// A successful attack: a no-instance whose stitched proof every node
+/// accepts.
+#[derive(Clone, Debug)]
+pub struct CounterExample<N = (), E = ()> {
+    /// The forged no-instance.
+    pub instance: Instance<N, E>,
+    /// The cut-and-pasted proof.
+    pub proof: Proof,
+    /// The all-accepting verdict (kept for inspection).
+    pub verdict: Verdict,
+}
+
+impl<N, E> CounterExample<N, E> {
+    /// Size of the forged instance.
+    pub fn n(&self) -> usize {
+        self.instance.n()
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end attack runs: the §5.3 / §6.1 / §6.2 / §6.3 constructions
+//! must fool the undersized strawmen and must *fail* against the paper's
+//! honest schemes at their designed proof sizes.
+
+use lcp_core::{Instance, Scheme};
+use lcp_graph::Graph;
+use lcp_lower_bounds::fooling::{fooling_attack, FoolingOutcome, GadgetLayout};
+use lcp_lower_bounds::gluing::{glue_cycles, GluingAttack, GluingOutcome};
+use lcp_lower_bounds::join_collision::{
+    join_collision_attack, rooted_tree_family, JoinOutcome,
+};
+use lcp_lower_bounds::strawman::{ParityLeader, TruncatedUniversal};
+use lcp_schemes::cycles::OddCycle;
+use lcp_schemes::leader::LeaderElection;
+
+/// Mark node index 0 (identifier `a`) as the leader of a base cycle.
+fn leader_at_a(g: Graph) -> Instance<bool> {
+    let labels = (0..g.n()).map(|v| v == 0).collect();
+    Instance::with_node_data(g, labels)
+}
+
+#[test]
+fn gluing_fools_the_constant_size_leader_scheme() {
+    // §5.3 with k = 2: two single-leader cycles glue into a two-leader
+    // cycle that the 1-bit parity scheme accepts everywhere.
+    let attack = GluingAttack::new(11, 2);
+    let outcome = glue_cycles(&ParityLeader, &attack, leader_at_a, None);
+    match outcome {
+        GluingOutcome::Fooled(ce) => {
+            assert_eq!(ce.n(), 22, "kn-cycle");
+            assert!(ce.verdict.accepted());
+            // The forged instance genuinely has two leaders.
+            let leaders = ce
+                .instance
+                .node_labels()
+                .iter()
+                .filter(|&&l| l)
+                .count();
+            assert_eq!(leaders, 2);
+        }
+        other => panic!("expected Fooled, got {other:?}"),
+    }
+}
+
+#[test]
+fn gluing_fails_against_the_log_n_leader_scheme() {
+    // The honest Θ(log n) scheme puts root identities and distances in
+    // the window, so colours never collide at this scale.
+    let attack = GluingAttack::new(11, 2);
+    let outcome = glue_cycles(&LeaderElection, &attack, leader_at_a, None);
+    match outcome {
+        GluingOutcome::NoMonochromaticCycle { colors, pairs } => {
+            assert_eq!(pairs, 11 * 11);
+            assert!(colors > 1, "windows must differ");
+        }
+        GluingOutcome::Fooled(_) => panic!("Θ(log n) scheme must not be fooled at n = 11"),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+}
+
+#[test]
+fn gluing_fails_against_the_odd_cycle_counting_scheme() {
+    let attack = GluingAttack::new(11, 2);
+    let outcome = glue_cycles(&OddCycle, &attack, Instance::unlabeled, None);
+    assert!(
+        matches!(outcome, GluingOutcome::NoMonochromaticCycle { .. }),
+        "counting certificates embed Θ(log n) bits near the junction: {outcome:?}"
+    );
+}
+
+#[test]
+fn join_collision_fools_truncated_universal_on_trees() {
+    // §6.2: rooted trees on k = 6 nodes (20 of them); a 64-bit budget is
+    // far below Θ(n) once identifiers are γ-coded, so windows collide.
+    let scheme = TruncatedUniversal::new("fixpoint-free", 48, |g: &Graph| {
+        lcp_graph::iso::fixpoint_free_automorphism(g).is_some()
+    });
+    let family = rooted_tree_family(6, 1000).unwrap();
+    let outcome = join_collision_attack(&scheme, &family);
+    match outcome {
+        JoinOutcome::Fooled(ce) => {
+            assert_eq!(ce.n(), 18, "3k nodes");
+            // The hybrid genuinely lacks a fixpoint-free symmetry.
+            assert!(lcp_graph::iso::fixpoint_free_automorphism(
+                ce.instance.graph()
+            )
+            .is_none());
+        }
+        other => panic!("expected Fooled, got {other:?}"),
+    }
+}
+
+#[test]
+fn join_collision_fails_against_the_full_tree_encoding() {
+    // The honest Θ(n) scheme writes the whole shape into every node, so
+    // the path window distinguishes all 20 trees.
+    let scheme = lcp_schemes::tree_universal::tree_fixpoint_free();
+    let family = rooted_tree_family(6, 1000).unwrap();
+    let outcome = join_collision_attack(&scheme, &family);
+    match outcome {
+        JoinOutcome::NoCollision {
+            candidates,
+            distinct_windows,
+        } => {
+            assert_eq!(candidates, 20);
+            assert_eq!(distinct_windows, 20);
+        }
+        other => panic!("expected NoCollision, got {other:?}"),
+    }
+}
+
+#[test]
+fn join_collision_fools_truncated_universal_on_asymmetric_graphs() {
+    // §6.1 with sampled 7-node asymmetric halves and a tight budget.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let family =
+        lcp_lower_bounds::join_collision::asymmetric_family(7, 12, &mut rng).unwrap();
+    assert!(family.len() >= 4);
+    let scheme = TruncatedUniversal::new("symmetric", 48, lcp_graph::iso::is_symmetric);
+    let outcome = join_collision_attack(&scheme, &family);
+    match outcome {
+        JoinOutcome::Fooled(ce) => {
+            assert!(lcp_graph::iso::nontrivial_automorphism(ce.instance.graph()).is_none());
+        }
+        other => panic!("expected Fooled, got {other:?}"),
+    }
+}
+use rand::SeedableRng;
+
+#[test]
+fn fooling_attack_breaks_truncated_non_3_colorability() {
+    // §6.3 at k = 1: 16 sets A; a sub-encoding budget collides on the
+    // wire window and the spliced hybrid is 3-colourable yet accepted.
+    let scheme = TruncatedUniversal::new("chromatic>3", 96, |g: &Graph| {
+        !lcp_graph::coloring::is_k_colorable(g, 3)
+    });
+    let layout = GadgetLayout::for_radius(1, scheme.radius());
+    let outcome = fooling_attack(&scheme, &layout, 16, 11);
+    match outcome {
+        FoolingOutcome::Fooled(ce) => {
+            assert!(lcp_graph::coloring::is_k_colorable(ce.instance.graph(), 3));
+        }
+        other => panic!("expected Fooled, got {other:?}"),
+    }
+}
+
+#[test]
+fn fooling_attack_fails_against_the_full_universal_scheme() {
+    let scheme = lcp_schemes::universal::non_three_colorable();
+    let layout = GadgetLayout::for_radius(1, scheme.radius());
+    let outcome = fooling_attack(&scheme, &layout, 6, 13);
+    assert!(
+        matches!(outcome, FoolingOutcome::NoCollision { .. }),
+        "O(n²) encodings must keep windows distinct: {outcome:?}"
+    );
+}

@@ -1,0 +1,235 @@
+//! Hamiltonian cycles (§5.1, Table 1(b)): `Θ(log n)` on connected graphs.
+
+use lcp_core::components::CountingTreeCert;
+use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, Scheme, View};
+use lcp_graph::traversal;
+
+/// Hamiltonian-cycle verification: edges labelled `1` must form a cycle
+/// through **all** nodes.
+///
+/// Certificate: a counting spanning tree (certifying `n`) plus a position
+/// `0 ≤ p < n` per node along the claimed cycle. The root (the unique
+/// tree root) carries position 0; every node checks that among its
+/// *labelled* edges it has exactly one predecessor (position `p − 1 mod
+/// n`) and one successor (`p + 1 mod n`), and that those are its only
+/// labelled edges. Positions are distinct because the successor relation
+/// is a perfect pairing that chains every node back to the unique root,
+/// so the labels trace one simple cycle through all `n` nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HamiltonianCycle;
+
+#[derive(Clone, Copy, Debug)]
+struct HamCert {
+    count: CountingTreeCert,
+    pos: u64,
+}
+
+fn decode_ham(proof: &BitString) -> Option<HamCert> {
+    let mut r = BitReader::new(proof);
+    let count = CountingTreeCert::decode(&mut r).ok()?;
+    let pos = r.read_gamma().ok()?;
+    r.is_exhausted().then_some(HamCert { count, pos })
+}
+
+/// Extracts the labelled cycle as an ordered node list, if the labels form
+/// a single Hamiltonian cycle.
+fn labelled_hamiltonian_cycle(inst: &Instance) -> Option<Vec<usize>> {
+    let g = inst.graph();
+    let n = g.n();
+    if n < 3 {
+        return None;
+    }
+    let labelled: Vec<Vec<usize>> = g
+        .nodes()
+        .map(|v| {
+            g.neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| inst.edge_label(v, u).is_some())
+                .collect()
+        })
+        .collect();
+    if labelled.iter().any(|l| l.len() != 2) {
+        return None;
+    }
+    // Walk the 2-regular labelled subgraph from node 0.
+    let mut cycle = vec![0usize];
+    let mut prev = usize::MAX;
+    let mut cur = 0usize;
+    loop {
+        let next = *labelled[cur].iter().find(|&&u| u != prev)?;
+        if next == 0 {
+            break;
+        }
+        cycle.push(next);
+        prev = cur;
+        cur = next;
+        if cycle.len() > n {
+            return None;
+        }
+    }
+    (cycle.len() == n).then_some(cycle)
+}
+
+impl Scheme for HamiltonianCycle {
+    type Node = ();
+    type Edge = ();
+
+    fn name(&self) -> String {
+        "hamiltonian-cycle".into()
+    }
+
+    fn radius(&self) -> usize {
+        1
+    }
+
+    fn holds(&self, inst: &Instance) -> bool {
+        traversal::is_connected(inst.graph()) && labelled_hamiltonian_cycle(inst).is_some()
+    }
+
+    fn prove(&self, inst: &Instance) -> Option<Proof> {
+        if !traversal::is_connected(inst.graph()) {
+            return None;
+        }
+        let cycle = labelled_hamiltonian_cycle(inst)?;
+        let g = inst.graph();
+        let tree = lcp_graph::spanning::bfs_spanning_tree(g, cycle[0]);
+        let counts = CountingTreeCert::prove(g, &tree);
+        let mut pos = vec![0u64; g.n()];
+        for (i, &v) in cycle.iter().enumerate() {
+            pos[v] = i as u64;
+        }
+        Some(Proof::from_fn(g.n(), |v| {
+            let mut w = BitWriter::new();
+            counts[v].encode(&mut w);
+            w.write_gamma(pos[v]);
+            w.finish()
+        }))
+    }
+
+    fn verify(&self, view: &View) -> bool {
+        let certs = |u: usize| decode_ham(view.proof(u));
+        if !CountingTreeCert::verify_at_center(view, |u| certs(u).map(|h| h.count)) {
+            return false;
+        }
+        let c = view.center();
+        let mine = certs(c).expect("decoded by the counting check");
+        let n = mine.count.n_claim;
+        if n < 3 || mine.pos >= n {
+            return false;
+        }
+        // Position 0 is reserved for the unique tree root.
+        if (mine.pos == 0) != (mine.count.tree.dist == 0) {
+            return false;
+        }
+        let prev = (mine.pos + n - 1) % n;
+        let next = (mine.pos + 1) % n;
+        let mut preds = 0;
+        let mut succs = 0;
+        let mut labelled = 0;
+        for &u in view.neighbors(c) {
+            let on_edge = view.edge_label(c, u).is_some();
+            if !on_edge {
+                continue;
+            }
+            labelled += 1;
+            let Some(cu) = certs(u) else {
+                return false;
+            };
+            if cu.pos == prev {
+                preds += 1;
+            }
+            if cu.pos == next {
+                succs += 1;
+            }
+        }
+        labelled == 2 && preds == 1 && succs == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcp_core::evaluate;
+    use lcp_core::harness::{
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
+        classify_growth, measure_sizes, GrowthClass, Soundness,
+    };
+    use lcp_graph::{generators, hamilton};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ham_instance(g: lcp_graph::Graph) -> Instance {
+        let cycle = hamilton::hamiltonian_cycle(&g).expect("hamiltonian input");
+        let edges: Vec<(usize, usize)> = (0..cycle.len())
+            .map(|i| (cycle[i], cycle[(i + 1) % cycle.len()]))
+            .collect();
+        Instance::unlabeled(g).with_edge_set(edges)
+    }
+
+    #[test]
+    fn hamiltonian_solutions_certified() {
+        let instances: Vec<Instance> = vec![
+            ham_instance(generators::cycle(7)),
+            ham_instance(generators::complete(6)),
+            ham_instance(generators::complete_bipartite(3, 3)),
+            ham_instance(generators::grid(3, 4)),
+        ];
+        check_completeness(&HamiltonianCycle, &instances).unwrap();
+    }
+
+    #[test]
+    fn proof_size_logarithmic() {
+        let instances: Vec<Instance> = [8usize, 16, 32, 64, 128, 256]
+            .iter()
+            .map(|&n| ham_instance(generators::cycle(n)))
+            .collect();
+        let points = measure_sizes(&HamiltonianCycle, &instances);
+        assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_rejected() {
+        // K6 contains two disjoint triangles: labelled together they are
+        // 2-regular but not a single Hamiltonian cycle.
+        let g = generators::complete(6);
+        let inst = Instance::unlabeled(g)
+            .with_edge_set([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert!(!HamiltonianCycle.holds(&inst));
+        let mut rng = StdRng::seed_from_u64(61);
+        assert!(adversarial_proof_search(&HamiltonianCycle, &inst, 10, 800, &mut rng).is_none());
+    }
+
+    #[test]
+    fn short_cycle_rejected_exhaustively() {
+        // C4 plus a chord-attached pendant… simplest: K4 with a labelled
+        // triangle (covers 3 of 4 nodes).
+        let g = generators::complete(4);
+        let inst = Instance::unlabeled(g).with_edge_set([(0, 1), (1, 2), (0, 2)]);
+        assert!(!HamiltonianCycle.holds(&inst));
+        match check_soundness_exhaustive(&HamiltonianCycle, &inst, 2) {
+            Soundness::Holds(_) => {}
+            Soundness::Violated(p) => panic!("triangle certified Hamiltonian by {p:?}"),
+        }
+    }
+
+    #[test]
+    fn honest_proof_tampering_detected() {
+        let inst = ham_instance(generators::cycle(6));
+        let proof = HamiltonianCycle.prove(&inst).unwrap();
+        assert!(evaluate(&HamiltonianCycle, &inst, &proof).accepted());
+        // Swap two nodes' position fields.
+        let mut bad = proof.clone();
+        let p2 = proof.get(2).clone();
+        bad.set(2, proof.get(4).clone());
+        bad.set(4, p2);
+        assert!(!evaluate(&HamiltonianCycle, &inst, &bad).accepted());
+    }
+
+    #[test]
+    fn non_hamiltonian_labelling_is_no_instance() {
+        let inst = Instance::unlabeled(generators::path(5));
+        assert!(!HamiltonianCycle.holds(&inst));
+        assert!(HamiltonianCycle.prove(&inst).is_none());
+    }
+}

@@ -1,0 +1,94 @@
+//! Shared input-label types for the labelled problems of Table 1.
+
+/// Node marks for the `s`–`t` problems of §4: the promise is exactly one
+/// `S` and one `T` node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StMark {
+    /// The source `s`.
+    S,
+    /// The target `t`.
+    T,
+    /// Any other node.
+    #[default]
+    Plain,
+}
+
+impl StMark {
+    /// Builds the standard mark vector with `s` and `t` at the given
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn mark(n: usize, s: usize, t: usize) -> Vec<StMark> {
+        assert!(s < n && t < n && s != t, "invalid s/t marks");
+        (0..n)
+            .map(|v| {
+                if v == s {
+                    StMark::S
+                } else if v == t {
+                    StMark::T
+                } else {
+                    StMark::Plain
+                }
+            })
+            .collect()
+    }
+}
+
+/// Orientation labels modelling a *directed* graph on the undirected
+/// substrate: each edge carries the direction(s) in which it may be
+/// traversed, expressed relative to node **identifiers** (the only
+/// globally meaningful ordering a local verifier can see).
+///
+/// §4.1's directed `s`–`t` unreachability runs on instances labelled this
+/// way, keeping the whole workspace on one graph representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ArcDir {
+    /// Arc from the smaller-identifier endpoint to the larger.
+    Forward,
+    /// Arc from the larger-identifier endpoint to the smaller.
+    Backward,
+    /// Arcs in both directions.
+    Both,
+}
+
+impl ArcDir {
+    /// Whether the labelled edge may be traversed from the endpoint with
+    /// identifier `from` to the endpoint with identifier `to`.
+    pub fn allows(self, from: lcp_graph::NodeId, to: lcp_graph::NodeId) -> bool {
+        match self {
+            ArcDir::Both => true,
+            ArcDir::Forward => from < to,
+            ArcDir::Backward => from > to,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_places_s_and_t() {
+        let m = StMark::mark(4, 1, 3);
+        assert_eq!(m, vec![StMark::Plain, StMark::S, StMark::Plain, StMark::T]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid s/t marks")]
+    fn mark_rejects_equal_endpoints() {
+        let _ = StMark::mark(4, 2, 2);
+    }
+
+    #[test]
+    fn arc_direction_semantics() {
+        use lcp_graph::NodeId;
+        let (a, b) = (NodeId(1), NodeId(5));
+        assert!(ArcDir::Forward.allows(a, b));
+        assert!(!ArcDir::Forward.allows(b, a));
+        assert!(ArcDir::Backward.allows(b, a));
+        assert!(!ArcDir::Backward.allows(a, b));
+        assert!(ArcDir::Both.allows(a, b) && ArcDir::Both.allows(b, a));
+    }
+}

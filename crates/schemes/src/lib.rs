@@ -1,0 +1,57 @@
+//! # `lcp-schemes` — every proof labelling scheme of Table 1
+//!
+//! One module per theme; every scheme is a `lcp_core::Scheme` with a
+//! prover, a constant-radius verifier, and centralized ground truth, so
+//! the conformance harness and the Table 1 bench can sweep them
+//! uniformly.
+//!
+//! | Paper row | Bound | Type |
+//! |---|---|---|
+//! | Eulerian graph (§1.1) | 0 | [`eulerian::Eulerian`] |
+//! | line graph (§1.1) | 0 | [`line_graph::LineGraph`] |
+//! | s–t reachability, undirected (§4.1) | Θ(1) | [`st_reach::StReachability`] |
+//! | s–t unreachability, undirected/directed (§4.1) | Θ(1) | [`st_reach::StUnreachability`] |
+//! | s–t reachability, directed (§4.1) | O(log Δ) (LCP(O(1)) open) | [`st_reach::StReachabilityDirected`] |
+//! | s–t connectivity = k (§4.2) | O(log k) / Θ(1) planar | [`st_connectivity::StConnectivity`] |
+//! | bipartite graph (§1.2) | Θ(1) | [`bipartite::Bipartite`] |
+//! | even/odd n(G) on cycles (§5) | Θ(1) / Θ(log n) | [`cycles::EvenCycle`], [`cycles::OddCycle`] |
+//! | chromatic number ≤ k (§2.2) | O(log k) | [`chromatic::ChromaticAtMost`] |
+//! | chromatic number > 2 (§5.1) | Θ(log n) | [`chromatic::NonBipartite`] |
+//! | coLCP(0) (§7.3) | O(log n) | [`complement::Complement`] |
+//! | monadic Σ¹₁ (§7.5) | O(log n) | `lcp_logic::Sigma11Scheme` |
+//! | symmetric graph (§6.1) | Θ(n²) | [`universal::symmetric_graph`] |
+//! | fixpoint-free symmetry on trees (§6.2) | Θ(n) | [`tree_universal::tree_fixpoint_free`] |
+//! | chromatic number > 3 (§6.3) | O(n²) | [`universal::non_three_colorable`] |
+//! | computable properties (§6) | O(n²) | [`universal::Universal`] |
+//! | maximal matching (§2.3) | 0 | [`matching::MaximalMatching`] |
+//! | LCL / LD problems (§3) | 0 | [`lcl`] |
+//! | maximum matching, bipartite (§2.3) | Θ(1) | [`matching::MaximumMatchingBipartite`] |
+//! | max-weight matching, bipartite (§2.3) | O(log W) | [`matching::MaxWeightMatchingBipartite`] |
+//! | leader election (§5.1) | Θ(log n) | [`leader::LeaderElection`] |
+//! | spanning tree (§5.1) | Θ(log n) | [`spanning_tree::SpanningTree`] |
+//! | maximum matching on cycles (§5.4) | Θ(log n) | [`cycles::MaxMatchingCycle`] |
+//! | weak schemes (§7.2) | Θ(log n) | [`weak::WeakLeaderElection`] |
+//! | Hamiltonian cycle (§5.1) | Θ(log n) | [`hamiltonian::HamiltonianCycle`] |
+//!
+//! The matching `Θ(log n)` **lower** bounds are not in this crate — they
+//! are executable attacks in `lcp-lower-bounds`.
+
+pub mod bipartite;
+pub mod chromatic;
+pub mod complement;
+pub mod cycles;
+pub mod eulerian;
+pub mod hamiltonian;
+pub mod labels;
+pub mod lcl;
+pub mod leader;
+pub mod line_graph;
+pub mod matching;
+pub mod spanning_tree;
+pub mod st_connectivity;
+pub mod st_reach;
+pub mod tree_universal;
+pub mod universal;
+pub mod weak;
+
+pub use labels::{ArcDir, StMark};

@@ -1,0 +1,93 @@
+//! Line graphs: `LCP(0)` via Beineke's forbidden subgraphs (§1.1).
+
+use lcp_core::{Instance, Proof, Scheme, View};
+use lcp_graph::line_graph as lg;
+
+/// The `LCP(0)` scheme for "is a line graph": no proof; a radius-2
+/// verifier rejects iff one of Beineke's nine forbidden induced subgraphs
+/// appears in its view.
+///
+/// Soundness and completeness rest on two facts established (and tested)
+/// in `lcp_graph::line_graph`: a graph is a line graph iff it contains no
+/// forbidden induced subgraph, and every forbidden graph has radius ≤ 2,
+/// so each occurrence lies inside the radius-2 view of one of its nodes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineGraph;
+
+impl Scheme for LineGraph {
+    type Node = ();
+    type Edge = ();
+
+    fn name(&self) -> String {
+        "line-graph".into()
+    }
+
+    fn radius(&self) -> usize {
+        2
+    }
+
+    fn holds(&self, inst: &Instance) -> bool {
+        lg::is_line_graph(inst.graph())
+    }
+
+    fn prove(&self, inst: &Instance) -> Option<Proof> {
+        self.holds(inst).then(|| Proof::empty(inst.n()))
+    }
+
+    fn verify(&self, view: &View) -> bool {
+        let host = view.to_graph();
+        lg::beineke_graphs()
+            .iter()
+            .all(|h| lg::find_induced_subgraph(&host, h).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcp_core::evaluate;
+    use lcp_core::harness::check_completeness;
+    use lcp_graph::generators;
+
+    #[test]
+    fn line_graphs_accepted_without_proof() {
+        let instances: Vec<Instance> = vec![
+            Instance::unlabeled(generators::path(6)),
+            Instance::unlabeled(generators::cycle(7)),
+            Instance::unlabeled(lg::line_graph(&generators::star(4))),
+            Instance::unlabeled(lg::line_graph(&generators::complete(4))),
+            Instance::unlabeled(lg::line_graph(&generators::grid(2, 3))),
+        ];
+        let sizes = check_completeness(&LineGraph, &instances).unwrap();
+        assert!(sizes.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn claw_rejected_at_its_centre() {
+        let inst = Instance::unlabeled(lg::claw());
+        let verdict = evaluate(&LineGraph, &inst, &Proof::empty(4));
+        assert!(!verdict.accepted());
+        // The hub (index 0) sees the whole claw.
+        assert!(verdict.rejecting().contains(&0));
+    }
+
+    #[test]
+    fn k23_rejected() {
+        let inst = Instance::unlabeled(generators::complete_bipartite(2, 3));
+        assert!(!LineGraph.holds(&inst));
+        assert!(!evaluate(&LineGraph, &inst, &Proof::empty(5)).accepted());
+    }
+
+    #[test]
+    fn big_claw_inside_larger_graph_detected() {
+        // A path with a claw grafted in the middle.
+        let mut g = generators::path(7);
+        let extra1 = g.add_node(lcp_graph::NodeId(100)).unwrap();
+        let extra2 = g.add_node(lcp_graph::NodeId(101)).unwrap();
+        g.add_edge(3, extra1).unwrap();
+        g.add_edge(3, extra2).unwrap();
+        let inst = Instance::unlabeled(g);
+        assert!(!LineGraph.holds(&inst));
+        assert!(!evaluate(&LineGraph, &inst, &Proof::empty(9)).accepted());
+    }
+}

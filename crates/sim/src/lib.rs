@@ -1,0 +1,32 @@
+//! # `lcp-sim` — the LOCAL-model substrate
+//!
+//! §2.1 of the paper identifies local verifiers with constant-time
+//! distributed algorithms in Peleg's LOCAL model: "a local verifier with
+//! horizon `r` can be implemented as a distributed algorithm that
+//! completes in `r` synchronous communication rounds". This crate
+//! implements that other side of the equivalence:
+//!
+//! * [`local`] — a synchronous full-information message-passing
+//!   simulator. Each node floods its knowledge for `r` rounds and then
+//!   reconstructs its radius-`r` view from what it heard; running a
+//!   scheme's verifier on the reconstructed views must produce exactly
+//!   the verdict of the centralized executor `lcp_core::evaluate`
+//!   (property-tested in this crate and in the workspace tests).
+//! * [`port`] — the §7.1 model `M2` (anonymous port numbering + leader)
+//!   and the DFS-interval identifier machinery that translates proof
+//!   labelling schemes between `M2` and the unique-identifier model `M1`
+//!   with `O(log n)` overhead.
+
+//! * [`translate`] — the §7.1 scheme combinators themselves: wrap an
+//!   anonymous (`M2`) scheme into an identifier (`M1`) scheme and vice
+//!   versa, with the `O(log n)` overhead the paper proves sufficient.
+
+pub mod local;
+pub mod port;
+pub mod translate;
+
+pub use local::{run_distributed, SimStats};
+pub use port::{dfs_interval_labels, verify_dfs_intervals, PortNumbering, PortView};
+pub use translate::{
+    evaluate_anonymous, AnonymousFromIdentified, AnonymousScheme, IdentifiedFromAnonymous,
+};

@@ -1,0 +1,19 @@
+//! # `lcp` — Locally Checkable Proofs
+//!
+//! Facade crate re-exporting the whole workspace. See the README for a
+//! tour; the individual crates carry the detailed documentation:
+//!
+//! * [`graph`] — graph substrate ([`lcp_graph`]).
+//! * [`core`] — the LCP model ([`lcp_core`]).
+//! * [`sim`] — LOCAL-model simulator ([`lcp_sim`]).
+//! * [`logic`] — monadic Σ¹₁ engine ([`lcp_logic`]).
+//! * [`schemes`] — the Table 1 proof labeling schemes ([`lcp_schemes`]).
+//! * [`lower_bounds`] — executable lower-bound attacks
+//!   ([`lcp_lower_bounds`]).
+
+pub use lcp_core as core;
+pub use lcp_graph as graph;
+pub use lcp_logic as logic;
+pub use lcp_lower_bounds as lower_bounds;
+pub use lcp_schemes as schemes;
+pub use lcp_sim as sim;

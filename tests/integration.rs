@@ -1,0 +1,174 @@
+//! Cross-crate integration: schemes running on the distributed simulator,
+//! adapters composing across crates, and full Table-1-style sweeps
+//! through the public facade.
+
+use lcp::core::harness::{check_completeness, classify_growth, measure_sizes, GrowthClass};
+use lcp::core::{evaluate, Instance, Proof, Scheme};
+use lcp::graph::{generators, Graph, NodeId};
+use lcp::schemes::bipartite::Bipartite;
+use lcp::schemes::chromatic::NonBipartite;
+use lcp::schemes::complement::Complement;
+use lcp::schemes::eulerian::Eulerian;
+use lcp::schemes::leader::LeaderElection;
+use lcp::schemes::spanning_tree::SpanningTree;
+use lcp::sim::run_distributed;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Every scheme's verdict must be identical under centralized view
+/// extraction and under the message-passing simulator.
+#[test]
+fn distributed_equals_centralized_across_schemes() {
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..5 {
+        let g = generators::random_connected(14, 9, &mut rng);
+        // Unlabeled schemes.
+        let inst = Instance::unlabeled(g.clone());
+        for_scheme_check(&Eulerian, &inst);
+        for_scheme_check(&NonBipartite, &inst);
+        // Leader election.
+        let leader_inst =
+            Instance::with_node_data(g.clone(), (0..g.n()).map(|v| v == 0).collect());
+        for_scheme_check(&LeaderElection, &leader_inst);
+    }
+}
+
+fn for_scheme_check<S: Scheme>(scheme: &S, inst: &Instance<S::Node, S::Edge>) {
+    let proof = scheme
+        .prove(inst)
+        .unwrap_or_else(|| Proof::empty(inst.n()));
+    let central = evaluate(scheme, inst, &proof);
+    let (distributed, _) = run_distributed(scheme, inst, &proof);
+    assert_eq!(central, distributed, "{} diverged", scheme.name());
+}
+
+/// The §7.3 complement adapter composes with any LCP(0) scheme and the
+/// result still runs distributively.
+#[test]
+fn complement_adapter_runs_distributed() {
+    let scheme = Complement::new(Eulerian);
+    let inst = Instance::unlabeled(generators::path(9)); // not Eulerian
+    let proof = scheme.prove(&inst).expect("complement provable");
+    let (verdict, stats) = run_distributed(&scheme, &inst, &proof);
+    assert!(verdict.accepted());
+    assert_eq!(stats.rounds, 1);
+}
+
+/// Proof-size growth classes across the hierarchy, measured through the
+/// facade: 0 vs Θ(1) vs Θ(log n) vs Θ(n²) — Table 1's skeleton.
+#[test]
+fn hierarchy_separation_in_one_sweep() {
+    // LCP(0): Eulerian.
+    let eul: Vec<Instance> = [8usize, 32, 128]
+        .iter()
+        .map(|&n| Instance::unlabeled(generators::cycle(n)))
+        .collect();
+    assert_eq!(
+        classify_growth(&measure_sizes(&Eulerian, &eul)),
+        GrowthClass::Zero
+    );
+    // LCP(1): bipartiteness.
+    let bip: Vec<Instance> = [8usize, 32, 128, 512]
+        .iter()
+        .map(|&n| Instance::unlabeled(generators::cycle(n)))
+        .collect();
+    assert_eq!(
+        classify_growth(&measure_sizes(&Bipartite, &bip)),
+        GrowthClass::Constant
+    );
+    // LogLCP: non-bipartiteness.
+    let nonbip: Vec<Instance> = [9usize, 17, 33, 65, 129, 257]
+        .iter()
+        .map(|&n| Instance::unlabeled(generators::cycle(n)))
+        .collect();
+    assert_eq!(
+        classify_growth(&measure_sizes(&NonBipartite, &nonbip)),
+        GrowthClass::Logarithmic
+    );
+    // LCP(poly): the universal scheme.
+    let uni = lcp::schemes::universal::prime_order();
+    let primes: Vec<Instance> = [5usize, 11, 23, 47]
+        .iter()
+        .map(|&n| Instance::unlabeled(generators::cycle(n)))
+        .collect();
+    assert_eq!(
+        classify_growth(&measure_sizes(&uni, &primes)),
+        GrowthClass::Quadratic
+    );
+}
+
+/// Spanning-tree certificates survive identifier re-assignment (graph
+/// properties are closed under it, §2.2).
+#[test]
+fn schemes_are_identifier_invariant() {
+    let mut rng = StdRng::seed_from_u64(123);
+    let g = generators::random_connected(12, 6, &mut rng);
+    let relabeled = g.relabel(|id| NodeId(id.0 * 31 + 7)).unwrap();
+    for graph in [g, relabeled] {
+        let tree = lcp::graph::spanning::bfs_spanning_tree(&graph, 0);
+        let edges = tree.edges();
+        let inst = Instance::unlabeled(graph).with_edge_set(edges.iter().map(|&(c, p)| (c, p)));
+        check_completeness(&SpanningTree, std::slice::from_ref(&inst)).unwrap();
+    }
+}
+
+/// The §7.1 DFS-interval machinery validates against real graphs through
+/// the facade.
+#[test]
+fn port_numbering_translation_machinery() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::random_connected(15, 10, &mut rng);
+    let tree = lcp::graph::spanning::bfs_spanning_tree(&g, 3);
+    let labels = lcp::sim::dfs_interval_labels(&g, &tree);
+    assert!(lcp::sim::verify_dfs_intervals(&tree, &labels).is_empty());
+    // Generated identifiers are globally unique.
+    let ids: std::collections::HashSet<_> = labels
+        .iter()
+        .map(|&(x, y)| lcp::sim::port::interval_to_id(x, y, g.n()))
+        .collect();
+    assert_eq!(ids.len(), g.n());
+}
+
+/// A broken-by-construction scheme is caught by the completeness sweep —
+/// the harness guards the guards.
+#[test]
+fn harness_catches_a_broken_scheme() {
+    struct Broken;
+    impl Scheme for Broken {
+        type Node = ();
+        type Edge = ();
+        fn name(&self) -> String {
+            "broken".into()
+        }
+        fn radius(&self) -> usize {
+            0
+        }
+        fn holds(&self, _: &Instance) -> bool {
+            true
+        }
+        fn prove(&self, inst: &Instance) -> Option<Proof> {
+            Some(Proof::empty(inst.n()))
+        }
+        fn verify(&self, view: &lcp::core::View) -> bool {
+            view.id(view.center()).0 % 2 == 0 // rejects odd identifiers
+        }
+    }
+    let inst = Instance::unlabeled(generators::path(3));
+    let result = check_completeness(&Broken, &[inst]);
+    assert!(result.is_err());
+}
+
+/// Universal scheme certifies an exotic "computable property" (§6): the
+/// node count is a perfect square.
+#[test]
+fn universal_scheme_handles_arbitrary_decidable_properties() {
+    let square = lcp::schemes::universal::Universal::new("square-n", |g: &Graph| {
+        let n = g.n();
+        (0..=n).any(|k| k * k == n)
+    });
+    let yes = Instance::unlabeled(generators::grid(3, 3)); // n = 9
+    let proof = square.prove(&yes).unwrap();
+    assert!(evaluate(&square, &yes, &proof).accepted());
+    let no = Instance::unlabeled(generators::grid(2, 5)); // n = 10
+    assert!(square.prove(&no).is_none());
+}
