@@ -21,13 +21,13 @@ fn bench_provers(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("chromatic>2", n + 1), &odd, |b, inst| {
             b.iter(|| NonBipartite.prove(black_box(inst)))
         });
-        let leader: Instance<bool> = Instance::with_node_data(
-            generators::cycle(n),
-            (0..n).map(|v| v == 0).collect(),
+        let leader: Instance<bool> =
+            Instance::with_node_data(generators::cycle(n), (0..n).map(|v| v == 0).collect());
+        group.bench_with_input(
+            BenchmarkId::new("leader-election", n),
+            &leader,
+            |b, inst| b.iter(|| LeaderElection.prove(black_box(inst))),
         );
-        group.bench_with_input(BenchmarkId::new("leader-election", n), &leader, |b, inst| {
-            b.iter(|| LeaderElection.prove(black_box(inst)))
-        });
     }
     // The universal O(n²) prover, at smaller sizes.
     let uni = prime_order();

@@ -13,9 +13,7 @@ use lcp_core::{Instance, Scheme};
 use lcp_graph::Graph;
 use lcp_lower_bounds::fooling::{fooling_attack, FoolingOutcome, GadgetLayout};
 use lcp_lower_bounds::gluing::{cycle_ids, glue_cycles, GluingAttack, GluingOutcome};
-use lcp_lower_bounds::join_collision::{
-    join_collision_attack, rooted_tree_family, JoinOutcome,
-};
+use lcp_lower_bounds::join_collision::{join_collision_attack, rooted_tree_family, JoinOutcome};
 use lcp_lower_bounds::strawman::{ParityLeader, TruncatedUniversal};
 use lcp_schemes::cycles::OddCycle;
 use lcp_schemes::leader::LeaderElection;
@@ -67,7 +65,12 @@ fn main() {
     println!("the same attack vs the honest Θ(log n) schemes:");
     for n in [9usize, 15, 21] {
         let leader = glue_cycles(&LeaderElection, &GluingAttack::new(n, 2), leader_at_a, None);
-        let odd = glue_cycles(&OddCycle, &GluingAttack::new(n, 2), Instance::unlabeled, None);
+        let odd = glue_cycles(
+            &OddCycle,
+            &GluingAttack::new(n, 2),
+            Instance::unlabeled,
+            None,
+        );
         println!(
             "  n = {n:>3}: leader election: {}; odd n(G): {}",
             gluing_summary(&leader),

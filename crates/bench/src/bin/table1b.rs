@@ -12,7 +12,7 @@ use lcp_schemes::hamiltonian::HamiltonianCycle;
 use lcp_schemes::lcl;
 use lcp_schemes::leader::LeaderElection;
 use lcp_schemes::matching::{
-    MaximalMatching, MaxWeightMatchingBipartite, MaximumMatchingBipartite, WeightedEdge,
+    MaxWeightMatchingBipartite, MaximalMatching, MaximumMatchingBipartite, WeightedEdge,
 };
 use lcp_schemes::spanning_tree::SpanningTree;
 use rand::rngs::StdRng;
@@ -211,9 +211,8 @@ fn main() {
         .map(|&n| {
             let g = generators::cycle(n);
             let cycle = hamilton::hamiltonian_cycle(&g).expect("cycles are Hamiltonian");
-            let edges: Vec<(usize, usize)> = (0..n)
-                .map(|i| (cycle[i], cycle[(i + 1) % n]))
-                .collect();
+            let edges: Vec<(usize, usize)> =
+                (0..n).map(|i| (cycle[i], cycle[(i + 1) % n])).collect();
             Instance::unlabeled(g).with_edge_set(edges)
         })
         .collect();

@@ -14,6 +14,7 @@
 //! The criterion benches (`benches/`) measure prover/verifier throughput
 //! and attack cost.
 
+use lcp_core::engine::prepare_sweep;
 use lcp_core::harness::{check_completeness, classify_growth, measure_sizes, GrowthClass};
 use lcp_core::{Instance, Scheme};
 
@@ -41,8 +42,8 @@ pub fn print_table(title: &str, rows: &[Row]) {
     println!("{title}");
     println!("{}", "=".repeat(title.len()));
     println!(
-        "{:<7} {:<34} {:<9} {:<14} {:<30} {:<10} {}",
-        "id", "property / problem", "family", "paper", "measured bits per node", "fit", "ok"
+        "{:<7} {:<34} {:<9} {:<14} {:<30} {:<10} ok",
+        "id", "property / problem", "family", "paper", "measured bits per node", "fit"
     );
     println!("{}", "-".repeat(112));
     for r in rows {
@@ -60,7 +61,7 @@ pub fn print_table(title: &str, rows: &[Row]) {
 /// `expected` is the growth class the paper predicts; the verdict column
 /// reports the comparison.
 #[allow(clippy::too_many_arguments)]
-pub fn run_row<S: Scheme>(
+pub fn run_row<S>(
     id: &str,
     what: &str,
     family: &str,
@@ -68,8 +69,16 @@ pub fn run_row<S: Scheme>(
     scheme: &S,
     instances: &[Instance<S::Node, S::Edge>],
     expected: GrowthClass,
-) -> Row {
-    if let Err(f) = check_completeness(scheme, instances) {
+) -> Row
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    // One engine preparation per instance, shared by the completeness
+    // sweep and the size measurements.
+    let prepared = prepare_sweep(scheme, instances);
+    if let Err(f) = check_completeness(scheme, &prepared) {
         return Row {
             id: id.into(),
             what: what.into(),
@@ -80,7 +89,7 @@ pub fn run_row<S: Scheme>(
             verdict: "✗".into(),
         };
     }
-    let points = measure_sizes(scheme, instances);
+    let points = measure_sizes(scheme, &prepared);
     let class = classify_growth(&points);
     let measured = points
         .iter()

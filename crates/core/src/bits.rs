@@ -64,7 +64,7 @@ impl BitString {
 
     /// Appends one bit.
     pub fn push(&mut self, bit: bool) {
-        if self.len % 8 == 0 {
+        if self.len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {
@@ -328,7 +328,11 @@ mod tests {
     #[test]
     fn fixed_width_roundtrip() {
         for value in [0u64, 1, 5, 255, 1 << 20, u64::MAX] {
-            let width = if value == u64::MAX { 64 } else { 64.min(value.max(1).ilog2() + 1) };
+            let width = if value == u64::MAX {
+                64
+            } else {
+                64.min(value.max(1).ilog2() + 1)
+            };
             let mut w = BitWriter::new();
             w.write_u64(value, width);
             let s = w.finish();
@@ -390,7 +394,10 @@ mod tests {
     #[test]
     fn mixed_payload_roundtrip() {
         let mut w = BitWriter::new();
-        w.write_bit(true).write_u64(42, 7).write_gamma(9).write_bit(false);
+        w.write_bit(true)
+            .write_u64(42, 7)
+            .write_gamma(9)
+            .write_bit(false);
         let s = w.finish();
         let mut r = BitReader::new(&s);
         assert!(r.read_bit().unwrap());

@@ -410,7 +410,8 @@ mod tests {
         let mut g = Graph::from_ids([NodeId(1), NodeId(2), NodeId(7)]).unwrap();
         g.add_edge(0, 1).unwrap();
         let inst = Instance::unlabeled(g);
-        match crate::harness::check_soundness_exhaustive(&TreeCertScheme, &inst, 2) {
+        let prep = crate::engine::prepare(&TreeCertScheme, &inst);
+        match crate::harness::check_soundness_exhaustive(&TreeCertScheme, &prep, 2).unwrap() {
             crate::harness::Soundness::Holds(tried) => assert_eq!(tried, 7u64.pow(3)),
             crate::harness::Soundness::Violated(p) => panic!("fooled by {p:?}"),
         }
@@ -444,9 +445,8 @@ mod tests {
         // rejects it: node 3's counter reaches the root through both arms.
         let parentless_ok = inst.graph().nodes().all(|v| {
             let view = crate::view::View::extract(&inst, &proof, v, 1);
-            let certs = |u: usize| {
-                CountingTreeCert::decode(&mut BitReader::new(view.proof(u))).ok()
-            };
+            let certs =
+                |u: usize| CountingTreeCert::decode(&mut BitReader::new(view.proof(u))).ok();
             let c = view.center();
             let Some(mine) = certs(c) else { return false };
             let mut child_sum = 0;
@@ -456,8 +456,7 @@ mod tests {
                     child_sum += cu.subtree; // no parent check: the bug
                 }
             }
-            mine.subtree == 1 + child_sum
-                && (mine.tree.dist != 0 || mine.subtree == mine.n_claim)
+            mine.subtree == 1 + child_sum && (mine.tree.dist != 0 || mine.subtree == mine.n_claim)
         });
         assert!(
             !parentless_ok,
@@ -469,9 +468,7 @@ mod tests {
     /// randomized soundness search on the same broken scheme.
     #[test]
     fn ablation_exhaustive_vs_randomized_soundness() {
-        use crate::harness::{
-            adversarial_proof_search, check_soundness_exhaustive, Soundness,
-        };
+        use crate::harness::{adversarial_proof_search, check_soundness_exhaustive, Soundness};
         /// Accepts iff every node holds the bit pattern `10`.
         struct Pattern;
         impl Scheme for Pattern {
@@ -495,14 +492,15 @@ mod tests {
             }
         }
         let inst = Instance::unlabeled(generators::cycle(5));
+        let prep = crate::engine::prepare(&Pattern, &inst);
         // Exhaustive search finds the violation with certainty.
-        let Soundness::Violated(_) = check_soundness_exhaustive(&Pattern, &inst, 2) else {
+        let Ok(Soundness::Violated(_)) = check_soundness_exhaustive(&Pattern, &prep, 2) else {
             panic!("exhaustive search must find the magic pattern");
         };
         // Randomized hill-climbing also finds it (the score gradient
         // leads straight there), with a fraction of the evaluations.
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(adversarial_proof_search(&Pattern, &inst, 2, 2000, &mut rng).is_some());
+        assert!(adversarial_proof_search(&Pattern, &prep, 2, 2000, &mut rng).is_some());
     }
 
     #[test]

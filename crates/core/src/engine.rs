@@ -1,0 +1,574 @@
+//! The cached-view verification engine: skeletons once, proof bits per
+//! candidate.
+//!
+//! # Why
+//!
+//! Every `∀` quantifier of the model becomes a loop in [`crate::harness`],
+//! and the innermost operation — extracting a node's radius-`r` view —
+//! depends only on `(instance, radius)`, never on the proof. The naive
+//! executor ([`crate::evaluate`]) nevertheless re-runs a BFS, rebuilds
+//! adjacency, and re-copies labels for **every candidate proof**;
+//! exhaustive soundness checks multiply that waste by up to `10^8` proofs
+//! and adversarial searches by thousands of restarts.
+//!
+//! # The skeleton / binding split
+//!
+//! A [`PreparedInstance`] precomputes, once per `(instance, radius)`:
+//!
+//! * every node's view **skeleton** — the radius-`r` ball in CSR form
+//!   (flat adjacency + offsets), distance arrays, identifiers, labels,
+//!   and sorted edge-label slices — shared behind `Arc`s;
+//! * the flat **membership table** (`members`): which global nodes appear
+//!   in each ball, in view-local order;
+//! * the inverted **dependency table** (`dependents`): for each global
+//!   node `v`, the views that contain `v` and `v`'s local index in each —
+//!   exactly the verifiers whose output can change when `v`'s bits
+//!   change.
+//!
+//! Binding a proof ([`PreparedInstance::bind`] /
+//! [`PreparedInstance::bind_all`]) then costs `O(Σ|ball|)` bit-string
+//! copies — no graph traversal, no allocation beyond the proof strings
+//! themselves. Incremental workloads (the odometer of
+//! [`crate::harness::check_soundness_exhaustive`], the single-bit flips
+//! of [`crate::harness::adversarial_proof_search`]) go further and
+//! re-bind **only the changed node's** bits via
+//! [`PreparedInstance::rebind_node`], re-running just the `O(|ball|)`
+//! affected verifiers.
+//!
+//! # Parallelism
+//!
+//! With the `parallel` feature, [`PreparedInstance::new`],
+//! [`PreparedInstance::evaluate`], and the sweep helper
+//! [`prepare_sweep`] fan out across cores (rayon) once the instance is
+//! large enough to amortize thread startup; the sequential semantics are
+//! unchanged (outputs stay in node order).
+//!
+//! ```
+//! use lcp_core::engine::PreparedInstance;
+//! use lcp_core::{evaluate, Instance, Proof, Scheme, View};
+//! use lcp_graph::generators;
+//!
+//! struct EvenDegrees;
+//! impl Scheme for EvenDegrees {
+//!     type Node = ();
+//!     type Edge = ();
+//!     fn name(&self) -> String { "even-degrees".into() }
+//!     fn radius(&self) -> usize { 1 }
+//!     fn holds(&self, inst: &Instance) -> bool {
+//!         lcp_graph::euler::all_degrees_even(inst.graph())
+//!     }
+//!     fn prove(&self, inst: &Instance) -> Option<Proof> {
+//!         self.holds(inst).then(|| Proof::empty(inst.n()))
+//!     }
+//!     fn verify(&self, view: &View) -> bool {
+//!         view.degree(view.center()) % 2 == 0
+//!     }
+//! }
+//!
+//! let inst = Instance::unlabeled(generators::cycle(6));
+//! let prep = PreparedInstance::new(&inst, EvenDegrees.radius());
+//! let proof = Proof::empty(6);
+//! // Same verdict as the naive executor, without re-extracting views.
+//! assert_eq!(prep.evaluate(&EvenDegrees, &proof), evaluate(&EvenDegrees, &inst, &proof));
+//! assert_eq!(prep.evaluate_until_reject(&EvenDegrees, &proof), None);
+//! ```
+
+use crate::bits::BitString;
+use crate::instance::Instance;
+use crate::proof::Proof;
+use crate::scheme::{Scheme, Verdict};
+use crate::view::{build_skeleton, BallScratch, Skeleton, View};
+use std::sync::Arc;
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+/// Below this node count, parallel paths fall back to sequential code:
+/// spawning workers costs more than the whole sweep.
+#[cfg(feature = "parallel")]
+const PAR_THRESHOLD: usize = 256;
+
+/// An instance with every node's radius-`r` view skeleton precomputed,
+/// ready to bind candidate proofs cheaply.
+///
+/// Borrows the instance (skeletons reference nothing mutable, but keeping
+/// the borrow makes it impossible to evaluate against a stale graph).
+#[derive(Clone, Debug)]
+pub struct PreparedInstance<'i, N = (), E = ()> {
+    inst: &'i Instance<N, E>,
+    radius: usize,
+    skeletons: Vec<Arc<Skeleton<N, E>>>,
+    /// CSR: global indices of node `v`'s ball members (view-local order)
+    /// are `members[member_off[v] as usize .. member_off[v+1] as usize]`.
+    member_off: Vec<u32>,
+    members: Vec<u32>,
+    /// CSR: the views containing global node `v`, as `(owner, local)`
+    /// pairs — `owner`'s view holds `v` at view-local index `local`.
+    dependent_off: Vec<u32>,
+    dependents: Vec<(u32, u32)>,
+}
+
+impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
+    /// Precomputes every node's radius-`radius` view skeleton.
+    ///
+    /// Cost: one bounded BFS per node (`O(Σ|ball|)` total work), done
+    /// exactly once; every subsequent proof binding reuses the result.
+    #[cfg(not(feature = "parallel"))]
+    pub fn new(inst: &'i Instance<N, E>, radius: usize) -> Self {
+        let n = inst.n();
+        let mut scratch = BallScratch::new(inst.graph().n());
+        let built: Vec<(Skeleton<N, E>, Vec<u32>)> = (0..n)
+            .map(|v| build_skeleton(inst, v, radius, &mut scratch))
+            .collect();
+        Self::assemble(inst, radius, built)
+    }
+
+    /// Precomputes every node's radius-`radius` view skeleton, fanning
+    /// the per-node BFS out across cores for large instances.
+    #[cfg(feature = "parallel")]
+    pub fn new(inst: &'i Instance<N, E>, radius: usize) -> Self
+    where
+        N: Send + Sync,
+        E: Send + Sync,
+    {
+        let n = inst.n();
+        let built: Vec<(Skeleton<N, E>, Vec<u32>)> = if n >= PAR_THRESHOLD {
+            // One contiguous node range per worker, each reusing a single
+            // O(n) scratch — not one scratch per node, which would make
+            // preparation Θ(n²) in allocation alone.
+            let workers = std::thread::available_parallelism().map_or(1, |w| w.get());
+            let chunk = n.div_ceil(workers);
+            let ranges: Vec<(usize, usize)> = (0..workers)
+                .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
+                .filter(|&(start, end)| start < end)
+                .collect();
+            ranges
+                .into_par_iter()
+                .map(|(start, end)| {
+                    let mut scratch = BallScratch::new(inst.graph().n());
+                    (start..end)
+                        .map(|v| build_skeleton(inst, v, radius, &mut scratch))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let mut scratch = BallScratch::new(inst.graph().n());
+            (0..n)
+                .map(|v| build_skeleton(inst, v, radius, &mut scratch))
+                .collect()
+        };
+        Self::assemble(inst, radius, built)
+    }
+
+    fn assemble(
+        inst: &'i Instance<N, E>,
+        radius: usize,
+        built: Vec<(Skeleton<N, E>, Vec<u32>)>,
+    ) -> Self {
+        let n = inst.n();
+        let total: usize = built.iter().map(|(_, m)| m.len()).sum();
+        let mut skeletons = Vec::with_capacity(n);
+        let mut member_off = Vec::with_capacity(n + 1);
+        let mut members = Vec::with_capacity(total);
+        member_off.push(0u32);
+        let mut degree = vec![0u32; n];
+        for (skel, ms) in &built {
+            debug_assert_eq!(skel.n(), ms.len());
+            for &m in ms {
+                degree[m as usize] += 1;
+            }
+        }
+        let mut dependent_off = Vec::with_capacity(n + 1);
+        dependent_off.push(0u32);
+        for v in 0..n {
+            dependent_off.push(dependent_off[v] + degree[v]);
+        }
+        let mut cursor: Vec<u32> = dependent_off[..n].to_vec();
+        let mut dependents = vec![(0u32, 0u32); total];
+        for (owner, (skel, ms)) in built.into_iter().enumerate() {
+            for (local, &m) in ms.iter().enumerate() {
+                let c = &mut cursor[m as usize];
+                dependents[*c as usize] = (owner as u32, local as u32);
+                *c += 1;
+            }
+            members.extend_from_slice(&ms);
+            member_off.push(members.len() as u32);
+            skeletons.push(Arc::new(skel));
+        }
+        PreparedInstance {
+            inst,
+            radius,
+            skeletons,
+            member_off,
+            members,
+            dependent_off,
+            dependents,
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &'i Instance<N, E> {
+        self.inst
+    }
+
+    /// The preparation radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Number of nodes (`n(G)`).
+    pub fn n(&self) -> usize {
+        self.skeletons.len()
+    }
+
+    /// Global indices of node `v`'s ball members, in view-local order.
+    fn members_of(&self, v: usize) -> &[u32] {
+        &self.members[self.member_off[v] as usize..self.member_off[v + 1] as usize]
+    }
+
+    /// The `(owner, local)` pairs of views containing global node `v`.
+    fn dependents_of(&self, v: usize) -> &[(u32, u32)] {
+        &self.dependents[self.dependent_off[v] as usize..self.dependent_off[v + 1] as usize]
+    }
+
+    /// The nodes whose verifier output can change when `v`'s proof bits
+    /// change (the centres whose balls contain `v`).
+    pub fn dependents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.dependents_of(v)
+            .iter()
+            .map(|&(owner, _)| owner as usize)
+    }
+
+    /// Binds `proof` to node `v`'s cached skeleton, producing its view.
+    ///
+    /// Cost: `|ball(v)|` bit-string copies; no traversal, no topology
+    /// work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `proof.n()` mismatches.
+    pub fn bind(&self, v: usize, proof: &Proof) -> View<N, E> {
+        assert_eq!(proof.n(), self.n(), "proof must label every node");
+        View::from_skeleton(
+            Arc::clone(&self.skeletons[v]),
+            self.members_of(v)
+                .iter()
+                .map(|&u| proof.get(u as usize).clone())
+                .collect(),
+        )
+    }
+
+    /// Binds `proof` to every node's skeleton at once.
+    pub fn bind_all(&self, proof: &Proof) -> Vec<View<N, E>> {
+        (0..self.n()).map(|v| self.bind(v, proof)).collect()
+    }
+
+    /// Re-binds only node `changed`'s bits into the already-bound views,
+    /// and returns the centres whose views were touched.
+    ///
+    /// This is the odometer fast path: after flipping one node's proof
+    /// string, only the `O(|ball|)` views containing that node need new
+    /// bits — and only their verifiers need re-running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `views` was not produced by [`Self::bind_all`] on this
+    /// prepared instance (length mismatch).
+    pub fn rebind_node(
+        &self,
+        views: &mut [View<N, E>],
+        changed: usize,
+        bits: &BitString,
+    ) -> impl Iterator<Item = usize> + '_ {
+        assert_eq!(views.len(), self.n(), "views must come from bind_all");
+        for &(owner, local) in self.dependents_of(changed) {
+            views[owner as usize].set_local_proof(local as usize, bits.clone());
+        }
+        self.dependents(changed)
+    }
+
+    /// Always-sequential verifier sweep — used directly by contexts that
+    /// are already parallel at a coarser grain (e.g. the per-instance
+    /// completeness sweep), where nesting a second thread fan-out per
+    /// evaluation would only add spawn overhead.
+    pub(crate) fn evaluate_seq<S>(&self, scheme: &S, proof: &Proof) -> Verdict
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        Verdict::from_outputs(
+            (0..self.n())
+                .map(|v| scheme.verify(&self.bind(v, proof)))
+                .collect(),
+        )
+    }
+
+    /// Runs `scheme`'s verifier at every node against cached skeletons.
+    ///
+    /// Semantically identical to [`crate::evaluate`] (property-tested in
+    /// `tests/engine_equivalence.rs`), but per-proof cost drops from
+    /// `O(n · BFS · alloc)` to `O(Σ|ball|)` bit copies.
+    #[cfg(not(feature = "parallel"))]
+    pub fn evaluate<S>(&self, scheme: &S, proof: &Proof) -> Verdict
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        self.evaluate_seq(scheme, proof)
+    }
+
+    /// Runs `scheme`'s verifier at every node against cached skeletons,
+    /// fanning node verification out across cores for large instances.
+    #[cfg(feature = "parallel")]
+    pub fn evaluate<S>(&self, scheme: &S, proof: &Proof) -> Verdict
+    where
+        S: Scheme<Node = N, Edge = E> + Sync,
+        N: Send + Sync,
+        E: Send + Sync,
+    {
+        if self.n() >= PAR_THRESHOLD {
+            Verdict::from_outputs(
+                (0..self.n())
+                    .into_par_iter()
+                    .map(|v| scheme.verify(&self.bind(v, proof)))
+                    .collect(),
+            )
+        } else {
+            self.evaluate_seq(scheme, proof)
+        }
+    }
+
+    /// Runs the verifier node by node and stops at the first rejection,
+    /// returning the rejecting node — or `None` when every node accepts.
+    ///
+    /// The accept/reject decision (`∃` rejecting node) does not need the
+    /// remaining outputs, and on no-instances most candidate proofs are
+    /// rejected early, so this is the right primitive for soundness
+    /// search loops.
+    pub fn evaluate_until_reject<S>(&self, scheme: &S, proof: &Proof) -> Option<usize>
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        (0..self.n()).find(|&v| !scheme.verify(&self.bind(v, proof)))
+    }
+}
+
+/// Prepares an instance at `scheme`'s radius — the common entry point.
+///
+/// The `Send + Sync` bounds are required in *both* feature
+/// configurations on purpose: Cargo features must be additive, so
+/// enabling `parallel` is not allowed to newly reject schemes that the
+/// sequential build accepted. Every scheme type in this workspace is
+/// trivially thread-safe.
+pub fn prepare<'i, S: Scheme>(
+    scheme: &S,
+    inst: &'i Instance<S::Node, S::Edge>,
+) -> PreparedInstance<'i, S::Node, S::Edge>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    PreparedInstance::new(inst, scheme.radius())
+}
+
+/// Prepares a whole instance sweep (completeness checks, size
+/// measurements, Table 1 rows), in parallel under the `parallel` feature.
+#[cfg(not(feature = "parallel"))]
+pub fn prepare_sweep<'i, S: Scheme>(
+    scheme: &S,
+    instances: &'i [Instance<S::Node, S::Edge>],
+) -> Vec<PreparedInstance<'i, S::Node, S::Edge>>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    instances
+        .iter()
+        .map(|inst| PreparedInstance::new(inst, scheme.radius()))
+        .collect()
+}
+
+/// Prepares a whole instance sweep (completeness checks, size
+/// measurements, Table 1 rows), in parallel under the `parallel` feature.
+#[cfg(feature = "parallel")]
+pub fn prepare_sweep<'i, S: Scheme>(
+    scheme: &S,
+    instances: &'i [Instance<S::Node, S::Edge>],
+) -> Vec<PreparedInstance<'i, S::Node, S::Edge>>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    let radius = scheme.radius();
+    if instances.len() > 1 {
+        instances
+            .par_iter()
+            .map(|inst| PreparedInstance::new(inst, radius))
+            .collect()
+    } else {
+        instances
+            .iter()
+            .map(|inst| PreparedInstance::new(inst, radius))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::evaluate;
+    use lcp_graph::generators;
+
+    /// Radius-1 scheme exercising topology, labels, and proofs together.
+    struct Fingerprint;
+    impl Scheme for Fingerprint {
+        type Node = ();
+        type Edge = ();
+        fn name(&self) -> String {
+            "fingerprint".into()
+        }
+        fn radius(&self) -> usize {
+            2
+        }
+        fn holds(&self, _: &Instance) -> bool {
+            true
+        }
+        fn prove(&self, inst: &Instance) -> Option<Proof> {
+            Some(Proof::empty(inst.n()))
+        }
+        fn verify(&self, view: &View) -> bool {
+            let mut h: u64 = 0;
+            for u in view.nodes() {
+                h = h.wrapping_mul(1_000_003).wrapping_add(view.id(u).0);
+                h = h.wrapping_mul(31).wrapping_add(view.dist(u) as u64);
+                for b in view.proof(u).iter() {
+                    h = h.wrapping_mul(2).wrapping_add(b as u64);
+                }
+                for &w in view.neighbors(u) {
+                    h = h.wrapping_mul(131).wrapping_add(view.id(w).0);
+                }
+            }
+            !h.is_multiple_of(3)
+        }
+    }
+
+    #[test]
+    fn bound_views_match_extracted_views() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let prep = PreparedInstance::new(&inst, 2);
+        let proof = Proof::from_fn(inst.n(), |v| {
+            BitString::from_bits((0..v % 4).map(|i| i % 2 == 0))
+        });
+        for v in 0..inst.n() {
+            assert_eq!(
+                prep.bind(v, &proof),
+                View::extract(&inst, &proof, v, 2),
+                "node {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_naive_executor() {
+        let inst = Instance::unlabeled(generators::cycle(9));
+        let prep = PreparedInstance::new(&inst, Fingerprint.radius());
+        for seed in 0..8u64 {
+            let proof = Proof::from_fn(inst.n(), |v| {
+                BitString::from_bits((0..3).map(|i| (seed >> i) & 1 == 1 && v % 2 == 0))
+            });
+            assert_eq!(
+                prep.evaluate(&Fingerprint, &proof),
+                evaluate(&Fingerprint, &inst, &proof)
+            );
+        }
+    }
+
+    #[test]
+    fn until_reject_agrees_with_full_verdict() {
+        let inst = Instance::unlabeled(generators::barbell(4));
+        let prep = PreparedInstance::new(&inst, Fingerprint.radius());
+        let proof = Proof::empty(inst.n());
+        let verdict = prep.evaluate(&Fingerprint, &proof);
+        let first = prep.evaluate_until_reject(&Fingerprint, &proof);
+        assert_eq!(first, verdict.rejecting().first().copied());
+    }
+
+    #[test]
+    fn rebind_touches_exactly_the_dependent_views() {
+        let inst = Instance::unlabeled(generators::path(7));
+        let prep = PreparedInstance::new(&inst, 1);
+        let base = Proof::empty(7);
+        let mut views = prep.bind_all(&base);
+        let bits = BitString::from_bits([true, false]);
+        let touched: Vec<usize> = prep.rebind_node(&mut views, 3, &bits).collect();
+        assert_eq!(touched, vec![2, 3, 4], "radius-1 ball of node 3 on a path");
+        // Touched views now agree with a fresh full bind of the new proof.
+        let mut next = base.clone();
+        next.set(3, bits);
+        for v in 0..7 {
+            assert_eq!(views[v], prep.bind(v, &next), "view {v}");
+        }
+    }
+
+    #[test]
+    fn dependents_are_the_ball_inverses() {
+        let inst = Instance::unlabeled(generators::cycle(8));
+        let prep = PreparedInstance::new(&inst, 2);
+        for v in 0..8 {
+            let mut deps: Vec<usize> = prep.dependents(v).collect();
+            deps.sort_unstable();
+            let expected = lcp_graph::traversal::ball(inst.graph(), v, 2);
+            assert_eq!(deps, expected, "ball symmetry on a cycle");
+        }
+    }
+
+    #[test]
+    fn prepare_sweep_prepares_every_instance() {
+        let instances: Vec<Instance> = (3..7)
+            .map(|n| Instance::unlabeled(generators::cycle(n)))
+            .collect();
+        let prepared = prepare_sweep(&Fingerprint, &instances);
+        assert_eq!(prepared.len(), 4);
+        for (p, inst) in prepared.iter().zip(&instances) {
+            assert_eq!(p.n(), inst.n());
+            assert_eq!(p.radius(), Fingerprint.radius());
+        }
+    }
+
+    #[test]
+    fn labelled_instances_bind_labels() {
+        let g = generators::path(4);
+        let inst: Instance<u8> = Instance::with_node_data(g, vec![9u8, 8, 7, 6]);
+        struct LabelSum;
+        impl Scheme for LabelSum {
+            type Node = u8;
+            type Edge = ();
+            fn name(&self) -> String {
+                "label-sum".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn holds(&self, _: &Instance<u8>) -> bool {
+                true
+            }
+            fn prove(&self, inst: &Instance<u8>) -> Option<Proof> {
+                Some(Proof::empty(inst.n()))
+            }
+            fn verify(&self, view: &View<u8>) -> bool {
+                view.nodes()
+                    .map(|u| *view.node_label(u) as usize)
+                    .sum::<usize>()
+                    % 2
+                    == 1
+            }
+        }
+        let prep = PreparedInstance::new(&inst, 1);
+        let proof = Proof::empty(4);
+        assert_eq!(
+            prep.evaluate(&LabelSum, &proof),
+            evaluate(&LabelSum, &inst, &proof)
+        );
+    }
+}

@@ -7,11 +7,17 @@
 //!   heuristically by [`adversarial_proof_search`] on larger ones.
 //! * The "Proof size s" column of Table 1 — [`measure_sizes`] +
 //!   [`classify_growth`].
+//!
+//! All checks run on [`PreparedInstance`]s: view skeletons are built once
+//! per `(instance, radius)` and candidate proofs only swap bit strings
+//! (see [`crate::engine`]). The proof-enumeration odometer and the
+//! adversarial bit-flipper go further and re-verify only the nodes whose
+//! views contain the changed bits.
 
 use crate::bits::BitString;
-use crate::instance::Instance;
+use crate::engine::PreparedInstance;
 use crate::proof::Proof;
-use crate::scheme::{evaluate, Scheme};
+use crate::scheme::Scheme;
 use rand::rngs::StdRng;
 use rand::RngExt;
 use std::fmt;
@@ -52,50 +58,134 @@ impl fmt::Display for CompletenessError {
     }
 }
 
-/// Sweeps instances: yes-instances must be provable and accepted;
-/// no-instances, if the prover emits anything, must not be fully accepted.
+/// Sweeps prepared instances: yes-instances must be provable and
+/// accepted; no-instances, if the prover emits anything, must not be
+/// fully accepted.
 ///
 /// Returns the per-instance proof sizes of the yes-instances on success.
+/// Prepare the sweep once with [`crate::engine::prepare_sweep`] and reuse
+/// it across completeness, soundness, and size measurements.
+///
+/// With the `parallel` feature, instances are checked concurrently; the
+/// reported failure is still the lowest-index one.
 ///
 /// # Errors
 ///
-/// The first [`CompletenessFailure`] encountered.
-pub fn check_completeness<S: Scheme>(
+/// The first [`CompletenessFailure`] encountered (in input order).
+pub fn check_completeness<S>(
     scheme: &S,
-    instances: &[Instance<S::Node, S::Edge>],
-) -> Result<Vec<usize>, CompletenessFailure> {
+    prepared: &[PreparedInstance<'_, S::Node, S::Edge>],
+) -> Result<Vec<usize>, CompletenessFailure>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    let results = check_each(scheme, prepared);
     let mut sizes = Vec::new();
-    for (i, inst) in instances.iter().enumerate() {
-        let truth = scheme.holds(inst);
-        match (truth, scheme.prove(inst)) {
-            (true, None) => {
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(Some(size)) => sizes.push(size),
+            Ok(None) => {}
+            Err(reason) => {
                 return Err(CompletenessFailure {
                     instance: i,
-                    reason: CompletenessError::ProverRefused,
+                    reason,
                 })
             }
-            (true, Some(proof)) => {
-                let verdict = evaluate(scheme, inst, &proof);
-                if !verdict.accepted() {
-                    return Err(CompletenessFailure {
-                        instance: i,
-                        reason: CompletenessError::Rejected(verdict.rejecting()),
-                    });
-                }
-                sizes.push(proof.size());
-            }
-            (false, Some(proof)) => {
-                if evaluate(scheme, inst, &proof).accepted() {
-                    return Err(CompletenessFailure {
-                        instance: i,
-                        reason: CompletenessError::AcceptedNoInstance,
-                    });
-                }
-            }
-            (false, None) => {}
         }
     }
     Ok(sizes)
+}
+
+/// Completeness check of one prepared instance: `Ok(Some(size))` for an
+/// accepted yes-instance, `Ok(None)` for a correctly handled no-instance.
+fn check_one<S>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    parallel_nodes: bool,
+) -> Result<Option<usize>, CompletenessError>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    let inst = prep.instance();
+    match (scheme.holds(inst), scheme.prove(inst)) {
+        (true, None) => Err(CompletenessError::ProverRefused),
+        (true, Some(proof)) => {
+            // Inside an already-parallel instance sweep, a nested
+            // per-node fan-out would only pay thread-spawn overhead.
+            let verdict = if parallel_nodes {
+                prep.evaluate(scheme, &proof)
+            } else {
+                prep.evaluate_seq(scheme, &proof)
+            };
+            if verdict.accepted() {
+                Ok(Some(proof.size()))
+            } else {
+                Err(CompletenessError::Rejected(verdict.rejecting()))
+            }
+        }
+        (false, Some(proof)) => {
+            if prep.evaluate_until_reject(scheme, &proof).is_none() {
+                Err(CompletenessError::AcceptedNoInstance)
+            } else {
+                Ok(None)
+            }
+        }
+        (false, None) => Ok(None),
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn check_each<S>(
+    scheme: &S,
+    prepared: &[PreparedInstance<'_, S::Node, S::Edge>],
+) -> Vec<Result<Option<usize>, CompletenessError>>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    // Stop at the first failure: later instances are never reported
+    // anyway, so checking them is wasted work.
+    let mut out = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let r = check_one(scheme, p, true);
+        let failed = r.is_err();
+        out.push(r);
+        if failed {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(feature = "parallel")]
+fn check_each<S>(
+    scheme: &S,
+    prepared: &[PreparedInstance<'_, S::Node, S::Edge>],
+) -> Vec<Result<Option<usize>, CompletenessError>>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    use rayon::prelude::*;
+    if prepared.len() > 1 {
+        // Parallel across instances; sequential within each (nested
+        // fan-out would oversubscribe the cores).
+        prepared
+            .par_iter()
+            .map(|p| check_one(scheme, p, false))
+            .collect()
+    } else {
+        prepared
+            .iter()
+            .map(|p| check_one(scheme, p, true))
+            .collect()
+    }
 }
 
 /// All bit strings with at most `max_bits` bits, shortest first
@@ -122,52 +212,133 @@ pub enum Soundness {
     Violated(Proof),
 }
 
+/// The exhaustive search was refused before enumerating anything.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoundnessError {
+    /// `(2^(max_bits+1) − 1)^n` exceeds [`EXHAUSTIVE_PROOF_LIMIT`] (or
+    /// overflows `u128`, in which case `space` is `None`).
+    SearchSpaceTooLarge {
+        /// Number of candidate strings per node.
+        strings: usize,
+        /// Number of nodes.
+        n: usize,
+        /// The exact space when it fits in a `u128`.
+        space: Option<u128>,
+    },
+}
+
+impl fmt::Display for SoundnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoundnessError::SearchSpaceTooLarge { strings, n, space } => match space {
+                Some(s) => write!(
+                    f,
+                    "search space of {strings}^{n} = {s} proofs exceeds the limit of \
+                     {EXHAUSTIVE_PROOF_LIMIT}; shrink n or max_bits"
+                ),
+                None => write!(
+                    f,
+                    "search space of {strings}^{n} proofs overflows u128; shrink n or max_bits"
+                ),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SoundnessError {}
+
+/// Upper bound on the number of proofs [`check_soundness_exhaustive`]
+/// will enumerate.
+pub const EXHAUSTIVE_PROOF_LIMIT: u128 = 100_000_000;
+
 /// Exhaustively enumerates **every** proof of size ≤ `max_bits` on a
-/// no-instance and checks that each is rejected somewhere.
+/// prepared no-instance and checks that each is rejected somewhere.
 ///
 /// The search space has `(2^(max_bits+1) − 1)^n` proofs, so keep
 /// `n · max_bits` small (the point is to decide the `∀ P` quantifier
 /// *exactly* on small instances).
 ///
+/// The enumeration is an odometer over per-node string indices: between
+/// consecutive candidates only the rolled-over nodes change, so only the
+/// views containing them are re-bound and only their verifiers re-run —
+/// the cached-engine fast path that makes the `10^8`-proof budget
+/// practical.
+///
+/// # Errors
+///
+/// [`SoundnessError::SearchSpaceTooLarge`] when the space exceeds
+/// [`EXHAUSTIVE_PROOF_LIMIT`] proofs (checked in `u128`, no float
+/// saturation).
+///
 /// # Panics
 ///
-/// Panics if `inst` is a yes-instance (soundness is about no-instances)
-/// or if the search space exceeds `10^8` proofs.
+/// Panics if the instance is a yes-instance (soundness is about
+/// no-instances).
 pub fn check_soundness_exhaustive<S: Scheme>(
     scheme: &S,
-    inst: &Instance<S::Node, S::Edge>,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
     max_bits: usize,
-) -> Soundness {
+) -> Result<Soundness, SoundnessError>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
-        !scheme.holds(inst),
+        !scheme.holds(prep.instance()),
         "exhaustive soundness check requires a no-instance"
     );
-    let n = inst.n();
+    let n = prep.n();
     let strings = all_bitstrings_up_to(max_bits);
-    let space = (strings.len() as f64).powi(n as i32);
-    assert!(
-        space <= 1e8,
-        "search space of {space:.1e} proofs is too large; shrink n or max_bits"
-    );
+    let space = (strings.len() as u128).checked_pow(n as u32);
+    if space.is_none_or(|s| s > EXHAUSTIVE_PROOF_LIMIT) {
+        return Err(SoundnessError::SearchSpaceTooLarge {
+            strings: strings.len(),
+            n,
+            space,
+        });
+    }
+    // Bind the all-ε proof once; every later candidate is reached by
+    // rebinding only the nodes the odometer changed.
+    let start = Proof::empty(n);
+    let mut views = prep.bind_all(&start);
+    let mut outputs: Vec<bool> = views.iter().map(|v| scheme.verify(v)).collect();
+    let mut rejecting = outputs.iter().filter(|&&b| !b).count();
     let mut indices = vec![0usize; n];
     let mut tried = 0u64;
     loop {
-        let proof = Proof::from_strings(indices.iter().map(|&i| strings[i].clone()).collect());
         tried += 1;
-        if evaluate(scheme, inst, &proof).accepted() {
-            return Soundness::Violated(proof);
+        if rejecting == 0 {
+            return Ok(Soundness::Violated(Proof::from_strings(
+                indices.iter().map(|&i| strings[i].clone()).collect(),
+            )));
         }
-        // Odometer increment.
+        // Odometer increment; each changed node re-binds only its
+        // dependent views and re-runs only their verifiers.
         let mut pos = 0;
         loop {
             if pos == n {
-                return Soundness::Holds(tried);
+                return Ok(Soundness::Holds(tried));
             }
             indices[pos] += 1;
-            if indices[pos] < strings.len() {
+            let rolled = indices[pos] == strings.len();
+            if rolled {
+                indices[pos] = 0;
+            }
+            let owners: Vec<usize> = prep
+                .rebind_node(&mut views, pos, &strings[indices[pos]])
+                .collect();
+            for owner in owners {
+                let now = scheme.verify(&views[owner]);
+                match (outputs[owner], now) {
+                    (true, false) => rejecting += 1,
+                    (false, true) => rejecting -= 1,
+                    _ => {}
+                }
+                outputs[owner] = now;
+            }
+            if !rolled {
                 break;
             }
-            indices[pos] = 0;
             pos += 1;
         }
     }
@@ -180,72 +351,95 @@ pub fn random_proof(n: usize, max_bits: usize, rng: &mut StdRng) -> Proof {
     })
 }
 
-/// Randomized adversarial proof search on a no-instance: hill-climbs the
-/// number of accepting nodes by flipping random bits, restarting from
-/// random proofs.
+/// Randomized adversarial proof search on a prepared no-instance:
+/// hill-climbs the number of accepting nodes by flipping random bits,
+/// restarting from random proofs.
+///
+/// Each candidate differs from the incumbent at a single node, so the
+/// engine re-binds only that node's bits and re-scores only the
+/// `O(|ball|)` verifiers that can see them — full sweeps happen only at
+/// restarts.
 ///
 /// Returns a fully-accepted proof (a soundness violation for the given
-/// size budget) if one is found within `iterations` verifier sweeps.
+/// size budget) if one is found within `iterations` candidate steps.
 /// Finding `None` is *evidence*, not proof, of soundness — use
 /// [`check_soundness_exhaustive`] for certainty on small instances.
 ///
 /// # Panics
 ///
-/// Panics if `inst` is a yes-instance.
+/// Panics if the instance is a yes-instance.
 pub fn adversarial_proof_search<S: Scheme>(
     scheme: &S,
-    inst: &Instance<S::Node, S::Edge>,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
     size_budget: usize,
     iterations: usize,
     rng: &mut StdRng,
-) -> Option<Proof> {
+) -> Option<Proof>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
-        !scheme.holds(inst),
+        !scheme.holds(prep.instance()),
         "adversarial search requires a no-instance"
     );
-    let n = inst.n();
+    let n = prep.n();
     if n == 0 {
         return None;
     }
-    let score = |p: &Proof| -> usize {
-        evaluate(scheme, inst, p)
-            .outputs()
-            .iter()
-            .filter(|&&b| b)
-            .count()
-    };
     let mut current = random_proof(n, size_budget, rng);
-    let mut current_score = score(&current);
+    let mut views = prep.bind_all(&current);
+    let mut outputs: Vec<bool> = views.iter().map(|v| scheme.verify(v)).collect();
+    let mut score = outputs.iter().filter(|&&b| b).count();
     for iter in 0..iterations {
-        if current_score == n {
+        if score == n {
             return Some(current);
         }
         // Occasional restart to escape local optima.
         if iter % 200 == 199 {
             current = random_proof(n, size_budget, rng);
-            current_score = score(&current);
+            views = prep.bind_all(&current);
+            outputs = views.iter().map(|v| scheme.verify(v)).collect();
+            score = outputs.iter().filter(|&&b| b).count();
             continue;
         }
-        let mut candidate = current.clone();
-        let v = rng.random_range(0..n);
         if size_budget == 0 {
             continue;
         }
-        let mut s = candidate.get(v).clone();
+        let v = rng.random_range(0..n);
+        let mut s = current.get(v).clone();
         if s.is_empty() {
             s = BitString::from_bits((0..size_budget).map(|_| rng.random_bool(0.5)));
         } else {
             let idx = rng.random_range(0..s.len());
             s.flip(idx);
         }
-        candidate.set(v, s);
-        let cand_score = score(&candidate);
-        if cand_score >= current_score {
-            current = candidate;
-            current_score = cand_score;
+        // Tentatively re-bind node v and re-score its dependents.
+        let owners: Vec<usize> = prep.rebind_node(&mut views, v, &s).collect();
+        let mut new_score = score;
+        let mut new_outputs: Vec<(usize, bool)> = Vec::with_capacity(owners.len());
+        for &owner in &owners {
+            let now = scheme.verify(&views[owner]);
+            match (outputs[owner], now) {
+                (true, false) => new_score -= 1,
+                (false, true) => new_score += 1,
+                _ => {}
+            }
+            new_outputs.push((owner, now));
+        }
+        if new_score >= score {
+            current.set(v, s);
+            for (owner, out) in new_outputs {
+                outputs[owner] = out;
+            }
+            score = new_score;
+        } else {
+            // Revert the tentative binding.
+            prep.rebind_node(&mut views, v, current.get(v))
+                .for_each(drop);
         }
     }
-    (current_score == n).then_some(current)
+    (score == n).then_some(current)
 }
 
 /// One measured point of the "Proof size s" column: instance size vs.
@@ -258,18 +452,20 @@ pub struct SizePoint {
     pub bits: usize,
 }
 
-/// Proves every (yes-)instance and records `(n, |P|)` points.
+/// Proves every (yes-)instance of a prepared sweep and records
+/// `(n, |P|)` points.
 ///
 /// # Panics
 ///
 /// Panics if the prover refuses an instance — callers feed yes-instances.
 pub fn measure_sizes<S: Scheme>(
     scheme: &S,
-    instances: &[Instance<S::Node, S::Edge>],
+    prepared: &[PreparedInstance<'_, S::Node, S::Edge>],
 ) -> Vec<SizePoint> {
-    instances
+    prepared
         .iter()
-        .map(|inst| {
+        .map(|prep| {
+            let inst = prep.instance();
             let proof = scheme
                 .prove(inst)
                 .unwrap_or_else(|| panic!("{} refused an instance", scheme.name()));
@@ -365,6 +561,9 @@ pub fn classify_growth(points: &[SizePoint]) -> GrowthClass {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{prepare, prepare_sweep};
+    use crate::instance::Instance;
+    use crate::scheme::evaluate;
     use crate::view::View;
     use lcp_graph::generators;
     use rand::SeedableRng;
@@ -405,7 +604,8 @@ mod tests {
         let instances: Vec<Instance> = (2..8)
             .map(|k| Instance::unlabeled(generators::cycle(2 * k)))
             .collect();
-        let sizes = check_completeness(&Bipartite, &instances).unwrap();
+        let prepared = prepare_sweep(&Bipartite, &instances);
+        let sizes = check_completeness(&Bipartite, &prepared).unwrap();
         assert!(sizes.iter().all(|&s| s == 1));
     }
 
@@ -415,15 +615,72 @@ mod tests {
             Instance::unlabeled(generators::cycle(5)),
             Instance::unlabeled(generators::cycle(6)),
         ];
-        assert!(check_completeness(&Bipartite, &instances).is_ok());
+        let prepared = prepare_sweep(&Bipartite, &instances);
+        assert!(check_completeness(&Bipartite, &prepared).is_ok());
     }
 
     #[test]
     fn exhaustive_soundness_on_odd_cycle() {
         let inst = Instance::unlabeled(generators::cycle(5));
-        match check_soundness_exhaustive(&Bipartite, &inst, 1) {
+        let prep = prepare(&Bipartite, &inst);
+        match check_soundness_exhaustive(&Bipartite, &prep, 1).unwrap() {
             Soundness::Holds(tried) => assert_eq!(tried, 3u64.pow(5)),
             Soundness::Violated(p) => panic!("bipartite scheme fooled by {p:?}"),
+        }
+    }
+
+    #[test]
+    fn exhaustive_soundness_agrees_with_naive_enumeration() {
+        /// Deliberately unsound: accepts when every visible bit is 1.
+        struct Gullible;
+        impl Scheme for Gullible {
+            type Node = ();
+            type Edge = ();
+            fn name(&self) -> String {
+                "gullible".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn holds(&self, _: &Instance) -> bool {
+                false
+            }
+            fn prove(&self, _: &Instance) -> Option<Proof> {
+                None
+            }
+            fn verify(&self, view: &View) -> bool {
+                view.nodes().all(|u| view.proof(u).first() == Some(true))
+            }
+        }
+        let inst = Instance::unlabeled(generators::path(4));
+        let prep = prepare(&Gullible, &inst);
+        let engine = check_soundness_exhaustive(&Gullible, &prep, 1).unwrap();
+        // Naive reference: enumerate in the same odometer order.
+        let strings = all_bitstrings_up_to(1);
+        let mut indices = [0usize; 4];
+        let naive = 'outer: loop {
+            let proof = Proof::from_strings(indices.iter().map(|&i| strings[i].clone()).collect());
+            if evaluate(&Gullible, &inst, &proof).accepted() {
+                break Soundness::Violated(proof);
+            }
+            let mut pos = 0;
+            loop {
+                if pos == 4 {
+                    break 'outer Soundness::Holds(0);
+                }
+                indices[pos] += 1;
+                if indices[pos] < strings.len() {
+                    break;
+                }
+                indices[pos] = 0;
+                pos += 1;
+            }
+        };
+        match (engine, naive) {
+            (Soundness::Violated(a), Soundness::Violated(b)) => {
+                assert_eq!(a, b, "same first violating proof in odometer order")
+            }
+            (a, b) => panic!("outcomes diverged: engine={a:?}, naive={b:?}"),
         }
     }
 
@@ -431,14 +688,38 @@ mod tests {
     #[should_panic(expected = "no-instance")]
     fn exhaustive_soundness_rejects_yes_instances() {
         let inst = Instance::unlabeled(generators::cycle(4));
-        let _ = check_soundness_exhaustive(&Bipartite, &inst, 1);
+        let prep = prepare(&Bipartite, &inst);
+        let _ = check_soundness_exhaustive(&Bipartite, &prep, 1);
+    }
+
+    #[test]
+    fn exhaustive_soundness_refuses_oversized_spaces() {
+        let inst = Instance::unlabeled(generators::cycle(65));
+        let prep = prepare(&Bipartite, &inst);
+        let err = check_soundness_exhaustive(&Bipartite, &prep, 8).unwrap_err();
+        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err;
+        assert_eq!(strings, 511);
+        assert_eq!(n, 65);
+        assert_eq!(space, None, "511^65 overflows u128");
+    }
+
+    #[test]
+    fn exhaustive_soundness_reports_exact_space_when_it_fits() {
+        let inst = Instance::unlabeled(generators::cycle(17));
+        let prep = prepare(&Bipartite, &inst);
+        let err = check_soundness_exhaustive(&Bipartite, &prep, 2).unwrap_err();
+        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err.clone();
+        assert_eq!((strings, n), (7, 17));
+        assert_eq!(space, Some(7u128.pow(17)));
+        assert!(err.to_string().contains("exceeds the limit"));
     }
 
     #[test]
     fn adversarial_search_fails_against_sound_scheme() {
         let inst = Instance::unlabeled(generators::cycle(7));
+        let prep = prepare(&Bipartite, &inst);
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(adversarial_proof_search(&Bipartite, &inst, 1, 500, &mut rng).is_none());
+        assert!(adversarial_proof_search(&Bipartite, &prep, 1, 500, &mut rng).is_none());
     }
 
     #[test]
@@ -465,10 +746,12 @@ mod tests {
             }
         }
         let inst = Instance::unlabeled(generators::cycle(6));
+        let prep = prepare(&Gullible, &inst);
         let mut rng = StdRng::seed_from_u64(2);
-        let forged = adversarial_proof_search(&Gullible, &inst, 1, 2000, &mut rng)
+        let forged = adversarial_proof_search(&Gullible, &prep, 1, 2000, &mut rng)
             .expect("hill climbing finds the all-ones proof");
         assert!(evaluate(&Gullible, &inst, &forged).accepted());
+        assert!(prep.evaluate(&Gullible, &forged).accepted());
     }
 
     #[test]
@@ -493,18 +776,27 @@ mod tests {
         let log: Vec<SizePoint> = (2..10)
             .map(|k| {
                 let n = 1usize << k;
-                SizePoint { n, bits: 3 * k as usize + 2 }
+                SizePoint {
+                    n,
+                    bits: 3 * k as usize + 2,
+                }
             })
             .collect();
         assert_eq!(classify_growth(&log), GrowthClass::Logarithmic);
 
         let linear: Vec<SizePoint> = (1..10)
-            .map(|k| SizePoint { n: 8 * k, bits: 16 * k + 3 })
+            .map(|k| SizePoint {
+                n: 8 * k,
+                bits: 16 * k + 3,
+            })
             .collect();
         assert_eq!(classify_growth(&linear), GrowthClass::Linear);
 
         let quad: Vec<SizePoint> = (1..10)
-            .map(|k| SizePoint { n: 8 * k, bits: (8 * k) * (8 * k) })
+            .map(|k| SizePoint {
+                n: 8 * k,
+                bits: (8 * k) * (8 * k),
+            })
             .collect();
         assert_eq!(classify_growth(&quad), GrowthClass::Quadratic);
     }
@@ -514,7 +806,8 @@ mod tests {
         let instances: Vec<Instance> = (2..6)
             .map(|k| Instance::unlabeled(generators::cycle(2 * k)))
             .collect();
-        let points = measure_sizes(&Bipartite, &instances);
+        let prepared = prepare_sweep(&Bipartite, &instances);
+        let points = measure_sizes(&Bipartite, &prepared);
         assert_eq!(classify_growth(&points), GrowthClass::Constant);
     }
 

@@ -168,7 +168,8 @@ mod tests {
 
     #[test]
     fn node_data_roundtrip() {
-        let inst: Instance<u32> = Instance::with_node_data(generators::path(3), vec![10u32, 20, 30]);
+        let inst: Instance<u32> =
+            Instance::with_node_data(generators::path(3), vec![10u32, 20, 30]);
         assert_eq!(*inst.node_label(1), 20);
         assert_eq!(inst.node_labels(), &[10, 20, 30]);
     }

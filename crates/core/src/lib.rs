@@ -17,7 +17,11 @@
 //! checks: completeness sweeps, exhaustive proof enumeration on small
 //! instances, randomized adversarial proof search, and proof-size
 //! measurement with growth-class fitting (the "Proof size s" column of
-//! Table 1).
+//! Table 1). The [`engine`] module is the substrate those checks run on:
+//! a [`PreparedInstance`] caches every node's view *skeleton* (the
+//! proof-independent ball topology) once per `(instance, radius)`, so
+//! each candidate proof costs only bit-string re-binding — with
+//! node-level parallelism behind the `parallel` feature.
 //!
 //! ## Example: the bipartiteness scheme in miniature
 //!
@@ -59,6 +63,7 @@
 
 pub mod bits;
 pub mod components;
+pub mod engine;
 pub mod harness;
 pub mod instance;
 pub mod proof;
@@ -66,7 +71,8 @@ pub mod scheme;
 pub mod view;
 
 pub use bits::{BitReader, BitString, BitWriter, CodecError};
+pub use engine::{prepare, prepare_sweep, PreparedInstance};
 pub use instance::{EdgeMap, Instance};
 pub use proof::Proof;
-pub use scheme::{evaluate, Scheme, Verdict};
+pub use scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};
 pub use view::View;

@@ -86,8 +86,12 @@ impl Verdict {
 
 /// Runs the verifier of `scheme` at every node of `inst` with `proof`.
 ///
-/// This is the centralized reference executor; `lcp-sim` provides the
-/// message-passing one, and the two must agree (property-tested there).
+/// This is the centralized **reference** executor: it re-extracts every
+/// view from scratch on each call. `lcp-sim` provides the message-passing
+/// executor, and [`crate::engine::PreparedInstance::evaluate`] the cached
+/// fast path; all three must agree (property-tested in `lcp-sim` and
+/// `tests/engine_equivalence.rs`). Prefer the engine when the same
+/// instance is evaluated against more than one proof.
 ///
 /// # Panics
 ///
@@ -104,6 +108,29 @@ pub fn evaluate<S: Scheme>(
         .map(|v| scheme.verify(&View::extract(inst, proof, v, r)))
         .collect();
     Verdict { outputs }
+}
+
+/// Runs the verifier node by node and stops at the first rejection,
+/// returning the rejecting node — or `None` when every node accepts.
+///
+/// Callers that only need the global accept/reject bit (the `∃` rejecting
+/// node quantifier) should use this instead of [`evaluate`]: it skips the
+/// remaining extractions as soon as an alarm is raised. The cached
+/// counterpart is
+/// [`crate::engine::PreparedInstance::evaluate_until_reject`].
+///
+/// # Panics
+///
+/// Panics if `proof.n()` does not match the instance.
+pub fn evaluate_until_reject<S: Scheme>(
+    scheme: &S,
+    inst: &Instance<S::Node, S::Edge>,
+    proof: &Proof,
+) -> Option<usize> {
+    let r = scheme.radius();
+    inst.graph()
+        .nodes()
+        .find(|&v| !scheme.verify(&View::extract(inst, proof, v, r)))
 }
 
 #[cfg(test)]

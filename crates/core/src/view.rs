@@ -5,77 +5,210 @@
 //! the view, so locality is enforced by construction rather than by
 //! convention: there is no way to read labels, proofs, or edges beyond the
 //! horizon.
+//!
+//! Internally a view is split into two parts:
+//!
+//! * a skeleton — everything that depends only on `(instance, radius)`:
+//!   identifiers, CSR adjacency, distances, node labels, and sorted edge
+//!   labels. Skeletons are shared behind an [`Arc`], so cloning a view or
+//!   re-binding it to a new proof never re-runs a BFS or re-copies the
+//!   topology;
+//! * the **proof binding** — the per-node bit strings, the only part that
+//!   changes between candidate proofs.
+//!
+//! [`View::extract`] builds a fresh skeleton each call (the naive path);
+//! [`crate::engine::PreparedInstance`] precomputes every node's skeleton
+//! once and stamps out proof bindings in `O(Σ|ball|)` bit copies per
+//! candidate proof.
 
 use crate::bits::BitString;
 use crate::instance::{EdgeMap, Instance};
 use crate::proof::Proof;
 use lcp_graph::{norm_edge, Graph, NodeId};
+use std::sync::Arc;
+
+/// The proof-independent part of a view: topology, identifiers, labels.
+///
+/// Adjacency is stored in CSR form (one flat neighbour array plus
+/// offsets) and edge labels as a key-sorted slice, so a skeleton is a
+/// handful of contiguous allocations regardless of ball size.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Skeleton<N, E> {
+    pub(crate) center: usize,
+    pub(crate) radius: usize,
+    pub(crate) ids: Vec<NodeId>,
+    /// CSR offsets into `adj`; node `u`'s neighbours are
+    /// `adj[adj_off[u] as usize .. adj_off[u + 1] as usize]`.
+    pub(crate) adj_off: Vec<u32>,
+    pub(crate) adj: Vec<usize>,
+    pub(crate) dist: Vec<u32>,
+    pub(crate) node_data: Vec<N>,
+    /// Normalized-key-sorted edge labels (binary-searched on access).
+    pub(crate) edge_labels: Vec<((usize, usize), E)>,
+}
+
+impl<N, E> Skeleton<N, E> {
+    pub(crate) fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    pub(crate) fn neighbors(&self, u: usize) -> &[usize] {
+        &self.adj[self.adj_off[u] as usize..self.adj_off[u + 1] as usize]
+    }
+}
 
 /// The radius-`r` view of one node: induced subgraph, identifiers, labels,
 /// proof restriction, and the centre.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct View<N = (), E = ()> {
-    center: usize,
-    radius: usize,
-    ids: Vec<NodeId>,
-    adj: Vec<Vec<usize>>,
-    dist: Vec<usize>,
-    node_data: Vec<N>,
-    edge_data: EdgeMap<E>,
+    skel: Arc<Skeleton<N, E>>,
     proofs: Vec<BitString>,
 }
 
 impl<N: Clone, E: Clone> View<N, E> {
     /// Extracts the view `(G[v,r], P[v,r], v)` from an instance.
     ///
+    /// This is the naive path: it runs a BFS and rebuilds the skeleton on
+    /// every call. When many proofs are checked against one instance, use
+    /// [`crate::engine::PreparedInstance`], which builds each node's
+    /// skeleton once and re-binds only proof bits.
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range or `proof.n()` mismatches the graph.
     pub fn extract(inst: &Instance<N, E>, proof: &Proof, v: usize, radius: usize) -> Self {
-        let g = inst.graph();
-        assert!(v < g.n(), "view centre {v} out of range");
-        assert_eq!(proof.n(), g.n(), "proof must label every node");
-        let members = lcp_graph::traversal::ball(g, v, radius);
-        let mut old_to_new = vec![usize::MAX; g.n()];
-        for (new, &old) in members.iter().enumerate() {
-            old_to_new[old] = new;
-        }
-        let mut adj = vec![Vec::new(); members.len()];
-        let mut edge_data = EdgeMap::new();
-        for (new_u, &old_u) in members.iter().enumerate() {
-            for &old_w in g.neighbors(old_u) {
-                let new_w = old_to_new[old_w];
-                if new_w == usize::MAX {
-                    continue; // beyond the horizon
-                }
-                adj[new_u].push(new_w);
-                if new_u < new_w {
-                    if let Some(label) = inst.edge_label(old_u, old_w) {
-                        edge_data.insert((new_u, new_w), label.clone());
-                    }
-                }
-            }
-        }
-        // Distances from the centre, measured inside the ball (equal to
-        // distances in G for all ball members).
-        let dist_in_g = lcp_graph::traversal::bfs_distances(g, v);
+        assert_eq!(proof.n(), inst.n(), "proof must label every node");
+        let mut scratch = BallScratch::new(inst.graph().n());
+        let (skel, members) = build_skeleton(inst, v, radius, &mut scratch);
+        let proofs = members
+            .iter()
+            .map(|&u| proof.get(u as usize).clone())
+            .collect();
         View {
-            center: old_to_new[v],
-            radius,
-            ids: members.iter().map(|&u| g.id(u)).collect(),
-            dist: members
-                .iter()
-                .map(|&u| dist_in_g[u].expect("ball members are reachable"))
-                .collect(),
-            node_data: members.iter().map(|&u| inst.node_label(u).clone()).collect(),
-            proofs: members.iter().map(|&u| proof.get(u).clone()).collect(),
-            adj,
-            edge_data,
+            skel: Arc::new(skel),
+            proofs,
         }
     }
 }
 
+/// Reusable scratch buffers for skeleton construction, so preparing every
+/// ball of an instance performs no per-ball map allocations.
+pub(crate) struct BallScratch {
+    /// Visit stamp per global node; `stamp[u] == cur` marks membership.
+    stamp: Vec<u64>,
+    cur: u64,
+    /// BFS distance per global node (valid where stamped).
+    dist: Vec<u32>,
+    /// Ball-local index per global node (valid where stamped).
+    local: Vec<u32>,
+    /// BFS queue (reused).
+    queue: Vec<usize>,
+}
+
+impl BallScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        BallScratch {
+            stamp: vec![0; n],
+            cur: 0,
+            dist: vec![0; n],
+            local: vec![0; n],
+            queue: Vec::with_capacity(n),
+        }
+    }
+}
+
+/// Builds the skeleton of `(G[v,r], v)` plus the sorted global indices of
+/// the ball members (the information needed to bind a proof later).
+pub(crate) fn build_skeleton<N: Clone, E: Clone>(
+    inst: &Instance<N, E>,
+    v: usize,
+    radius: usize,
+    scratch: &mut BallScratch,
+) -> (Skeleton<N, E>, Vec<u32>) {
+    let g = inst.graph();
+    assert!(v < g.n(), "view centre {v} out of range");
+    scratch.cur += 1;
+    let cur = scratch.cur;
+    scratch.queue.clear();
+    scratch.queue.push(v);
+    scratch.stamp[v] = cur;
+    scratch.dist[v] = 0;
+    let mut head = 0;
+    while head < scratch.queue.len() {
+        let u = scratch.queue[head];
+        head += 1;
+        let du = scratch.dist[u];
+        if du as usize == radius {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if scratch.stamp[w] != cur {
+                scratch.stamp[w] = cur;
+                scratch.dist[w] = du + 1;
+                scratch.queue.push(w);
+            }
+        }
+    }
+    // Sorted members give the view its dense index order (stable with the
+    // historical `traversal::ball` contract).
+    let mut members: Vec<u32> = scratch.queue.iter().map(|&u| u as u32).collect();
+    members.sort_unstable();
+    for (new, &old) in members.iter().enumerate() {
+        scratch.local[old as usize] = new as u32;
+    }
+    // CSR adjacency over the induced ball; graph adjacency is sorted and
+    // the member order is monotone in global index, so each local list
+    // comes out sorted without an explicit sort.
+    let mut adj_off = Vec::with_capacity(members.len() + 1);
+    let mut adj = Vec::new();
+    let has_edge_labels = !inst.edge_labels().is_empty();
+    let mut edge_labels = Vec::new();
+    adj_off.push(0u32);
+    for (nu, &ou) in members.iter().enumerate() {
+        for &ow in g.neighbors(ou as usize) {
+            if scratch.stamp[ow] != cur {
+                continue; // beyond the horizon
+            }
+            let nw = scratch.local[ow] as usize;
+            adj.push(nw);
+            if has_edge_labels && nu < nw {
+                if let Some(label) = inst.edge_label(ou as usize, ow) {
+                    edge_labels.push(((nu, nw), label.clone()));
+                }
+            }
+        }
+        adj_off.push(adj.len() as u32);
+    }
+    let skel = Skeleton {
+        center: scratch.local[v] as usize,
+        radius,
+        ids: members.iter().map(|&u| g.id(u as usize)).collect(),
+        adj_off,
+        adj,
+        dist: members.iter().map(|&u| scratch.dist[u as usize]).collect(),
+        node_data: members
+            .iter()
+            .map(|&u| inst.node_label(u as usize).clone())
+            .collect(),
+        edge_labels,
+    };
+    (skel, members)
+}
+
 impl<N, E> View<N, E> {
+    /// Assembles a view from a shared skeleton and a proof binding — the
+    /// cheap constructor used by the engine.
+    pub(crate) fn from_skeleton(skel: Arc<Skeleton<N, E>>, proofs: Vec<BitString>) -> Self {
+        debug_assert_eq!(skel.n(), proofs.len(), "one proof string per view node");
+        View { skel, proofs }
+    }
+
+    /// Replaces the proof string of view-local node `u` in place — the
+    /// engine's incremental re-binding hook.
+    pub(crate) fn set_local_proof(&mut self, u: usize, bits: BitString) {
+        self.proofs[u] = bits;
+    }
+
     /// Assembles a view from raw parts — the constructor used by the
     /// message-passing simulator in `lcp-sim`, which must build the view
     /// from knowledge a node gathered over `radius` communication rounds.
@@ -88,7 +221,6 @@ impl<N, E> View<N, E> {
     ///
     /// Panics when lengths disagree, the centre is out of range, adjacency
     /// is unsorted/asymmetric, or a distance exceeds `radius`.
-    #[allow(clippy::too_many_arguments)]
     pub fn from_parts(
         center: usize,
         radius: usize,
@@ -117,33 +249,46 @@ impl<N, E> View<N, E> {
             assert!(*d <= radius, "distance beyond radius");
         }
         for &(u, w) in edge_data.keys() {
-            assert!(u <= w && adj[u].binary_search(&w).is_ok(), "edge label off-edge");
+            assert!(
+                u <= w && adj[u].binary_search(&w).is_ok(),
+                "edge label off-edge"
+            );
+        }
+        let mut adj_off = Vec::with_capacity(n + 1);
+        adj_off.push(0u32);
+        let mut flat = Vec::with_capacity(adj.iter().map(Vec::len).sum());
+        for list in &adj {
+            flat.extend_from_slice(list);
+            adj_off.push(flat.len() as u32);
         }
         View {
-            center,
-            radius,
-            ids,
-            adj,
-            dist,
-            node_data,
-            edge_data,
+            skel: Arc::new(Skeleton {
+                center,
+                radius,
+                ids,
+                adj_off,
+                adj: flat,
+                dist: dist.into_iter().map(|d| d as u32).collect(),
+                node_data,
+                edge_labels: edge_data.into_iter().collect(),
+            }),
             proofs,
         }
     }
 
     /// The centre's index *within the view*.
     pub fn center(&self) -> usize {
-        self.center
+        self.skel.center
     }
 
     /// The extraction radius `r`.
     pub fn radius(&self) -> usize {
-        self.radius
+        self.skel.radius
     }
 
     /// Number of nodes in the view.
     pub fn n(&self) -> usize {
-        self.ids.len()
+        self.skel.n()
     }
 
     /// Identifier of view node `u`.
@@ -152,17 +297,17 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn id(&self, u: usize) -> NodeId {
-        self.ids[u]
+        self.skel.ids[u]
     }
 
     /// All identifiers in view-index order.
     pub fn ids(&self) -> &[NodeId] {
-        &self.ids
+        &self.skel.ids
     }
 
     /// View index of the node with identifier `id`, if visible.
     pub fn index_of(&self, id: NodeId) -> Option<usize> {
-        self.ids.iter().position(|&x| x == id)
+        self.skel.ids.iter().position(|&x| x == id)
     }
 
     /// Distance from the centre (in the original graph, ≤ radius).
@@ -171,7 +316,7 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn dist(&self, u: usize) -> usize {
-        self.dist[u]
+        self.skel.dist[u] as usize
     }
 
     /// Sorted neighbours of `u` within the view.
@@ -183,7 +328,7 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn neighbors(&self, u: usize) -> &[usize] {
-        &self.adj[u]
+        self.skel.neighbors(u)
     }
 
     /// Degree of `u` within the view.
@@ -192,12 +337,12 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn degree(&self, u: usize) -> usize {
-        self.adj[u].len()
+        self.neighbors(u).len()
     }
 
     /// Whether `{u, w}` is an edge of the view.
     pub fn has_edge(&self, u: usize, w: usize) -> bool {
-        u < self.n() && w < self.n() && self.adj[u].binary_search(&w).is_ok()
+        u < self.n() && w < self.n() && self.neighbors(u).binary_search(&w).is_ok()
     }
 
     /// Iterates over view node indices.
@@ -209,7 +354,7 @@ impl<N, E> View<N, E> {
     pub fn edges(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for u in self.nodes() {
-            for &w in &self.adj[u] {
+            for &w in self.neighbors(u) {
                 if u < w {
                     out.push((u, w));
                 }
@@ -224,12 +369,17 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn node_label(&self, u: usize) -> &N {
-        &self.node_data[u]
+        &self.skel.node_data[u]
     }
 
     /// The edge label of `{u, w}` within the view, if present.
     pub fn edge_label(&self, u: usize, w: usize) -> Option<&E> {
-        self.edge_data.get(&norm_edge(u, w))
+        let key = norm_edge(u, w);
+        self.skel
+            .edge_labels
+            .binary_search_by(|(k, _)| k.cmp(&key))
+            .ok()
+            .map(|i| &self.skel.edge_labels[i].1)
     }
 
     /// The proof string of `u` (the restriction `P[v,r]`).
@@ -257,65 +407,73 @@ impl<N, E> View<N, E> {
         E: Clone,
     {
         assert!(
-            new_radius <= self.radius,
+            new_radius <= self.radius(),
             "cannot widen a view ({new_radius} > {})",
-            self.radius
+            self.radius()
         );
-        let keep: Vec<usize> = self.nodes().filter(|&u| self.dist[u] <= new_radius).collect();
+        let keep: Vec<usize> = self
+            .nodes()
+            .filter(|&u| self.dist(u) <= new_radius)
+            .collect();
         let mut old_to_new = vec![usize::MAX; self.n()];
         for (new, &old) in keep.iter().enumerate() {
             old_to_new[old] = new;
         }
-        let mut adj = vec![Vec::new(); keep.len()];
-        let mut edge_data = EdgeMap::new();
+        let mut adj_off = vec![0u32];
+        let mut adj = Vec::new();
+        let mut edge_labels = Vec::new();
         for (nu, &ou) in keep.iter().enumerate() {
-            for &ow in &self.adj[ou] {
+            for &ow in self.neighbors(ou) {
                 let nw = old_to_new[ow];
                 if nw == usize::MAX {
                     continue;
                 }
-                adj[nu].push(nw);
+                adj.push(nw);
                 if nu < nw {
                     if let Some(l) = self.edge_label(ou, ow) {
-                        edge_data.insert((nu, nw), l.clone());
+                        edge_labels.push(((nu, nw), l.clone()));
                     }
                 }
             }
-        }
-        for list in &mut adj {
-            list.sort_unstable();
+            let start = adj_off[nu] as usize;
+            adj[start..].sort_unstable();
+            adj_off.push(adj.len() as u32);
         }
         View {
-            center: old_to_new[self.center],
-            radius: new_radius,
-            ids: keep.iter().map(|&u| self.ids[u]).collect(),
-            dist: keep.iter().map(|&u| self.dist[u]).collect(),
-            node_data: keep.iter().map(|&u| self.node_data[u].clone()).collect(),
+            skel: Arc::new(Skeleton {
+                center: old_to_new[self.center()],
+                radius: new_radius,
+                ids: keep.iter().map(|&u| self.skel.ids[u]).collect(),
+                adj_off,
+                adj,
+                dist: keep.iter().map(|&u| self.skel.dist[u]).collect(),
+                node_data: keep
+                    .iter()
+                    .map(|&u| self.skel.node_data[u].clone())
+                    .collect(),
+                edge_labels,
+            }),
             proofs: keep.iter().map(|&u| self.proofs[u].clone()).collect(),
-            adj,
-            edge_data,
         }
     }
 
     /// A copy of the view with every proof string blanked to `ε` — what an
     /// inner `LCP(0)` verifier must be shown (§7.3 simulates the inner
     /// verifier "with the empty proof").
-    pub fn with_proofs_cleared(&self) -> Self
-    where
-        N: Clone,
-        E: Clone,
-    {
-        let mut v = self.clone();
-        for p in &mut v.proofs {
-            *p = BitString::new();
+    ///
+    /// Cheap: the topology skeleton is shared, only the proof binding is
+    /// replaced.
+    pub fn with_proofs_cleared(&self) -> Self {
+        View {
+            skel: Arc::clone(&self.skel),
+            proofs: vec![BitString::new(); self.n()],
         }
-        v
     }
 
     /// Materializes the view's topology as a standalone [`Graph`]
     /// (same identifiers), so graph algorithms can run on it.
     pub fn to_graph(&self) -> Graph {
-        let mut g = Graph::from_ids(self.ids.iter().copied()).expect("view ids are unique");
+        let mut g = Graph::from_ids(self.skel.ids.iter().copied()).expect("view ids are unique");
         for (u, w) in self.edges() {
             g.add_edge(u, w).expect("view is simple");
         }
@@ -425,5 +583,39 @@ mod tests {
         let h = v.to_graph();
         assert_eq!(h.n(), 4);
         assert_eq!(h.m(), 6);
+    }
+
+    #[test]
+    fn extract_matches_bfs_ball_and_distances() {
+        let g = generators::grid(4, 4);
+        let inst = Instance::unlabeled(g);
+        for v in 0..inst.n() {
+            for r in 0..4 {
+                let view = View::extract(&inst, &Proof::empty(16), v, r);
+                let ball = lcp_graph::traversal::ball(inst.graph(), v, r);
+                let members: Vec<usize> = view
+                    .ids()
+                    .iter()
+                    .map(|&id| inst.graph().index_of(id).unwrap())
+                    .collect();
+                assert_eq!(members, ball, "ball mismatch at v={v} r={r}");
+                let dists = lcp_graph::traversal::bfs_distances(inst.graph(), v);
+                for (local, &global) in members.iter().enumerate() {
+                    assert_eq!(Some(view.dist(local)), dists[global]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cleared_proofs_share_the_skeleton() {
+        let g = generators::cycle(6);
+        let inst = Instance::unlabeled(g);
+        let p = proof_of_ids(inst.graph());
+        let v = View::extract(&inst, &p, 0, 2);
+        let cleared = v.with_proofs_cleared();
+        assert!(Arc::ptr_eq(&v.skel, &cleared.skel), "skeleton is shared");
+        assert!(cleared.nodes().all(|u| cleared.proof(u).is_empty()));
+        assert!(v.nodes().any(|u| !v.proof(u).is_empty()), "original intact");
     }
 }

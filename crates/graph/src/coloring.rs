@@ -20,7 +20,10 @@ pub fn greedy_coloring(g: &Graph) -> Vec<usize> {
                 used[color[v]] = true;
             }
         }
-        color[u] = used.iter().position(|&b| !b).expect("first-fit colour exists");
+        color[u] = used
+            .iter()
+            .position(|&b| !b)
+            .expect("first-fit colour exists");
     }
     color
 }

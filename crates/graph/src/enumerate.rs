@@ -155,7 +155,10 @@ mod tests {
     fn no_small_asymmetric_graphs() {
         // Between 2 and 5 nodes every connected graph has a symmetry.
         for k in 2..=5 {
-            assert!(asymmetric_connected_graphs(k).unwrap().is_empty(), "k = {k}");
+            assert!(
+                asymmetric_connected_graphs(k).unwrap().is_empty(),
+                "k = {k}"
+            );
         }
         // The single-node graph is trivially asymmetric.
         assert_eq!(asymmetric_connected_graphs(1).unwrap().len(), 1);

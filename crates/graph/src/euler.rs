@@ -12,7 +12,7 @@ use crate::Graph;
 /// This is the locally checkable part of the Eulerian property: a
 /// radius-0 verifier at `v` outputs `degree(v) % 2 == 0`.
 pub fn all_degrees_even(g: &Graph) -> bool {
-    g.nodes().all(|u| g.degree(u) % 2 == 0)
+    g.nodes().all(|u| g.degree(u).is_multiple_of(2))
 }
 
 /// Whether `g` is Eulerian: connected with every degree even (the closed

@@ -114,7 +114,8 @@ pub fn random_tree(n: usize, rng: &mut StdRng) -> Graph {
     let mut g = Graph::with_contiguous_ids(n);
     for i in 1..n {
         let parent_pos = rng.random_range(0..i);
-        g.add_edge(order[i], order[parent_pos]).expect("tree edges are fresh");
+        g.add_edge(order[i], order[parent_pos])
+            .expect("tree edges are fresh");
     }
     g
 }

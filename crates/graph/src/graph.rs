@@ -404,7 +404,10 @@ mod tests {
     fn duplicate_node_rejected() {
         let mut g = Graph::new();
         g.add_node(NodeId(5)).unwrap();
-        assert_eq!(g.add_node(NodeId(5)), Err(GraphError::DuplicateNode(NodeId(5))));
+        assert_eq!(
+            g.add_node(NodeId(5)),
+            Err(GraphError::DuplicateNode(NodeId(5)))
+        );
     }
 
     #[test]

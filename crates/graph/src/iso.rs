@@ -268,7 +268,15 @@ where
             }
             map[v] = img;
             used[img] = true;
-            if rec(g, colors, constraint, v + 1, map, used, identity_so_far && img == v) {
+            if rec(
+                g,
+                colors,
+                constraint,
+                v + 1,
+                map,
+                used,
+                identity_so_far && img == v,
+            ) {
                 return true;
             }
             used[img] = false;
@@ -318,9 +326,7 @@ pub fn is_automorphism(g: &Graph, map: &[usize]) -> bool {
         seen[img] = true;
     }
     g.edges().all(|(u, v)| g.has_edge(map[u], map[v]))
-        && (0..n).all(|u| {
-            g.neighbors(u).len() == g.neighbors(map[u]).len()
-        })
+        && (0..n).all(|u| g.neighbors(u).len() == g.neighbors(map[u]).len())
 }
 
 #[cfg(test)]
@@ -390,7 +396,10 @@ mod tests {
     fn canonical_copy_shifts_ids() {
         let g = generators::cycle(4);
         let c = canonical_copy(&g, 100).unwrap();
-        assert_eq!(c.ids(), &[NodeId(101), NodeId(102), NodeId(103), NodeId(104)]);
+        assert_eq!(
+            c.ids(),
+            &[NodeId(101), NodeId(102), NodeId(103), NodeId(104)]
+        );
         assert!(is_isomorphic(&g, &c).unwrap());
     }
 
@@ -450,7 +459,7 @@ mod tests {
     #[test]
     fn refinement_separates_degrees() {
         let g = generators::star(3);
-        let c = refine_colors(&g, &vec![0; 4]);
+        let c = refine_colors(&g, &[0; 4]);
         assert_ne!(c[0], c[1]);
         assert_eq!(c[1], c[2]);
         assert_eq!(c[2], c[3]);

@@ -129,8 +129,16 @@ pub fn is_line_graph(g: &Graph) -> bool {
                 {
                     chosen.push(w);
                     if enumerate(
-                        g, edges, edge_index, covered, clique_count, u, v, candidates,
-                        i + 1, chosen,
+                        g,
+                        edges,
+                        edge_index,
+                        covered,
+                        clique_count,
+                        u,
+                        v,
+                        candidates,
+                        i + 1,
+                        chosen,
                     ) {
                         return true;
                     }
@@ -167,13 +175,7 @@ pub fn find_induced_subgraph(host: &Graph, pattern: &Graph) -> Option<Vec<usize>
     }
     let mut map = vec![usize::MAX; pn];
     let mut used = vec![false; host.n()];
-    fn rec(
-        host: &Graph,
-        pattern: &Graph,
-        i: usize,
-        map: &mut [usize],
-        used: &mut [bool],
-    ) -> bool {
+    fn rec(host: &Graph, pattern: &Graph, i: usize, map: &mut [usize], used: &mut [bool]) -> bool {
         if i == pattern.n() {
             return true;
         }

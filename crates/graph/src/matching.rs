@@ -91,7 +91,10 @@ impl BipartiteMatching {
 ///
 /// Panics (in debug builds) if `side` is not a proper 2-colouring.
 pub fn maximum_bipartite_matching(g: &Graph, side: &[u8]) -> BipartiteMatching {
-    debug_assert!(g.edges().all(|(u, v)| side[u] != side[v]), "side must 2-colour g");
+    debug_assert!(
+        g.edges().all(|(u, v)| side[u] != side[v]),
+        "side must 2-colour g"
+    );
     let mut mate: Vec<Option<usize>> = vec![None; g.n()];
     let lefts: Vec<usize> = g.nodes().filter(|&u| side[u] == 0).collect();
     for &root in &lefts {
@@ -211,11 +214,13 @@ pub fn max_weight_bipartite_matching(
     side: &[u8],
     weights: &EdgeWeightMap,
 ) -> WeightedMatching {
-    debug_assert!(g.edges().all(|(u, v)| side[u] != side[v]), "side must 2-colour g");
+    debug_assert!(
+        g.edges().all(|(u, v)| side[u] != side[v]),
+        "side must 2-colour g"
+    );
     let n = g.n();
-    let w = |u: usize, v: usize| -> i64 {
-        weights.get(&norm_edge(u, v)).copied().unwrap_or(0) as i64
-    };
+    let w =
+        |u: usize, v: usize| -> i64 { weights.get(&norm_edge(u, v)).copied().unwrap_or(0) as i64 };
     let mut y: Vec<i64> = vec![0; n];
     // Left duals start at each node's largest incident weight: feasible,
     // and every heaviest edge starts tight.
@@ -333,7 +338,7 @@ fn retire(mate: &mut [Option<usize>], back: &[Option<usize>], z: usize) {
         mate[v] = Some(u);
         mate[u] = Some(v);
         match u_prev {
-            None => break,   // u was the unmatched root
+            None => break, // u was the unmatched root
             Some(_) => left = u,
         }
     }
@@ -374,12 +379,7 @@ pub fn maximum_matching_bruteforce(g: &Graph) -> usize {
 pub fn max_weight_matching_bruteforce(g: &Graph, weights: &EdgeWeightMap) -> u64 {
     let edges: Vec<(usize, usize)> = g.edges().collect();
     let mut used = vec![false; g.n()];
-    fn rec(
-        edges: &[(usize, usize)],
-        weights: &EdgeWeightMap,
-        i: usize,
-        used: &mut [bool],
-    ) -> u64 {
+    fn rec(edges: &[(usize, usize)], weights: &EdgeWeightMap, i: usize, used: &mut [bool]) -> u64 {
         if i == edges.len() {
             return 0;
         }

@@ -134,7 +134,11 @@ pub fn menger_certificate(g: &Graph, s: usize, t: usize) -> MengerCertificate {
         // Edge arcs are uncapacitated so the minimum cut consists of
         // vertex-split arcs only; the direct s–t edge (if any) stays at 1
         // so it counts as a single path.
-        let c = if (u == s || u == t) && (v == s || v == t) { 1 } else { big };
+        let c = if (u == s || u == t) && (v == s || v == t) {
+            1
+        } else {
+            big
+        };
         net.add_edge(out(u), inn(v), c);
         net.add_edge(out(v), inn(u), c);
     }
@@ -328,10 +332,7 @@ mod tests {
             assert_eq!(cert.paths.len(), cert.separator.len(), "Menger equality");
             assert_valid_paths(&g, s, t, &cert.paths);
             // Removing the separator must disconnect s from t.
-            let keep: Vec<usize> = g
-                .nodes()
-                .filter(|v| !cert.separator.contains(v))
-                .collect();
+            let keep: Vec<usize> = g.nodes().filter(|v| !cert.separator.contains(v)).collect();
             let (h, map) = g.induced(&keep);
             let hs = map.iter().position(|&x| x == s).unwrap();
             let ht = map.iter().position(|&x| x == t).unwrap();

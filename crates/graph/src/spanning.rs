@@ -130,7 +130,11 @@ pub fn random_spanning_tree(g: &Graph, root: usize, rng: &mut StdRng) -> RootedT
     // DFS depths are path lengths in the tree, not BFS distances; recompute
     // depths from parents to make them consistent (they already are, but
     // this keeps the invariant explicit).
-    RootedTree { root, parent, depth }
+    RootedTree {
+        root,
+        parent,
+        depth,
+    }
 }
 
 /// Checks whether `edges` (index pairs) form a spanning tree of `g`.
@@ -167,7 +171,7 @@ pub fn is_spanning_tree(g: &Graph, edges: &[(usize, usize)]) -> Result<bool, Gra
     }
     // Union-find connectivity over the edge set.
     let mut uf: Vec<usize> = (0..g.n()).collect();
-    fn find(uf: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(uf: &mut [usize], mut x: usize) -> usize {
         while uf[x] != x {
             uf[x] = uf[uf[x]];
             x = uf[x];
@@ -221,7 +225,11 @@ pub fn root_edge_subset(g: &Graph, edges: &[(usize, usize)], root: usize) -> Opt
             }
         }
     }
-    (reached == g.n()).then_some(RootedTree { root, parent, depth })
+    (reached == g.n()).then_some(RootedTree {
+        root,
+        parent,
+        depth,
+    })
 }
 
 #[cfg(test)]

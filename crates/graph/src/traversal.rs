@@ -150,7 +150,10 @@ pub fn find_odd_cycle(g: &Graph) -> Option<Vec<usize>> {
             if comp[u] != comp[s] {
                 continue;
             }
-            let (du, dv) = (dist[u].expect("same component"), dist[v].expect("same component"));
+            let (du, dv) = (
+                dist[u].expect("same component"),
+                dist[v].expect("same component"),
+            );
             if du != dv {
                 continue;
             }
@@ -489,7 +492,10 @@ mod tests {
     #[test]
     fn find_exact_cycles() {
         let g = generators::cycle(6);
-        assert!(matches!(find_cycle_of_length(&g, 6, 10_000), CycleSearch::Found(_)));
+        assert!(matches!(
+            find_cycle_of_length(&g, 6, 10_000),
+            CycleSearch::Found(_)
+        ));
         assert_eq!(find_cycle_of_length(&g, 4, 10_000), CycleSearch::Absent);
         let k33 = generators::complete_bipartite(3, 3);
         let c = find_cycle_of_length(&k33, 4, 10_000).cycle().unwrap();
@@ -516,7 +522,10 @@ mod tests {
 
     #[test]
     fn cycle_search_trivial_cases() {
-        assert_eq!(find_cycle_of_length(&generators::cycle(3), 2, 100), CycleSearch::Absent);
+        assert_eq!(
+            find_cycle_of_length(&generators::cycle(3), 2, 100),
+            CycleSearch::Absent
+        );
         assert_eq!(
             find_cycle_of_length(&generators::cycle(3), 4, 100),
             CycleSearch::Absent

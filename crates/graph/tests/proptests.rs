@@ -2,8 +2,8 @@
 //! checked against brute force on random instances.
 
 use lcp_graph::{
-    coloring, enumerate, generators, iso, line_graph, matching, menger, ops, spanning,
-    traversal, tree, Graph, NodeId,
+    coloring, enumerate, generators, iso, line_graph, matching, menger, ops, spanning, traversal,
+    tree, Graph, NodeId,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -175,7 +175,7 @@ mod tests {
             body: Box::new(And(vec![Adj(1, 2), InSet(2, 0)])),
         };
         let g = generators::cycle(6);
-        let relations = vec![vec![true, false, false, true, false, false]];
+        let relations = [vec![true, false, false, true, false, false]];
         let inst = Instance::unlabeled(g.clone());
         let proof = Proof::empty(6);
         for y in g.nodes() {

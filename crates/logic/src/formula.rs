@@ -53,6 +53,7 @@ pub enum LocalFormula {
 
 impl LocalFormula {
     /// Convenience: `¬self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> LocalFormula {
         LocalFormula::Not(Box::new(self))
     }

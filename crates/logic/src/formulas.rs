@@ -202,7 +202,10 @@ mod tests {
         let bad = vec![vec![true; 4], vec![false; 4]];
         assert!(!evaluate_global(&s.matrix, &c4, 0, &bad));
         // A node in both classes: exactly-one fails.
-        let ambiguous = vec![vec![true, false, true, false], vec![true, true, false, true]];
+        let ambiguous = vec![
+            vec![true, false, true, false],
+            vec![true, true, false, true],
+        ];
         assert!(!evaluate_global(&s.matrix, &c4, 0, &ambiguous));
     }
 

@@ -135,10 +135,10 @@ where
 mod tests {
     use super::*;
     use crate::formulas;
+    use lcp_core::evaluate;
     use lcp_core::harness::{
         adversarial_proof_search, check_completeness, check_soundness_exhaustive, Soundness,
     };
-    use lcp_core::evaluate;
     use lcp_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -158,7 +158,11 @@ mod tests {
             Instance::unlabeled(generators::grid(3, 4)),
             Instance::unlabeled(generators::complete(3)),
         ];
-        let sizes = check_completeness(&scheme, &instances).unwrap();
+        let sizes = check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
         assert_eq!(sizes.len(), 4);
     }
 
@@ -170,7 +174,14 @@ mod tests {
         assert!(scheme.prove(&inst).is_none());
         let mut rng = StdRng::seed_from_u64(7);
         assert!(
-            adversarial_proof_search(&scheme, &inst, 8, 800, &mut rng).is_none(),
+            adversarial_proof_search(
+                &scheme,
+                &lcp_core::engine::prepare(&scheme, &inst),
+                8,
+                800,
+                &mut rng
+            )
+            .is_none(),
             "no small proof should 3-colour K4"
         );
     }
@@ -195,7 +206,9 @@ mod tests {
         let no = Instance::unlabeled(generators::cycle(4));
         assert!(!scheme.holds(&no));
         // Budget 2: relation bit + tiny certs; the space stays feasible.
-        match check_soundness_exhaustive(&scheme, &no, 2) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &no), 2)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("perfect-code scheme fooled by {p:?}"),
         }
@@ -210,7 +223,14 @@ mod tests {
         let no = Instance::unlabeled(generators::cycle(8));
         assert!(!scheme.holds(&no));
         let mut rng = StdRng::seed_from_u64(9);
-        assert!(adversarial_proof_search(&scheme, &no, 6, 500, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &scheme,
+            &lcp_core::engine::prepare(&scheme, &no),
+            6,
+            500,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
@@ -223,7 +243,10 @@ mod tests {
             .iter()
             .map(|&n| Instance::unlabeled(generators::cycle(n)))
             .collect();
-        let points = measure_sizes(&scheme, &instances);
+        let points = measure_sizes(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
     }
 

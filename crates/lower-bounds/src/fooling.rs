@@ -18,7 +18,7 @@
 //! differs at experimental scale.
 
 use crate::CounterExample;
-use lcp_core::{evaluate, BitString, Instance, Proof, Scheme};
+use lcp_core::{engine, BitString, Instance, Proof, Scheme};
 use lcp_graph::{coloring, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -48,7 +48,7 @@ const WIRE_BASE: u64 = 100_000;
 impl GadgetLayout {
     /// A layout suitable for a radius-`r` verifier.
     pub fn for_radius(k: usize, r: usize) -> Self {
-        assert!(k >= 1 && k <= 8, "coordinate width out of range");
+        assert!((1..=8).contains(&k), "coordinate width out of range");
         GadgetLayout {
             k,
             rows: (3 * r).max(2 * r + 3),
@@ -306,7 +306,7 @@ pub fn fooling_attack<S>(
     seed: u64,
 ) -> FoolingOutcome
 where
-    S: Scheme<Node = (), Edge = ()>,
+    S: Scheme<Node = (), Edge = ()> + Sync,
 {
     assert!(
         layout.rows >= 2 * scheme.radius() + 3,
@@ -413,7 +413,8 @@ where
         "hybrid must be 3-colourable by set logic"
     );
     let hybrid = Instance::unlabeled(hybrid_graph);
-    let verdict = evaluate(scheme, &hybrid, &proof);
+    // One skeleton preparation, then a cached-view sweep (engine path).
+    let verdict = engine::prepare(scheme, &hybrid).evaluate(scheme, &proof);
     if verdict.accepted() {
         FoolingOutcome::Fooled(Box::new(CounterExample {
             instance: hybrid,

@@ -19,7 +19,7 @@
 //! bound, exhibited.
 
 use crate::CounterExample;
-use lcp_core::{evaluate, BitString, Instance, Proof, Scheme};
+use lcp_core::{BitString, Instance, Proof, Scheme};
 use lcp_graph::traversal::{find_cycle_of_length, CycleSearch};
 use lcp_graph::{Graph, NodeId};
 use std::collections::BTreeMap;
@@ -118,16 +118,16 @@ pub fn glue_cycles<S, F>(
     junction_label: Option<S::Edge>,
 ) -> GluingOutcome<S::Node, S::Edge>
 where
-    S: Scheme,
-    S::Node: Clone + Eq + Hash + Ord,
-    S::Edge: Clone + Eq + Hash + Ord,
+    S: Scheme + Sync,
+    S::Node: Clone + Eq + Hash + Ord + Send + Sync,
+    S::Edge: Clone + Eq + Hash + Ord + Send + Sync,
     F: FnMut(Graph) -> Instance<S::Node, S::Edge>,
 {
     let (n, k, r) = (attack.n, attack.k, scheme.radius());
     assert!(k >= 2, "gluing needs at least two cycles");
     let window = 2 * r + 1;
     assert!(
-        n >= 2 * window + 1,
+        n > 2 * window,
         "cycle length {n} too short for two disjoint windows of {window}"
     );
 
@@ -135,8 +135,7 @@ where
     // nodes, in a fixed cycle-position order.
     type Color<N, E> = Vec<(N, Option<E>, BitString)>;
     let mut by_color: BTreeMap<Color<S::Node, S::Edge>, Vec<(u64, u64)>> = BTreeMap::new();
-    let mut instances: BTreeMap<(u64, u64), (Instance<S::Node, S::Edge>, Proof)> =
-        BTreeMap::new();
+    let mut instances: BTreeMap<(u64, u64), (Instance<S::Node, S::Edge>, Proof)> = BTreeMap::new();
     let mut pairs = 0usize;
 
     for a in 1..=n as u64 {
@@ -200,7 +199,9 @@ where
             .map(|i| cg.id(cycle[(start + i) % (2 * k)]).0)
             .collect();
         // rotated = a₁, b₁, a₂, b₂, … (adjacent pairs share the colour).
-        let ab_pairs: Vec<(u64, u64)> = (0..k).map(|i| (rotated[2 * i], rotated[2 * i + 1])).collect();
+        let ab_pairs: Vec<(u64, u64)> = (0..k)
+            .map(|i| (rotated[2 * i], rotated[2 * i + 1]))
+            .collect();
         return build_glued(scheme, n, &ab_pairs, &instances, junction_label);
     }
 
@@ -217,9 +218,9 @@ fn build_glued<S>(
     junction_label: Option<S::Edge>,
 ) -> GluingOutcome<S::Node, S::Edge>
 where
-    S: Scheme,
-    S::Node: Clone + Eq + Hash + Ord,
-    S::Edge: Clone + Eq + Hash + Ord,
+    S: Scheme + Sync,
+    S::Node: Clone + Eq + Hash + Ord + Send + Sync,
+    S::Edge: Clone + Eq + Hash + Ord + Send + Sync,
 {
     let k = ab_pairs.len();
     // Node order of the glued cycle: C(a₁,b₁) in order, then C(a₂,b₂), …
@@ -235,7 +236,8 @@ where
         let donor = inst.graph();
         let base = i * n;
         for pos in 0..n {
-            g.add_node(donor.id(pos)).expect("donor id sets are disjoint");
+            g.add_node(donor.id(pos))
+                .expect("donor id sets are disjoint");
             labels.push(inst.node_label(pos).clone());
             proof_strings.push(proof.get(pos).clone());
         }
@@ -262,7 +264,7 @@ where
     if scheme.holds(&glued) {
         return GluingOutcome::GluedInstanceIsYes;
     }
-    let verdict = evaluate(scheme, &glued, &proof);
+    let verdict = lcp_core::engine::prepare(scheme, &glued).evaluate(scheme, &proof);
     if verdict.accepted() {
         GluingOutcome::Fooled(Box::new(CounterExample {
             instance: glued,

@@ -13,7 +13,7 @@
 //!   even; `G ⊙ G` has a fixpoint-free symmetry, the hybrid does not.
 
 use crate::CounterExample;
-use lcp_core::{evaluate, BitString, Instance, Proof, Scheme};
+use lcp_core::{BitString, Instance, Proof, Scheme};
 use lcp_graph::{Graph, GraphError, NodeId};
 use std::collections::BTreeMap;
 
@@ -131,7 +131,7 @@ impl JoinOutcome {
 /// [`rooted_tree_family`]); the half size `k` must satisfy `k ≥ 2r + 1`.
 pub fn join_collision_attack<S>(scheme: &S, family: &[Graph]) -> JoinOutcome
 where
-    S: Scheme<Node = (), Edge = ()>,
+    S: Scheme<Node = (), Edge = ()> + Sync,
 {
     let r = scheme.radius();
     let window = 2 * r + 1;
@@ -153,7 +153,7 @@ where
         let proof = scheme.prove(&inst);
         if let Some(p) = &proof {
             debug_assert!(
-                evaluate(scheme, &inst, p).accepted(),
+                lcp_core::evaluate_until_reject(scheme, &inst, p).is_none(),
                 "honest proof rejected on member {i}"
             );
             candidates += 1;
@@ -198,7 +198,7 @@ where
     if scheme.holds(&hybrid) {
         return JoinOutcome::HybridIsYes;
     }
-    let verdict = evaluate(scheme, &hybrid, &proof);
+    let verdict = lcp_core::engine::prepare(scheme, &hybrid).evaluate(scheme, &proof);
     if verdict.accepted() {
         JoinOutcome::Fooled(Box::new(CounterExample {
             instance: hybrid,

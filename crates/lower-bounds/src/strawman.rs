@@ -170,7 +170,10 @@ where
     type Edge = ();
 
     fn name(&self) -> String {
-        format!("strawman:truncated-universal[{}b]:{}", self.budget, self.name)
+        format!(
+            "strawman:truncated-universal[{}b]:{}",
+            self.budget, self.name
+        )
     }
 
     fn radius(&self) -> usize {
@@ -258,10 +261,12 @@ mod tests {
 
     #[test]
     fn parity_leader_is_complete_on_cycles() {
-        let instances: Vec<Instance<bool>> = (5..12)
-            .map(|n| leader_cycle(n, n / 3))
-            .collect();
-        let sizes = check_completeness(&ParityLeader, &instances).unwrap();
+        let instances: Vec<Instance<bool>> = (5..12).map(|n| leader_cycle(n, n / 3)).collect();
+        let sizes = check_completeness(
+            &ParityLeader,
+            &lcp_core::engine::prepare_sweep(&ParityLeader, &instances),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 1), "O(1) bits");
     }
 
@@ -273,7 +278,13 @@ mod tests {
         let inst = Instance::with_node_data(g, vec![false; 7]);
         assert!(!ParityLeader.holds(&inst));
         use lcp_core::harness::{check_soundness_exhaustive, Soundness};
-        match check_soundness_exhaustive(&ParityLeader, &inst, 1) {
+        match check_soundness_exhaustive(
+            &ParityLeader,
+            &lcp_core::engine::prepare(&ParityLeader, &inst),
+            1,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("leaderless C7 certified by {p:?}"),
         }
@@ -287,7 +298,11 @@ mod tests {
             Instance::unlabeled(generators::complete(4)),
             Instance::unlabeled(generators::star(3)),
         ];
-        check_completeness(&scheme, &instances).unwrap();
+        check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
     }
 
     #[test]

@@ -6,9 +6,7 @@ use lcp_core::{Instance, Scheme};
 use lcp_graph::Graph;
 use lcp_lower_bounds::fooling::{fooling_attack, FoolingOutcome, GadgetLayout};
 use lcp_lower_bounds::gluing::{glue_cycles, GluingAttack, GluingOutcome};
-use lcp_lower_bounds::join_collision::{
-    join_collision_attack, rooted_tree_family, JoinOutcome,
-};
+use lcp_lower_bounds::join_collision::{join_collision_attack, rooted_tree_family, JoinOutcome};
 use lcp_lower_bounds::strawman::{ParityLeader, TruncatedUniversal};
 use lcp_schemes::cycles::OddCycle;
 use lcp_schemes::leader::LeaderElection;
@@ -30,12 +28,7 @@ fn gluing_fools_the_constant_size_leader_scheme() {
             assert_eq!(ce.n(), 22, "kn-cycle");
             assert!(ce.verdict.accepted());
             // The forged instance genuinely has two leaders.
-            let leaders = ce
-                .instance
-                .node_labels()
-                .iter()
-                .filter(|&&l| l)
-                .count();
+            let leaders = ce.instance.node_labels().iter().filter(|&&l| l).count();
             assert_eq!(leaders, 2);
         }
         other => panic!("expected Fooled, got {other:?}"),
@@ -81,10 +74,7 @@ fn join_collision_fools_truncated_universal_on_trees() {
         JoinOutcome::Fooled(ce) => {
             assert_eq!(ce.n(), 18, "3k nodes");
             // The hybrid genuinely lacks a fixpoint-free symmetry.
-            assert!(lcp_graph::iso::fixpoint_free_automorphism(
-                ce.instance.graph()
-            )
-            .is_none());
+            assert!(lcp_graph::iso::fixpoint_free_automorphism(ce.instance.graph()).is_none());
         }
         other => panic!("expected Fooled, got {other:?}"),
     }
@@ -113,8 +103,7 @@ fn join_collision_fails_against_the_full_tree_encoding() {
 fn join_collision_fools_truncated_universal_on_asymmetric_graphs() {
     // §6.1 with sampled 7-node asymmetric halves and a tight budget.
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let family =
-        lcp_lower_bounds::join_collision::asymmetric_family(7, 12, &mut rng).unwrap();
+    let family = lcp_lower_bounds::join_collision::asymmetric_family(7, 12, &mut rng).unwrap();
     assert!(family.len() >= 4);
     let scheme = TruncatedUniversal::new("symmetric", 48, lcp_graph::iso::is_symmetric);
     let outcome = join_collision_attack(&scheme, &family);

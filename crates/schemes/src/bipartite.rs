@@ -52,8 +52,8 @@ mod tests {
     use super::*;
     use lcp_core::evaluate;
     use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
-        classify_growth, measure_sizes, GrowthClass, Soundness,
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, classify_growth,
+        measure_sizes, GrowthClass, Soundness,
     };
     use lcp_graph::generators;
     use rand::rngs::StdRng;
@@ -69,8 +69,15 @@ mod tests {
         instances.push(Instance::unlabeled(generators::random_bipartite(
             8, 9, 0.4, &mut rng,
         )));
-        check_completeness(&Bipartite, &instances).unwrap();
-        let points = measure_sizes(&Bipartite, &instances);
+        check_completeness(
+            &Bipartite,
+            &lcp_core::engine::prepare_sweep(&Bipartite, &instances),
+        )
+        .unwrap();
+        let points = measure_sizes(
+            &Bipartite,
+            &lcp_core::engine::prepare_sweep(&Bipartite, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Constant);
         assert!(points.iter().all(|p| p.bits == 1));
     }
@@ -79,7 +86,13 @@ mod tests {
     fn odd_cycle_soundness_exhaustive() {
         for n in [3usize, 5] {
             let inst = Instance::unlabeled(generators::cycle(n));
-            match check_soundness_exhaustive(&Bipartite, &inst, 1) {
+            match check_soundness_exhaustive(
+                &Bipartite,
+                &lcp_core::engine::prepare(&Bipartite, &inst),
+                1,
+            )
+            .unwrap()
+            {
                 Soundness::Holds(tried) => assert_eq!(tried, 3u64.pow(n as u32)),
                 Soundness::Violated(p) => panic!("C{n} certified bipartite by {p:?}"),
             }
@@ -90,7 +103,14 @@ mod tests {
     fn odd_cycle_resists_adversarial_search() {
         let inst = Instance::unlabeled(generators::cycle(9));
         let mut rng = StdRng::seed_from_u64(2);
-        assert!(adversarial_proof_search(&Bipartite, &inst, 3, 1000, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &Bipartite,
+            &lcp_core::engine::prepare(&Bipartite, &inst),
+            3,
+            1000,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]

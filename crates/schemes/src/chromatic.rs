@@ -194,8 +194,8 @@ mod tests {
     use super::*;
     use lcp_core::evaluate;
     use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
-        classify_growth, measure_sizes, GrowthClass, Soundness,
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, classify_growth,
+        measure_sizes, GrowthClass, Soundness,
     };
     use lcp_graph::generators;
     use rand::rngs::StdRng;
@@ -209,7 +209,11 @@ mod tests {
                 Instance::unlabeled(generators::cycle(6)),
                 Instance::unlabeled(generators::grid(3, 3)),
             ];
-            check_completeness(&scheme, &instances).unwrap();
+            check_completeness(
+                &scheme,
+                &lcp_core::engine::prepare_sweep(&scheme, &instances),
+            )
+            .unwrap();
         }
     }
 
@@ -229,7 +233,9 @@ mod tests {
         let scheme = ChromaticAtMost { k: 3 };
         let inst = Instance::unlabeled(generators::complete(4));
         assert!(!scheme.holds(&inst));
-        match check_soundness_exhaustive(&scheme, &inst, 2) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &inst), 2)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("K4 3-coloured by {p:?}"),
         }
@@ -251,7 +257,11 @@ mod tests {
         let instances: Vec<Instance> = (1..6)
             .map(|k| Instance::unlabeled(generators::cycle(2 * k + 3)))
             .collect();
-        check_completeness(&NonBipartite, &instances).unwrap();
+        check_completeness(
+            &NonBipartite,
+            &lcp_core::engine::prepare_sweep(&NonBipartite, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -265,7 +275,11 @@ mod tests {
             }
         }
         assert!(instances.len() >= 5);
-        check_completeness(&NonBipartite, &instances).unwrap();
+        check_completeness(
+            &NonBipartite,
+            &lcp_core::engine::prepare_sweep(&NonBipartite, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -274,20 +288,36 @@ mod tests {
             .iter()
             .map(|&n| Instance::unlabeled(generators::cycle(n)))
             .collect();
-        let points = measure_sizes(&NonBipartite, &instances);
+        let points = measure_sizes(
+            &NonBipartite,
+            &lcp_core::engine::prepare_sweep(&NonBipartite, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
     }
 
     #[test]
     fn even_cycle_rejects_all_small_proofs() {
         let inst = Instance::unlabeled(generators::cycle(4));
-        match check_soundness_exhaustive(&NonBipartite, &inst, 2) {
+        match check_soundness_exhaustive(
+            &NonBipartite,
+            &lcp_core::engine::prepare(&NonBipartite, &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("C4 certified non-bipartite by {p:?}"),
         }
         let mut rng = StdRng::seed_from_u64(4);
         let big = Instance::unlabeled(generators::cycle(8));
-        assert!(adversarial_proof_search(&NonBipartite, &big, 10, 600, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &NonBipartite,
+            &lcp_core::engine::prepare(&NonBipartite, &big),
+            10,
+            600,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]

@@ -111,8 +111,7 @@ mod tests {
     use crate::eulerian::Eulerian;
     use crate::line_graph::LineGraph;
     use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, classify_growth, measure_sizes,
-        GrowthClass,
+        adversarial_proof_search, check_completeness, classify_growth, measure_sizes, GrowthClass,
     };
     use lcp_graph::generators;
     use rand::rngs::StdRng;
@@ -127,7 +126,11 @@ mod tests {
             Instance::unlabeled(generators::complete(4)),
             Instance::unlabeled(generators::grid(2, 4)),
         ];
-        check_completeness(&scheme, &instances).unwrap();
+        check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -137,7 +140,14 @@ mod tests {
         assert!(!scheme.holds(&inst));
         assert!(scheme.prove(&inst).is_none());
         let mut rng = StdRng::seed_from_u64(41);
-        assert!(adversarial_proof_search(&scheme, &inst, 10, 700, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &scheme,
+            &lcp_core::engine::prepare(&scheme, &inst),
+            10,
+            700,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
@@ -148,7 +158,11 @@ mod tests {
             Instance::unlabeled(generators::complete_bipartite(2, 3)),
             Instance::unlabeled(generators::star(5)),
         ];
-        check_completeness(&scheme, &instances).unwrap();
+        check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -158,7 +172,10 @@ mod tests {
             .iter()
             .map(|&n| Instance::unlabeled(generators::path(n)))
             .collect();
-        let points = measure_sizes(&scheme, &instances);
+        let points = measure_sizes(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
     }
 
@@ -167,7 +184,7 @@ mod tests {
         // Rooting the tree at an accepting node must fail at the root.
         let scheme = Complement::new(Eulerian);
         let inst = Instance::unlabeled(generators::path(4)); // endpoints reject
-        // Root at node 1 (degree 2: inner verifier accepts there).
+                                                             // Root at node 1 (degree 2: inner verifier accepts there).
         let tree = lcp_graph::spanning::bfs_spanning_tree(inst.graph(), 1);
         let certs = TreeCert::prove(inst.graph(), &tree);
         let proof = Proof::from_fn(4, |v| {

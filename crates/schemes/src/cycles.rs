@@ -171,7 +171,11 @@ impl Scheme for MaxMatchingCycle {
         let g = inst.graph();
         let covered: Vec<bool> = g
             .nodes()
-            .map(|v| g.neighbors(v).iter().any(|&u| inst.edge_label(v, u).is_some()))
+            .map(|v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| inst.edge_label(v, u).is_some())
+            })
             .collect();
         let tree = lcp_graph::spanning::bfs_spanning_tree(g, 0);
         let counts = CountingTreeCert::prove(g, &tree);
@@ -252,13 +256,21 @@ mod tests {
         let evens: Vec<Instance> = (2..8)
             .map(|k| Instance::unlabeled(generators::cycle(2 * k)))
             .collect();
-        let sizes = check_completeness(&EvenCycle, &evens).unwrap();
+        let sizes = check_completeness(
+            &EvenCycle,
+            &lcp_core::engine::prepare_sweep(&EvenCycle, &evens),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 1));
 
         let odds: Vec<Instance> = (1..7)
             .map(|k| Instance::unlabeled(generators::cycle(2 * k + 3)))
             .collect();
-        check_completeness(&OddCycle, &odds).unwrap();
+        check_completeness(
+            &OddCycle,
+            &lcp_core::engine::prepare_sweep(&OddCycle, &odds),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -269,7 +281,10 @@ mod tests {
             .map(|&n| Instance::unlabeled(generators::cycle(n)))
             .collect();
         assert_eq!(
-            classify_growth(&measure_sizes(&EvenCycle, &evens)),
+            classify_growth(&measure_sizes(
+                &EvenCycle,
+                &lcp_core::engine::prepare_sweep(&EvenCycle, &evens)
+            )),
             GrowthClass::Constant
         );
         let odds: Vec<Instance> = [9usize, 17, 33, 65, 129, 257, 513]
@@ -277,7 +292,10 @@ mod tests {
             .map(|&n| Instance::unlabeled(generators::cycle(n)))
             .collect();
         assert_eq!(
-            classify_growth(&measure_sizes(&OddCycle, &odds)),
+            classify_growth(&measure_sizes(
+                &OddCycle,
+                &lcp_core::engine::prepare_sweep(&OddCycle, &odds)
+            )),
             GrowthClass::Logarithmic
         );
     }
@@ -285,14 +303,18 @@ mod tests {
     #[test]
     fn odd_cycle_rejects_even_cycles_exhaustively() {
         let inst = Instance::unlabeled(generators::cycle(4));
-        match check_soundness_exhaustive(&EvenCycle, &Instance::unlabeled(generators::cycle(5)), 1)
+        let c5 = Instance::unlabeled(generators::cycle(5));
+        match check_soundness_exhaustive(&EvenCycle, &lcp_core::engine::prepare(&EvenCycle, &c5), 1)
+            .unwrap()
         {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("C5 certified even by {p:?}"),
         }
         // OddCycle on C4: certificates don't fit in 2 bits, so this mainly
         // smoke-tests the harness; the real lower bound is the §5.3 attack.
-        match check_soundness_exhaustive(&OddCycle, &inst, 2) {
+        match check_soundness_exhaustive(&OddCycle, &lcp_core::engine::prepare(&OddCycle, &inst), 2)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("C4 certified odd by {p:?}"),
         }
@@ -323,7 +345,13 @@ mod tests {
         let inst = Instance::unlabeled(g).with_edge_set([(0, 1), (3, 4)]);
         assert!(!MaxMatchingCycle.holds(&inst));
         assert!(MaxMatchingCycle.prove(&inst).is_none());
-        match check_soundness_exhaustive(&MaxMatchingCycle, &inst, 2) {
+        match check_soundness_exhaustive(
+            &MaxMatchingCycle,
+            &lcp_core::engine::prepare(&MaxMatchingCycle, &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("submaximal matching certified by {p:?}"),
         }

@@ -59,7 +59,11 @@ mod tests {
             Instance::unlabeled(generators::complete(5)),
             Instance::unlabeled(generators::complete(7)),
         ];
-        let sizes = check_completeness(&Eulerian, &instances).unwrap();
+        let sizes = check_completeness(
+            &Eulerian,
+            &lcp_core::engine::prepare_sweep(&Eulerian, &instances),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 0), "LCP(0): empty proofs");
     }
 
@@ -73,7 +77,9 @@ mod tests {
     #[test]
     fn no_proof_can_help_a_non_eulerian_graph() {
         let inst = Instance::unlabeled(generators::star(3));
-        match check_soundness_exhaustive(&Eulerian, &inst, 1) {
+        match check_soundness_exhaustive(&Eulerian, &lcp_core::engine::prepare(&Eulerian, &inst), 1)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("Eulerian scheme ignores proofs, got {p:?}"),
         }

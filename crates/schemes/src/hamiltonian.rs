@@ -152,8 +152,8 @@ mod tests {
     use super::*;
     use lcp_core::evaluate;
     use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
-        classify_growth, measure_sizes, GrowthClass, Soundness,
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, classify_growth,
+        measure_sizes, GrowthClass, Soundness,
     };
     use lcp_graph::{generators, hamilton};
     use rand::rngs::StdRng;
@@ -175,7 +175,11 @@ mod tests {
             ham_instance(generators::complete_bipartite(3, 3)),
             ham_instance(generators::grid(3, 4)),
         ];
-        check_completeness(&HamiltonianCycle, &instances).unwrap();
+        check_completeness(
+            &HamiltonianCycle,
+            &lcp_core::engine::prepare_sweep(&HamiltonianCycle, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -184,7 +188,10 @@ mod tests {
             .iter()
             .map(|&n| ham_instance(generators::cycle(n)))
             .collect();
-        let points = measure_sizes(&HamiltonianCycle, &instances);
+        let points = measure_sizes(
+            &HamiltonianCycle,
+            &lcp_core::engine::prepare_sweep(&HamiltonianCycle, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
     }
 
@@ -193,11 +200,18 @@ mod tests {
         // K6 contains two disjoint triangles: labelled together they are
         // 2-regular but not a single Hamiltonian cycle.
         let g = generators::complete(6);
-        let inst = Instance::unlabeled(g)
-            .with_edge_set([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let inst =
+            Instance::unlabeled(g).with_edge_set([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
         assert!(!HamiltonianCycle.holds(&inst));
         let mut rng = StdRng::seed_from_u64(61);
-        assert!(adversarial_proof_search(&HamiltonianCycle, &inst, 10, 800, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &HamiltonianCycle,
+            &lcp_core::engine::prepare(&HamiltonianCycle, &inst),
+            10,
+            800,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
@@ -207,7 +221,13 @@ mod tests {
         let g = generators::complete(4);
         let inst = Instance::unlabeled(g).with_edge_set([(0, 1), (1, 2), (0, 2)]);
         assert!(!HamiltonianCycle.holds(&inst));
-        match check_soundness_exhaustive(&HamiltonianCycle, &inst, 2) {
+        match check_soundness_exhaustive(
+            &HamiltonianCycle,
+            &lcp_core::engine::prepare(&HamiltonianCycle, &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("triangle certified Hamiltonian by {p:?}"),
         }

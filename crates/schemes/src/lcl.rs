@@ -140,7 +140,9 @@ pub fn agreement() -> LclProblem<u64> {
         |view| {
             let c = view.center();
             let mine = *view.node_label(c);
-            view.neighbors(c).iter().all(|&u| *view.node_label(u) == mine)
+            view.neighbors(c)
+                .iter()
+                .all(|&u| *view.node_label(u) == mine)
         },
         |inst| {
             // Agreement within every component.
@@ -173,7 +175,8 @@ mod tests {
             }
         }
         let inst = Instance::with_node_data(g, in_set);
-        let sizes = check_completeness(&mis(), &[inst]).unwrap();
+        let sizes =
+            check_completeness(&mis(), &lcp_core::engine::prepare_sweep(&mis(), &[inst])).unwrap();
         assert_eq!(sizes, vec![0]);
     }
 
@@ -182,7 +185,9 @@ mod tests {
         // Empty set on a path: nothing dominates.
         let inst = Instance::with_node_data(generators::path(4), vec![false; 4]);
         assert!(!mis().holds(&inst));
-        match check_soundness_exhaustive(&mis(), &inst, 1) {
+        match check_soundness_exhaustive(&mis(), &lcp_core::engine::prepare(&mis(), &inst), 1)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("LCL fooled by proof {p:?} — it must ignore proofs"),
         }
@@ -200,7 +205,11 @@ mod tests {
     fn coloring_lcl() {
         let g = generators::cycle(6);
         let inst = Instance::with_node_data(g, vec![0usize, 1, 0, 1, 0, 1]);
-        check_completeness(&proper_coloring(2), &[inst]).unwrap();
+        check_completeness(
+            &proper_coloring(2),
+            &lcp_core::engine::prepare_sweep(&proper_coloring(2), &[inst]),
+        )
+        .unwrap();
         let bad = Instance::with_node_data(generators::cycle(5), vec![0, 1, 0, 1, 0]);
         assert!(!proper_coloring(2).holds(&bad));
         let verdict = evaluate(&proper_coloring(2), &bad, &Proof::empty(5));
@@ -218,7 +227,11 @@ mod tests {
     #[test]
     fn agreement_is_lcp_zero_here() {
         let inst = Instance::with_node_data(generators::cycle(5), vec![42u64; 5]);
-        let sizes = check_completeness(&agreement(), &[inst]).unwrap();
+        let sizes = check_completeness(
+            &agreement(),
+            &lcp_core::engine::prepare_sweep(&agreement(), &[inst]),
+        )
+        .unwrap();
         assert_eq!(sizes, vec![0]);
         let bad = Instance::with_node_data(generators::cycle(5), vec![1, 1, 2, 1, 1]);
         assert!(!agreement().holds(&bad));

@@ -72,8 +72,8 @@ mod tests {
     use super::*;
     use lcp_core::evaluate;
     use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
-        classify_growth, measure_sizes, GrowthClass, Soundness,
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, classify_growth,
+        measure_sizes, GrowthClass, Soundness,
     };
     use lcp_graph::generators;
     use rand::rngs::StdRng;
@@ -94,7 +94,11 @@ mod tests {
             let leader = rng.random_range(0..g.n());
             instances.push(with_leader(g, leader));
         }
-        check_completeness(&LeaderElection, &instances).unwrap();
+        check_completeness(
+            &LeaderElection,
+            &lcp_core::engine::prepare_sweep(&LeaderElection, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -103,7 +107,10 @@ mod tests {
             .iter()
             .map(|&n| with_leader(generators::cycle(n), n / 2))
             .collect();
-        let points = measure_sizes(&LeaderElection, &instances);
+        let points = measure_sizes(
+            &LeaderElection,
+            &lcp_core::engine::prepare_sweep(&LeaderElection, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Logarithmic);
     }
 
@@ -114,7 +121,13 @@ mod tests {
         let inst = Instance::with_node_data(g, labels);
         assert!(!LeaderElection.holds(&inst));
         assert!(LeaderElection.prove(&inst).is_none());
-        match check_soundness_exhaustive(&LeaderElection, &inst, 2) {
+        match check_soundness_exhaustive(
+            &LeaderElection,
+            &lcp_core::engine::prepare(&LeaderElection, &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("two leaders certified by {p:?}"),
         }
@@ -126,7 +139,14 @@ mod tests {
         let inst = Instance::with_node_data(g, vec![false; 8]);
         assert!(!LeaderElection.holds(&inst));
         let mut rng = StdRng::seed_from_u64(11);
-        assert!(adversarial_proof_search(&LeaderElection, &inst, 8, 600, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &LeaderElection,
+            &lcp_core::engine::prepare(&LeaderElection, &inst),
+            8,
+            600,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]

@@ -58,7 +58,11 @@ mod tests {
             Instance::unlabeled(lg::line_graph(&generators::complete(4))),
             Instance::unlabeled(lg::line_graph(&generators::grid(2, 3))),
         ];
-        let sizes = check_completeness(&LineGraph, &instances).unwrap();
+        let sizes = check_completeness(
+            &LineGraph,
+            &lcp_core::engine::prepare_sweep(&LineGraph, &instances),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 0));
     }
 

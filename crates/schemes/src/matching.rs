@@ -91,9 +91,7 @@ impl Scheme for MaximumMatchingBipartite {
         let side = traversal::bipartition(g).expect("bipartite by holds()");
         let maximum = gm::maximum_bipartite_matching(g, &side);
         let cover = gm::koenig_vertex_cover(g, &side, &maximum);
-        Some(Proof::from_fn(g.n(), |v| {
-            BitString::from_bits([cover[v]])
-        }))
+        Some(Proof::from_fn(g.n(), |v| BitString::from_bits([cover[v]])))
     }
 
     fn verify(&self, view: &View) -> bool {
@@ -269,7 +267,11 @@ mod tests {
             let m = gm::greedy_maximal_matching(&g);
             instances.push(Instance::unlabeled(g).with_edge_set(m));
         }
-        let sizes = check_completeness(&MaximalMatching, &instances).unwrap();
+        let sizes = check_completeness(
+            &MaximalMatching,
+            &lcp_core::engine::prepare_sweep(&MaximalMatching, &instances),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 0), "LCP(0)");
     }
 
@@ -278,7 +280,13 @@ mod tests {
         // P4 with nothing labelled: the empty matching is not maximal.
         let inst = Instance::unlabeled(generators::path(4));
         assert!(!MaximalMatching.holds(&inst));
-        match check_soundness_exhaustive(&MaximalMatching, &inst, 1) {
+        match check_soundness_exhaustive(
+            &MaximalMatching,
+            &lcp_core::engine::prepare(&MaximalMatching, &inst),
+            1,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("empty matching certified maximal by {p:?}"),
         }
@@ -308,7 +316,11 @@ mod tests {
                 6, 6, 0.4, &mut rng,
             )));
         }
-        let sizes = check_completeness(&MaximumMatchingBipartite, &instances).unwrap();
+        let sizes = check_completeness(
+            &MaximumMatchingBipartite,
+            &lcp_core::engine::prepare_sweep(&MaximumMatchingBipartite, &instances),
+        )
+        .unwrap();
         assert!(sizes.iter().all(|&s| s == 1), "Θ(1): one bit");
     }
 
@@ -318,7 +330,13 @@ mod tests {
         let g = generators::complete_bipartite(2, 2);
         let inst = Instance::unlabeled(g).with_edge_set([(0, 2)]);
         assert!(!MaximumMatchingBipartite.holds(&inst));
-        match check_soundness_exhaustive(&MaximumMatchingBipartite, &inst, 1) {
+        match check_soundness_exhaustive(
+            &MaximumMatchingBipartite,
+            &lcp_core::engine::prepare(&MaximumMatchingBipartite, &inst),
+            1,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("submaximum matching certified by {p:?}"),
         }
@@ -329,10 +347,14 @@ mod tests {
         let inst = Instance::unlabeled(generators::star(4));
         assert!(!MaximumMatchingBipartite.holds(&inst));
         let mut rng = StdRng::seed_from_u64(33);
-        assert!(
-            adversarial_proof_search(&MaximumMatchingBipartite, &inst, 1, 400, &mut rng)
-                .is_none()
-        );
+        assert!(adversarial_proof_search(
+            &MaximumMatchingBipartite,
+            &lcp_core::engine::prepare(&MaximumMatchingBipartite, &inst),
+            1,
+            400,
+            &mut rng
+        )
+        .is_none());
     }
 
     fn weighted_instance(seed: u64) -> Instance<(), WeightedEdge> {
@@ -344,8 +366,7 @@ mod tests {
             .map(|(u, v)| ((u, v), rng.random_range(0..10u64)))
             .collect();
         let sol = gm::max_weight_bipartite_matching(&g, &side, &weights);
-        let matched: std::collections::BTreeSet<(usize, usize)> =
-            sol.edges().into_iter().collect();
+        let matched: std::collections::BTreeSet<(usize, usize)> = sol.edges().into_iter().collect();
         let mut data = EdgeMap::new();
         for (k, w) in weights {
             data.insert(
@@ -361,9 +382,12 @@ mod tests {
 
     #[test]
     fn lp_dual_certificates_accepted() {
-        let instances: Vec<Instance<(), WeightedEdge>> =
-            (0..10).map(weighted_instance).collect();
-        let sizes = check_completeness(&MaxWeightMatchingBipartite, &instances).unwrap();
+        let instances: Vec<Instance<(), WeightedEdge>> = (0..10).map(weighted_instance).collect();
+        let sizes = check_completeness(
+            &MaxWeightMatchingBipartite,
+            &lcp_core::engine::prepare_sweep(&MaxWeightMatchingBipartite, &instances),
+        )
+        .unwrap();
         // γ-coded duals ≤ W = 9: at most 2·⌊log₂ 10⌋ + 1 = 7 bits.
         assert!(sizes.iter().all(|&s| s <= 7), "O(log W) bits: {sizes:?}");
     }
@@ -373,11 +397,29 @@ mod tests {
         // Path a-b-c with weights 2 and 5; matching {a-b} is suboptimal.
         let g = generators::path(3);
         let mut data = EdgeMap::new();
-        data.insert((0, 1), WeightedEdge { weight: 2, matched: true });
-        data.insert((1, 2), WeightedEdge { weight: 5, matched: false });
+        data.insert(
+            (0, 1),
+            WeightedEdge {
+                weight: 2,
+                matched: true,
+            },
+        );
+        data.insert(
+            (1, 2),
+            WeightedEdge {
+                weight: 5,
+                matched: false,
+            },
+        );
         let inst = Instance::with_data(g, vec![(); 3], data);
         assert!(!MaxWeightMatchingBipartite.holds(&inst));
-        match check_soundness_exhaustive(&MaxWeightMatchingBipartite, &inst, 3) {
+        match check_soundness_exhaustive(
+            &MaxWeightMatchingBipartite,
+            &lcp_core::engine::prepare(&MaxWeightMatchingBipartite, &inst),
+            3,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("suboptimal matching certified by {p:?}"),
         }

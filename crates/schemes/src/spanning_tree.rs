@@ -71,11 +71,9 @@ impl Scheme for SpanningTree {
                 return false;
             };
             let labelled = view.edge_label(c, u).is_some();
-            let u_is_my_parent = mine.dist > 0
-                && view.id(u).0 == mine.parent_id
-                && cu.dist + 1 == mine.dist;
-            let i_am_us_parent =
-                cu.dist > 0 && cu.parent_id == my_id && mine.dist + 1 == cu.dist;
+            let u_is_my_parent =
+                mine.dist > 0 && view.id(u).0 == mine.parent_id && cu.dist + 1 == mine.dist;
+            let i_am_us_parent = cu.dist > 0 && cu.parent_id == my_id && mine.dist + 1 == cu.dist;
             // Labelled edges are exactly the parent/child tree edges.
             if labelled != (u_is_my_parent || i_am_us_parent) {
                 return false;
@@ -194,11 +192,11 @@ impl Scheme for Acyclic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcp_core::harness::{
-        adversarial_proof_search, check_completeness, check_soundness_exhaustive,
-        classify_growth, measure_sizes, GrowthClass, Soundness,
-    };
     use lcp_core::evaluate;
+    use lcp_core::harness::{
+        adversarial_proof_search, check_completeness, check_soundness_exhaustive, classify_growth,
+        measure_sizes, GrowthClass, Soundness,
+    };
     use lcp_graph::{generators, ops};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -218,7 +216,11 @@ mod tests {
             let g = generators::random_connected(12, 8, &mut rng);
             instances.push(spanning_tree_instance(g, seed));
         }
-        check_completeness(&SpanningTree, &instances).unwrap();
+        check_completeness(
+            &SpanningTree,
+            &lcp_core::engine::prepare_sweep(&SpanningTree, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -227,7 +229,10 @@ mod tests {
             .iter()
             .map(|&n| spanning_tree_instance(generators::complete(n.min(64)), n as u64))
             .collect();
-        let points = measure_sizes(&SpanningTree, &instances);
+        let points = measure_sizes(
+            &SpanningTree,
+            &lcp_core::engine::prepare_sweep(&SpanningTree, &instances),
+        );
         // Sizes grow with log of id-range; on these sweeps that reads as
         // logarithmic or constant-ish — it must NOT be linear.
         assert_ne!(classify_growth(&points), GrowthClass::Linear);
@@ -240,7 +245,13 @@ mod tests {
         let g = generators::cycle(4);
         let inst = Instance::unlabeled(g).with_edge_set([(0, 1), (2, 3)]);
         assert!(!SpanningTree.holds(&inst));
-        match check_soundness_exhaustive(&SpanningTree, &inst, 2) {
+        match check_soundness_exhaustive(
+            &SpanningTree,
+            &lcp_core::engine::prepare(&SpanningTree, &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("forest certified as tree by {p:?}"),
         }
@@ -254,7 +265,14 @@ mod tests {
         let inst = Instance::unlabeled(g).with_edge_set(all);
         assert!(!SpanningTree.holds(&inst));
         let mut rng = StdRng::seed_from_u64(21);
-        assert!(adversarial_proof_search(&SpanningTree, &inst, 8, 600, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &SpanningTree,
+            &lcp_core::engine::prepare(&SpanningTree, &inst),
+            8,
+            600,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
@@ -284,13 +302,19 @@ mod tests {
             )
             .unwrap(),
         ));
-        check_completeness(&Acyclic, &instances).unwrap();
+        check_completeness(
+            &Acyclic,
+            &lcp_core::engine::prepare_sweep(&Acyclic, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
     fn cycles_rejected_exhaustively() {
         let inst = Instance::unlabeled(generators::cycle(3));
-        match check_soundness_exhaustive(&Acyclic, &inst, 2) {
+        match check_soundness_exhaustive(&Acyclic, &lcp_core::engine::prepare(&Acyclic, &inst), 2)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("triangle certified acyclic by {p:?}"),
         }
@@ -300,6 +324,13 @@ mod tests {
     fn larger_cycles_resist_adversarial_search() {
         let inst = Instance::unlabeled(generators::cycle(7));
         let mut rng = StdRng::seed_from_u64(22);
-        assert!(adversarial_proof_search(&Acyclic, &inst, 8, 800, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &Acyclic,
+            &lcp_core::engine::prepare(&Acyclic, &inst),
+            8,
+            800,
+            &mut rng
+        )
+        .is_none());
     }
 }

@@ -213,11 +213,9 @@ impl Scheme for StConnectivity {
                 let mut conflicts = vec![vec![false; k]; k];
                 for i in 0..k {
                     for j in (i + 1)..k {
-                        let touch = interiors[i].iter().any(|&u| {
-                            interiors[j]
-                                .iter()
-                                .any(|&w| g.has_edge(u, w))
-                        });
+                        let touch = interiors[i]
+                            .iter()
+                            .any(|&u| interiors[j].iter().any(|&w| g.has_edge(u, w)));
                         conflicts[i][j] = touch;
                         conflicts[j][i] = touch;
                     }
@@ -339,10 +337,8 @@ impl Scheme for StConnectivity {
                     return false;
                 }
                 // (iv) C nodes sit at the S→T crossing.
-                if mine.region == Region::C {
-                    if preds[0] != Region::S || succs[0] != Region::T {
-                        return false;
-                    }
+                if mine.region == Region::C && (preds[0] != Region::S || succs[0] != Region::T) {
+                    return false;
                 }
                 true
             }
@@ -457,7 +453,9 @@ mod tests {
         let inst = instance(generators::cycle(4), 0, 2);
         let scheme = StConnectivity::general(1);
         assert!(!scheme.holds(&inst));
-        match check_soundness_exhaustive(&scheme, &inst, 3) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &inst), 3)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("κ=1 forged on C4 by {p:?}"),
         }
@@ -470,7 +468,14 @@ mod tests {
         let scheme = StConnectivity::general(2);
         assert!(!scheme.holds(&inst));
         let mut rng = StdRng::seed_from_u64(51);
-        assert!(adversarial_proof_search(&scheme, &inst, 6, 800, &mut rng).is_none());
+        assert!(adversarial_proof_search(
+            &scheme,
+            &lcp_core::engine::prepare(&scheme, &inst),
+            6,
+            800,
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
@@ -493,7 +498,11 @@ mod tests {
         assert!(done >= 10);
         for (k, instances) in instances_by_k {
             let scheme = StConnectivity::general(k);
-            check_completeness(&scheme, &instances).unwrap_or_else(|f| {
+            check_completeness(
+                &scheme,
+                &lcp_core::engine::prepare_sweep(&scheme, &instances),
+            )
+            .unwrap_or_else(|f| {
                 panic!("k = {k}: {:?}", f.reason);
             });
         }

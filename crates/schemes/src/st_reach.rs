@@ -133,7 +133,11 @@ impl Scheme for StUnreachability {
     fn name(&self) -> String {
         format!(
             "st-unreachability-{}",
-            if self.directed { "directed" } else { "undirected" }
+            if self.directed {
+                "directed"
+            } else {
+                "undirected"
+            }
         )
     }
 
@@ -454,7 +458,13 @@ mod tests {
         let inst = reach_instance(g, 0, 4);
         assert!(!StReachability.holds(&inst));
         assert!(StReachability.prove(&inst).is_none());
-        match check_soundness_exhaustive(&StReachability, &inst, 1) {
+        match check_soundness_exhaustive(
+            &StReachability,
+            &lcp_core::engine::prepare(&StReachability, &inst),
+            1,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("reachability forged by {p:?}"),
         }
@@ -476,11 +486,7 @@ mod tests {
         assert!(verdict.rejecting().contains(&t));
     }
 
-    fn undirected_unreach(
-        g: lcp_graph::Graph,
-        s: usize,
-        t: usize,
-    ) -> Instance<StMark, ArcDir> {
+    fn undirected_unreach(g: lcp_graph::Graph, s: usize, t: usize) -> Instance<StMark, ArcDir> {
         let marks = StMark::mark(g.n(), s, t);
         Instance::with_data(g, marks, Default::default())
     }
@@ -505,7 +511,9 @@ mod tests {
         let inst = undirected_unreach(generators::path(4), 0, 3);
         let scheme = StUnreachability::undirected();
         assert!(!scheme.holds(&inst));
-        match check_soundness_exhaustive(&scheme, &inst, 1) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &inst), 1)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("unreachability forged by {p:?}"),
         }
@@ -536,7 +544,9 @@ mod tests {
         let inst = Instance::with_data(g, marks, edges);
         let scheme = StUnreachability::directed();
         assert!(!scheme.holds(&inst));
-        match check_soundness_exhaustive(&scheme, &inst, 1) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &inst), 1)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("directed unreachability forged by {p:?}"),
         }
@@ -582,7 +592,13 @@ mod tests {
         edges.insert((1, 2), ArcDir::Backward);
         let inst = Instance::with_data(g, StMark::mark(3, 0, 2), edges);
         assert!(!StReachabilityDirected.holds(&inst));
-        match check_soundness_exhaustive(&StReachabilityDirected, &inst, 3) {
+        match check_soundness_exhaustive(
+            &StReachabilityDirected,
+            &lcp_core::engine::prepare(&StReachabilityDirected, &inst),
+            3,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("directed reachability forged by {p:?}"),
         }

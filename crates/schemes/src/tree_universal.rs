@@ -227,7 +227,11 @@ mod tests {
         let instances: Vec<Instance> = (3..7)
             .map(|k| Instance::unlabeled(doubled_tree(k, k as u64)))
             .collect();
-        check_completeness(&scheme, &instances).unwrap();
+        check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -246,7 +250,10 @@ mod tests {
             .iter()
             .map(|&n| Instance::unlabeled(generators::path(n)))
             .collect();
-        let points = measure_sizes(&scheme, &instances);
+        let points = measure_sizes(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Linear);
     }
 
@@ -285,7 +292,9 @@ mod tests {
         // P3: every automorphism fixes the middle; no ≤2-bit proof helps.
         let scheme = tree_fixpoint_free();
         let inst = Instance::unlabeled(generators::path(3));
-        match check_soundness_exhaustive(&scheme, &inst, 2) {
+        match check_soundness_exhaustive(&scheme, &lcp_core::engine::prepare(&scheme, &inst), 2)
+            .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("P3 forged by {p:?}"),
         }

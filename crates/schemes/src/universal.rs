@@ -136,11 +136,7 @@ where
             .map(|&u| decoded.id(u))
             .collect();
         claimed.sort_unstable();
-        let mut actual: Vec<NodeId> = view
-            .neighbors(c)
-            .iter()
-            .map(|&u| view.id(u))
-            .collect();
+        let mut actual: Vec<NodeId> = view.neighbors(c).iter().map(|&u| view.id(u)).collect();
         actual.sort_unstable();
         if claimed != actual {
             return false;
@@ -169,7 +165,10 @@ pub fn non_three_colorable() -> Universal<impl Fn(&Graph) -> bool> {
 pub fn prime_order() -> Universal<impl Fn(&Graph) -> bool> {
     Universal::new("prime-n", |g: &Graph| {
         let n = g.n();
-        n >= 2 && (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0)
+        n >= 2
+            && (2..n)
+                .take_while(|d| d * d <= n)
+                .all(|d| !n.is_multiple_of(d))
     })
 }
 
@@ -191,7 +190,11 @@ mod tests {
             Instance::unlabeled(generators::star(3)),
             Instance::unlabeled(generators::complete_bipartite(2, 3)),
         ];
-        check_completeness(&symmetric_graph(), &instances).unwrap();
+        check_completeness(
+            &symmetric_graph(),
+            &lcp_core::engine::prepare_sweep(&symmetric_graph(), &instances),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod tests {
             .iter()
             .map(|&n| Instance::unlabeled(generators::cycle(n)))
             .collect();
-        let points = measure_sizes(&scheme, &instances);
+        let points = measure_sizes(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        );
         assert_eq!(classify_growth(&points), GrowthClass::Quadratic);
     }
 
@@ -249,7 +255,13 @@ mod tests {
         // prime-n on a 4-cycle (4 is composite): nothing of ≤ 2 bits helps
         // (a valid encoding of a 4-node graph needs ≥ 4 + 6 bits anyway).
         let inst = Instance::unlabeled(generators::cycle(4));
-        match check_soundness_exhaustive(&prime_order(), &inst, 2) {
+        match check_soundness_exhaustive(
+            &prime_order(),
+            &lcp_core::engine::prepare(&prime_order(), &inst),
+            2,
+        )
+        .unwrap()
+        {
             Soundness::Holds(_) => {}
             Soundness::Violated(p) => panic!("prime-n forged by {p:?}"),
         }

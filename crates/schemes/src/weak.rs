@@ -156,7 +156,10 @@ mod tests {
                 .prove(&Instance::with_node_data(g, labels))
                 .unwrap()
                 .size();
-            assert!(weak <= strong + 2 && strong <= weak + 2, "n={n}: {weak} vs {strong}");
+            assert!(
+                weak <= strong + 2 && strong <= weak + 2,
+                "n={n}: {weak} vs {strong}"
+            );
         }
     }
 

@@ -143,11 +143,8 @@ fn reconstruct_view<N: Clone, E: Clone>(
     // index, which every node can recover because identifiers are unique.
     let mut members: Vec<NodeId> = order;
     members.sort_by_key(|id| g.index_of(*id).expect("known ids exist in g"));
-    let index_of: BTreeMap<NodeId, usize> = members
-        .iter()
-        .enumerate()
-        .map(|(i, &id)| (id, i))
-        .collect();
+    let index_of: BTreeMap<NodeId, usize> =
+        members.iter().enumerate().map(|(i, &id)| (id, i)).collect();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
     let mut edge_data: EdgeMap<E> = EdgeMap::new();
     for (i, &id) in members.iter().enumerate() {
@@ -168,14 +165,9 @@ fn reconstruct_view<N: Clone, E: Clone>(
     }
     let ids: Vec<NodeId> = members.clone();
     let dists: Vec<usize> = members.iter().map(|id| dist[id]).collect();
-    let labels: Vec<N> = members
-        .iter()
-        .map(|id| known[id].label.clone())
-        .collect();
-    let proofs: Vec<lcp_core::BitString> = members
-        .iter()
-        .map(|id| known[id].proof.clone())
-        .collect();
+    let labels: Vec<N> = members.iter().map(|id| known[id].label.clone()).collect();
+    let proofs: Vec<lcp_core::BitString> =
+        members.iter().map(|id| known[id].proof.clone()).collect();
     let center = index_of[&my_id];
     View::from_parts(center, r, ids, adj, dists, labels, edge_data, proofs)
 }
@@ -219,7 +211,7 @@ mod tests {
                     h = h.wrapping_mul(17).wrapping_add(view.id(w).0);
                 }
             }
-            h % 2 == 0
+            h.is_multiple_of(2)
         }
     }
 
@@ -291,9 +283,7 @@ mod tests {
                 true
             }
             fn prove(&self, inst: &Instance) -> Option<Proof> {
-                Some(Proof::from_fn(inst.n(), |_| {
-                    BitString::from_bits([false])
-                }))
+                Some(Proof::from_fn(inst.n(), |_| BitString::from_bits([false])))
             }
             fn verify(&self, view: &View) -> bool {
                 view.nodes().all(|u| view.proof(u).first() == Some(false))

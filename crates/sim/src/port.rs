@@ -222,10 +222,7 @@ pub fn dfs_interval_labels(g: &Graph, tree: &RootedTree) -> Vec<(usize, usize)> 
 ///    `x(c_{i+1}) = y(c_i) + 1`, and `y(v) = y(c_k) + 1`.
 ///
 /// Returns the indices of nodes whose local check fails (empty = valid).
-pub fn verify_dfs_intervals(
-    tree: &RootedTree,
-    labels: &[(usize, usize)],
-) -> Vec<usize> {
+pub fn verify_dfs_intervals(tree: &RootedTree, labels: &[(usize, usize)]) -> Vec<usize> {
     let n = labels.len();
     let children = tree.children();
     let mut bad = Vec::new();

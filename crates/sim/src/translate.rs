@@ -17,9 +17,7 @@
 //!   the synthesized identifiers.
 
 use crate::port::PortView;
-use lcp_core::{
-    BitReader, BitString, BitWriter, EdgeMap, Instance, Proof, Scheme, Verdict, View,
-};
+use lcp_core::{BitReader, BitString, BitWriter, EdgeMap, Instance, Proof, Scheme, Verdict, View};
 use lcp_graph::NodeId;
 
 /// A proof labelling scheme in model `M2`: anonymous network with a port
@@ -72,10 +70,7 @@ pub fn evaluate_anonymous<S: AnonymousScheme>(
     Verdict::from_outputs(outputs)
 }
 
-fn flag_leader<N: Clone, E: Clone>(
-    inst: &Instance<N, E>,
-    leader: usize,
-) -> Instance<(N, bool), E> {
+fn flag_leader<N: Clone, E: Clone>(inst: &Instance<N, E>, leader: usize) -> Instance<(N, bool), E> {
     let labels: Vec<(N, bool)> = inst
         .graph()
         .nodes()
@@ -599,7 +594,10 @@ mod tests {
             sizes.push(proof.size());
         }
         // Roughly +O(log n) per 4× growth; certainly not linear.
-        assert!(sizes[2] < sizes[0] * 4, "overhead must stay logarithmic: {sizes:?}");
+        assert!(
+            sizes[2] < sizes[0] * 4,
+            "overhead must stay logarithmic: {sizes:?}"
+        );
     }
 
     #[test]
@@ -628,7 +626,11 @@ mod tests {
             Instance::unlabeled(generators::grid(2, 5)),
             Instance::unlabeled(generators::complete_bipartite(3, 4)),
         ];
-        lcp_core::harness::check_completeness(&scheme, &instances).unwrap();
+        lcp_core::harness::check_completeness(
+            &scheme,
+            &lcp_core::engine::prepare_sweep(&scheme, &instances),
+        )
+        .unwrap();
     }
 
     #[test]

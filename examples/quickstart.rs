@@ -30,11 +30,17 @@ fn main() {
 
     // …and its neighbours raise the alarm.
     let verdict = evaluate(&Bipartite, &inst, &forged);
-    println!(
-        "tampered proof rejected by nodes {:?}",
-        verdict.rejecting()
-    );
+    println!("tampered proof rejected by nodes {:?}", verdict.rejecting());
     assert!(!verdict.accepted());
+
+    // When the same instance faces many candidate proofs, prepare it
+    // once: the engine caches every node's view skeleton and each proof
+    // only swaps bit strings (see `lcp_core::engine`).
+    let prep = lcp::core::prepare(&Bipartite, &inst);
+    assert!(prep.evaluate(&Bipartite, &proof).accepted());
+    let first_alarm = prep.evaluate_until_reject(&Bipartite, &forged);
+    println!("engine: first alarm at node {first_alarm:?}");
+    assert!(first_alarm.is_some());
 
     // On an odd cycle no proof exists at all: the prover refuses, and
     // (as the exhaustive harness confirms in the tests) every 1-bit

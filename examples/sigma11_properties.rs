@@ -35,7 +35,9 @@ fn main() {
     let proof = pc.prove(&c6).expect("C6 has a perfect code");
     println!("perfect code on C6: {} bits/node", proof.size());
     assert!(evaluate(&pc, &c6, &proof).accepted());
-    assert!(pc.prove(&Instance::unlabeled(generators::cycle(5))).is_none());
+    assert!(pc
+        .prove(&Instance::unlabeled(generators::cycle(5)))
+        .is_none());
     println!("C5: prover refuses (no perfect code) ✓");
 
     // Triangle containment, where the ∃x witness matters: the spanning
@@ -46,10 +48,7 @@ fn main() {
     g.add_edge(u, v).expect("chord creates a triangle");
     let inst = Instance::unlabeled(g);
     let proof = tri.prove(&inst).expect("triangle exists");
-    println!(
-        "triangle witness on C12+chord: {} bits/node",
-        proof.size()
-    );
+    println!("triangle witness on C12+chord: {} bits/node", proof.size());
     assert!(evaluate(&tri, &inst, &proof).accepted());
 
     let c12 = Instance::unlabeled(generators::cycle(12));

@@ -2,6 +2,7 @@
 //! adapters composing across crates, and full Table-1-style sweeps
 //! through the public facade.
 
+use lcp::core::engine::prepare_sweep;
 use lcp::core::harness::{check_completeness, classify_growth, measure_sizes, GrowthClass};
 use lcp::core::{evaluate, Instance, Proof, Scheme};
 use lcp::graph::{generators, Graph, NodeId};
@@ -27,16 +28,13 @@ fn distributed_equals_centralized_across_schemes() {
         for_scheme_check(&Eulerian, &inst);
         for_scheme_check(&NonBipartite, &inst);
         // Leader election.
-        let leader_inst =
-            Instance::with_node_data(g.clone(), (0..g.n()).map(|v| v == 0).collect());
+        let leader_inst = Instance::with_node_data(g.clone(), (0..g.n()).map(|v| v == 0).collect());
         for_scheme_check(&LeaderElection, &leader_inst);
     }
 }
 
 fn for_scheme_check<S: Scheme>(scheme: &S, inst: &Instance<S::Node, S::Edge>) {
-    let proof = scheme
-        .prove(inst)
-        .unwrap_or_else(|| Proof::empty(inst.n()));
+    let proof = scheme.prove(inst).unwrap_or_else(|| Proof::empty(inst.n()));
     let central = evaluate(scheme, inst, &proof);
     let (distributed, _) = run_distributed(scheme, inst, &proof);
     assert_eq!(central, distributed, "{} diverged", scheme.name());
@@ -64,7 +62,7 @@ fn hierarchy_separation_in_one_sweep() {
         .map(|&n| Instance::unlabeled(generators::cycle(n)))
         .collect();
     assert_eq!(
-        classify_growth(&measure_sizes(&Eulerian, &eul)),
+        classify_growth(&measure_sizes(&Eulerian, &prepare_sweep(&Eulerian, &eul))),
         GrowthClass::Zero
     );
     // LCP(1): bipartiteness.
@@ -73,7 +71,7 @@ fn hierarchy_separation_in_one_sweep() {
         .map(|&n| Instance::unlabeled(generators::cycle(n)))
         .collect();
     assert_eq!(
-        classify_growth(&measure_sizes(&Bipartite, &bip)),
+        classify_growth(&measure_sizes(&Bipartite, &prepare_sweep(&Bipartite, &bip))),
         GrowthClass::Constant
     );
     // LogLCP: non-bipartiteness.
@@ -82,7 +80,10 @@ fn hierarchy_separation_in_one_sweep() {
         .map(|&n| Instance::unlabeled(generators::cycle(n)))
         .collect();
     assert_eq!(
-        classify_growth(&measure_sizes(&NonBipartite, &nonbip)),
+        classify_growth(&measure_sizes(
+            &NonBipartite,
+            &prepare_sweep(&NonBipartite, &nonbip)
+        )),
         GrowthClass::Logarithmic
     );
     // LCP(poly): the universal scheme.
@@ -92,7 +93,7 @@ fn hierarchy_separation_in_one_sweep() {
         .map(|&n| Instance::unlabeled(generators::cycle(n)))
         .collect();
     assert_eq!(
-        classify_growth(&measure_sizes(&uni, &primes)),
+        classify_growth(&measure_sizes(&uni, &prepare_sweep(&uni, &primes))),
         GrowthClass::Quadratic
     );
 }
@@ -108,7 +109,8 @@ fn schemes_are_identifier_invariant() {
         let tree = lcp::graph::spanning::bfs_spanning_tree(&graph, 0);
         let edges = tree.edges();
         let inst = Instance::unlabeled(graph).with_edge_set(edges.iter().map(|&(c, p)| (c, p)));
-        check_completeness(&SpanningTree, std::slice::from_ref(&inst)).unwrap();
+        let prepared = prepare_sweep(&SpanningTree, std::slice::from_ref(&inst));
+        check_completeness(&SpanningTree, &prepared).unwrap();
     }
 }
 
@@ -154,7 +156,8 @@ fn harness_catches_a_broken_scheme() {
         }
     }
     let inst = Instance::unlabeled(generators::path(3));
-    let result = check_completeness(&Broken, &[inst]);
+    let instances = [inst];
+    let result = check_completeness(&Broken, &prepare_sweep(&Broken, &instances));
     assert!(result.is_err());
 }
 

@@ -104,7 +104,7 @@ proptest! {
                         h = h.wrapping_mul(131).wrapping_add(view.id(w).0);
                     }
                 }
-                h % 3 != 0
+                !h.is_multiple_of(3)
             }
         }
         let inst = Instance::unlabeled(g);

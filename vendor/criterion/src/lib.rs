@@ -1,0 +1,287 @@
+//! Offline drop-in subset of `criterion`.
+//!
+//! The build environment has no registry access, so the benchmarking API
+//! this workspace's `benches/` use is reimplemented here behind the same
+//! paths: [`Criterion`], [`BenchmarkId`], benchmark groups with
+//! `sample_size` / `bench_function` / `bench_with_input`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up once, then timed for
+//! `sample_size` samples; the mean and minimum per-iteration wall time
+//! are printed in criterion-like layout. In `--test` mode (what
+//! `cargo bench -- --test` passes, and what CI smoke runs use) each
+//! benchmark body runs exactly once and nothing is timed. There is no
+//! statistical analysis, HTML report, or baseline persistence — swap the
+//! path dependency for the real crate once a registry is reachable.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Formats a duration in criterion-like adaptive units.
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (`cargo bench` passes
+    /// `--bench`; `-- --test` requests smoke mode; a bare string filters
+    /// benchmark names by substring).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Whether `--test` smoke mode is active.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Whether `name` survives the command-line filter — for bench code
+    /// that does untimed side work (snapshots, comparisons) outside the
+    /// `bench_function` registration path and should honour filtering.
+    pub fn filter_matches(&self, name: &str) -> bool {
+        self.selected(name)
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size;
+        self.run_one(id.to_string(), samples, f);
+    }
+
+    fn run_one<F>(&mut self, full_name: String, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.selected(&full_name) {
+            return;
+        }
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+            min: Duration::MAX,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {full_name} ... ok");
+        } else if b.iters > 0 {
+            let mean = b.total / b.iters as u32;
+            println!(
+                "{full_name:<48} time: [mean {} / best {}]  ({} iterations)",
+                fmt_time(mean),
+                fmt_time(b.min),
+                b.iters,
+            );
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.c.default_sample_size);
+        self.c.run_one(full, samples, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.render(), |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Builds an identifier from a function name and a displayed parameter.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function: S, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times the closure.
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    total: Duration,
+    iters: usize,
+    min: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` once in `--test` mode; otherwise warms up once and times
+    /// `sample_size` iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        black_box(f()); // warm-up
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters += 1;
+        }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(ran, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut ran = 0usize;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert_eq!(ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            ..Criterion::default()
+        };
+        let mut ran = 0usize;
+        c.bench_function("other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.bench_function("match-me-too", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn id_renders_function_and_param() {
+        assert_eq!(BenchmarkId::new("f", 32).render(), "f/32");
+    }
+}

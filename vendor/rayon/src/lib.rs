@@ -1,0 +1,213 @@
+//! Offline drop-in subset of `rayon`'s parallel-iterator API.
+//!
+//! The build environment has no registry access, so the narrow slice of
+//! rayon this workspace uses (`par_iter()` / `into_par_iter()` → `map` →
+//! `collect`) is implemented here over `std::thread::scope`, behind the
+//! same paths (`rayon::prelude::*`). Work is split into one contiguous
+//! chunk per available core; results are reassembled in input order, so
+//! `collect::<Vec<_>>()` is order-stable exactly like real rayon's
+//! indexed collect. Swap the path dependency for the real crate once a
+//! registry is reachable; call sites need no changes.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads: one per available core.
+fn threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item on a scoped thread pool, preserving order.
+fn par_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let c: Vec<T> = items.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+}
+
+/// A parallel iterator: a materialized item list plus a deferred `map`
+/// pipeline that runs on the pool at `collect` time.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes all results, running the pipeline in parallel.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` (in parallel at `collect` time).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects into `C` preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_vec(self.run())
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type (a reference).
+    type Item: Send + 'a;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterates `&self` in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Collection types buildable from an ordered parallel result.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from the ordered results.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// The base parallel iterator: an eagerly materialized item list.
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A deferred parallel map stage.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = IntoParIter<usize>;
+    fn into_par_iter(self) -> IntoParIter<usize> {
+        IntoParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = IntoParIter<&'a T>;
+    fn par_iter(&'a self) -> IntoParIter<&'a T> {
+        IntoParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 257);
+        assert_eq!(squares[16], 256);
+    }
+
+    #[test]
+    fn chained_maps() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}
