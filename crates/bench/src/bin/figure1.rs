@@ -35,6 +35,9 @@ fn gluing_summary<N, E>(outcome: &GluingOutcome<N, E>) -> String {
             format!("survived (rejected at {} nodes)", rejecting.len())
         }
         GluingOutcome::ProverFailed => "prover failed".into(),
+        GluingOutcome::HonestProofRejected { pair, node } => {
+            format!("honest proof of C{pair:?} rejected at node {node}")
+        }
     }
 }
 

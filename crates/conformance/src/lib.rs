@@ -1,0 +1,786 @@
+//! # `lcp-conformance` — the seeded conformance campaign
+//!
+//! Table 1 of the paper is a *matrix*: every scheme against every graph
+//! class with a claimed proof-size bound. This crate makes that matrix
+//! executable: it sweeps every entry of the scheme registry
+//! ([`lcp_schemes::registry`], extended with `lcp-logic`'s Σ¹₁ scheme)
+//! across a seeded grid of graph families, sizes, and polarities, and on
+//! each cell runs
+//!
+//! * **completeness** on yes-instances (honest proof accepted
+//!   everywhere, size recorded),
+//! * **bounded exhaustive soundness** on small no-instances (every
+//!   proof up to the bit budget rejected somewhere),
+//! * **adversarial bit-flip probing** — seeded hill-climbing proof
+//!   search on larger no-instances, and single-bit tamper probes
+//!   against honest proofs,
+//! * **measured-vs-claimed proof size**: per scheme, the `(n, bits)`
+//!   points of the yes cells are fitted with
+//!   [`lcp_core::harness::classify_growth`] and compared against the
+//!   paper's claimed bound (an upper bound: measuring *smaller* passes).
+//!
+//! Everything runs on the cached-view engine through the type-erased
+//! [`DynScheme`] layer; with the `parallel` feature (default) the cells
+//! fan out across cores. The report is deterministic in the
+//! configuration: cells carry their own seeds (derived from the campaign
+//! seed and the cell coordinates), results are reassembled in matrix
+//! order, and [`Report::to_json`] with `include_timing = false` is
+//! byte-identical across runs, machines, and thread schedules — the
+//! property CI and the determinism test pin.
+
+use lcp_core::dynamic::{DynScheme, TamperProbe};
+use lcp_core::harness::{classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness};
+use lcp_core::Scheme;
+use lcp_graph::families::GraphFamily;
+use lcp_logic::{formulas, Sigma11Scheme};
+use lcp_schemes::registry::{self, CellRequest, Polarity, SchemeEntry};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[cfg(feature = "parallel")]
+use rayon::prelude::*;
+
+// ---------------------------------------------------------------------
+// Registry (lcp-schemes + out-of-crate schemes)
+// ---------------------------------------------------------------------
+
+fn b_sigma11(req: &CellRequest) -> Option<DynScheme> {
+    use GraphFamily::*;
+    if !matches!(req.family, Path | Cycle | Grid | Tree) {
+        return None;
+    }
+    // Every connected graph has an independent dominating set (any
+    // maximal independent set), so the property has no no-instances
+    // inside the connected promise.
+    match req.polarity {
+        Polarity::Yes => {
+            let g = req.family.generate(req.n, req.seed);
+            let scheme = Sigma11Scheme::new(formulas::independent_dominating_set(), |g| {
+                formulas::independent_dominating_witness(g)
+            });
+            Some(DynScheme::seal(scheme, lcp_core::Instance::unlabeled(g)))
+        }
+        Polarity::No => None,
+    }
+}
+
+/// The campaign's scheme registry: everything in
+/// [`lcp_schemes::registry::all`] plus the Σ¹₁ scheme from `lcp-logic`.
+pub fn campaign_registry() -> Vec<SchemeEntry> {
+    let mut entries = registry::all();
+    let sigma_radius = Sigma11Scheme::new(formulas::independent_dominating_set(), |g| {
+        formulas::independent_dominating_witness(g)
+    })
+    .radius();
+    entries.push(SchemeEntry {
+        id: "sigma11-independent-dominating",
+        title: "monadic Σ¹₁ (indep. dominating)",
+        paper_row: "1(a) §7.5",
+        claimed_bound: "O(log n)",
+        claimed_growth: GrowthClass::Logarithmic,
+        families: &[
+            GraphFamily::Path,
+            GraphFamily::Cycle,
+            GraphFamily::Grid,
+            GraphFamily::Tree,
+        ],
+        radius: sigma_radius,
+        max_n: 32,
+        builder: b_sigma11,
+    });
+    entries
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Preset campaign sizes and budgets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// The CI profile: small sizes, modest budgets, < 1 min.
+    Smoke,
+    /// The nightly profile: wider size spread, deeper adversarial
+    /// searches.
+    Full,
+}
+
+impl Profile {
+    /// Stable name for reports and `--profile`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+        }
+    }
+
+    /// Parses a [`Self::name`].
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "full" => Some(Profile::Full),
+            _ => None,
+        }
+    }
+}
+
+/// A fully resolved campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Campaign seed; every cell derives its own stream from this plus
+    /// its matrix coordinates.
+    pub seed: u64,
+    /// The profile the defaults came from (recorded in the report).
+    pub profile: Profile,
+    /// Instance sizes per scheme (clamped by each entry's `max_n`).
+    pub sizes: Vec<usize>,
+    /// Single-bit tamper trials per yes cell.
+    pub tamper_trials: usize,
+    /// Hill-climbing steps per adversarial soundness cell.
+    pub adversarial_iterations: usize,
+    /// Largest proof space (number of candidate proofs) the exhaustive
+    /// soundness check may enumerate; bigger no-cells fall back to the
+    /// adversarial search.
+    pub exhaustive_limit: u128,
+    /// Restrict to one scheme id (CLI `--scheme`).
+    pub scheme_filter: Option<String>,
+    /// Restrict to one family (CLI `--family`).
+    pub family_filter: Option<GraphFamily>,
+}
+
+impl CampaignConfig {
+    /// The defaults for `profile` with the given seed.
+    pub fn for_profile(profile: Profile, seed: u64) -> CampaignConfig {
+        match profile {
+            Profile::Smoke => CampaignConfig {
+                seed,
+                profile,
+                sizes: vec![8, 16, 32],
+                tamper_trials: 8,
+                adversarial_iterations: 400,
+                exhaustive_limit: 100_000,
+                scheme_filter: None,
+                family_filter: None,
+            },
+            Profile::Full => CampaignConfig {
+                seed,
+                profile,
+                sizes: vec![8, 16, 32, 64],
+                tamper_trials: 32,
+                adversarial_iterations: 2_000,
+                exhaustive_limit: 5_000_000,
+                scheme_filter: None,
+                family_filter: None,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------
+
+/// Verdict of one cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The applicable check succeeded.
+    Pass,
+    /// Completeness failed or a soundness violation was found.
+    Fail,
+    /// The `(family, polarity)` combination is inapplicable to the
+    /// scheme.
+    Skip,
+}
+
+impl CellStatus {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Pass => "pass",
+            CellStatus::Fail => "fail",
+            CellStatus::Skip => "skip",
+        }
+    }
+}
+
+/// One `(scheme, family, size, polarity)` cell of the campaign matrix.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Registry id of the scheme.
+    pub scheme: &'static str,
+    /// Graph family the instance came from.
+    pub family: GraphFamily,
+    /// Requested size (pre-clamping/rounding).
+    pub requested_n: usize,
+    /// Actual `n(G)` of the built instance (0 for skipped cells).
+    pub n: usize,
+    /// The builder's intent; ground truth may differ (see `holds`).
+    pub polarity: Polarity,
+    /// Ground truth of the built instance.
+    pub holds: bool,
+    /// Verdict.
+    pub status: CellStatus,
+    /// Which check ran: `completeness`, `soundness-exhaustive`,
+    /// `soundness-adversarial`, or `inapplicable`.
+    pub check: &'static str,
+    /// Honest proof size in bits per node (yes cells).
+    pub proof_bits: Option<usize>,
+    /// A witness node: first rejector on a completeness failure, or the
+    /// tamper probe's rejecting node.
+    pub witness_node: Option<usize>,
+    /// Tamper probe outcome (yes cells with proof bits).
+    pub tamper: Option<TamperProbe>,
+    /// Deterministic human-readable detail.
+    pub detail: String,
+    /// Wall time of the cell (excluded from deterministic JSON).
+    pub wall_ms: u128,
+}
+
+/// Per-scheme aggregation: all cells plus the measured-vs-claimed
+/// proof-size comparison.
+#[derive(Clone, Debug)]
+pub struct SchemeReport {
+    /// Registry id.
+    pub id: &'static str,
+    /// Human-readable property / problem name.
+    pub title: &'static str,
+    /// Paper row reference.
+    pub paper_row: &'static str,
+    /// Claimed bound, verbatim.
+    pub claimed_bound: &'static str,
+    /// Claimed bound as a growth class.
+    pub claimed_growth: GrowthClass,
+    /// Measured `(n, bits)` points from the accepted yes cells.
+    pub points: Vec<SizePoint>,
+    /// Fitted growth class, when enough spread was measured.
+    pub measured_growth: Option<GrowthClass>,
+    /// `Some(true)` when measured ≤ claimed, `Some(false)` on an
+    /// overshoot, `None` when the spread was too small to fit.
+    pub bound_ok: Option<bool>,
+    /// All cells of this scheme, in matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+/// The whole campaign outcome.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Profile name.
+    pub profile: &'static str,
+    /// Whether cells ran in parallel.
+    pub parallel: bool,
+    /// Per-scheme reports, in registry order.
+    pub schemes: Vec<SchemeReport>,
+    /// Total campaign wall time (excluded from deterministic JSON).
+    pub wall_ms: u128,
+}
+
+impl Report {
+    /// Cells in all schemes.
+    pub fn cell_count(&self) -> usize {
+        self.schemes.iter().map(|s| s.cells.len()).sum()
+    }
+
+    /// Cells with the given status.
+    pub fn count(&self, status: CellStatus) -> usize {
+        self.schemes
+            .iter()
+            .flat_map(|s| &s.cells)
+            .filter(|c| c.status == status)
+            .count()
+    }
+
+    /// Human-readable failure lines (cell failures and bound
+    /// overshoots).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for s in &self.schemes {
+            for c in &s.cells {
+                if c.status == CellStatus::Fail {
+                    out.push(format!(
+                        "{} on {}/n={}/{}: {}",
+                        c.scheme,
+                        c.family.name(),
+                        c.n,
+                        c.polarity.name(),
+                        c.detail
+                    ));
+                }
+            }
+            if s.bound_ok == Some(false) {
+                out.push(format!(
+                    "{}: measured {} exceeds claimed {} ({})",
+                    s.id,
+                    s.measured_growth.expect("bound_ok implies a fit"),
+                    s.claimed_bound,
+                    render_points(&s.points),
+                ));
+            }
+        }
+        out
+    }
+
+    /// Whether the campaign is green: no failed cells, no bound
+    /// overshoots.
+    pub fn ok(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Serializes the report as JSON.
+    ///
+    /// With `include_timing = false` the output is byte-identical for a
+    /// given configuration regardless of wall clock, machine, or thread
+    /// schedule — the form CI diffs and the determinism test pins.
+    pub fn to_json(&self, include_timing: bool) -> String {
+        let mut w = String::with_capacity(1 << 16);
+        w.push_str("{\n");
+        let _ = writeln!(w, "  \"version\": 1,");
+        let _ = writeln!(w, "  \"seed\": {},", self.seed);
+        let _ = writeln!(w, "  \"profile\": {},", json_str(self.profile));
+        let _ = writeln!(w, "  \"parallel\": {},", self.parallel);
+        if include_timing {
+            let _ = writeln!(w, "  \"wall_ms\": {},", self.wall_ms);
+        }
+        let _ = writeln!(
+            w,
+            "  \"summary\": {{ \"cells\": {}, \"passed\": {}, \"failed\": {}, \"skipped\": {} }},",
+            self.cell_count(),
+            self.count(CellStatus::Pass),
+            self.count(CellStatus::Fail),
+            self.count(CellStatus::Skip)
+        );
+        w.push_str("  \"schemes\": [\n");
+        for (i, s) in self.schemes.iter().enumerate() {
+            w.push_str("    {\n");
+            let _ = writeln!(w, "      \"id\": {},", json_str(s.id));
+            let _ = writeln!(w, "      \"title\": {},", json_str(s.title));
+            let _ = writeln!(w, "      \"paper_row\": {},", json_str(s.paper_row));
+            let _ = writeln!(w, "      \"claimed_bound\": {},", json_str(s.claimed_bound));
+            let _ = writeln!(
+                w,
+                "      \"claimed_class\": {},",
+                json_str(&s.claimed_growth.to_string())
+            );
+            let _ = writeln!(
+                w,
+                "      \"measured_class\": {},",
+                match s.measured_growth {
+                    Some(g) => json_str(&g.to_string()),
+                    None => "null".into(),
+                }
+            );
+            let _ = writeln!(
+                w,
+                "      \"bound_ok\": {},",
+                match s.bound_ok {
+                    Some(b) => b.to_string(),
+                    None => "null".into(),
+                }
+            );
+            let _ = writeln!(
+                w,
+                "      \"size_points\": [{}],",
+                s.points
+                    .iter()
+                    .map(|p| format!("{{ \"n\": {}, \"bits\": {} }}", p.n, p.bits))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            w.push_str("      \"cells\": [\n");
+            for (j, c) in s.cells.iter().enumerate() {
+                w.push_str("        { ");
+                let _ = write!(
+                    w,
+                    "\"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
+                     \"holds\": {}, \"status\": {}, \"check\": {}, \"proof_bits\": {}, \
+                     \"witness_node\": {}, \"tamper\": {}, \"detail\": {}",
+                    json_str(c.family.name()),
+                    c.requested_n,
+                    c.n,
+                    json_str(c.polarity.name()),
+                    c.holds,
+                    json_str(c.status.name()),
+                    json_str(c.check),
+                    json_opt(c.proof_bits),
+                    json_opt(c.witness_node),
+                    match &c.tamper {
+                        Some(t) => format!(
+                            "{{ \"trials\": {}, \"detected\": {}, \"undetected\": {}, \
+                             \"witness\": {} }}",
+                            t.trials,
+                            t.detected,
+                            t.undetected,
+                            json_opt(t.witness)
+                        ),
+                        None => "null".into(),
+                    },
+                    json_str(&c.detail),
+                );
+                if include_timing {
+                    let _ = write!(w, ", \"wall_ms\": {}", c.wall_ms);
+                }
+                w.push_str(" }");
+                w.push_str(if j + 1 < s.cells.len() { ",\n" } else { "\n" });
+            }
+            w.push_str("      ]\n");
+            w.push_str("    }");
+            w.push_str(if i + 1 < self.schemes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        w.push_str("  ]\n}\n");
+        w
+    }
+}
+
+fn render_points(points: &[SizePoint]) -> String {
+    points
+        .iter()
+        .map(|p| format!("{}→{}", p.n, p.bits))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt(v: Option<usize>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".into(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// The runner
+// ---------------------------------------------------------------------
+
+/// Adversarial size budget matched to the claimed bound at size `n`
+/// (capped: huge random proofs only slow the climb down).
+fn adversarial_budget(class: GrowthClass, n: usize) -> usize {
+    match class {
+        GrowthClass::Zero => 1,
+        GrowthClass::Constant => 2,
+        GrowthClass::Logarithmic => n.max(2).ilog2() as usize + 2,
+        GrowthClass::Linear => n.min(24),
+        GrowthClass::Quadratic => (n * n).min(48),
+    }
+}
+
+/// splitmix64 over the cell coordinates: every cell gets its own RNG
+/// stream regardless of execution order, filters, or registry growth.
+fn cell_seed(seed: u64, scheme_id: &str, family: GraphFamily, n: usize, polarity: Polarity) -> u64 {
+    // FNV-1a over the stable scheme id (never its registry position, so
+    // `--scheme` replays and registry insertions don't perturb cells),
+    // then splitmix rounds over the remaining coordinates.
+    let id_hash = scheme_id.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    let mut z = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for salt in [id_hash, family as u64, n as u64, polarity as u64 + 1] {
+        z = z.wrapping_add(salt.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
+struct Coord {
+    entry_idx: usize,
+    family: GraphFamily,
+    n: usize,
+    polarity: Polarity,
+}
+
+fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> CellResult {
+    let entry = &entries[coord.entry_idx];
+    let started = Instant::now();
+    let seed = cell_seed(config.seed, entry.id, coord.family, coord.n, coord.polarity);
+    let req = CellRequest {
+        family: coord.family,
+        n: coord.n,
+        seed,
+        polarity: coord.polarity,
+    };
+    let mut result = CellResult {
+        scheme: entry.id,
+        family: coord.family,
+        requested_n: coord.n,
+        n: 0,
+        polarity: coord.polarity,
+        holds: false,
+        status: CellStatus::Skip,
+        check: "inapplicable",
+        proof_bits: None,
+        witness_node: None,
+        tamper: None,
+        detail: String::new(),
+        wall_ms: 0,
+    };
+    let Some(cell) = entry.build(&req) else {
+        result.detail = "polarity not realizable on this family".into();
+        result.wall_ms = started.elapsed().as_millis();
+        return result;
+    };
+    result.n = cell.n();
+    result.holds = cell.holds();
+
+    if cell.holds() {
+        result.check = "completeness";
+        match cell.check_completeness() {
+            Ok(Some(bits)) => {
+                result.status = CellStatus::Pass;
+                result.proof_bits = Some(bits);
+                result.detail = format!("honest proof of {bits} bits accepted everywhere");
+                if let Some(probe) = cell.tamper_probe(config.tamper_trials, seed ^ 0xa5a5) {
+                    result.witness_node = probe.witness;
+                    result.tamper = Some(probe);
+                }
+            }
+            Ok(None) => {
+                // check_instance only returns Ok(None) on no-instances.
+                result.status = CellStatus::Fail;
+                result.detail = "ground truth flipped between seal and check".into();
+            }
+            Err(e) => {
+                result.status = CellStatus::Fail;
+                if let CompletenessError::Rejected(nodes) = &e {
+                    result.witness_node = nodes.first().copied();
+                }
+                result.detail = format!("completeness failure: {e}");
+            }
+        }
+    } else {
+        // Soundness: exact on small cells, adversarial beyond.
+        let strings = 3u128; // bit strings of length ≤ 1
+        let space = strings.checked_pow(cell.n() as u32);
+        if space.is_some_and(|s| s <= config.exhaustive_limit) {
+            result.check = "soundness-exhaustive";
+            match cell.check_soundness_exhaustive(1) {
+                Ok(Soundness::Holds(tried)) => {
+                    result.status = CellStatus::Pass;
+                    result.detail = format!("all {tried} proofs of ≤1 bit rejected");
+                }
+                Ok(Soundness::Violated(p)) => {
+                    result.status = CellStatus::Fail;
+                    result.detail = format!(
+                        "soundness violation: a {}-bit-per-node proof was fully accepted",
+                        p.size()
+                    );
+                }
+                Err(e) => {
+                    result.status = CellStatus::Skip;
+                    result.detail = format!("exhaustive search refused: {e}");
+                }
+            }
+        } else {
+            result.check = "soundness-adversarial";
+            let budget = adversarial_budget(entry.claimed_growth, cell.n());
+            match cell.adversarial_search(budget, config.adversarial_iterations, seed ^ 0x5a5a) {
+                None => {
+                    result.status = CellStatus::Pass;
+                    result.detail = format!(
+                        "no accepting proof found in {} bit-flip steps at {budget} bits/node",
+                        config.adversarial_iterations
+                    );
+                }
+                Some(p) => {
+                    result.status = CellStatus::Fail;
+                    result.detail = format!(
+                        "soundness violation: adversarial search forged a {}-bit-per-node proof",
+                        p.size()
+                    );
+                }
+            }
+        }
+    }
+    result.wall_ms = started.elapsed().as_millis();
+    result
+}
+
+/// Runs the campaign described by `config` and assembles the [`Report`].
+pub fn run_campaign(config: &CampaignConfig) -> Report {
+    let started = Instant::now();
+    let entries: Vec<SchemeEntry> = campaign_registry()
+        .into_iter()
+        .filter(|e| {
+            config
+                .scheme_filter
+                .as_deref()
+                .is_none_or(|want| e.id == want)
+        })
+        .collect();
+
+    let mut coords = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        // Entries cap their sizes (max_n); after clamping, several
+        // requested sizes can collapse onto the same cell — enumerate
+        // each effective cell once instead of re-running duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for &family in entry.families {
+            if config.family_filter.is_some_and(|want| want != family) {
+                continue;
+            }
+            for &n in &config.sizes {
+                for polarity in [Polarity::Yes, Polarity::No] {
+                    if seen.insert((family, n.min(entry.max_n), polarity)) {
+                        coords.push(Coord {
+                            entry_idx,
+                            family,
+                            n,
+                            polarity,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let results = run_cells(&entries, &coords, config);
+
+    let mut schemes: Vec<SchemeReport> = entries
+        .iter()
+        .map(|e| SchemeReport {
+            id: e.id,
+            title: e.title,
+            paper_row: e.paper_row,
+            claimed_bound: e.claimed_bound,
+            claimed_growth: e.claimed_growth,
+            points: Vec::new(),
+            measured_growth: None,
+            bound_ok: None,
+            cells: Vec::new(),
+        })
+        .collect();
+    for (coord, cell) in coords.iter().zip(results) {
+        schemes[coord.entry_idx].cells.push(cell);
+    }
+    for s in &mut schemes {
+        let mut points: Vec<SizePoint> = s
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Pass)
+            .filter_map(|c| c.proof_bits.map(|bits| SizePoint { n: c.n, bits }))
+            .collect();
+        points.sort_by_key(|p| (p.n, p.bits));
+        points.dedup();
+        s.points = points;
+        let (lo, hi) = (
+            s.points.iter().map(|p| p.n).min().unwrap_or(0),
+            s.points.iter().map(|p| p.n).max().unwrap_or(0),
+        );
+        // Fit only with enough spread for the classes to separate.
+        if s.points.len() >= 3 && lo > 0 && hi >= 3 * lo {
+            let measured = classify_growth(&s.points);
+            s.measured_growth = Some(measured);
+            // GrowthClass orders by the asymptotic hierarchy; claims are
+            // upper bounds, so measuring smaller is conformant.
+            s.bound_ok = Some(measured <= s.claimed_growth);
+        }
+    }
+
+    Report {
+        seed: config.seed,
+        profile: config.profile.name(),
+        parallel: cfg!(feature = "parallel"),
+        schemes,
+        wall_ms: started.elapsed().as_millis(),
+    }
+}
+
+#[cfg(feature = "parallel")]
+fn run_cells(
+    entries: &[SchemeEntry],
+    coords: &[Coord],
+    config: &CampaignConfig,
+) -> Vec<CellResult> {
+    if coords.len() > 1 {
+        coords
+            .par_iter()
+            .map(|c| run_one(entries, c, config))
+            .collect()
+    } else {
+        coords.iter().map(|c| run_one(entries, c, config)).collect()
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_cells(
+    entries: &[SchemeEntry],
+    coords: &[Coord],
+    config: &CampaignConfig,
+) -> Vec<CellResult> {
+    coords.iter().map(|c| run_one(entries, c, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            sizes: vec![8],
+            tamper_trials: 4,
+            adversarial_iterations: 100,
+            ..CampaignConfig::for_profile(Profile::Smoke, 7)
+        }
+    }
+
+    #[test]
+    fn single_scheme_campaign_is_green() {
+        let config = CampaignConfig {
+            scheme_filter: Some("bipartite".into()),
+            ..tiny_config()
+        };
+        let report = run_campaign(&config);
+        assert!(report.ok(), "failures: {:?}", report.failures());
+        assert_eq!(report.schemes.len(), 1);
+        assert!(report.count(CellStatus::Pass) >= 3);
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        let config = CampaignConfig {
+            scheme_filter: Some("eulerian".into()),
+            ..tiny_config()
+        };
+        let report = run_campaign(&config);
+        let json = report.to_json(true);
+        assert!(json.contains("\"wall_ms\""));
+        let stable = report.to_json(false);
+        assert!(!stable.contains("wall_ms"));
+        assert!(stable.contains("\"id\": \"eulerian\""));
+    }
+
+    #[test]
+    fn registry_includes_the_logic_scheme() {
+        let ids: Vec<&str> = campaign_registry().iter().map(|e| e.id).collect();
+        assert!(ids.contains(&"sigma11-independent-dominating"));
+        assert_eq!(
+            ids.len(),
+            lcp_schemes::registry::all().len() + 1,
+            "campaign registry = schemes registry + sigma11"
+        );
+    }
+}

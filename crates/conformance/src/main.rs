@@ -1,0 +1,216 @@
+//! `lcp-campaign` — the conformance-campaign CLI.
+//!
+//! ```text
+//! cargo run -p lcp-conformance --release -- --profile smoke --seed 7 --json report.json
+//! ```
+//!
+//! Exit codes: `0` green, `1` usage error, `2` conformance failures.
+
+use lcp_conformance::{run_campaign, CampaignConfig, CellStatus, Profile, Report};
+use lcp_graph::families::GraphFamily;
+
+const USAGE: &str = "\
+lcp-campaign — sweep every registered scheme across a seeded family matrix
+
+USAGE:
+    lcp-campaign [OPTIONS]
+
+OPTIONS:
+    --profile <smoke|full>   preset sizes and budgets        [default: smoke]
+    --seed <u64>             campaign seed                   [default: 7]
+    --sizes <a,b,c>          override instance sizes
+    --scheme <id>            run one registry entry only
+    --family <name>          run one graph family only
+    --tamper-trials <n>      bit-flip probes per yes cell
+    --adversarial-iters <n>  hill-climb steps per no cell
+    --json <path>            write the JSON report ('-' for stdout)
+    --no-timing              omit wall-clock fields from the JSON
+    --list                   list registry entries and exit
+    --quiet                  suppress the per-scheme table
+    --help                   this text
+";
+
+struct Args {
+    config: CampaignConfig,
+    json: Option<String>,
+    include_timing: bool,
+    list: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut profile = Profile::Smoke;
+    let mut seed = 7u64;
+    let mut sizes: Option<Vec<usize>> = None;
+    let mut scheme = None;
+    let mut family = None;
+    let mut tamper = None;
+    let mut adversarial = None;
+    let mut json = None;
+    let mut include_timing = true;
+    let mut list = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--profile" => {
+                let v = value("--profile")?;
+                profile = Profile::parse(&v).ok_or_else(|| format!("unknown profile '{v}'"))?;
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--sizes" => {
+                let v = value("--sizes")?;
+                let parsed: Result<Vec<usize>, _> = v.split(',').map(str::parse).collect();
+                sizes = Some(parsed.map_err(|_| format!("bad sizes '{v}'"))?);
+            }
+            "--scheme" => scheme = Some(value("--scheme")?),
+            "--family" => {
+                let v = value("--family")?;
+                family =
+                    Some(GraphFamily::parse(&v).ok_or_else(|| format!("unknown family '{v}'"))?);
+            }
+            "--tamper-trials" => {
+                let v = value("--tamper-trials")?;
+                tamper = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
+            }
+            "--adversarial-iters" => {
+                let v = value("--adversarial-iters")?;
+                adversarial = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
+            }
+            "--json" => json = Some(value("--json")?),
+            "--no-timing" => include_timing = false,
+            "--list" => list = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut config = CampaignConfig::for_profile(profile, seed);
+    if let Some(s) = sizes {
+        config.sizes = s;
+    }
+    if let Some(t) = tamper {
+        config.tamper_trials = t;
+    }
+    if let Some(a) = adversarial {
+        config.adversarial_iterations = a;
+    }
+    config.scheme_filter = scheme;
+    config.family_filter = family;
+    Ok(Args {
+        config,
+        json,
+        include_timing,
+        list,
+        quiet,
+    })
+}
+
+fn print_table(report: &Report) {
+    println!(
+        "{:<32} {:<10} {:>4} {:>4} {:>4}  {:<12} {:<12} ok",
+        "scheme", "row", "pass", "fail", "skip", "claimed", "measured"
+    );
+    println!("{}", "-".repeat(92));
+    for s in &report.schemes {
+        let count = |st: CellStatus| s.cells.iter().filter(|c| c.status == st).count();
+        println!(
+            "{:<32} {:<10} {:>4} {:>4} {:>4}  {:<12} {:<12} {}",
+            s.id,
+            s.paper_row,
+            count(CellStatus::Pass),
+            count(CellStatus::Fail),
+            count(CellStatus::Skip),
+            s.claimed_bound,
+            s.measured_growth
+                .map_or_else(|| "(small n)".into(), |g| g.to_string()),
+            match s.bound_ok {
+                Some(true) => "✓",
+                Some(false) => "✗",
+                None => "—",
+            }
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(1);
+        }
+    };
+
+    // A typo'd --scheme would otherwise run a 0-cell campaign that
+    // reports green — fail loudly instead, like --family parsing does.
+    if let Some(id) = &args.config.scheme_filter {
+        if !lcp_conformance::campaign_registry()
+            .iter()
+            .any(|e| e.id == *id)
+        {
+            eprintln!("error: unknown scheme '{id}' (see --list for registry ids)");
+            std::process::exit(1);
+        }
+    }
+
+    if args.list {
+        for e in lcp_conformance::campaign_registry() {
+            let families: Vec<&str> = e.families.iter().map(|f| f.name()).collect();
+            println!(
+                "{:<32} {:<10} {:<14} r={} families={}",
+                e.id,
+                e.paper_row,
+                e.claimed_bound,
+                e.radius,
+                families.join(",")
+            );
+        }
+        return;
+    }
+
+    let report = run_campaign(&args.config);
+
+    if !args.quiet {
+        print_table(&report);
+    }
+    println!(
+        "campaign: {} cells — {} passed, {} failed, {} inapplicable ({} ms, seed {})",
+        report.cell_count(),
+        report.count(CellStatus::Pass),
+        report.count(CellStatus::Fail),
+        report.count(CellStatus::Skip),
+        report.wall_ms,
+        report.seed
+    );
+    for f in report.failures() {
+        eprintln!("FAIL: {f}");
+    }
+
+    if let Some(path) = &args.json {
+        let json = report.to_json(args.include_timing);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            println!("report written to {path}");
+        }
+    }
+
+    std::process::exit(if report.ok() { 0 } else { 2 });
+}

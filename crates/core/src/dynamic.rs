@@ -1,0 +1,468 @@
+//! The type-erased scheme layer: one object-safe handle per
+//! `(scheme, instance)` cell.
+//!
+//! [`Scheme`] has two associated types, so a heterogeneous collection —
+//! the scheme registry, the conformance campaign's `(scheme, instance)`
+//! matrix — cannot hold `&dyn Scheme` directly. [`DynScheme::seal`]
+//! erases the types at the only moment they are all known (when the
+//! typed instance is constructed): it moves the scheme *and* its
+//! instance behind one `Arc` and exposes every harness operation as a
+//! boxed closure. Each heavy operation (completeness, exhaustive
+//! soundness, adversarial search, tamper probing) internally builds a
+//! [`PreparedInstance`] and runs entirely on the cached engine, so
+//! erasure costs one skeleton preparation per operation — never one per
+//! candidate proof.
+//!
+//! ```
+//! use lcp_core::dynamic::DynScheme;
+//! use lcp_core::{Instance, Proof, Scheme, View};
+//! use lcp_graph::generators;
+//!
+//! struct EvenDegrees;
+//! impl Scheme for EvenDegrees {
+//!     type Node = ();
+//!     type Edge = ();
+//!     fn name(&self) -> String { "even-degrees".into() }
+//!     fn radius(&self) -> usize { 1 }
+//!     fn holds(&self, inst: &Instance) -> bool {
+//!         lcp_graph::euler::all_degrees_even(inst.graph())
+//!     }
+//!     fn prove(&self, inst: &Instance) -> Option<Proof> {
+//!         self.holds(inst).then(|| Proof::empty(inst.n()))
+//!     }
+//!     fn verify(&self, view: &View) -> bool {
+//!         view.degree(view.center()) % 2 == 0
+//!     }
+//! }
+//!
+//! // Cells of different Node/Edge types live in one collection.
+//! let cells: Vec<DynScheme> = vec![
+//!     DynScheme::seal(EvenDegrees, Instance::unlabeled(generators::cycle(6))),
+//!     DynScheme::seal(EvenDegrees, Instance::unlabeled(generators::path(4))),
+//! ];
+//! assert!(cells[0].holds());
+//! assert!(!cells[1].holds());
+//! assert_eq!(cells[0].check_completeness(), Ok(Some(0)));
+//! ```
+
+use crate::engine::PreparedInstance;
+use crate::harness::{
+    adversarial_proof_search, check_instance, check_soundness_exhaustive, CompletenessError,
+    Soundness, SoundnessError,
+};
+use crate::instance::Instance;
+use crate::proof::Proof;
+use crate::scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::sync::Arc;
+
+/// Result of a seeded bit-flip tamper probe against the honest proof of
+/// a yes-instance (see [`DynScheme::tamper_probe`]).
+///
+/// A flip that still fully accepts is *not* a soundness violation — the
+/// instance is still a yes-instance and proofs need not be unique — but
+/// the detection rate is a useful sensitivity signal, and the witness
+/// node feeds the campaign report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TamperProbe {
+    /// Single-bit flips attempted.
+    pub trials: usize,
+    /// Flips some node rejected.
+    pub detected: usize,
+    /// Flips every node still accepted.
+    pub undetected: usize,
+    /// A node that rejected a tampered proof, when any flip was detected.
+    pub witness: Option<usize>,
+}
+
+/// A type-erased `(scheme, instance)` cell: every associated-type-bound
+/// [`Scheme`] operation re-exposed behind boxed closures over the shared
+/// cell, plus engine-backed harness checks.
+///
+/// Build one with [`DynScheme::seal`]; collections of `DynScheme` are the
+/// currency of the scheme registry and the conformance campaign.
+pub struct DynScheme {
+    name: String,
+    radius: usize,
+    n: usize,
+    holds: bool,
+    prove: Box<dyn Fn() -> Option<Proof> + Send + Sync>,
+    evaluate: Box<dyn Fn(&Proof) -> Verdict + Send + Sync>,
+    until_reject: Box<dyn Fn(&Proof) -> Option<usize> + Send + Sync>,
+    completeness: Box<dyn Fn() -> Result<Option<usize>, CompletenessError> + Send + Sync>,
+    soundness: Box<dyn Fn(usize) -> Result<Soundness, SoundnessError> + Send + Sync>,
+    adversarial: Box<dyn Fn(usize, usize, u64) -> Option<Proof> + Send + Sync>,
+    tamper: Box<dyn Fn(usize, u64) -> Option<TamperProbe> + Send + Sync>,
+}
+
+impl fmt::Debug for DynScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynScheme")
+            .field("name", &self.name)
+            .field("radius", &self.radius)
+            .field("n", &self.n)
+            .field("holds", &self.holds)
+            .finish()
+    }
+}
+
+impl DynScheme {
+    /// Seals `scheme` together with one concrete `inst`, erasing the
+    /// associated types.
+    ///
+    /// The `Send + Sync + 'static` bounds are required in both feature
+    /// configurations on purpose (additive features — see
+    /// [`crate::engine::prepare`]); every scheme in this workspace
+    /// satisfies them.
+    pub fn seal<S>(scheme: S, inst: Instance<S::Node, S::Edge>) -> DynScheme
+    where
+        S: Scheme + Send + Sync + 'static,
+        S::Node: Clone + Send + Sync + 'static,
+        S::Edge: Clone + Send + Sync + 'static,
+    {
+        let name = scheme.name();
+        let radius = scheme.radius();
+        let n = inst.n();
+        let holds = scheme.holds(&inst);
+        let cell = Arc::new((scheme, inst));
+
+        let c = Arc::clone(&cell);
+        let prove = Box::new(move || c.0.prove(&c.1));
+        let c = Arc::clone(&cell);
+        let eval = Box::new(move |proof: &Proof| evaluate(&c.0, &c.1, proof));
+        let c = Arc::clone(&cell);
+        let until_reject = Box::new(move |proof: &Proof| evaluate_until_reject(&c.0, &c.1, proof));
+        let c = Arc::clone(&cell);
+        let completeness = Box::new(move || {
+            let prep = PreparedInstance::new(&c.1, c.0.radius());
+            check_instance(&c.0, &prep)
+        });
+        let c = Arc::clone(&cell);
+        let soundness = Box::new(move |max_bits: usize| {
+            let prep = PreparedInstance::new(&c.1, c.0.radius());
+            check_soundness_exhaustive(&c.0, &prep, max_bits)
+        });
+        let c = Arc::clone(&cell);
+        let adversarial = Box::new(move |budget: usize, iterations: usize, seed: u64| {
+            let prep = PreparedInstance::new(&c.1, c.0.radius());
+            let mut rng = StdRng::seed_from_u64(seed);
+            adversarial_proof_search(&c.0, &prep, budget, iterations, &mut rng)
+        });
+        let c = Arc::clone(&cell);
+        let tamper =
+            Box::new(move |trials: usize, seed: u64| tamper_probe(&c.0, &c.1, trials, seed));
+
+        DynScheme {
+            name,
+            radius,
+            n,
+            holds,
+            prove,
+            evaluate: eval,
+            until_reject,
+            completeness,
+            soundness,
+            adversarial,
+            tamper,
+        }
+    }
+
+    /// The sealed scheme's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The verifier's horizon `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// `n(G)` of the sealed instance.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Ground truth of the sealed instance (computed once at seal time).
+    pub fn holds(&self) -> bool {
+        self.holds
+    }
+
+    /// Runs the sealed prover.
+    pub fn prove(&self) -> Option<Proof> {
+        (self.prove)()
+    }
+
+    /// Runs the verifier at every node (reference executor).
+    pub fn evaluate(&self, proof: &Proof) -> Verdict {
+        (self.evaluate)(proof)
+    }
+
+    /// First rejecting node, or `None` when every node accepts.
+    pub fn evaluate_until_reject(&self, proof: &Proof) -> Option<usize> {
+        (self.until_reject)(proof)
+    }
+
+    /// Single-instance completeness check on the cached engine
+    /// ([`crate::harness::check_instance`]).
+    pub fn check_completeness(&self) -> Result<Option<usize>, CompletenessError> {
+        (self.completeness)()
+    }
+
+    /// Exhaustive soundness check on the cached engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sealed instance is a yes-instance (mirrors
+    /// [`crate::harness::check_soundness_exhaustive`]).
+    pub fn check_soundness_exhaustive(&self, max_bits: usize) -> Result<Soundness, SoundnessError> {
+        (self.soundness)(max_bits)
+    }
+
+    /// Seeded adversarial proof search on the cached engine; `Some` is a
+    /// soundness violation within the size budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sealed instance is a yes-instance (mirrors
+    /// [`crate::harness::adversarial_proof_search`]).
+    pub fn adversarial_search(
+        &self,
+        size_budget: usize,
+        iterations: usize,
+        seed: u64,
+    ) -> Option<Proof> {
+        (self.adversarial)(size_budget, iterations, seed)
+    }
+
+    /// Seeded single-bit tamper probe against the honest proof.
+    ///
+    /// Returns `None` when there is nothing to probe: the prover refused,
+    /// or the honest proof is not fully accepted (a completeness failure,
+    /// reported by [`Self::check_completeness`] instead).
+    pub fn tamper_probe(&self, trials: usize, seed: u64) -> Option<TamperProbe> {
+        (self.tamper)(trials, seed)
+    }
+}
+
+/// Engine-backed tamper probe: flip one random bit of the honest proof
+/// per trial, re-verify only the views containing the flipped node, and
+/// restore the bit.
+fn tamper_probe<S>(
+    scheme: &S,
+    inst: &Instance<S::Node, S::Edge>,
+    trials: usize,
+    seed: u64,
+) -> Option<TamperProbe>
+where
+    S: Scheme,
+    S::Node: Clone + Send + Sync,
+    S::Edge: Clone + Send + Sync,
+{
+    let proof = scheme.prove(inst)?;
+    let prep = PreparedInstance::new(inst, scheme.radius());
+    let mut views = prep.bind_all(&proof);
+    if views.iter().any(|v| !scheme.verify(v)) {
+        return None; // honest proof rejected — that is a completeness failure
+    }
+    let flippable: Vec<usize> = (0..prep.n())
+        .filter(|&v| !proof.get(v).is_empty())
+        .collect();
+    let mut probe = TamperProbe::default();
+    if flippable.is_empty() {
+        return Some(probe); // LCP(0): no bits to tamper with
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let v = flippable[rng.random_range(0..flippable.len())];
+        let mut s = proof.get(v).clone();
+        let idx = rng.random_range(0..s.len());
+        s.flip(idx);
+        let owners: Vec<usize> = prep.rebind_node(&mut views, v, &s).collect();
+        match owners.iter().copied().find(|&o| !scheme.verify(&views[o])) {
+            Some(w) => {
+                probe.detected += 1;
+                if probe.witness.is_none() {
+                    probe.witness = Some(w);
+                }
+            }
+            None => probe.undetected += 1,
+        }
+        probe.trials += 1;
+        prep.rebind_node(&mut views, v, proof.get(v)).for_each(drop);
+    }
+    Some(probe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::BitString;
+    use crate::view::View;
+    use lcp_graph::generators;
+
+    /// The 1-bit bipartiteness scheme (the harness guinea pig again).
+    struct Bipartite;
+    impl Scheme for Bipartite {
+        type Node = ();
+        type Edge = ();
+        fn name(&self) -> String {
+            "bipartite".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn holds(&self, inst: &Instance) -> bool {
+            lcp_graph::traversal::is_bipartite(inst.graph())
+        }
+        fn prove(&self, inst: &Instance) -> Option<Proof> {
+            let colors = lcp_graph::traversal::bipartition(inst.graph())?;
+            Some(Proof::from_fn(inst.n(), |v| {
+                BitString::from_bits([colors[v] == 1])
+            }))
+        }
+        fn verify(&self, view: &View) -> bool {
+            let c = view.center();
+            let mine = view.proof(c).first();
+            mine.is_some()
+                && view
+                    .neighbors(c)
+                    .iter()
+                    .all(|&u| view.proof(u).first().is_some_and(|b| Some(b) != mine))
+        }
+    }
+
+    #[test]
+    fn sealed_cell_matches_direct_calls() {
+        let inst = Instance::unlabeled(generators::cycle(6));
+        let dyn_cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
+        assert_eq!(dyn_cell.name(), "bipartite");
+        assert_eq!(dyn_cell.radius(), 1);
+        assert_eq!(dyn_cell.n(), 6);
+        assert!(dyn_cell.holds());
+        let proof = dyn_cell.prove().expect("even cycle provable");
+        assert_eq!(proof, Bipartite.prove(&inst).unwrap());
+        assert!(dyn_cell.evaluate(&proof).accepted());
+        assert_eq!(dyn_cell.evaluate_until_reject(&proof), None);
+        assert_eq!(dyn_cell.check_completeness(), Ok(Some(1)));
+    }
+
+    #[test]
+    fn sealed_soundness_checks_agree_with_harness() {
+        let dyn_cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(5)));
+        assert!(!dyn_cell.holds());
+        match dyn_cell.check_soundness_exhaustive(1).unwrap() {
+            Soundness::Holds(tried) => assert_eq!(tried, 3u64.pow(5)),
+            Soundness::Violated(p) => panic!("odd cycle certified bipartite by {p:?}"),
+        }
+        assert!(dyn_cell.adversarial_search(1, 400, 9).is_none());
+    }
+
+    #[test]
+    fn adversarial_seed_is_reproducible() {
+        /// Deliberately unsound: accepts iff the centre holds bit 1.
+        struct Gullible;
+        impl Scheme for Gullible {
+            type Node = ();
+            type Edge = ();
+            fn name(&self) -> String {
+                "gullible".into()
+            }
+            fn radius(&self) -> usize {
+                0
+            }
+            fn holds(&self, _: &Instance) -> bool {
+                false
+            }
+            fn prove(&self, _: &Instance) -> Option<Proof> {
+                None
+            }
+            fn verify(&self, view: &View) -> bool {
+                view.proof(view.center()).first() == Some(true)
+            }
+        }
+        let cell = DynScheme::seal(Gullible, Instance::unlabeled(generators::cycle(6)));
+        let a = cell.adversarial_search(1, 2000, 42).expect("breakable");
+        let b = cell.adversarial_search(1, 2000, 42).expect("breakable");
+        assert_eq!(a, b, "same seed, same forged proof");
+    }
+
+    #[test]
+    fn tamper_probe_detects_flips_on_rigid_proofs() {
+        let cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(8)));
+        let probe = cell.tamper_probe(16, 3).expect("yes-instance probes");
+        assert_eq!(probe.trials, 16);
+        // Flipping any single colour bit breaks both adjacent constraints.
+        assert_eq!(probe.detected, 16);
+        assert_eq!(probe.undetected, 0);
+        assert!(probe.witness.is_some());
+        // Seeded: byte-identical reruns.
+        assert_eq!(probe, cell.tamper_probe(16, 3).unwrap());
+    }
+
+    #[test]
+    fn tamper_probe_handles_empty_proofs_and_no_instances() {
+        /// Proofless scheme (LCP(0)).
+        struct Trivial;
+        impl Scheme for Trivial {
+            type Node = ();
+            type Edge = ();
+            fn name(&self) -> String {
+                "trivial".into()
+            }
+            fn radius(&self) -> usize {
+                0
+            }
+            fn holds(&self, _: &Instance) -> bool {
+                true
+            }
+            fn prove(&self, inst: &Instance) -> Option<Proof> {
+                Some(Proof::empty(inst.n()))
+            }
+            fn verify(&self, _: &View) -> bool {
+                true
+            }
+        }
+        let cell = DynScheme::seal(Trivial, Instance::unlabeled(generators::path(4)));
+        let probe = cell.tamper_probe(8, 0).unwrap();
+        assert_eq!((probe.trials, probe.detected), (0, 0));
+
+        let no = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(5)));
+        assert!(
+            no.tamper_probe(8, 0).is_none(),
+            "prover refuses no-instances"
+        );
+    }
+
+    #[test]
+    fn labelled_schemes_seal_too() {
+        struct LeaderIsLabelled;
+        impl Scheme for LeaderIsLabelled {
+            type Node = bool;
+            type Edge = ();
+            fn name(&self) -> String {
+                "leader-labelled".into()
+            }
+            fn radius(&self) -> usize {
+                0
+            }
+            fn holds(&self, inst: &Instance<bool>) -> bool {
+                inst.node_labels().iter().filter(|&&l| l).count() == 1
+            }
+            fn prove(&self, inst: &Instance<bool>) -> Option<Proof> {
+                self.holds(inst).then(|| Proof::empty(inst.n()))
+            }
+            fn verify(&self, _: &View<bool>) -> bool {
+                true
+            }
+        }
+        let g = generators::path(3);
+        let cell = DynScheme::seal(
+            LeaderIsLabelled,
+            Instance::with_node_data(g, vec![false, true, false]),
+        );
+        assert!(cell.holds());
+        assert_eq!(cell.check_completeness(), Ok(Some(0)));
+    }
+}

@@ -100,6 +100,30 @@ where
 
 /// Completeness check of one prepared instance: `Ok(Some(size))` for an
 /// accepted yes-instance, `Ok(None)` for a correctly handled no-instance.
+///
+/// Public single-instance entry point for callers that hold exactly one
+/// prepared instance — the type-erased [`crate::dynamic::DynScheme`]
+/// layer and the conformance campaign runner. The sweep variant is
+/// [`check_completeness`].
+///
+/// Per-node evaluation uses the engine's size-gated parallel path: it
+/// only fans out above [`crate::engine`]'s threshold (hundreds of
+/// nodes), so calling this from an already-parallel cell sweep does not
+/// nest thread fan-outs at typical campaign sizes.
+pub fn check_instance<S>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+) -> Result<Option<usize>, CompletenessError>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    check_one(scheme, prep, true)
+}
+
+/// Completeness check of one prepared instance: `Ok(Some(size))` for an
+/// accepted yes-instance, `Ok(None)` for a correctly handled no-instance.
 fn check_one<S>(
     scheme: &S,
     prep: &PreparedInstance<'_, S::Node, S::Edge>,
@@ -479,7 +503,12 @@ pub fn measure_sizes<S: Scheme>(
 
 /// Growth classes used to compare measured proof sizes against the
 /// paper's asymptotic claims.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The derived ordering follows the asymptotic hierarchy
+/// (`Zero < Constant < Logarithmic < Linear < Quadratic`), so
+/// `measured <= claimed` is exactly "the measurement respects the
+/// claimed upper bound".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum GrowthClass {
     /// Identically zero — `LCP(0)`.
     Zero,

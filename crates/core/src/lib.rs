@@ -63,6 +63,7 @@
 
 pub mod bits;
 pub mod components;
+pub mod dynamic;
 pub mod engine;
 pub mod harness;
 pub mod instance;
@@ -71,6 +72,7 @@ pub mod scheme;
 pub mod view;
 
 pub use bits::{BitReader, BitString, BitWriter, CodecError};
+pub use dynamic::{DynScheme, TamperProbe};
 pub use engine::{prepare, prepare_sweep, PreparedInstance};
 pub use instance::{EdgeMap, Instance};
 pub use proof::Proof;

@@ -1,0 +1,187 @@
+//! Graph-family descriptors: the named generator families the
+//! conformance campaign sweeps schemes across.
+//!
+//! A [`GraphFamily`] is a *seeded, deterministic* recipe: the same
+//! `(family, n, seed)` triple always yields the same graph, including
+//! across the `parallel` feature and across processes — the property the
+//! campaign's byte-identical-report guarantee rests on. Random families
+//! (trees, `G(n,p)`, bipartite) derive their RNG stream from a splitmix
+//! of the triple, so two cells of a campaign never share randomness by
+//! accident.
+
+use crate::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator families of the campaign matrix.
+///
+/// Each family maps a requested size `n` to a concrete graph of *about*
+/// that size (grids and barbells round to their natural shapes); read
+/// the actual size back off the generated graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GraphFamily {
+    /// The path `P_n`.
+    Path,
+    /// The cycle `C_n` (`n ≥ 3`).
+    Cycle,
+    /// The near-square `rows × cols` grid with `rows·cols ≈ n`.
+    Grid,
+    /// A uniform random tree.
+    Tree,
+    /// Erdős–Rényi `G(n, p)` with `p ≈ 2·ln n / n` (sparse, usually
+    /// connected, usually asymmetric).
+    Gnp,
+    /// A random *connected* bipartite graph (alternating tree plus cross
+    /// chords).
+    Bipartite,
+    /// Two `n/2`-cliques joined by a bridge.
+    Barbell,
+}
+
+impl GraphFamily {
+    /// Every family, in campaign matrix order.
+    pub const ALL: [GraphFamily; 7] = [
+        GraphFamily::Path,
+        GraphFamily::Cycle,
+        GraphFamily::Grid,
+        GraphFamily::Tree,
+        GraphFamily::Gnp,
+        GraphFamily::Bipartite,
+        GraphFamily::Barbell,
+    ];
+
+    /// Stable lowercase name (used in reports and `--family` filters).
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphFamily::Path => "path",
+            GraphFamily::Cycle => "cycle",
+            GraphFamily::Grid => "grid",
+            GraphFamily::Tree => "tree",
+            GraphFamily::Gnp => "gnp",
+            GraphFamily::Bipartite => "bipartite",
+            GraphFamily::Barbell => "barbell",
+        }
+    }
+
+    /// Parses a [`Self::name`] back into a family.
+    pub fn parse(s: &str) -> Option<GraphFamily> {
+        GraphFamily::ALL.iter().copied().find(|f| f.name() == s)
+    }
+
+    /// The smallest size the family generates sensibly.
+    pub fn min_n(self) -> usize {
+        match self {
+            GraphFamily::Path | GraphFamily::Tree => 2,
+            GraphFamily::Cycle => 3,
+            GraphFamily::Grid => 6,
+            GraphFamily::Gnp | GraphFamily::Bipartite => 4,
+            GraphFamily::Barbell => 6,
+        }
+    }
+
+    /// Generates the family member of size ≈ `n` for `seed`,
+    /// deterministically in `(self, n, seed)`.
+    ///
+    /// Sizes below [`Self::min_n`] are clamped up. Deterministic families
+    /// ignore the seed entirely.
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        let n = n.max(self.min_n());
+        let mut rng = StdRng::seed_from_u64(mix(seed, self as u64, n as u64));
+        match self {
+            GraphFamily::Path => generators::path(n),
+            GraphFamily::Cycle => generators::cycle(n),
+            GraphFamily::Grid => {
+                // Near-square, but never a single row (that is Path) and
+                // never 2×2 (that is C₄): min_n = 6 forces ≥ 2×3, so a
+                // degree-3 node always exists.
+                let rows = (n as f64).sqrt().floor().max(2.0) as usize;
+                let cols = n.div_ceil(rows).max(3);
+                generators::grid(rows, cols)
+            }
+            GraphFamily::Tree => generators::random_tree(n, &mut rng),
+            GraphFamily::Gnp => {
+                let p = (2.0 * (n as f64).ln() / n as f64).clamp(0.05, 0.95);
+                generators::gnp(n, p, &mut rng)
+            }
+            GraphFamily::Bipartite => generators::random_connected_bipartite(n, n / 3, &mut rng).0,
+            GraphFamily::Barbell => generators::barbell((n / 2).max(3)),
+        }
+    }
+}
+
+/// splitmix64-style mixer tying a cell's RNG stream to its coordinates.
+fn mix(seed: u64, family: u64, n: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(family.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(n.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal;
+
+    #[test]
+    fn names_round_trip() {
+        for f in GraphFamily::ALL {
+            assert_eq!(GraphFamily::parse(f.name()), Some(f));
+        }
+        assert_eq!(GraphFamily::parse("klein-bottle"), None);
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_triple() {
+        for f in GraphFamily::ALL {
+            let a = f.generate(16, 7);
+            let b = f.generate(16, 7);
+            assert_eq!(a, b, "{} must be reproducible", f.name());
+            let c = f.generate(16, 8);
+            if matches!(
+                f,
+                GraphFamily::Tree | GraphFamily::Gnp | GraphFamily::Bipartite
+            ) {
+                assert_ne!(a, c, "{} should vary with the seed", f.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_near_the_request() {
+        for f in GraphFamily::ALL {
+            for n in [8usize, 16, 32] {
+                let g = f.generate(n, 1);
+                assert!(
+                    g.n() >= n.saturating_sub(1) && g.n() <= n + 6,
+                    "{} at n={n} gave {}",
+                    f.name(),
+                    g.n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn family_shapes() {
+        assert!(traversal::is_connected(&GraphFamily::Tree.generate(20, 3)));
+        assert_eq!(GraphFamily::Tree.generate(20, 3).m(), 19);
+        assert!(traversal::is_bipartite(
+            &GraphFamily::Bipartite.generate(15, 3)
+        ));
+        assert!(traversal::is_connected(
+            &GraphFamily::Bipartite.generate(15, 3)
+        ));
+        let grid = GraphFamily::Grid.generate(12, 0);
+        assert!(
+            grid.nodes().any(|v| grid.degree(v) >= 3),
+            "grids must not be cycles"
+        );
+        let barbell = GraphFamily::Barbell.generate(12, 0);
+        assert_eq!(barbell.n(), 12);
+        // Sub-minimum requests are clamped, not rejected.
+        assert!(GraphFamily::Cycle.generate(1, 0).n() == 3);
+    }
+}

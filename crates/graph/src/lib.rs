@@ -47,6 +47,7 @@ pub mod coloring;
 pub mod digraph;
 pub mod enumerate;
 pub mod euler;
+pub mod families;
 pub mod generators;
 pub mod graph;
 pub mod hamilton;

@@ -288,6 +288,14 @@ pub enum FoolingOutcome {
     },
     /// The prover failed on every `G_{A,Ā}` donor.
     ProverFailed,
+    /// A donor's *honest* proof was rejected — a scheme bug surfaced by
+    /// the attack's sanity sweep, with the witness node.
+    HonestProofRejected {
+        /// Index of the donor set whose instance failed.
+        donor: usize,
+        /// The rejecting node.
+        node: usize,
+    },
 }
 
 impl FoolingOutcome {
@@ -355,6 +363,9 @@ where
             donors.push(None);
             continue;
         };
+        if let Some(node) = lcp_core::evaluate_until_reject(scheme, &inst, &proof) {
+            return FoolingOutcome::HonestProofRejected { donor: i, node };
+        }
         candidates += 1;
         let key: Vec<BitString> = window
             .iter()

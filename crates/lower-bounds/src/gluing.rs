@@ -50,6 +50,14 @@ pub enum GluingOutcome<N = (), E = ()> {
     },
     /// The prover failed on the base cycles (family/labeling mismatch).
     ProverFailed,
+    /// A donor cycle's *honest* proof was rejected — a scheme bug
+    /// surfaced by the attack's sanity sweep, with the witness node.
+    HonestProofRejected {
+        /// The `(a, b)` identifier pair of the failing cycle.
+        pair: (u64, u64),
+        /// The rejecting node.
+        node: usize,
+    },
 }
 
 impl<N, E> GluingOutcome<N, E> {
@@ -145,6 +153,9 @@ where
             let Some(proof) = scheme.prove(&inst) else {
                 continue;
             };
+            if let Some(node) = lcp_core::evaluate_until_reject(scheme, &inst, &proof) {
+                return GluingOutcome::HonestProofRejected { pair: (a, b), node };
+            }
             pairs += 1;
             // Window positions: 0..=2r and n-1-2r..=n-1.
             let mut color: Color<S::Node, S::Edge> = Vec::with_capacity(2 * window);

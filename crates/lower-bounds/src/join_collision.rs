@@ -114,6 +114,15 @@ pub enum JoinOutcome {
     },
     /// The prover failed on every joined yes-instance.
     ProverFailed,
+    /// A joined yes-instance's *honest* proof was rejected — a scheme
+    /// bug surfaced by the attack's sanity sweep, with the witness node
+    /// (previously a debug-only assertion that discarded it).
+    HonestProofRejected {
+        /// Index of the family member whose joined instance failed.
+        member: usize,
+        /// The rejecting node.
+        node: usize,
+    },
 }
 
 impl JoinOutcome {
@@ -152,10 +161,9 @@ where
         let inst = Instance::unlabeled(joined);
         let proof = scheme.prove(&inst);
         if let Some(p) = &proof {
-            debug_assert!(
-                lcp_core::evaluate_until_reject(scheme, &inst, p).is_none(),
-                "honest proof rejected on member {i}"
-            );
+            if let Some(node) = lcp_core::evaluate_until_reject(scheme, &inst, p) {
+                return JoinOutcome::HonestProofRejected { member: i, node };
+            }
             candidates += 1;
             let key: Vec<BitString> = (0..window).map(|v| p.get(v).clone()).collect();
             if let Some(&other) = seen.get(&key) {

@@ -47,6 +47,7 @@ pub mod lcl;
 pub mod leader;
 pub mod line_graph;
 pub mod matching;
+pub mod registry;
 pub mod spanning_tree;
 pub mod st_connectivity;
 pub mod st_reach;
@@ -55,3 +56,4 @@ pub mod universal;
 pub mod weak;
 
 pub use labels::{ArcDir, StMark};
+pub use registry::{CellRequest, Polarity, SchemeEntry};

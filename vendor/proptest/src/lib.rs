@@ -209,7 +209,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::RngExt;
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: core::ops::Range<usize>,
