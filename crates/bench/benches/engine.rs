@@ -34,7 +34,7 @@ fn naive_exhaustive<S: Scheme>(
     max_bits: usize,
 ) -> Soundness {
     let n = inst.n();
-    let strings = all_bitstrings_up_to(max_bits);
+    let strings = all_bitstrings_up_to(max_bits).expect("bench workloads stay in budget");
     let mut indices = vec![0usize; n];
     let mut tried = 0u64;
     loop {
@@ -94,12 +94,22 @@ fn bench_speedup_snapshot(c: &mut Criterion) {
     let (n, max_bits) = workload(c);
     let inst = Instance::unlabeled(generators::cycle(n));
 
-    let t = Instant::now();
-    let engine_result = {
-        let prep = prepare(&NonBipartite, &inst);
-        check_soundness_exhaustive(&NonBipartite, &prep, max_bits).unwrap()
-    };
-    let engine_s = t.elapsed().as_secs_f64();
+    // The engine side finishes in well under a second, so a single
+    // sample is at the mercy of scheduler noise — CI diffs this number,
+    // so take the best of three (the naive side runs tens of seconds
+    // and is comparatively stable; one sample suffices).
+    let mut engine_s = f64::INFINITY;
+    let mut engine_result = None;
+    for _ in 0..if c.is_test_mode() { 1 } else { 3 } {
+        let t = Instant::now();
+        let result = {
+            let prep = prepare(&NonBipartite, &inst);
+            check_soundness_exhaustive(&NonBipartite, &prep, max_bits).unwrap()
+        };
+        engine_s = engine_s.min(t.elapsed().as_secs_f64());
+        engine_result = Some(result);
+    }
+    let engine_result = engine_result.expect("at least one engine run");
 
     let t = Instant::now();
     let naive_result = naive_exhaustive(&NonBipartite, &inst, max_bits);

@@ -1,0 +1,98 @@
+//! `bench_diff` — CI guard for the engine throughput snapshot.
+//!
+//! ```text
+//! bench_diff <fresh BENCH_engine.json> <committed BENCH_engine.json> [--max-regression 0.25]
+//! ```
+//!
+//! Compares the *relative* speedup (engine vs the naive executor,
+//! measured in the same run on the same machine) of a freshly produced
+//! snapshot against the committed reference. Wall-clock seconds are not
+//! comparable across machines, but the speedup ratio is — a refactor
+//! that costs the engine 25% of its advantage fails the job regardless
+//! of runner hardware.
+//!
+//! Exit codes: `0` ok, `1` usage/parse error, `2` regression.
+
+use std::process::exit;
+
+/// Minimal extractor for the flat one-level BENCH json: finds `"key":
+/// <number>` and parses the number (no string values contain keys).
+fn field(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Snapshot {
+    proofs: f64,
+    naive_seconds: f64,
+    engine_seconds: f64,
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let get = |key: &str| field(&json, key).ok_or_else(|| format!("{path}: missing \"{key}\""));
+    Ok(Snapshot {
+        proofs: get("proofs")?,
+        naive_seconds: get("naive_seconds")?,
+        engine_seconds: get("engine_seconds")?,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut max_regression = 0.25f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--max-regression" {
+            let Some(v) = it.next().and_then(|v| v.parse().ok()) else {
+                eprintln!("--max-regression needs a fraction (e.g. 0.25)");
+                exit(1);
+            };
+            max_regression = v;
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [fresh_path, committed_path] = paths.as_slice() else {
+        eprintln!("usage: bench_diff <fresh.json> <committed.json> [--max-regression 0.25]");
+        exit(1);
+    };
+    let (fresh, committed) = match (load(fresh_path), load(committed_path)) {
+        (Ok(f), Ok(c)) => (f, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    };
+
+    // Machine-normalized throughput: candidates per second relative to
+    // the naive executor measured in the same run.
+    let fresh_speedup = fresh.naive_seconds / fresh.engine_seconds;
+    let committed_speedup = committed.naive_seconds / committed.engine_seconds;
+    let ratio = fresh_speedup / committed_speedup;
+    println!(
+        "engine throughput: fresh {:.0} proofs/s ({:.1}x naive), committed {:.1}x naive, ratio {:.2}",
+        fresh.proofs / fresh.engine_seconds,
+        fresh_speedup,
+        committed_speedup,
+        ratio,
+    );
+    if ratio < 1.0 - max_regression {
+        eprintln!(
+            "FAIL: engine speedup regressed by {:.0}% (allowed {:.0}%)",
+            (1.0 - ratio) * 100.0,
+            max_regression * 100.0
+        );
+        exit(2);
+    }
+    println!(
+        "ok: within the {:.0}% regression budget",
+        max_regression * 100.0
+    );
+}

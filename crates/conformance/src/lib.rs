@@ -434,6 +434,48 @@ impl Report {
         w.push_str("  ]\n}\n");
         w
     }
+
+    /// Serializes the benchmark view of the campaign: per-cell proof
+    /// sizes and wall times, in the same flat-JSON shape as
+    /// `BENCH_engine.json`, so CI artifacts accumulate a perf-history
+    /// series (`--bench-out`).
+    ///
+    /// Unlike [`Self::to_json`]'s `--no-timing` form this is *meant* to
+    /// carry timings; skipped cells are omitted (they measure nothing).
+    pub fn to_bench_json(&self) -> String {
+        let mut w = String::with_capacity(1 << 14);
+        w.push_str("{\n");
+        let _ = writeln!(w, "  \"bench\": \"conformance-campaign\",");
+        let _ = writeln!(w, "  \"seed\": {},", self.seed);
+        let _ = writeln!(w, "  \"profile\": {},", json_str(self.profile));
+        let _ = writeln!(w, "  \"parallel\": {},", self.parallel);
+        let _ = writeln!(w, "  \"cells\": {},", self.cell_count());
+        let _ = writeln!(w, "  \"wall_ms\": {},", self.wall_ms);
+        w.push_str("  \"per_cell\": [\n");
+        let measured: Vec<&CellResult> = self
+            .schemes
+            .iter()
+            .flat_map(|s| &s.cells)
+            .filter(|c| c.status != CellStatus::Skip)
+            .collect();
+        for (i, c) in measured.iter().enumerate() {
+            let _ = write!(
+                w,
+                "    {{ \"scheme\": {}, \"family\": {}, \"n\": {}, \"polarity\": {}, \
+                 \"check\": {}, \"proof_bits\": {}, \"wall_ms\": {} }}",
+                json_str(c.scheme),
+                json_str(c.family.name()),
+                c.n,
+                json_str(c.polarity.name()),
+                json_str(c.check),
+                json_opt(c.proof_bits),
+                c.wall_ms,
+            );
+            w.push_str(if i + 1 < measured.len() { ",\n" } else { "\n" });
+        }
+        w.push_str("  ]\n}\n");
+        w
+    }
 }
 
 fn render_points(points: &[SizePoint]) -> String {

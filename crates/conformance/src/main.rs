@@ -24,6 +24,7 @@ OPTIONS:
     --tamper-trials <n>      bit-flip probes per yes cell
     --adversarial-iters <n>  hill-climb steps per no cell
     --json <path>            write the JSON report ('-' for stdout)
+    --bench-out <path>       write per-cell sizes/timings (BENCH-style JSON)
     --no-timing              omit wall-clock fields from the JSON
     --list                   list registry entries and exit
     --quiet                  suppress the per-scheme table
@@ -33,6 +34,7 @@ OPTIONS:
 struct Args {
     config: CampaignConfig,
     json: Option<String>,
+    bench_out: Option<String>,
     include_timing: bool,
     list: bool,
     quiet: bool,
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
     let mut tamper = None;
     let mut adversarial = None;
     let mut json = None;
+    let mut bench_out = None;
     let mut include_timing = true;
     let mut list = false;
     let mut quiet = false;
@@ -86,6 +89,7 @@ fn parse_args() -> Result<Args, String> {
                 adversarial = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
             }
             "--json" => json = Some(value("--json")?),
+            "--bench-out" => bench_out = Some(value("--bench-out")?),
             "--no-timing" => include_timing = false,
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -112,6 +116,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         config,
         json,
+        bench_out,
         include_timing,
         list,
         quiet,
@@ -209,6 +214,20 @@ fn main() {
             std::process::exit(1);
         } else {
             println!("report written to {path}");
+        }
+    }
+
+    // The BENCH-style artifact always carries timings — it is the
+    // perf-history series, not the diffable conformance report.
+    if let Some(path) = &args.bench_out {
+        let json = report.to_bench_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        } else {
+            println!("bench series written to {path}");
         }
     }
 

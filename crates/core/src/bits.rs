@@ -1,17 +1,80 @@
-//! Bit strings and bit-level codecs.
+//! Bit strings, borrowed bit slices, word-level primitives, and
+//! bit-level codecs.
 //!
 //! Proof sizes in the LCP model are measured in *bits per node*, so the
 //! encodings matter: a scheme claiming `O(log n)` bits must actually emit
 //! them. [`BitWriter`] / [`BitReader`] provide fixed-width fields and
 //! Elias-γ codes; verifiers treat any decode failure as a rejection.
+//!
+//! Storage is word-packed throughout: an owned [`BitString`] and a
+//! borrowed [`ProofRef`] both address bits inside `u64` lanes (bit `i`
+//! lives at `words[i / 64] >> (i % 64) & 1`), so copying or comparing a
+//! proof string is a handful of word operations rather than a per-bit
+//! loop. [`ProofRef`] is the currency of the whole verification stack:
+//! views hand it to verifiers, [`crate::arena::ProofArena`] hands it to
+//! views, and [`BitReader`] decodes from it directly.
 
 use std::error::Error;
 use std::fmt;
 
+/// Number of words needed to hold `len` bits.
+#[inline]
+pub(crate) fn words_for(len: usize) -> usize {
+    len.div_ceil(64)
+}
+
+/// Reads bit `pos` of a word-packed slice.
+///
+/// # Panics
+///
+/// Panics if `pos / 64` is out of range for `words`.
+#[inline(always)]
+pub(crate) fn word_get(words: &[u64], pos: usize) -> bool {
+    words[pos >> 6] >> (pos & 63) & 1 == 1
+}
+
+/// Compares the first `len` bits of two word-packed slices, ignoring any
+/// trailing garbage in the final partial word.
+#[inline]
+pub(crate) fn word_eq(a: &[u64], b: &[u64], len: usize) -> bool {
+    let full = len / 64;
+    if a[..full] != b[..full] {
+        return false;
+    }
+    let tail = len & 63;
+    tail == 0 || (a[full] ^ b[full]) & ((1u64 << tail) - 1) == 0
+}
+
+/// The low `n` bits set (`n ≤ 64`).
+#[inline(always)]
+fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Up to 64 bits starting at bit `pos`, in storage order (bit `i` of the
+/// result is bit `pos + i` of the slice), zero-padded past the end.
+#[inline(always)]
+fn peek_chunk(words: &[u64], pos: usize) -> u64 {
+    let wi = pos >> 6;
+    let off = pos & 63;
+    let lo = words.get(wi).copied().unwrap_or(0) >> off;
+    if off == 0 {
+        lo
+    } else {
+        lo | words.get(wi + 1).copied().unwrap_or(0) << (64 - off)
+    }
+}
+
 /// A finite binary string, the value a proof assigns to one node (§2.1).
 ///
 /// Bits are addressed in write order (index 0 first). The empty string
-/// `ε` is the size-0 proof.
+/// `ε` is the size-0 proof. Bits are packed into `u64` words; every bit
+/// at position ≥ `len` is kept zero so the derived equality, hashing,
+/// and ordering see only the logical content.
 ///
 /// ```
 /// use lcp_core::BitString;
@@ -23,7 +86,7 @@ use std::fmt;
 /// ```
 #[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct BitString {
-    bytes: Vec<u8>,
+    words: Vec<u64>,
     len: usize,
 }
 
@@ -54,7 +117,7 @@ impl BitString {
 
     /// The bit at `index`, if in range.
     pub fn get(&self, index: usize) -> Option<bool> {
-        (index < self.len).then(|| self.bytes[index / 8] >> (index % 8) & 1 == 1)
+        (index < self.len).then(|| word_get(&self.words, index))
     }
 
     /// The first bit, if any. Handy for 1-bit proofs.
@@ -64,18 +127,18 @@ impl BitString {
 
     /// Appends one bit.
     pub fn push(&mut self, bit: bool) {
-        if self.len.is_multiple_of(8) {
-            self.bytes.push(0);
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
         }
         if bit {
-            self.bytes[self.len / 8] |= 1 << (self.len % 8);
+            self.words[self.len >> 6] |= 1 << (self.len & 63);
         }
         self.len += 1;
     }
 
     /// Iterates over the bits in order.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
-        (0..self.len).map(|i| self.get(i).expect("in range"))
+        (0..self.len).map(|i| word_get(&self.words, i))
     }
 
     /// Flips the bit at `index`; used by the adversarial proof mutator.
@@ -85,11 +148,151 @@ impl BitString {
     /// Panics if `index` is out of range.
     pub fn flip(&mut self, index: usize) {
         assert!(index < self.len, "bit index {index} out of range");
-        self.bytes[index / 8] ^= 1 << (index % 8);
+        self.words[index >> 6] ^= 1 << (index & 63);
+    }
+
+    /// The backing words; bit `i` is `words()[i / 64] >> (i % 64) & 1`,
+    /// and bits at positions ≥ [`Self::len`] are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
     }
 }
 
 impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.as_bits(), f)
+    }
+}
+
+impl FromIterator<bool> for BitString {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        BitString::from_bits(iter)
+    }
+}
+
+/// A borrowed, word-packed bit slice: the view a verifier gets of one
+/// node's proof string.
+///
+/// A `ProofRef` never owns its bits — it points into a [`BitString`] or
+/// into a [`crate::arena::ProofArena`] slot — so handing proofs to
+/// verifiers costs no allocation and no copying. It is `Copy`;
+/// comparisons, [`Self::iter`], and [`BitReader`] all mask any garbage
+/// beyond [`Self::len`] in the final partial word, so a slice into a
+/// partially overwritten arena slot still reads exactly its logical
+/// bits.
+///
+/// ```
+/// use lcp_core::{AsBits, BitString};
+///
+/// let s = BitString::from_bits([true, false, true]);
+/// let r = s.as_bits();
+/// assert_eq!(r.len(), 3);
+/// assert_eq!(r.get(2), Some(true));
+/// assert_eq!(r.to_bitstring(), s);
+/// ```
+#[derive(Clone, Copy)]
+pub struct ProofRef<'a> {
+    words: &'a [u64],
+    len: usize,
+}
+
+impl<'a> ProofRef<'a> {
+    /// The empty bit slice `ε`.
+    pub const EMPTY: ProofRef<'static> = ProofRef { words: &[], len: 0 };
+
+    /// Wraps `len` bits of a word-packed slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` holds fewer than `len` bits.
+    pub fn from_words(words: &'a [u64], len: usize) -> Self {
+        assert!(words.len() >= words_for(len), "slice shorter than len");
+        ProofRef {
+            words: &words[..words_for(len)],
+            len,
+        }
+    }
+
+    /// Crate-internal unchecked-by-release constructor for callers that
+    /// already sized the slice (the arena's slot reads).
+    #[inline(always)]
+    pub(crate) fn raw(words: &'a [u64], len: usize) -> Self {
+        debug_assert!(words.len() >= words_for(len), "slice shorter than len");
+        ProofRef { words, len }
+    }
+
+    /// Number of bits.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether this is the empty string.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `index`, if in range.
+    #[inline(always)]
+    pub fn get(&self, index: usize) -> Option<bool> {
+        (index < self.len).then(|| word_get(self.words, index))
+    }
+
+    /// The first bit, if any. Handy for 1-bit proofs.
+    #[inline(always)]
+    pub fn first(&self) -> Option<bool> {
+        self.get(0)
+    }
+
+    /// Iterates over the bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + 'a {
+        let words = self.words;
+        (0..self.len).map(move |i| word_get(words, i))
+    }
+
+    /// The backing words (the final word may carry garbage past
+    /// [`Self::len`]).
+    pub fn words(&self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Copies the bits into an owned [`BitString`].
+    pub fn to_bitstring(&self) -> BitString {
+        let mut words = self.words.to_vec();
+        let tail = self.len & 63;
+        if tail != 0 {
+            // Re-establish the BitString invariant: trailing bits zero.
+            *words.last_mut().expect("tail implies a word") &= (1u64 << tail) - 1;
+        }
+        BitString {
+            words,
+            len: self.len,
+        }
+    }
+}
+
+impl PartialEq for ProofRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && word_eq(self.words, other.words, self.len)
+    }
+}
+
+impl Eq for ProofRef<'_> {}
+
+impl PartialEq<BitString> for ProofRef<'_> {
+    fn eq(&self, other: &BitString) -> bool {
+        *self == other.as_bits()
+    }
+}
+
+impl PartialEq<ProofRef<'_>> for BitString {
+    fn eq(&self, other: &ProofRef<'_>) -> bool {
+        self.as_bits() == *other
+    }
+}
+
+impl fmt::Debug for ProofRef<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "bits\"")?;
         for b in self.iter() {
@@ -99,9 +302,39 @@ impl fmt::Debug for BitString {
     }
 }
 
-impl FromIterator<bool> for BitString {
-    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
-        BitString::from_bits(iter)
+impl<'a> From<&'a BitString> for ProofRef<'a> {
+    fn from(s: &'a BitString) -> Self {
+        ProofRef {
+            words: &s.words,
+            len: s.len,
+        }
+    }
+}
+
+/// Anything that exposes its bits as a borrowed [`ProofRef`].
+///
+/// Lets APIs like [`crate::Proof::set`] accept owned [`BitString`]s,
+/// borrowed `&BitString`s, and [`ProofRef`]s interchangeably.
+pub trait AsBits {
+    /// A borrowed view of the bits.
+    fn as_bits(&self) -> ProofRef<'_>;
+}
+
+impl AsBits for BitString {
+    fn as_bits(&self) -> ProofRef<'_> {
+        self.into()
+    }
+}
+
+impl AsBits for ProofRef<'_> {
+    fn as_bits(&self) -> ProofRef<'_> {
+        *self
+    }
+}
+
+impl<T: AsBits + ?Sized> AsBits for &T {
+    fn as_bits(&self) -> ProofRef<'_> {
+        (**self).as_bits()
     }
 }
 
@@ -208,18 +441,22 @@ impl BitWriter {
     }
 }
 
-/// Sequential reader over a [`BitString`]; see [`BitWriter`] for a
-/// round-trip example.
+/// Sequential reader over any word-packed bit source (a `&`[`BitString`]
+/// or a [`ProofRef`] straight out of a view or arena); see [`BitWriter`]
+/// for a round-trip example.
 #[derive(Clone, Debug)]
 pub struct BitReader<'a> {
-    src: &'a BitString,
+    src: ProofRef<'a>,
     pos: usize,
 }
 
 impl<'a> BitReader<'a> {
     /// Starts reading `src` from the first bit.
-    pub fn new(src: &'a BitString) -> Self {
-        BitReader { src, pos: 0 }
+    pub fn new(src: impl Into<ProofRef<'a>>) -> Self {
+        BitReader {
+            src: src.into(),
+            pos: 0,
+        }
     }
 
     /// Reads one bit.
@@ -227,27 +464,43 @@ impl<'a> BitReader<'a> {
     /// # Errors
     ///
     /// [`CodecError::OutOfBits`] at end of string.
+    #[inline]
     pub fn read_bit(&mut self) -> Result<bool, CodecError> {
-        let b = self.src.get(self.pos).ok_or(CodecError::OutOfBits)?;
+        if self.pos >= self.src.len() {
+            return Err(CodecError::OutOfBits);
+        }
+        let b = word_get(self.src.words(), self.pos);
         self.pos += 1;
         Ok(b)
     }
 
-    /// Reads `width` bits as an MSB-first integer.
+    /// Reads `width` bits as an MSB-first integer — one word-level
+    /// extraction, not a per-bit loop.
     ///
     /// # Errors
     ///
     /// [`CodecError::OutOfBits`] if fewer than `width` bits remain.
     pub fn read_u64(&mut self, width: u32) -> Result<u64, CodecError> {
         assert!(width <= 64, "width {width} exceeds u64");
-        let mut v = 0u64;
-        for _ in 0..width {
-            v = (v << 1) | self.read_bit()? as u64;
+        if self.remaining() < width as usize {
+            self.pos = self.src.len();
+            return Err(CodecError::OutOfBits);
         }
-        Ok(v)
+        if width == 0 {
+            return Ok(0);
+        }
+        // The chunk holds the bits in storage order (first-written bit
+        // lowest); MSB-first means the first-written bit is the highest.
+        let chunk = peek_chunk(self.src.words(), self.pos) & low_mask(width as usize);
+        self.pos += width as usize;
+        Ok(chunk.reverse_bits() >> (64 - width))
     }
 
     /// Reads an Elias-γ coded value (inverse of [`BitWriter::write_gamma`]).
+    ///
+    /// The zero-run scan stays bit-by-bit (γ prefixes in proofs are a
+    /// few bits — chunked scanning costs more than it saves), but the
+    /// payload rides the word-level [`Self::read_u64`].
     ///
     /// # Errors
     ///
@@ -261,11 +514,19 @@ impl<'a> BitReader<'a> {
                 return Err(CodecError::Malformed);
             }
         }
-        let mut v = 1u64;
-        for _ in 0..k {
-            v = (v << 1) | self.read_bit()? as u64;
-        }
-        Ok(v - 1)
+        // k payload bits, MSB-first under the implicit leading 1. A
+        // hostile k = 64 overflows the implicit leading 1 out of u64
+        // range; the only value it could ever round-trip is already
+        // representable with k = 63, so reject the all-zero payload
+        // (whose decoded value would underflow the `+1` shift) as
+        // malformed instead of wrapping.
+        let payload = self.read_u64(k)?;
+        let v = if k == 64 {
+            payload
+        } else {
+            (1u64 << k) | payload
+        };
+        v.checked_sub(1).ok_or(CodecError::Malformed)
     }
 
     /// Bits not yet consumed.
@@ -389,6 +650,22 @@ mod tests {
         // A single 0 bit promises at least one more bit.
         let s = BitString::from_bits([false]);
         assert_eq!(BitReader::new(&s).read_gamma(), Err(CodecError::OutOfBits));
+    }
+
+    #[test]
+    fn hostile_gamma_prefixes_reject_without_panicking() {
+        // 65 zeros: an absurd length prefix.
+        let s = BitString::from_bits((0..66).map(|i| i == 65));
+        assert_eq!(BitReader::new(&s).read_gamma(), Err(CodecError::Malformed));
+        // 64 zeros, a 1, then an all-zero 64-bit payload: the implicit
+        // leading 1 overflows u64 and the decoded value would underflow
+        // — must reject, not wrap (release) or panic (debug).
+        let s = BitString::from_bits((0..129).map(|i| i == 64));
+        assert_eq!(BitReader::new(&s).read_gamma(), Err(CodecError::Malformed));
+        // Same prefix with a nonzero payload still decodes (to the
+        // payload minus one, the historical wrapping value).
+        let s = BitString::from_bits((0..129).map(|i| i == 64 || i == 128));
+        assert_eq!(BitReader::new(&s).read_gamma(), Ok(0));
     }
 
     #[test]

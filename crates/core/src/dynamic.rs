@@ -247,8 +247,8 @@ impl DynScheme {
 }
 
 /// Engine-backed tamper probe: flip one random bit of the honest proof
-/// per trial, re-verify only the views containing the flipped node, and
-/// restore the bit.
+/// in its arena per trial, re-verify only the views containing the
+/// flipped node, and flip the bit back — zero allocations per trial.
 fn tamper_probe<S>(
     scheme: &S,
     inst: &Instance<S::Node, S::Edge>,
@@ -260,10 +260,9 @@ where
     S::Node: Clone + Send + Sync,
     S::Edge: Clone + Send + Sync,
 {
-    let proof = scheme.prove(inst)?;
+    let mut proof = scheme.prove(inst)?;
     let prep = PreparedInstance::new(inst, scheme.radius());
-    let mut views = prep.bind_all(&proof);
-    if views.iter().any(|v| !scheme.verify(v)) {
+    if (0..prep.n()).any(|v| !scheme.verify(&prep.bind(v, &proof))) {
         return None; // honest proof rejected — that is a completeness failure
     }
     let flippable: Vec<usize> = (0..prep.n())
@@ -276,11 +275,12 @@ where
     let mut rng = StdRng::seed_from_u64(seed);
     for _ in 0..trials {
         let v = flippable[rng.random_range(0..flippable.len())];
-        let mut s = proof.get(v).clone();
-        let idx = rng.random_range(0..s.len());
-        s.flip(idx);
-        let owners: Vec<usize> = prep.rebind_node(&mut views, v, &s).collect();
-        match owners.iter().copied().find(|&o| !scheme.verify(&views[o])) {
+        let idx = rng.random_range(0..proof.get(v).len());
+        proof.flip(v, idx);
+        match prep
+            .dependents(v)
+            .find(|&o| !scheme.verify(&prep.bind(o, &proof)))
+        {
             Some(w) => {
                 probe.detected += 1;
                 if probe.witness.is_none() {
@@ -290,7 +290,7 @@ where
             None => probe.undetected += 1,
         }
         probe.trials += 1;
-        prep.rebind_node(&mut views, v, proof.get(v)).for_each(drop);
+        proof.flip(v, idx);
     }
     Some(probe)
 }

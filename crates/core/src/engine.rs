@@ -26,14 +26,16 @@
 //!   change.
 //!
 //! Binding a proof ([`PreparedInstance::bind`] /
-//! [`PreparedInstance::bind_all`]) then costs `O(Σ|ball|)` bit-string
-//! copies — no graph traversal, no allocation beyond the proof strings
-//! themselves. Incremental workloads (the odometer of
+//! [`PreparedInstance::bind_all`]) is then **free**: a bound view borrows
+//! slices of the proof's word-packed [`crate::ProofArena`] through the
+//! membership table — no graph traversal, no bit copies, no allocation.
+//! Incremental workloads (the odometer of
 //! [`crate::harness::check_soundness_exhaustive`], the single-bit flips
-//! of [`crate::harness::adversarial_proof_search`]) go further and
-//! re-bind **only the changed node's** bits via
-//! [`PreparedInstance::rebind_node`], re-running just the `O(|ball|)`
-//! affected verifiers.
+//! of [`crate::harness::adversarial_proof_search`]) mutate one
+//! preallocated arena in place between candidates and re-run just the
+//! `O(|ball|)` verifiers listed in [`PreparedInstance::dependents`] —
+//! zero heap allocations per candidate proof (pinned by the
+//! `alloc_probe` test).
 //!
 //! # Parallelism
 //!
@@ -73,7 +75,6 @@
 //! assert_eq!(prep.evaluate_until_reject(&EvenDegrees, &proof), None);
 //! ```
 
-use crate::bits::BitString;
 use crate::instance::Instance;
 use crate::proof::Proof;
 use crate::scheme::{Scheme, Verdict};
@@ -225,7 +226,10 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     }
 
     /// Global indices of node `v`'s ball members, in view-local order.
-    fn members_of(&self, v: usize) -> &[u32] {
+    ///
+    /// Crate-visible: the harness's exhaustive memo keys verifier
+    /// outputs on the member string indices.
+    pub(crate) fn members_of(&self, v: usize) -> &[u32] {
         &self.members[self.member_off[v] as usize..self.member_off[v + 1] as usize]
     }
 
@@ -244,50 +248,25 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
 
     /// Binds `proof` to node `v`'s cached skeleton, producing its view.
     ///
-    /// Cost: `|ball(v)|` bit-string copies; no traversal, no topology
-    /// work.
+    /// Free: the view borrows both the cached skeleton and the proof's
+    /// arena (through the membership table) — no traversal, no bit
+    /// copies, no allocation, no refcount traffic. Because the binding
+    /// borrows, a bound view always reads the arena's *current* bits:
+    /// mutate the proof in place, re-bind, and only the affected
+    /// verifiers ([`Self::dependents`]) need re-running.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range or `proof.n()` mismatches.
-    pub fn bind(&self, v: usize, proof: &Proof) -> View<N, E> {
+    #[inline]
+    pub fn bind<'s>(&'s self, v: usize, proof: &'s Proof) -> View<'s, N, E> {
         assert_eq!(proof.n(), self.n(), "proof must label every node");
-        View::from_skeleton(
-            Arc::clone(&self.skeletons[v]),
-            self.members_of(v)
-                .iter()
-                .map(|&u| proof.get(u as usize).clone())
-                .collect(),
-        )
+        View::bind_arena(&self.skeletons[v], proof.arena(), self.members_of(v))
     }
 
     /// Binds `proof` to every node's skeleton at once.
-    pub fn bind_all(&self, proof: &Proof) -> Vec<View<N, E>> {
+    pub fn bind_all<'s>(&'s self, proof: &'s Proof) -> Vec<View<'s, N, E>> {
         (0..self.n()).map(|v| self.bind(v, proof)).collect()
-    }
-
-    /// Re-binds only node `changed`'s bits into the already-bound views,
-    /// and returns the centres whose views were touched.
-    ///
-    /// This is the odometer fast path: after flipping one node's proof
-    /// string, only the `O(|ball|)` views containing that node need new
-    /// bits — and only their verifiers need re-running.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `views` was not produced by [`Self::bind_all`] on this
-    /// prepared instance (length mismatch).
-    pub fn rebind_node(
-        &self,
-        views: &mut [View<N, E>],
-        changed: usize,
-        bits: &BitString,
-    ) -> impl Iterator<Item = usize> + '_ {
-        assert_eq!(views.len(), self.n(), "views must come from bind_all");
-        for &(owner, local) in self.dependents_of(changed) {
-            views[owner as usize].set_local_proof(local as usize, bits.clone());
-        }
-        self.dependents(changed)
     }
 
     /// Always-sequential verifier sweep — used directly by contexts that
@@ -417,6 +396,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bits::BitString;
     use crate::scheme::evaluate;
     use lcp_graph::generators;
 
@@ -495,20 +475,31 @@ mod tests {
     }
 
     #[test]
-    fn rebind_touches_exactly_the_dependent_views() {
+    fn arena_mutation_is_visible_through_bindings() {
         let inst = Instance::unlabeled(generators::path(7));
         let prep = PreparedInstance::new(&inst, 1);
-        let base = Proof::empty(7);
-        let mut views = prep.bind_all(&base);
-        let bits = BitString::from_bits([true, false]);
-        let touched: Vec<usize> = prep.rebind_node(&mut views, 3, &bits).collect();
+        let mut proof = Proof::with_capacity(7, 2);
+        proof.set(3, BitString::from_bits([true, false]));
+        let touched: Vec<usize> = prep.dependents(3).collect();
         assert_eq!(touched, vec![2, 3, 4], "radius-1 ball of node 3 on a path");
-        // Touched views now agree with a fresh full bind of the new proof.
-        let mut next = base.clone();
-        next.set(3, bits);
+        // Bound views read the arena's current bits: they agree with a
+        // naive extraction of the mutated proof, with zero re-binding.
         for v in 0..7 {
-            assert_eq!(views[v], prep.bind(v, &next), "view {v}");
+            assert_eq!(
+                prep.bind(v, &proof),
+                View::extract(&inst, &proof, v, 1),
+                "view {v}"
+            );
         }
+        // Mutating again is immediately visible through fresh bindings.
+        proof.flip(3, 0);
+        assert_eq!(
+            prep.bind(2, &proof)
+                .proof(prep.bind(2, &proof).n() - 1)
+                .first(),
+            Some(false),
+            "flip visible through the borrowed binding"
+        );
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //!   [`classify_growth`].
 //!
 //! All checks run on [`PreparedInstance`]s: view skeletons are built once
-//! per `(instance, radius)` and candidate proofs only swap bit strings
-//! (see [`crate::engine`]). The proof-enumeration odometer and the
-//! adversarial bit-flipper go further and re-verify only the nodes whose
-//! views contain the changed bits.
+//! per `(instance, radius)` and bound views borrow the candidate proof's
+//! word-packed arena (see [`crate::engine`]). The proof-enumeration
+//! odometer and the adversarial bit-flipper mutate one preallocated
+//! arena in place and re-verify only the nodes whose views contain the
+//! changed bits — zero heap allocations per candidate proof.
 
 use crate::bits::BitString;
 use crate::engine::PreparedInstance;
@@ -212,9 +213,36 @@ where
     }
 }
 
+/// Number of bit strings with at most `max_bits` bits
+/// (`2^(max_bits+1) − 1`), or `None` when even that count overflows
+/// `u128`.
+fn bitstring_space(max_bits: usize) -> Option<u128> {
+    if max_bits >= 127 {
+        None
+    } else {
+        Some((1u128 << (max_bits + 1)) - 1)
+    }
+}
+
 /// All bit strings with at most `max_bits` bits, shortest first
 /// (`2^(max_bits+1) − 1` strings).
-pub fn all_bitstrings_up_to(max_bits: usize) -> Vec<BitString> {
+///
+/// # Errors
+///
+/// [`SoundnessError::SearchSpaceTooLarge`] when the table itself would
+/// exceed [`EXHAUSTIVE_PROOF_LIMIT`] entries (reported with `n = 1`).
+/// In particular `max_bits ≥ 64` is always refused — the per-length
+/// enumeration `0..2^len` would overflow `u64` — instead of panicking
+/// (debug) or wrapping (release) on the shift.
+pub fn all_bitstrings_up_to(max_bits: usize) -> Result<Vec<BitString>, SoundnessError> {
+    let count = bitstring_space(max_bits);
+    if count.is_none_or(|c| c > EXHAUSTIVE_PROOF_LIMIT) {
+        return Err(SoundnessError::SearchSpaceTooLarge {
+            strings: count.map_or(usize::MAX, |c| c.min(usize::MAX as u128) as usize),
+            n: 1,
+            space: count,
+        });
+    }
     let mut out = vec![BitString::new()];
     for len in 1..=max_bits {
         for value in 0u64..(1 << len) {
@@ -223,7 +251,7 @@ pub fn all_bitstrings_up_to(max_bits: usize) -> Vec<BitString> {
             ));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Outcome of an exhaustive soundness check on one no-instance.
@@ -275,6 +303,63 @@ impl std::error::Error for SoundnessError {}
 /// will enumerate.
 pub const EXHAUSTIVE_PROOF_LIMIT: u128 = 100_000_000;
 
+/// Total byte budget for the exhaustive check's verifier-output memo
+/// (per-owner tables of `strings^|ball|` entries). Above this the
+/// odometer simply re-runs verifiers — same results, no table.
+const MEMO_BYTE_CAP: usize = 1 << 22;
+
+/// Verifier-output memo for the exhaustive odometer.
+///
+/// During enumeration, node `v`'s view content is fully determined by
+/// the string-table indices of its ball members (the topology is
+/// fixed), so each owner's output is a pure function of a mixed-radix
+/// signature over `indices[members(v)]`. Tables are preallocated once
+/// and filled lazily — a hit replaces a whole bind + verify with a few
+/// multiplies and a byte load, and the loop stays allocation-free.
+struct OutputMemo {
+    /// Table region offsets per owner (`off[v]..off[v + 1]`).
+    off: Vec<usize>,
+    /// 0 = unknown, 1 = rejected, 2 = accepted.
+    table: Vec<u8>,
+    /// Radix: the number of candidate strings per node.
+    radix: usize,
+}
+
+impl OutputMemo {
+    /// Builds the memo when every owner's signature space fits the byte
+    /// budget; `None` falls back to direct re-verification.
+    fn try_new(ball_sizes: impl Iterator<Item = usize>, radix: usize) -> Option<OutputMemo> {
+        let mut off = vec![0usize];
+        let mut total = 0usize;
+        for b in ball_sizes {
+            let mut size = 1usize;
+            for _ in 0..b {
+                size = size.checked_mul(radix)?;
+            }
+            total = total.checked_add(size)?;
+            if total > MEMO_BYTE_CAP {
+                return None;
+            }
+            off.push(total);
+        }
+        Some(OutputMemo {
+            off,
+            table: vec![0u8; total],
+            radix,
+        })
+    }
+
+    /// The owner's table slot for the current odometer state.
+    #[inline(always)]
+    fn slot(&self, owner: usize, members: &[u32], indices: &[usize]) -> usize {
+        let mut sig = 0usize;
+        for &m in members {
+            sig = sig * self.radix + indices[m as usize];
+        }
+        self.off[owner] + sig
+    }
+}
+
 /// Exhaustively enumerates **every** proof of size ≤ `max_bits` on a
 /// prepared no-instance and checks that each is rejected somewhere.
 ///
@@ -283,16 +368,17 @@ pub const EXHAUSTIVE_PROOF_LIMIT: u128 = 100_000_000;
 /// *exactly* on small instances).
 ///
 /// The enumeration is an odometer over per-node string indices: between
-/// consecutive candidates only the rolled-over nodes change, so only the
-/// views containing them are re-bound and only their verifiers re-run —
-/// the cached-engine fast path that makes the `10^8`-proof budget
-/// practical.
+/// consecutive candidates only the rolled-over nodes change. Each change
+/// is a word-level copy into one preallocated proof arena, and only the
+/// verifiers whose views contain the changed node re-run — zero heap
+/// allocations per candidate (the arena-engine fast path that makes the
+/// `10^8`-proof budget practical).
 ///
 /// # Errors
 ///
 /// [`SoundnessError::SearchSpaceTooLarge`] when the space exceeds
 /// [`EXHAUSTIVE_PROOF_LIMIT`] proofs (checked in `u128`, no float
-/// saturation).
+/// saturation, no shift overflow for any `max_bits`).
 ///
 /// # Panics
 ///
@@ -312,32 +398,60 @@ where
         "exhaustive soundness check requires a no-instance"
     );
     let n = prep.n();
-    let strings = all_bitstrings_up_to(max_bits);
-    let space = (strings.len() as u128).checked_pow(n as u32);
+    let per_node = bitstring_space(max_bits);
+    let space = per_node.and_then(|c| c.checked_pow(n as u32));
     if space.is_none_or(|s| s > EXHAUSTIVE_PROOF_LIMIT) {
         return Err(SoundnessError::SearchSpaceTooLarge {
-            strings: strings.len(),
+            strings: per_node.map_or(usize::MAX, |c| c.min(usize::MAX as u128) as usize),
             n,
             space,
         });
     }
-    // Bind the all-ε proof once; every later candidate is reached by
-    // rebinding only the nodes the odometer changed.
-    let start = Proof::empty(n);
-    let mut views = prep.bind_all(&start);
-    let mut outputs: Vec<bool> = views.iter().map(|v| scheme.verify(v)).collect();
-    let mut rejecting = outputs.iter().filter(|&&b| !b).count();
+    if n == 0 {
+        // The empty graph accepts every proof vacuously; the only proof
+        // is ε, so soundness is violated by definition.
+        return Ok(Soundness::Violated(Proof::empty(0)));
+    }
+    let strings = all_bitstrings_up_to(max_bits).expect("per-node table within the checked space");
+    // One preallocated arena holds the candidate; the all-ε start is
+    // verified once, then every later candidate mutates the arena in
+    // place and re-runs only the affected verifiers.
+    let mut proof = Proof::with_capacity(n, max_bits);
     let mut indices = vec![0usize; n];
+    // During enumeration a view's content is a pure function of its
+    // members' string indices, so verifier outputs can be memoized in a
+    // preallocated table (skipped when the signature spaces outgrow the
+    // byte budget). Identical results either way — only fewer verifier
+    // invocations.
+    let mut memo = OutputMemo::try_new((0..n).map(|v| prep.members_of(v).len()), strings.len());
+    let check =
+        |owner: usize, proof: &Proof, indices: &[usize], memo: &mut Option<OutputMemo>| -> bool {
+            if let Some(m) = memo {
+                let slot = m.slot(owner, prep.members_of(owner), indices);
+                match m.table[slot] {
+                    0 => {
+                        let now = scheme.verify(&prep.bind(owner, proof));
+                        m.table[slot] = 1 + now as u8;
+                        now
+                    }
+                    cached => cached == 2,
+                }
+            } else {
+                scheme.verify(&prep.bind(owner, proof))
+            }
+        };
+    let mut outputs: Vec<bool> = (0..n)
+        .map(|v| check(v, &proof, &indices, &mut memo))
+        .collect();
+    let mut rejecting = outputs.iter().filter(|&&b| !b).count();
     let mut tried = 0u64;
     loop {
         tried += 1;
         if rejecting == 0 {
-            return Ok(Soundness::Violated(Proof::from_strings(
-                indices.iter().map(|&i| strings[i].clone()).collect(),
-            )));
+            return Ok(Soundness::Violated(proof));
         }
-        // Odometer increment; each changed node re-binds only its
-        // dependent views and re-runs only their verifiers.
+        // Odometer increment; each changed node overwrites its arena
+        // slot (a word copy) and re-runs only its dependent verifiers.
         let mut pos = 0;
         loop {
             if pos == n {
@@ -348,11 +462,9 @@ where
             if rolled {
                 indices[pos] = 0;
             }
-            let owners: Vec<usize> = prep
-                .rebind_node(&mut views, pos, &strings[indices[pos]])
-                .collect();
-            for owner in owners {
-                let now = scheme.verify(&views[owner]);
+            proof.set(pos, &strings[indices[pos]]);
+            for owner in prep.dependents(pos) {
+                let now = check(owner, &proof, &indices, &mut memo);
                 match (outputs[owner], now) {
                     (true, false) => rejecting += 1,
                     (false, true) => rejecting -= 1,
@@ -369,20 +481,34 @@ where
 }
 
 /// A uniformly random proof: each node gets `max_bits` random bits.
+///
+/// The arena reserves exactly `max_bits` per node, so subsequent
+/// in-budget mutations (bit flips, refills) never allocate.
 pub fn random_proof(n: usize, max_bits: usize, rng: &mut StdRng) -> Proof {
-    Proof::from_fn(n, |_| {
-        BitString::from_bits((0..max_bits).map(|_| rng.random_bool(0.5)))
-    })
+    let mut proof = Proof::with_capacity(n, max_bits);
+    refill_random(&mut proof, max_bits, rng);
+    proof
+}
+
+/// Regenerates every node's bits in place — same RNG stream as
+/// [`random_proof`], zero allocations (the restart path of
+/// [`adversarial_proof_search`]).
+fn refill_random(proof: &mut Proof, max_bits: usize, rng: &mut StdRng) {
+    for v in 0..proof.n() {
+        proof.write_bits(v, (0..max_bits).map(|_| rng.random_bool(0.5)));
+    }
 }
 
 /// Randomized adversarial proof search on a prepared no-instance:
 /// hill-climbs the number of accepting nodes by flipping random bits,
 /// restarting from random proofs.
 ///
-/// Each candidate differs from the incumbent at a single node, so the
-/// engine re-binds only that node's bits and re-scores only the
-/// `O(|ball|)` verifiers that can see them — full sweeps happen only at
-/// restarts.
+/// Each candidate differs from the incumbent at a single node: the flip
+/// is one XOR in the preallocated proof arena, only the `O(|ball|)`
+/// verifiers that can see it are re-scored, and a rejected candidate is
+/// reverted by flipping the bit back — zero heap allocations per
+/// candidate. Full sweeps happen only at restarts (and even those refill
+/// the arena in place).
 ///
 /// Returns a fully-accepted proof (a soundness violation for the given
 /// size budget) if one is found within `iterations` candidate steps.
@@ -411,59 +537,66 @@ where
     if n == 0 {
         return None;
     }
-    let mut current = random_proof(n, size_budget, rng);
-    let mut views = prep.bind_all(&current);
-    let mut outputs: Vec<bool> = views.iter().map(|v| scheme.verify(v)).collect();
+    let mut proof = random_proof(n, size_budget, rng);
+    let mut outputs: Vec<bool> = (0..n)
+        .map(|v| scheme.verify(&prep.bind(v, &proof)))
+        .collect();
     let mut score = outputs.iter().filter(|&&b| b).count();
+    // Scratch reused across candidates (the only buffer the loop needs).
+    let mut touched: Vec<(usize, bool)> = Vec::new();
     for iter in 0..iterations {
         if score == n {
-            return Some(current);
+            return Some(proof);
         }
-        // Occasional restart to escape local optima.
+        // Occasional restart to escape local optima: refill the arena in
+        // place and re-score everything.
         if iter % 200 == 199 {
-            current = random_proof(n, size_budget, rng);
-            views = prep.bind_all(&current);
-            outputs = views.iter().map(|v| scheme.verify(v)).collect();
+            refill_random(&mut proof, size_budget, rng);
+            for (v, out) in outputs.iter_mut().enumerate() {
+                *out = scheme.verify(&prep.bind(v, &proof));
+            }
             score = outputs.iter().filter(|&&b| b).count();
             continue;
         }
         if size_budget == 0 {
             continue;
         }
+        // Mutate one node in place; remember how to undo it.
         let v = rng.random_range(0..n);
-        let mut s = current.get(v).clone();
-        if s.is_empty() {
-            s = BitString::from_bits((0..size_budget).map(|_| rng.random_bool(0.5)));
+        let flipped = if proof.get(v).is_empty() {
+            proof.write_bits(v, (0..size_budget).map(|_| rng.random_bool(0.5)));
+            None
         } else {
-            let idx = rng.random_range(0..s.len());
-            s.flip(idx);
-        }
-        // Tentatively re-bind node v and re-score its dependents.
-        let owners: Vec<usize> = prep.rebind_node(&mut views, v, &s).collect();
+            let idx = rng.random_range(0..proof.get(v).len());
+            proof.flip(v, idx);
+            Some(idx)
+        };
+        // Re-score only the verifiers that can see node v.
         let mut new_score = score;
-        let mut new_outputs: Vec<(usize, bool)> = Vec::with_capacity(owners.len());
-        for &owner in &owners {
-            let now = scheme.verify(&views[owner]);
+        touched.clear();
+        for owner in prep.dependents(v) {
+            let now = scheme.verify(&prep.bind(owner, &proof));
             match (outputs[owner], now) {
                 (true, false) => new_score -= 1,
                 (false, true) => new_score += 1,
                 _ => {}
             }
-            new_outputs.push((owner, now));
+            touched.push((owner, now));
         }
         if new_score >= score {
-            current.set(v, s);
-            for (owner, out) in new_outputs {
+            for &(owner, out) in &touched {
                 outputs[owner] = out;
             }
             score = new_score;
         } else {
-            // Revert the tentative binding.
-            prep.rebind_node(&mut views, v, current.get(v))
-                .for_each(drop);
+            // Undo the mutation (flip back, or truncate a fresh fill).
+            match flipped {
+                Some(idx) => proof.flip(v, idx),
+                None => proof.clear(v),
+            }
         }
     }
-    (score == n).then_some(current)
+    (score == n).then_some(proof)
 }
 
 /// One measured point of the "Proof size s" column: instance size vs.
@@ -685,7 +818,7 @@ mod tests {
         let prep = prepare(&Gullible, &inst);
         let engine = check_soundness_exhaustive(&Gullible, &prep, 1).unwrap();
         // Naive reference: enumerate in the same odometer order.
-        let strings = all_bitstrings_up_to(1);
+        let strings = all_bitstrings_up_to(1).unwrap();
         let mut indices = [0usize; 4];
         let naive = 'outer: loop {
             let proof = Proof::from_strings(indices.iter().map(|&i| strings[i].clone()).collect());
@@ -785,13 +918,32 @@ mod tests {
 
     #[test]
     fn bitstring_enumeration_counts() {
-        assert_eq!(all_bitstrings_up_to(0).len(), 1);
-        assert_eq!(all_bitstrings_up_to(1).len(), 3);
-        assert_eq!(all_bitstrings_up_to(3).len(), 15);
+        assert_eq!(all_bitstrings_up_to(0).unwrap().len(), 1);
+        assert_eq!(all_bitstrings_up_to(1).unwrap().len(), 3);
+        assert_eq!(all_bitstrings_up_to(3).unwrap().len(), 15);
         // No duplicates.
-        let all = all_bitstrings_up_to(3);
+        let all = all_bitstrings_up_to(3).unwrap();
         let set: std::collections::HashSet<_> = all.iter().cloned().collect();
         assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn bitstring_enumeration_refuses_shift_overflow() {
+        // 1u64 << len would panic (debug) or wrap (release) at len = 64;
+        // the guard returns the refusal error instead of computing.
+        for max_bits in [64, 65, 100, 127, 128, usize::MAX] {
+            let err = all_bitstrings_up_to(max_bits).unwrap_err();
+            let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err;
+            assert_eq!(n, 1);
+            assert_eq!(strings, usize::MAX, "count saturates at {max_bits}");
+            if max_bits >= 127 {
+                assert_eq!(space, None, "count overflows u128 at {max_bits}");
+            } else {
+                assert_eq!(space, Some((1u128 << (max_bits + 1)) - 1));
+            }
+        }
+        // Oversized but representable tables are refused too.
+        assert!(all_bitstrings_up_to(30).is_err());
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! measurement with growth-class fitting (the "Proof size s" column of
 //! Table 1). The [`engine`] module is the substrate those checks run on:
 //! a [`PreparedInstance`] caches every node's view *skeleton* (the
-//! proof-independent ball topology) once per `(instance, radius)`, so
-//! each candidate proof costs only bit-string re-binding — with
+//! proof-independent ball topology) once per `(instance, radius)`, and
+//! candidate proofs live in a word-packed [`ProofArena`] that bound
+//! views borrow directly — search loops mutate one preallocated arena in
+//! place, performing zero heap allocations per candidate — with
 //! node-level parallelism behind the `parallel` feature.
 //!
 //! ## Example: the bipartiteness scheme in miniature
@@ -61,6 +63,7 @@
 //! assert!(evaluate(&Bipartite, &yes, &proof).accepted());
 //! ```
 
+pub mod arena;
 pub mod bits;
 pub mod components;
 pub mod dynamic;
@@ -71,7 +74,8 @@ pub mod proof;
 pub mod scheme;
 pub mod view;
 
-pub use bits::{BitReader, BitString, BitWriter, CodecError};
+pub use arena::ProofArena;
+pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
 pub use dynamic::{DynScheme, TamperProbe};
 pub use engine::{prepare, prepare_sweep, PreparedInstance};
 pub use instance::{EdgeMap, Instance};

@@ -1,6 +1,14 @@
-//! Proofs: per-node bit strings (§2.1).
+//! Proofs: per-node bit strings (§2.1), stored word-packed.
+//!
+//! A [`Proof`] is a thin owner over a [`ProofArena`]: all nodes' bits
+//! live in one flat `Vec<u64>` with per-node slots. Readers get borrowed
+//! [`ProofRef`] slices ([`Proof::get`]); writers mutate slots in place
+//! ([`Proof::set`], [`Proof::flip`], [`Proof::write_bits`]), which is
+//! what lets the harness's search loops walk millions of candidate
+//! proofs without a single heap allocation per candidate.
 
-use crate::bits::BitString;
+use crate::arena::ProofArena;
+use crate::bits::{AsBits, BitString, ProofRef};
 
 /// A proof `P : V(G) → {0,1}*`, stored per node index.
 ///
@@ -17,14 +25,23 @@ use crate::bits::BitString;
 /// ```
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Proof {
-    per_node: Vec<BitString>,
+    arena: ProofArena,
 }
 
 impl Proof {
     /// The empty proof `ε` for `n` nodes (0 bits everywhere).
     pub fn empty(n: usize) -> Self {
         Proof {
-            per_node: vec![BitString::new(); n],
+            arena: ProofArena::empty(n),
+        }
+    }
+
+    /// The empty proof for `n` nodes with `bits_per_node` bits of
+    /// reserved capacity per slot, so every later in-budget [`Self::set`]
+    /// is allocation-free — the search-loop constructor.
+    pub fn with_capacity(n: usize, bits_per_node: usize) -> Self {
+        Proof {
+            arena: ProofArena::with_capacity(n, bits_per_node),
         }
     }
 
@@ -33,52 +50,101 @@ impl Proof {
     where
         F: FnMut(usize) -> BitString,
     {
+        let mut arena = ProofArena::default();
+        for v in 0..n {
+            arena.push(f(v).as_bits());
+        }
+        Proof { arena }
+    }
+
+    /// Builds a proof from explicit per-node strings (compatibility
+    /// shim over [`ProofArena::from_strings`]).
+    pub fn from_strings(strings: Vec<BitString>) -> Self {
         Proof {
-            per_node: (0..n).map(&mut f).collect(),
+            arena: ProofArena::from_strings(&strings),
         }
     }
 
-    /// Builds a proof from explicit per-node strings.
-    pub fn from_strings(strings: Vec<BitString>) -> Self {
-        Proof { per_node: strings }
+    /// Wraps an already-packed arena.
+    pub fn from_arena(arena: ProofArena) -> Self {
+        Proof { arena }
+    }
+
+    /// The word-packed storage (what the engine binds views against).
+    pub fn arena(&self) -> &ProofArena {
+        &self.arena
     }
 
     /// Number of nodes the proof labels.
     pub fn n(&self) -> usize {
-        self.per_node.len()
+        self.arena.n()
     }
 
-    /// The proof string of node `v`.
+    /// The proof string of node `v`, borrowed from the arena
+    /// (compatibility shim: prior revisions returned `&BitString`; use
+    /// [`ProofRef::to_bitstring`] where an owned copy is needed).
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn get(&self, v: usize) -> &BitString {
-        &self.per_node[v]
+    #[inline]
+    pub fn get(&self, v: usize) -> ProofRef<'_> {
+        self.arena.get(v)
     }
 
     /// Replaces the proof string of node `v` (adversarial testing hook).
     ///
+    /// Accepts anything bit-shaped: an owned or borrowed [`BitString`],
+    /// or a [`ProofRef`]. In-capacity writes are a word copy; larger
+    /// values relocate the slot inside the arena.
+    ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn set(&mut self, v: usize, s: BitString) {
-        self.per_node[v] = s;
+    pub fn set(&mut self, v: usize, s: impl AsBits) {
+        self.arena.set(v, s.as_bits());
+    }
+
+    /// Rewrites node `v` from a bit iterator, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn write_bits(&mut self, v: usize, bits: impl IntoIterator<Item = bool>) {
+        self.arena.write_bits(v, bits);
+    }
+
+    /// Truncates node `v` back to `ε` (reserved capacity is kept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn clear(&mut self, v: usize) {
+        self.arena.clear(v);
+    }
+
+    /// Flips bit `index` of node `v` — one XOR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` or `index` is out of range.
+    pub fn flip(&mut self, v: usize, index: usize) {
+        self.arena.flip(v, index);
     }
 
     /// The proof size `|P|`: maximum bits at any node (0 for empty graphs).
     pub fn size(&self) -> usize {
-        self.per_node.iter().map(BitString::len).max().unwrap_or(0)
+        self.arena.size()
     }
 
     /// Total bits across all nodes.
     pub fn total_bits(&self) -> usize {
-        self.per_node.iter().map(BitString::len).sum()
+        self.arena.total_bits()
     }
 
     /// Iterates over the per-node strings in index order.
-    pub fn iter(&self) -> impl Iterator<Item = &BitString> {
-        self.per_node.iter()
+    pub fn iter(&self) -> impl Iterator<Item = ProofRef<'_>> {
+        self.arena.iter()
     }
 }
 
@@ -92,7 +158,7 @@ mod tests {
         assert_eq!(p.n(), 5);
         assert_eq!(p.size(), 0);
         assert_eq!(p.total_bits(), 0);
-        assert!(p.iter().all(BitString::is_empty));
+        assert!(p.iter().all(|s| s.is_empty()));
     }
 
     #[test]
@@ -112,6 +178,41 @@ mod tests {
         p.set(1, BitString::from_bits([true, true]));
         assert_eq!(p.get(1).len(), 2);
         assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn set_accepts_borrowed_refs() {
+        let donor = Proof::from_strings(vec![BitString::from_bits([true, false, true])]);
+        let mut p = Proof::empty(2);
+        p.set(0, donor.get(0));
+        assert_eq!(p.get(0), donor.get(0));
+        assert_eq!(
+            p.get(0).to_bitstring(),
+            BitString::from_bits([true, false, true])
+        );
+    }
+
+    #[test]
+    fn flip_and_clear_mutate_in_place() {
+        let mut p = Proof::with_capacity(2, 4);
+        p.write_bits(0, [false, false, true]);
+        p.flip(0, 0);
+        assert_eq!(
+            p.get(0).to_bitstring(),
+            BitString::from_bits([true, false, true])
+        );
+        p.clear(0);
+        assert!(p.get(0).is_empty());
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        let a = Proof::from_strings(vec![BitString::from_bits([true]), BitString::new()]);
+        let mut b = Proof::with_capacity(2, 8);
+        b.set(0, BitString::from_bits([true]));
+        assert_eq!(a, b);
+        b.set(1, BitString::from_bits([false]));
+        assert_ne!(a, b);
     }
 
     #[test]

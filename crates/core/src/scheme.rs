@@ -158,7 +158,7 @@ mod tests {
             self.holds(inst).then(|| Proof::empty(inst.n()))
         }
         fn verify(&self, view: &View) -> bool {
-            view.degree(view.center()) % 2 == 0
+            view.degree(view.center()).is_multiple_of(2)
         }
     }
 

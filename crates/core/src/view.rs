@@ -13,15 +13,20 @@
 //!   labels. Skeletons are shared behind an [`Arc`], so cloning a view or
 //!   re-binding it to a new proof never re-runs a BFS or re-copies the
 //!   topology;
-//! * the **proof binding** — the per-node bit strings, the only part that
-//!   changes between candidate proofs.
+//! * the **proof binding** — where the per-node bits come from, the only
+//!   part that changes between candidate proofs. A binding either *owns*
+//!   a word-packed [`ProofArena`] (the naive [`View::extract`] path and
+//!   the simulator's [`View::from_parts`]) or *borrows* slices of the
+//!   proof's arena (the engine path): binding a cached skeleton to a new
+//!   candidate proof then costs nothing at all — the view reads the
+//!   arena's current bits through [`View::proof`].
 //!
 //! [`View::extract`] builds a fresh skeleton each call (the naive path);
 //! [`crate::engine::PreparedInstance`] precomputes every node's skeleton
-//! once and stamps out proof bindings in `O(Σ|ball|)` bit copies per
-//! candidate proof.
+//! once and stamps out zero-copy arena bindings per candidate proof.
 
-use crate::bits::BitString;
+use crate::arena::ProofArena;
+use crate::bits::{BitString, ProofRef};
 use crate::instance::{EdgeMap, Instance};
 use crate::proof::Proof;
 use lcp_graph::{norm_edge, Graph, NodeId};
@@ -57,21 +62,77 @@ impl<N, E> Skeleton<N, E> {
     }
 }
 
-/// The radius-`r` view of one node: induced subgraph, identifiers, labels,
-/// proof restriction, and the centre.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct View<N = (), E = ()> {
-    skel: Arc<Skeleton<N, E>>,
-    proofs: Vec<BitString>,
+/// Where a view's proof bits come from.
+///
+/// Owned bindings copy the ball's bits into a private word-packed arena;
+/// borrowed bindings read straight out of the bound proof's arena
+/// through the ball-membership table — the engine's zero-copy path.
+#[derive(Clone, Debug)]
+enum Binding<'p> {
+    /// A private arena, one slot per view-local node.
+    Owned(ProofArena),
+    /// Borrowed slices of a proof arena; view-local node `u` reads
+    /// global slot `members[u]`.
+    Arena {
+        arena: &'p ProofArena,
+        members: &'p [u32],
+    },
 }
 
-impl<N: Clone, E: Clone> View<N, E> {
+/// How a view holds its skeleton.
+///
+/// The naive constructors share an [`Arc`]; the engine's per-candidate
+/// bindings borrow the prepared instance's cached skeleton instead, so
+/// stamping out a view costs no refcount traffic at all — the verifier
+/// loops construct millions of views per second.
+#[derive(Clone, Debug)]
+enum SkelRef<'p, N, E> {
+    /// Shared ownership (extraction, simulator, restriction).
+    Shared(Arc<Skeleton<N, E>>),
+    /// Borrowed from a [`crate::engine::PreparedInstance`]'s cache.
+    Borrowed(&'p Skeleton<N, E>),
+}
+
+impl<N, E> SkelRef<'_, N, E> {
+    #[inline]
+    fn get(&self) -> &Skeleton<N, E> {
+        match self {
+            SkelRef::Shared(arc) => arc,
+            SkelRef::Borrowed(s) => s,
+        }
+    }
+}
+
+/// The radius-`r` view of one node: induced subgraph, identifiers, labels,
+/// proof restriction, and the centre.
+///
+/// The lifetime `'p` is the proof binding's: views produced by
+/// [`crate::engine::PreparedInstance::bind`] borrow the proof's arena,
+/// while [`View::extract`] / [`View::from_parts`] own their bits and are
+/// `'static` in `'p`.
+#[derive(Clone, Debug)]
+pub struct View<'p, N = (), E = ()> {
+    skel: SkelRef<'p, N, E>,
+    binding: Binding<'p>,
+}
+
+impl<N: PartialEq, E: PartialEq> PartialEq for View<'_, N, E> {
+    /// Observational equality: same skeleton content, same proof bits —
+    /// regardless of whether either side owns or borrows its binding.
+    fn eq(&self, other: &Self) -> bool {
+        self.skeleton() == other.skeleton() && self.nodes().all(|u| self.proof(u) == other.proof(u))
+    }
+}
+
+impl<N: Eq, E: Eq> Eq for View<'_, N, E> {}
+
+impl<'p, N: Clone, E: Clone> View<'p, N, E> {
     /// Extracts the view `(G[v,r], P[v,r], v)` from an instance.
     ///
     /// This is the naive path: it runs a BFS and rebuilds the skeleton on
     /// every call. When many proofs are checked against one instance, use
     /// [`crate::engine::PreparedInstance`], which builds each node's
-    /// skeleton once and re-binds only proof bits.
+    /// skeleton once and binds candidate proofs for free.
     ///
     /// # Panics
     ///
@@ -80,13 +141,10 @@ impl<N: Clone, E: Clone> View<N, E> {
         assert_eq!(proof.n(), inst.n(), "proof must label every node");
         let mut scratch = BallScratch::new(inst.graph().n());
         let (skel, members) = build_skeleton(inst, v, radius, &mut scratch);
-        let proofs = members
-            .iter()
-            .map(|&u| proof.get(u as usize).clone())
-            .collect();
+        let proofs = ProofArena::from_refs(members.iter().map(|&u| proof.get(u as usize)));
         View {
-            skel: Arc::new(skel),
-            proofs,
+            skel: SkelRef::Shared(Arc::new(skel)),
+            binding: Binding::Owned(proofs),
         }
     }
 }
@@ -195,18 +253,25 @@ pub(crate) fn build_skeleton<N: Clone, E: Clone>(
     (skel, members)
 }
 
-impl<N, E> View<N, E> {
-    /// Assembles a view from a shared skeleton and a proof binding — the
-    /// cheap constructor used by the engine.
-    pub(crate) fn from_skeleton(skel: Arc<Skeleton<N, E>>, proofs: Vec<BitString>) -> Self {
-        debug_assert_eq!(skel.n(), proofs.len(), "one proof string per view node");
-        View { skel, proofs }
+impl<'p, N, E> View<'p, N, E> {
+    /// Assembles a view from a shared skeleton and a borrowed arena
+    /// binding — the engine's zero-copy constructor.
+    pub(crate) fn bind_arena(
+        skel: &'p Skeleton<N, E>,
+        arena: &'p ProofArena,
+        members: &'p [u32],
+    ) -> Self {
+        debug_assert_eq!(skel.n(), members.len(), "one arena slot per view node");
+        View {
+            skel: SkelRef::Borrowed(skel),
+            binding: Binding::Arena { arena, members },
+        }
     }
 
-    /// Replaces the proof string of view-local node `u` in place — the
-    /// engine's incremental re-binding hook.
-    pub(crate) fn set_local_proof(&mut self, u: usize, bits: BitString) {
-        self.proofs[u] = bits;
+    /// The underlying skeleton, whichever way it is held.
+    #[inline]
+    fn skeleton(&self) -> &Skeleton<N, E> {
+        self.skel.get()
     }
 
     /// Assembles a view from raw parts — the constructor used by the
@@ -262,7 +327,7 @@ impl<N, E> View<N, E> {
             adj_off.push(flat.len() as u32);
         }
         View {
-            skel: Arc::new(Skeleton {
+            skel: SkelRef::Shared(Arc::new(Skeleton {
                 center,
                 radius,
                 ids,
@@ -271,24 +336,24 @@ impl<N, E> View<N, E> {
                 dist: dist.into_iter().map(|d| d as u32).collect(),
                 node_data,
                 edge_labels: edge_data.into_iter().collect(),
-            }),
-            proofs,
+            })),
+            binding: Binding::Owned(ProofArena::from_strings(&proofs)),
         }
     }
 
     /// The centre's index *within the view*.
     pub fn center(&self) -> usize {
-        self.skel.center
+        self.skeleton().center
     }
 
     /// The extraction radius `r`.
     pub fn radius(&self) -> usize {
-        self.skel.radius
+        self.skeleton().radius
     }
 
     /// Number of nodes in the view.
     pub fn n(&self) -> usize {
-        self.skel.n()
+        self.skeleton().n()
     }
 
     /// Identifier of view node `u`.
@@ -297,17 +362,17 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn id(&self, u: usize) -> NodeId {
-        self.skel.ids[u]
+        self.skeleton().ids[u]
     }
 
     /// All identifiers in view-index order.
     pub fn ids(&self) -> &[NodeId] {
-        &self.skel.ids
+        &self.skeleton().ids
     }
 
     /// View index of the node with identifier `id`, if visible.
     pub fn index_of(&self, id: NodeId) -> Option<usize> {
-        self.skel.ids.iter().position(|&x| x == id)
+        self.skeleton().ids.iter().position(|&x| x == id)
     }
 
     /// Distance from the centre (in the original graph, ≤ radius).
@@ -316,7 +381,7 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn dist(&self, u: usize) -> usize {
-        self.skel.dist[u] as usize
+        self.skeleton().dist[u] as usize
     }
 
     /// Sorted neighbours of `u` within the view.
@@ -328,7 +393,7 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn neighbors(&self, u: usize) -> &[usize] {
-        self.skel.neighbors(u)
+        self.skeleton().neighbors(u)
     }
 
     /// Degree of `u` within the view.
@@ -369,26 +434,34 @@ impl<N, E> View<N, E> {
     ///
     /// Panics if `u` is out of range.
     pub fn node_label(&self, u: usize) -> &N {
-        &self.skel.node_data[u]
+        &self.skeleton().node_data[u]
     }
 
     /// The edge label of `{u, w}` within the view, if present.
     pub fn edge_label(&self, u: usize, w: usize) -> Option<&E> {
         let key = norm_edge(u, w);
-        self.skel
+        self.skeleton()
             .edge_labels
             .binary_search_by(|(k, _)| k.cmp(&key))
             .ok()
-            .map(|i| &self.skel.edge_labels[i].1)
+            .map(|i| &self.skeleton().edge_labels[i].1)
     }
 
-    /// The proof string of `u` (the restriction `P[v,r]`).
+    /// The proof string of `u` (the restriction `P[v,r]`), as a borrowed
+    /// word-packed slice.
+    ///
+    /// Borrowed bindings read the bound arena's *current* bits — no copy
+    /// ever happened, so this is always fresh.
     ///
     /// # Panics
     ///
     /// Panics if `u` is out of range.
-    pub fn proof(&self, u: usize) -> &BitString {
-        &self.proofs[u]
+    #[inline(always)]
+    pub fn proof(&self, u: usize) -> ProofRef<'_> {
+        match &self.binding {
+            Binding::Owned(arena) => arena.get(u),
+            Binding::Arena { arena, members } => arena.get(members[u] as usize),
+        }
     }
 
     /// Restricts the view to a smaller radius `r' ≤ r`, producing the
@@ -440,20 +513,20 @@ impl<N, E> View<N, E> {
             adj_off.push(adj.len() as u32);
         }
         View {
-            skel: Arc::new(Skeleton {
+            skel: SkelRef::Shared(Arc::new(Skeleton {
                 center: old_to_new[self.center()],
                 radius: new_radius,
-                ids: keep.iter().map(|&u| self.skel.ids[u]).collect(),
+                ids: keep.iter().map(|&u| self.skeleton().ids[u]).collect(),
                 adj_off,
                 adj,
-                dist: keep.iter().map(|&u| self.skel.dist[u]).collect(),
+                dist: keep.iter().map(|&u| self.skeleton().dist[u]).collect(),
                 node_data: keep
                     .iter()
-                    .map(|&u| self.skel.node_data[u].clone())
+                    .map(|&u| self.skeleton().node_data[u].clone())
                     .collect(),
                 edge_labels,
-            }),
-            proofs: keep.iter().map(|&u| self.proofs[u].clone()).collect(),
+            })),
+            binding: Binding::Owned(ProofArena::from_refs(keep.iter().map(|&u| self.proof(u)))),
         }
     }
 
@@ -463,17 +536,18 @@ impl<N, E> View<N, E> {
     ///
     /// Cheap: the topology skeleton is shared, only the proof binding is
     /// replaced.
-    pub fn with_proofs_cleared(&self) -> Self {
+    pub fn with_proofs_cleared(&self) -> View<'_, N, E> {
         View {
-            skel: Arc::clone(&self.skel),
-            proofs: vec![BitString::new(); self.n()],
+            skel: SkelRef::Borrowed(self.skeleton()),
+            binding: Binding::Owned(ProofArena::empty(self.n())),
         }
     }
 
     /// Materializes the view's topology as a standalone [`Graph`]
     /// (same identifiers), so graph algorithms can run on it.
     pub fn to_graph(&self) -> Graph {
-        let mut g = Graph::from_ids(self.skel.ids.iter().copied()).expect("view ids are unique");
+        let mut g =
+            Graph::from_ids(self.skeleton().ids.iter().copied()).expect("view ids are unique");
         for (u, w) in self.edges() {
             g.add_edge(u, w).expect("view is simple");
         }
@@ -614,7 +688,10 @@ mod tests {
         let p = proof_of_ids(inst.graph());
         let v = View::extract(&inst, &p, 0, 2);
         let cleared = v.with_proofs_cleared();
-        assert!(Arc::ptr_eq(&v.skel, &cleared.skel), "skeleton is shared");
+        assert!(
+            std::ptr::eq(v.skeleton(), cleared.skeleton()),
+            "skeleton is shared"
+        );
         assert!(cleared.nodes().all(|u| cleared.proof(u).is_empty()));
         assert!(v.nodes().any(|u| !v.proof(u).is_empty()), "original intact");
     }

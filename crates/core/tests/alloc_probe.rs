@@ -1,0 +1,159 @@
+//! Allocation probe: the arena-backed search loops perform **zero heap
+//! allocations per candidate proof**.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; the
+//! probes run the exhaustive odometer, the adversarial bit-flip search,
+//! and a view-binding loop inside a counting window and assert that the
+//! allocation totals are flat in the number of candidates — setup
+//! (string table, arena, output vectors) allocates a bounded amount,
+//! the per-candidate steady state allocates nothing.
+//!
+//! One `#[test]` drives all phases: the counter is process-global, so
+//! concurrent test functions would double-count.
+
+use lcp_core::engine::PreparedInstance;
+use lcp_core::harness::{
+    adversarial_proof_search, check_soundness_exhaustive, random_proof, Soundness,
+};
+use lcp_core::{Instance, Proof, Scheme, View};
+use lcp_graph::generators;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator with an allocation-event counter.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation events during `f`.
+fn count_allocs<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
+}
+
+/// The 1-bit bipartiteness scheme; its verifier reads proof bits without
+/// allocating, so every counted allocation belongs to the harness.
+struct Bipartite;
+impl Scheme for Bipartite {
+    type Node = ();
+    type Edge = ();
+    fn name(&self) -> String {
+        "bipartite".into()
+    }
+    fn radius(&self) -> usize {
+        1
+    }
+    fn holds(&self, inst: &Instance) -> bool {
+        lcp_graph::traversal::is_bipartite(inst.graph())
+    }
+    fn prove(&self, inst: &Instance) -> Option<Proof> {
+        let colors = lcp_graph::traversal::bipartition(inst.graph())?;
+        Some(Proof::from_fn(inst.n(), |v| {
+            lcp_core::BitString::from_bits([colors[v] == 1])
+        }))
+    }
+    fn verify(&self, view: &View) -> bool {
+        let c = view.center();
+        let mine = view.proof(c).first();
+        mine.is_some()
+            && view
+                .neighbors(c)
+                .iter()
+                .all(|&u| view.proof(u).first().is_some_and(|b| Some(b) != mine))
+    }
+}
+
+#[test]
+fn search_loops_do_not_allocate_per_candidate() {
+    // --- Exhaustive odometer -----------------------------------------
+    // Two workloads whose candidate counts differ by ~8x: the
+    // allocation totals must differ only by O(n) setup, proving the
+    // steady state allocates nothing per candidate.
+    let small = Instance::unlabeled(generators::cycle(5)); // 3^5 = 243
+    let large = Instance::unlabeled(generators::cycle(7)); // 3^7 = 2187
+    let prep_small = PreparedInstance::new(&small, 1);
+    let prep_large = PreparedInstance::new(&large, 1);
+
+    let (allocs_small, result) =
+        count_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_small, 1).unwrap());
+    assert!(matches!(result, Soundness::Holds(243)));
+    let (allocs_large, result) =
+        count_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_large, 1).unwrap());
+    assert!(matches!(result, Soundness::Holds(2187)));
+
+    assert!(
+        allocs_small < 100,
+        "odometer setup should allocate a bounded amount, counted {allocs_small}"
+    );
+    // 1944 extra candidates may not buy even one extra allocation
+    // beyond the slightly larger O(n) setup vectors.
+    assert!(
+        allocs_large <= allocs_small + 20,
+        "odometer allocations grew with the candidate count: \
+         {allocs_small} for 243 candidates vs {allocs_large} for 2187"
+    );
+
+    // --- Adversarial bit-flip search ---------------------------------
+    let mut rng = StdRng::seed_from_u64(11);
+    let (allocs_short, _) = count_allocs(|| {
+        adversarial_proof_search(&Bipartite, &prep_large, 1, 250, &mut rng).is_some()
+    });
+    let mut rng = StdRng::seed_from_u64(11);
+    let (allocs_long, _) = count_allocs(|| {
+        adversarial_proof_search(&Bipartite, &prep_large, 1, 2_250, &mut rng).is_some()
+    });
+    assert!(
+        allocs_short < 60,
+        "adversarial setup should allocate a bounded amount, counted {allocs_short}"
+    );
+    // 2000 extra candidate steps (including 10 in-place restarts) must
+    // not allocate.
+    assert!(
+        allocs_long <= allocs_short,
+        "adversarial allocations grew with the iteration count: \
+         {allocs_short} for 250 iters vs {allocs_long} for 2250"
+    );
+
+    // --- Binding and in-place mutation -------------------------------
+    // bind + verify + flip on a live arena: strictly zero allocations.
+    let mut proof = random_proof(prep_large.n(), 1, &mut rng);
+    let (allocs, _) = count_allocs(|| {
+        let mut rejections = 0usize;
+        for round in 0..1_000 {
+            let v = round % prep_large.n();
+            proof.flip(v, 0);
+            for owner in prep_large.dependents(v) {
+                if !Bipartite.verify(&prep_large.bind(owner, &proof)) {
+                    rejections += 1;
+                }
+            }
+        }
+        rejections
+    });
+    assert_eq!(
+        allocs, 0,
+        "bind + verify + flip must be allocation-free, counted {allocs}"
+    );
+}

@@ -106,23 +106,40 @@ proptest! {
     }
 
     #[test]
-    fn incremental_rebinding_tracks_full_binds((inst, radius, seed) in instance_radius_seed()) {
+    fn in_place_arena_mutations_track_the_naive_executor((inst, radius, seed) in instance_radius_seed()) {
+        // The arena-vs-BitString equivalence case: one proof is mutated
+        // in place inside its word-packed arena (the search-loop path),
+        // a shadow proof is rebuilt from owned BitStrings after every
+        // step (the legacy representation) — the cached engine on the
+        // former must match the naive executor on the latter
+        // node-for-node, including after shrinking writes that leave
+        // stale bits in the arena words.
+        let scheme = Fingerprint { radius };
         let prep = PreparedInstance::new(&inst, radius);
         let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
         let mut proof = random_proof(inst.n(), 2, &mut rng);
-        let mut views = prep.bind_all(&proof);
-        // A random walk of single-node mutations, re-bound incrementally.
+        let mut shadow: Vec<lcp_core::BitString> =
+            proof.iter().map(|r| r.to_bitstring()).collect();
         for _ in 0..12 {
             let v = rng.random_range(0..inst.n());
             let bits = lcp_core::BitString::from_bits(
                 (0..rng.random_range(0..4usize)).map(|_| rng.random_bool(0.5)),
             );
-            proof.set(v, bits.clone());
-            prep.rebind_node(&mut views, v, &bits).for_each(drop);
+            proof.set(v, &bits);
+            shadow[v] = bits;
+            let rebuilt = Proof::from_strings(shadow.clone());
+            prop_assert_eq!(&proof, &rebuilt, "arena content drifted at node {}", v);
+            let cached = prep.evaluate(&scheme, &proof);
+            let naive = evaluate(&scheme, &inst, &rebuilt);
+            prop_assert_eq!(cached.outputs(), naive.outputs(), "outputs diverged at node {}", v);
         }
-        let fresh = prep.bind_all(&proof);
-        for (v, (incremental, full)) in views.iter().zip(&fresh).enumerate() {
-            prop_assert_eq!(incremental, full, "stale view at node {}", v);
+        // Bound views of the mutated arena equal fresh extractions.
+        for v in 0..inst.n() {
+            prop_assert_eq!(
+                prep.bind(v, &proof),
+                View::extract(&inst, &proof, v, radius),
+                "view mismatch at node {}", v
+            );
         }
     }
 

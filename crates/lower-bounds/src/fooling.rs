@@ -371,7 +371,7 @@ where
             .iter()
             .map(|&id| {
                 let v = inst.graph().index_of(id).expect("window ids exist");
-                proof.get(v).clone()
+                proof.get(v).to_bitstring()
             })
             .collect();
         if let Some(&other) = by_window.get(&key) {
@@ -410,13 +410,13 @@ where
         let id = hybrid_graph.id(v);
         if id.0 >= PRIME {
             let dv = p_inst.graph().index_of(id).expect("primed ids match donor");
-            p_proof.get(dv).clone()
+            p_proof.get(dv).to_bitstring()
         } else {
             let dv = u_inst
                 .graph()
                 .index_of(id)
                 .expect("unprimed/wire ids match donor");
-            u_proof.get(dv).clone()
+            u_proof.get(dv).to_bitstring()
         }
     });
     debug_assert!(

@@ -164,7 +164,7 @@ where
                 color.push((
                     inst.node_label(pos).clone(),
                     inst.edge_label(pos, next).cloned(),
-                    proof.get(pos).clone(),
+                    proof.get(pos).to_bitstring(),
                 ));
             }
             by_color.entry(color).or_default().push((a, b));
@@ -250,7 +250,7 @@ where
             g.add_node(donor.id(pos))
                 .expect("donor id sets are disjoint");
             labels.push(inst.node_label(pos).clone());
-            proof_strings.push(proof.get(pos).clone());
+            proof_strings.push(proof.get(pos).to_bitstring());
         }
         // Arc edges pos–pos+1 (the donor's a–b wrap edge is *not* added).
         for pos in 0..n - 1 {

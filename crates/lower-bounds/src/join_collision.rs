@@ -165,7 +165,7 @@ where
                 return JoinOutcome::HonestProofRejected { member: i, node };
             }
             candidates += 1;
-            let key: Vec<BitString> = (0..window).map(|v| p.get(v).clone()).collect();
+            let key: Vec<BitString> = (0..window).map(|v| p.get(v).to_bitstring()).collect();
             if let Some(&other) = seen.get(&key) {
                 collision = Some((other, i));
                 proofs.push(proof);
@@ -193,13 +193,13 @@ where
     let pj = proofs[j].as_ref().expect("collision implies proof");
     let proof = Proof::from_fn(3 * k, |v| {
         if v < window {
-            pi.get(v).clone() // common window (equal in both donors)
+            pi.get(v).to_bitstring() // common window (equal in both donors)
         } else if v < k {
-            pj.get(v).clone() // far path segment, donor j
+            pj.get(v).to_bitstring() // far path segment, donor j
         } else if v < 2 * k {
-            pi.get(v).clone() // G_i copy
+            pi.get(v).to_bitstring() // G_i copy
         } else {
-            pj.get(v).clone() // G_j copy
+            pj.get(v).to_bitstring() // G_j copy
         }
     });
     let hybrid = Instance::unlabeled(hybrid_graph);

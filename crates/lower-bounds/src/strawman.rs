@@ -223,7 +223,7 @@ where
     }
 }
 
-fn decode_full(s: &BitString) -> Option<Graph> {
+fn decode_full(s: lcp_core::ProofRef<'_>) -> Option<Graph> {
     let mut r = BitReader::new(s);
     let n = r.read_gamma().ok()? as usize;
     if n > 10_000 {

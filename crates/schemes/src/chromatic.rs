@@ -83,7 +83,7 @@ struct NbCert {
     cycle: Option<(u64, u64)>, // (position, length)
 }
 
-fn decode_nb(view_proof: &lcp_core::BitString) -> Option<NbCert> {
+fn decode_nb(view_proof: lcp_core::ProofRef<'_>) -> Option<NbCert> {
     let mut r = BitReader::new(view_proof);
     let tree = TreeCert::decode(&mut r).ok()?;
     let on_cycle = r.read_bit().ok()?;
@@ -144,36 +144,55 @@ impl Scheme for NonBipartite {
     }
 
     fn verify(&self, view: &View) -> bool {
-        let certs = |u: usize| decode_nb(view.proof(u));
-        if !TreeCert::verify_at_center(view, |u| certs(u).map(|c| c.tree)) {
-            return false;
-        }
+        // Single pass, one decode per visible node: the conjunction of
+        // the §5.1 tree check (inlined from `TreeCert::verify_at_center`)
+        // and the odd-cycle checks. Logically identical to running the
+        // two passes separately — every clause is conjunctive — but the
+        // hot exhaustive/adversarial loops decode each neighbour once
+        // instead of three times.
         let c = view.center();
-        let mine = certs(c).expect("tree check decoded it");
-        let i_am_root = view.id(c).0 == mine.tree.root_id;
-        let Some((p, len)) = mine.cycle else {
-            // Off-cycle nodes: fine, unless I am the root (the root must
-            // lie on the cycle).
-            return !i_am_root;
-        };
-        // Cycle sanity: odd length, position in range, root at position 0.
-        if len < 3 || len % 2 == 0 || p >= len {
+        let Some(mine) = decode_nb(view.proof(c)) else {
             return false;
+        };
+        let my_id = view.id(c).0;
+        let i_am_root = my_id == mine.tree.root_id;
+        // Root self-consistency.
+        if mine.tree.dist == 0 {
+            if !i_am_root || mine.tree.parent_id != my_id {
+                return false;
+            }
+        } else if i_am_root {
+            return false; // non-root node impersonating the root id
         }
-        if (p == 0) != i_am_root {
-            return false; // position 0 is reserved for the unique root
-        }
-        // Count predecessor (p−1 mod L) and successor (p+1 mod L)
-        // neighbours on the cycle with my length.
-        let prev = (p + len - 1) % len;
-        let next = (p + 1) % len;
+        // Cycle sanity: odd length, position in range, root at position 0.
+        let cycle = if let Some((p, len)) = mine.cycle {
+            if len < 3 || len % 2 == 0 || p >= len {
+                return false;
+            }
+            if (p == 0) != i_am_root {
+                return false; // position 0 is reserved for the unique root
+            }
+            // Predecessor (p−1 mod L) and successor (p+1 mod L).
+            Some(((p + len - 1) % len, (p + 1) % len, len))
+        } else if i_am_root {
+            return false; // the root must lie on the cycle
+        } else {
+            None
+        };
+        let mut parent_ok = mine.tree.dist == 0;
         let mut preds = 0;
         let mut succs = 0;
         for &u in view.neighbors(c) {
-            let Some(cu) = certs(u) else {
-                return false;
+            let Some(cu) = decode_nb(view.proof(u)) else {
+                return false; // malformed neighbours reject everywhere
             };
-            if let Some((q, lu)) = cu.cycle {
+            if cu.tree.root_id != mine.tree.root_id {
+                return false; // neighbours must agree on the root
+            }
+            if view.id(u).0 == mine.tree.parent_id && cu.tree.dist + 1 == mine.tree.dist {
+                parent_ok = true;
+            }
+            if let (Some((prev, next, len)), Some((q, lu))) = (cycle, cu.cycle) {
                 if lu != len {
                     return false; // cycle nodes must agree on the length
                 }
@@ -185,7 +204,13 @@ impl Scheme for NonBipartite {
                 }
             }
         }
-        preds == 1 && succs == 1
+        if !parent_ok {
+            return false; // non-root: parent must be a visible neighbour
+        }
+        match cycle {
+            Some(_) => preds == 1 && succs == 1,
+            None => true, // off-cycle non-root with a consistent tree
+        }
     }
 }
 

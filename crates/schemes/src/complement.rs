@@ -98,9 +98,8 @@ where
         }
         // I am the root: simulate the inner verifier on my inner-radius
         // view with the empty proof — it must REJECT.
-        let inner_view = view
-            .restrict(self.inner.radius().min(view.radius()))
-            .with_proofs_cleared();
+        let restricted = view.restrict(self.inner.radius().min(view.radius()));
+        let inner_view = restricted.with_proofs_cleared();
         !self.inner.verify(&inner_view)
     }
 }

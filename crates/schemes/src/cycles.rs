@@ -7,7 +7,7 @@
 //! of §5.3 shows both lower bounds — see `lcp-lower-bounds`.
 
 use lcp_core::components::CountingTreeCert;
-use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, Scheme, View};
+use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, ProofRef, Scheme, View};
 use lcp_graph::traversal;
 
 /// Whether the graph is a single cycle.
@@ -133,7 +133,7 @@ struct MmCert {
     unmatched_subtree: u64,
 }
 
-fn decode_mm(proof: &BitString) -> Option<MmCert> {
+fn decode_mm(proof: ProofRef<'_>) -> Option<MmCert> {
     let mut r = BitReader::new(proof);
     let count = CountingTreeCert::decode(&mut r).ok()?;
     let unmatched_subtree = r.read_gamma().ok()?;

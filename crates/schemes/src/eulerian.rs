@@ -40,7 +40,7 @@ impl Scheme for Eulerian {
     }
 
     fn verify(&self, view: &View) -> bool {
-        view.degree(view.center()) % 2 == 0
+        view.degree(view.center()).is_multiple_of(2)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Hamiltonian cycles (§5.1, Table 1(b)): `Θ(log n)` on connected graphs.
 
 use lcp_core::components::CountingTreeCert;
-use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, Scheme, View};
+use lcp_core::{BitReader, BitWriter, Instance, Proof, ProofRef, Scheme, View};
 use lcp_graph::traversal;
 
 /// Hamiltonian-cycle verification: edges labelled `1` must form a cycle
@@ -24,7 +24,7 @@ struct HamCert {
     pos: u64,
 }
 
-fn decode_ham(proof: &BitString) -> Option<HamCert> {
+fn decode_ham(proof: ProofRef<'_>) -> Option<HamCert> {
     let mut r = BitReader::new(proof);
     let count = CountingTreeCert::decode(&mut r).ok()?;
     let pos = r.read_gamma().ok()?;
@@ -240,8 +240,8 @@ mod tests {
         assert!(evaluate(&HamiltonianCycle, &inst, &proof).accepted());
         // Swap two nodes' position fields.
         let mut bad = proof.clone();
-        let p2 = proof.get(2).clone();
-        bad.set(2, proof.get(4).clone());
+        let p2 = proof.get(2);
+        bad.set(2, proof.get(4));
         bad.set(4, p2);
         assert!(!evaluate(&HamiltonianCycle, &inst, &bad).accepted());
     }

@@ -2,7 +2,7 @@
 //! `Θ(1)` on planar graphs via colour-reuse of path indices.
 
 use crate::labels::StMark;
-use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, Scheme, View};
+use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, ProofRef, Scheme, View};
 use lcp_graph::menger;
 
 /// How path identities are written into the proof (§4.2's last
@@ -104,7 +104,7 @@ fn encode_cert(cert: &ConnCert) -> BitString {
     w.finish()
 }
 
-fn decode_cert(s: &BitString) -> Option<ConnCert> {
+fn decode_cert(s: ProofRef<'_>) -> Option<ConnCert> {
     let mut r = BitReader::new(s);
     let region = match r.read_u64(2).ok()? {
         0 => Region::S,

@@ -284,7 +284,7 @@ struct DirCert {
     out_port: u64,
 }
 
-fn decode_dir(proof: &lcp_core::BitString) -> Option<DirCert> {
+fn decode_dir(proof: lcp_core::ProofRef<'_>) -> Option<DirCert> {
     let mut r = lcp_core::BitReader::new(proof);
     let marked = r.read_bit().ok()?;
     let out_port = if marked { r.read_gamma().ok()? } else { 0 };

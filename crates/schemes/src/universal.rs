@@ -8,7 +8,7 @@
 //! (Ω(n²/log n), §6.3) — both instantiated here as [`Universal`]
 //! schemes, with the matching attacks in `lcp-lower-bounds`.
 
-use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, Scheme, View};
+use lcp_core::{BitReader, BitString, BitWriter, Instance, Proof, ProofRef, Scheme, View};
 use lcp_graph::{coloring, iso, traversal, Graph, NodeId};
 
 /// The universal scheme for an arbitrary computable property of
@@ -63,7 +63,7 @@ where
         w.finish()
     }
 
-    fn decode(s: &BitString) -> Option<Graph> {
+    fn decode(s: ProofRef<'_>) -> Option<Graph> {
         let mut r = BitReader::new(s);
         let n = r.read_gamma().ok()? as usize;
         if n > 100_000 {
@@ -276,7 +276,7 @@ mod tests {
             lcp_graph::ops::shift_ids(&generators::path(4), 100),
         ] {
             let enc = Universal::<fn(&Graph) -> bool>::encode(&g);
-            let dec = Universal::<fn(&Graph) -> bool>::decode(&enc).unwrap();
+            let dec = Universal::<fn(&Graph) -> bool>::decode((&enc).into()).unwrap();
             assert_eq!(dec.n(), g.n());
             assert_eq!(dec.m(), g.m());
             for (u, v) in g.edges() {

@@ -117,6 +117,7 @@ mod tests {
         // — and makes the exhaustive check instant.
         let inst = Instance::unlabeled(generators::path(2));
         let decodable: Vec<_> = all_bitstrings_up_to(10)
+            .expect("10-bit table is in budget")
             .into_iter()
             .filter(|s| {
                 let mut r = BitReader::new(s);

@@ -66,7 +66,7 @@ pub fn run_distributed<S: Scheme>(
             let rec = Record {
                 id: g.id(v),
                 label: inst.node_label(v).clone(),
-                proof: proof.get(v).clone(),
+                proof: proof.get(v).to_bitstring(),
                 neighbor_ids: g.neighbors(v).iter().map(|&u| g.id(u)).collect(),
             };
             BTreeMap::from([(rec.id, rec)])
@@ -105,12 +105,12 @@ pub fn run_distributed<S: Scheme>(
 }
 
 /// Builds `G[v,r]` from the records `v` gathered.
-fn reconstruct_view<N: Clone, E: Clone>(
+fn reconstruct_view<'v, N: Clone, E: Clone>(
     inst: &Instance<N, E>,
     v: usize,
     r: usize,
     known: &BTreeMap<NodeId, Record<N>>,
-) -> View<N, E> {
+) -> View<'v, N, E> {
     let g = inst.graph();
     let my_id = g.id(v);
     // BFS over the knowledge graph starting at v, traversing only nodes

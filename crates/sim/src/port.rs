@@ -100,7 +100,7 @@ impl<N: Clone, E: Clone> PortView<N, E> {
             dist: view.nodes().map(|u| view.dist(u)).collect(),
             adj,
             node_data: view.nodes().map(|u| view.node_label(u).clone()).collect(),
-            proofs: view.nodes().map(|u| view.proof(u).clone()).collect(),
+            proofs: view.nodes().map(|u| view.proof(u).to_bitstring()).collect(),
             edge_data: view
                 .edges()
                 .into_iter()

@@ -482,7 +482,7 @@ mod tests {
         assert!(evaluate(&scheme, &yes, &proof).accepted());
         // Tampering with the appended tree certificate is caught.
         let mut forged = proof.clone();
-        forged.set(0, proof.get(5).clone());
+        forged.set(0, proof.get(5));
         assert!(!evaluate(&scheme, &yes, &forged).accepted());
         // No-instances refuse.
         let no = Instance::unlabeled(generators::cycle(5));
@@ -568,8 +568,8 @@ mod tests {
         assert!(evaluate_anonymous(&scheme, &inst, 2, &proof).accepted());
         // Swap two nodes' whole certificates: interval chaining breaks.
         let mut forged = proof.clone();
-        let p3 = proof.get(3).clone();
-        forged.set(3, proof.get(5).clone());
+        let p3 = proof.get(3);
+        forged.set(3, proof.get(5));
         forged.set(5, p3);
         assert!(!evaluate_anonymous(&scheme, &inst, 2, &forged).accepted());
     }

@@ -76,8 +76,8 @@ fn main() {
     // Forged intervals (a swapped pair of certificates) are caught by the
     // purely local interval-chaining conditions.
     let mut forged = proof.clone();
-    let p1 = proof.get(1).clone();
-    forged.set(1, proof.get(2).clone());
+    let p1 = proof.get(1);
+    forged.set(1, proof.get(2));
     forged.set(2, p1);
     let verdict = evaluate_anonymous(&anon, &inst, leader, &forged);
     println!(

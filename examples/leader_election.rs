@@ -54,7 +54,7 @@ fn main() {
 
     // The certificate also cannot be re-rooted: tamper the proof instead.
     let mut forged = proof.clone();
-    forged.set(3, proof.get(17).clone());
+    forged.set(3, proof.get(17));
     let (verdict, _) = run_distributed(&LeaderElection, &inst, &forged);
     println!(
         "re-rooted certificate rejected by nodes {:?}",

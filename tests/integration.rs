@@ -152,7 +152,7 @@ fn harness_catches_a_broken_scheme() {
             Some(Proof::empty(inst.n()))
         }
         fn verify(&self, view: &lcp::core::View) -> bool {
-            view.id(view.center()).0 % 2 == 0 // rejects odd identifiers
+            view.id(view.center()).0.is_multiple_of(2) // rejects odd identifiers
         }
     }
     let inst = Instance::unlabeled(generators::path(3));

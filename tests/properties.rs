@@ -139,7 +139,7 @@ proptest! {
         // Every 1-bit proof on C_{2k+3} is rejected somewhere.
         let n = 2 * k + 3;
         let inst = Instance::unlabeled(generators::cycle(n));
-        let strings = all_bitstrings_up_to(1);
+        let strings = all_bitstrings_up_to(1).expect("tiny table");
         // Exhaustive product over per-node strings.
         let mut indices = vec![0usize; n];
         loop {
