@@ -1,17 +1,31 @@
-//! `bench_diff` — CI guard for the engine throughput snapshot.
+//! `bench_diff` — CI guard for committed benchmark snapshots.
 //!
 //! ```text
-//! bench_diff <fresh BENCH_engine.json> <committed BENCH_engine.json> [--max-regression 0.25]
+//! bench_diff <fresh.json> <committed.json> [--max-regression 0.25] [--keys slow,fast]
 //! ```
 //!
-//! Compares the *relative* speedup (engine vs the naive executor,
-//! measured in the same run on the same machine) of a freshly produced
-//! snapshot against the committed reference. Wall-clock seconds are not
-//! comparable across machines, but the speedup ratio is — a refactor
-//! that costs the engine 25% of its advantage fails the job regardless
-//! of runner hardware.
+//! Compares the *relative* speedup (a slow reference path vs a fast
+//! path, measured in the same run on the same machine) of a freshly
+//! produced snapshot against the committed reference. Wall-clock
+//! seconds are not comparable across machines, but the speedup ratio
+//! is — a refactor that costs the fast path 25% of its advantage fails
+//! the job regardless of runner hardware.
 //!
-//! Exit codes: `0` ok, `1` usage/parse error, `2` regression.
+//! The key pair defaults to the engine snapshot's
+//! `naive_seconds`/`engine_seconds`; other series pass their own, e.g.
+//! `--keys cycle_full_seconds,cycle_incremental_seconds` for the
+//! dynamic-churn snapshot.
+//!
+//! **First-introduction tolerance:** a brand-new series has nothing to
+//! diff against. When the committed snapshot file is absent, or it
+//! exists but lacks the requested keys (an older snapshot predating the
+//! series), the diff reports "no baseline" and exits 0 — CI only starts
+//! guarding once a baseline lands. A missing or malformed *fresh*
+//! snapshot is still an error: the bench that was supposed to produce
+//! it just ran.
+//!
+//! Exit codes: `0` ok (including no-baseline), `1` usage/parse error,
+//! `2` regression.
 
 use std::process::exit;
 
@@ -28,18 +42,16 @@ fn field(json: &str, key: &str) -> Option<f64> {
 }
 
 struct Snapshot {
-    proofs: f64,
-    naive_seconds: f64,
-    engine_seconds: f64,
+    slow_seconds: f64,
+    fast_seconds: f64,
 }
 
-fn load(path: &str) -> Result<Snapshot, String> {
+fn load(path: &str, slow_key: &str, fast_key: &str) -> Result<Snapshot, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let get = |key: &str| field(&json, key).ok_or_else(|| format!("{path}: missing \"{key}\""));
     Ok(Snapshot {
-        proofs: get("proofs")?,
-        naive_seconds: get("naive_seconds")?,
-        engine_seconds: get("engine_seconds")?,
+        slow_seconds: get(slow_key)?,
+        fast_seconds: get(fast_key)?,
     })
 }
 
@@ -47,6 +59,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut max_regression = 0.25f64;
+    let mut slow_key = "naive_seconds".to_string();
+    let mut fast_key = "engine_seconds".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-regression" {
@@ -55,37 +69,67 @@ fn main() {
                 exit(1);
             };
             max_regression = v;
+        } else if a == "--keys" {
+            let Some((slow, fast)) = it.next().and_then(|v| v.split_once(',')) else {
+                eprintln!("--keys needs a pair (e.g. naive_seconds,engine_seconds)");
+                exit(1);
+            };
+            slow_key = slow.trim().to_string();
+            fast_key = fast.trim().to_string();
         } else {
             paths.push(a.clone());
         }
     }
     let [fresh_path, committed_path] = paths.as_slice() else {
-        eprintln!("usage: bench_diff <fresh.json> <committed.json> [--max-regression 0.25]");
+        eprintln!(
+            "usage: bench_diff <fresh.json> <committed.json> \
+             [--max-regression 0.25] [--keys slow,fast]"
+        );
         exit(1);
     };
-    let (fresh, committed) = match (load(fresh_path), load(committed_path)) {
-        (Ok(f), Ok(c)) => (f, c),
-        (Err(e), _) | (_, Err(e)) => {
+
+    // The fresh snapshot must exist and carry the series — the bench
+    // producing it just ran, so anything missing here is a real failure.
+    let fresh = match load(fresh_path, &slow_key, &fast_key) {
+        Ok(f) => f,
+        Err(e) => {
             eprintln!("error: {e}");
             exit(1);
         }
     };
 
-    // Machine-normalized throughput: candidates per second relative to
-    // the naive executor measured in the same run.
-    let fresh_speedup = fresh.naive_seconds / fresh.engine_seconds;
-    let committed_speedup = committed.naive_seconds / committed.engine_seconds;
+    // The committed baseline may legitimately not exist yet (first
+    // introduction of a bench series) or predate the requested keys.
+    if !std::path::Path::new(committed_path).exists() {
+        println!(
+            "no baseline: {committed_path} is not committed yet — \
+             skipping the diff (commit the fresh snapshot to start guarding)"
+        );
+        exit(0);
+    }
+    let committed = match load(committed_path, &slow_key, &fast_key) {
+        Ok(c) => c,
+        Err(e) => {
+            println!(
+                "no baseline for this series ({e}) — \
+                 skipping the diff (refresh the committed snapshot to start guarding)"
+            );
+            exit(0);
+        }
+    };
+
+    // Machine-normalized throughput: the fast path's advantage over the
+    // slow path measured in the same run.
+    let fresh_speedup = fresh.slow_seconds / fresh.fast_seconds;
+    let committed_speedup = committed.slow_seconds / committed.fast_seconds;
     let ratio = fresh_speedup / committed_speedup;
     println!(
-        "engine throughput: fresh {:.0} proofs/s ({:.1}x naive), committed {:.1}x naive, ratio {:.2}",
-        fresh.proofs / fresh.engine_seconds,
-        fresh_speedup,
-        committed_speedup,
-        ratio,
+        "{fast_key}: fresh {fresh_speedup:.1}x over {slow_key}, \
+         committed {committed_speedup:.1}x, ratio {ratio:.2}"
     );
     if ratio < 1.0 - max_regression {
         eprintln!(
-            "FAIL: engine speedup regressed by {:.0}% (allowed {:.0}%)",
+            "FAIL: speedup regressed by {:.0}% (allowed {:.0}%)",
             (1.0 - ratio) * 100.0,
             max_regression * 100.0
         );

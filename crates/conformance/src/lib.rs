@@ -28,6 +28,8 @@
 //! byte-identical across runs, machines, and thread schedules — the
 //! property CI and the determinism test pin.
 
+pub mod churn;
+
 use lcp_core::dynamic::{DynScheme, TamperProbe};
 use lcp_core::harness::{classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness};
 use lcp_core::Scheme;
@@ -547,11 +549,77 @@ fn cell_seed(seed: u64, scheme_id: &str, family: GraphFamily, n: usize, polarity
     z
 }
 
-struct Coord {
-    entry_idx: usize,
-    family: GraphFamily,
-    n: usize,
-    polarity: Polarity,
+/// One cell coordinate of the campaign matrix (static and churn modes
+/// sweep the *same* matrix, so both build their coordinates here).
+pub(crate) struct Coord {
+    pub(crate) entry_idx: usize,
+    pub(crate) family: GraphFamily,
+    pub(crate) n: usize,
+    pub(crate) polarity: Polarity,
+}
+
+/// Enumerates the campaign matrix for `entries` under `config`'s
+/// filters: families × sizes × polarities per entry, with sizes clamped
+/// by each entry's `max_n` and collapsed duplicates enumerated once.
+pub(crate) fn matrix_coords(entries: &[SchemeEntry], config: &CampaignConfig) -> Vec<Coord> {
+    let mut coords = Vec::new();
+    for (entry_idx, entry) in entries.iter().enumerate() {
+        // Entries cap their sizes (max_n); after clamping, several
+        // requested sizes can collapse onto the same cell — enumerate
+        // each effective cell once instead of re-running duplicates.
+        let mut seen = std::collections::BTreeSet::new();
+        for &family in entry.families {
+            if config.family_filter.is_some_and(|want| want != family) {
+                continue;
+            }
+            for &n in &config.sizes {
+                for polarity in [Polarity::Yes, Polarity::No] {
+                    if seen.insert((family, n.min(entry.max_n), polarity)) {
+                        coords.push(Coord {
+                            entry_idx,
+                            family,
+                            n,
+                            polarity,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    coords
+}
+
+/// The registry entries surviving `config`'s `--scheme` filter.
+pub(crate) fn filtered_entries(config: &CampaignConfig) -> Vec<SchemeEntry> {
+    campaign_registry()
+        .into_iter()
+        .filter(|e| {
+            config
+                .scheme_filter
+                .as_deref()
+                .is_none_or(|want| e.id == want)
+        })
+        .collect()
+}
+
+/// Maps `f` over the coordinates — across cores under the `parallel`
+/// feature, sequentially otherwise; results come back in matrix order
+/// either way.
+#[cfg(feature = "parallel")]
+pub(crate) fn map_coords<R: Send>(coords: &[Coord], f: impl Fn(&Coord) -> R + Sync) -> Vec<R> {
+    if coords.len() > 1 {
+        coords.par_iter().map(f).collect()
+    } else {
+        coords.iter().map(f).collect()
+    }
+}
+
+/// Maps `f` over the coordinates — across cores under the `parallel`
+/// feature, sequentially otherwise; results come back in matrix order
+/// either way.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn map_coords<R: Send>(coords: &[Coord], f: impl Fn(&Coord) -> R + Sync) -> Vec<R> {
+    coords.iter().map(f).collect()
 }
 
 fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> CellResult {
@@ -663,42 +731,9 @@ fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> C
 /// Runs the campaign described by `config` and assembles the [`Report`].
 pub fn run_campaign(config: &CampaignConfig) -> Report {
     let started = Instant::now();
-    let entries: Vec<SchemeEntry> = campaign_registry()
-        .into_iter()
-        .filter(|e| {
-            config
-                .scheme_filter
-                .as_deref()
-                .is_none_or(|want| e.id == want)
-        })
-        .collect();
-
-    let mut coords = Vec::new();
-    for (entry_idx, entry) in entries.iter().enumerate() {
-        // Entries cap their sizes (max_n); after clamping, several
-        // requested sizes can collapse onto the same cell — enumerate
-        // each effective cell once instead of re-running duplicates.
-        let mut seen = std::collections::BTreeSet::new();
-        for &family in entry.families {
-            if config.family_filter.is_some_and(|want| want != family) {
-                continue;
-            }
-            for &n in &config.sizes {
-                for polarity in [Polarity::Yes, Polarity::No] {
-                    if seen.insert((family, n.min(entry.max_n), polarity)) {
-                        coords.push(Coord {
-                            entry_idx,
-                            family,
-                            n,
-                            polarity,
-                        });
-                    }
-                }
-            }
-        }
-    }
-
-    let results = run_cells(&entries, &coords, config);
+    let entries = filtered_entries(config);
+    let coords = matrix_coords(&entries, config);
+    let results = map_coords(&coords, |c| run_one(&entries, c, config));
 
     let mut schemes: Vec<SchemeReport> = entries
         .iter()
@@ -748,31 +783,6 @@ pub fn run_campaign(config: &CampaignConfig) -> Report {
         schemes,
         wall_ms: started.elapsed().as_millis(),
     }
-}
-
-#[cfg(feature = "parallel")]
-fn run_cells(
-    entries: &[SchemeEntry],
-    coords: &[Coord],
-    config: &CampaignConfig,
-) -> Vec<CellResult> {
-    if coords.len() > 1 {
-        coords
-            .par_iter()
-            .map(|c| run_one(entries, c, config))
-            .collect()
-    } else {
-        coords.iter().map(|c| run_one(entries, c, config)).collect()
-    }
-}
-
-#[cfg(not(feature = "parallel"))]
-fn run_cells(
-    entries: &[SchemeEntry],
-    coords: &[Coord],
-    config: &CampaignConfig,
-) -> Vec<CellResult> {
-    coords.iter().map(|c| run_one(entries, c, config)).collect()
 }
 
 #[cfg(test)]

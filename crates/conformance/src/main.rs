@@ -2,10 +2,14 @@
 //!
 //! ```text
 //! cargo run -p lcp-conformance --release -- --profile smoke --seed 7 --json report.json
+//! cargo run -p lcp-conformance --release -- --churn --seed 7 --json churn.json
 //! ```
 //!
-//! Exit codes: `0` green, `1` usage error, `2` conformance failures.
+//! Exit codes: `0` green, `1` usage error, `2` conformance failures
+//! (static check failures, or incremental-vs-full mismatches in
+//! `--churn` mode).
 
+use lcp_conformance::churn::{default_steps, run_churn_campaign, ChurnReport};
 use lcp_conformance::{run_campaign, CampaignConfig, CellStatus, Profile, Report};
 use lcp_graph::families::GraphFamily;
 
@@ -23,6 +27,10 @@ OPTIONS:
     --family <name>          run one graph family only
     --tamper-trials <n>      bit-flip probes per yes cell
     --adversarial-iters <n>  hill-climb steps per no cell
+    --churn                  dynamic mode: churn every cell with seeded
+                             mutations, checking incremental reverify
+                             against from-scratch evaluation
+    --churn-steps <n>        mutations per churn cell        [default: per profile]
     --json <path>            write the JSON report ('-' for stdout)
     --bench-out <path>       write per-cell sizes/timings (BENCH-style JSON)
     --no-timing              omit wall-clock fields from the JSON
@@ -33,6 +41,8 @@ OPTIONS:
 
 struct Args {
     config: CampaignConfig,
+    churn: bool,
+    churn_steps: Option<usize>,
     json: Option<String>,
     bench_out: Option<String>,
     include_timing: bool,
@@ -48,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
     let mut family = None;
     let mut tamper = None;
     let mut adversarial = None;
+    let mut churn = false;
+    let mut churn_steps = None;
     let mut json = None;
     let mut bench_out = None;
     let mut include_timing = true;
@@ -88,6 +100,11 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--adversarial-iters")?;
                 adversarial = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
             }
+            "--churn" => churn = true,
+            "--churn-steps" => {
+                let v = value("--churn-steps")?;
+                churn_steps = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
+            }
             "--json" => json = Some(value("--json")?),
             "--bench-out" => bench_out = Some(value("--bench-out")?),
             "--no-timing" => include_timing = false,
@@ -115,12 +132,84 @@ fn parse_args() -> Result<Args, String> {
     config.family_filter = family;
     Ok(Args {
         config,
+        churn,
+        churn_steps,
         json,
         bench_out,
         include_timing,
         list,
         quiet,
     })
+}
+
+fn print_churn_table(report: &ChurnReport) {
+    println!(
+        "{:<32} {:<10} {:>4} {:>5} {:>6} {:>8} {:>9}  incr/full ms",
+        "scheme", "family", "n", "steps", "checks", "miss", "work ‰"
+    );
+    println!("{}", "-".repeat(100));
+    for c in report.cells.iter().filter(|c| !c.skipped) {
+        println!(
+            "{:<32} {:<10} {:>4} {:>5} {:>6} {:>8} {:>9}  {}/{}",
+            c.scheme,
+            c.family.name(),
+            c.n,
+            c.steps,
+            c.checks,
+            c.mismatches,
+            c.reverified_permille,
+            c.incremental_ms,
+            c.full_ms,
+        );
+    }
+    println!();
+}
+
+fn run_churn_mode(args: &Args) -> i32 {
+    let steps = args
+        .churn_steps
+        .unwrap_or_else(|| default_steps(args.config.profile));
+    let report = run_churn_campaign(&args.config, steps);
+    if !args.quiet {
+        print_churn_table(&report);
+    }
+    println!(
+        "churn campaign: {} cells ({} ran) × {} mutations — {} mismatches ({} ms, seed {})",
+        report.cells.len(),
+        report.ran(),
+        report.steps,
+        report.mismatches(),
+        report.wall_ms,
+        report.seed
+    );
+    for f in report.failures() {
+        eprintln!("FAIL: {f}");
+    }
+    if let Some(path) = &args.json {
+        let json = report.to_json(args.include_timing);
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        } else {
+            println!("churn report written to {path}");
+        }
+    }
+    // Like the static campaign, --bench-out is the always-timed
+    // per-cell perf series.
+    if let Some(path) = &args.bench_out {
+        let json = report.to_bench_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        } else {
+            println!("bench series written to {path}");
+        }
+    }
+    i32::from(!report.ok()) * 2
 }
 
 fn print_table(report: &Report) {
@@ -185,6 +274,10 @@ fn main() {
             );
         }
         return;
+    }
+
+    if args.churn {
+        std::process::exit(run_churn_mode(&args));
     }
 
     let report = run_campaign(&args.config);

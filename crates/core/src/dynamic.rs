@@ -45,7 +45,8 @@
 //! assert_eq!(cells[0].check_completeness(), Ok(Some(0)));
 //! ```
 
-use crate::engine::PreparedInstance;
+use crate::bits::{AsBits, BitString};
+use crate::engine::{PreparedInstance, SkeletonStore};
 use crate::harness::{
     adversarial_proof_search, check_instance, check_soundness_exhaustive, CompletenessError,
     Soundness, SoundnessError,
@@ -53,8 +54,10 @@ use crate::harness::{
 use crate::instance::Instance;
 use crate::proof::Proof;
 use crate::scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};
+use lcp_graph::{Graph, GraphError};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::any::Any;
 use std::fmt;
 use std::sync::Arc;
 
@@ -77,6 +80,281 @@ pub struct TamperProbe {
     pub witness: Option<usize>,
 }
 
+/// Why a [`MutableCell`] mutation was refused. The cell is untouched
+/// whenever a mutator returns this.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellMutationError {
+    /// The underlying graph rejected the edge operation.
+    Graph(GraphError),
+    /// A node index was out of range for the cell.
+    NodeOutOfRange(usize),
+    /// [`MutableCell::set_node_label`] received a label of the wrong
+    /// dynamic type for the sealed scheme's `Node` associated type.
+    LabelType,
+}
+
+impl fmt::Display for CellMutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellMutationError::Graph(e) => write!(f, "{e}"),
+            CellMutationError::NodeOutOfRange(v) => write!(f, "node index {v} out of range"),
+            CellMutationError::LabelType => {
+                write!(f, "label type mismatches the sealed scheme's node type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CellMutationError {}
+
+impl From<GraphError> for CellMutationError {
+    fn from(e: GraphError) -> Self {
+        CellMutationError::Graph(e)
+    }
+}
+
+/// An object-safe, *mutable* `(scheme, instance, proof)` cell: the
+/// type-erased substrate of dynamic-graph workloads (`lcp-dynamic`).
+///
+/// Where [`DynScheme`] freezes its instance behind an `Arc`, a mutable
+/// cell owns a private copy of the instance and the current proof, plus
+/// an engine [`SkeletonStore`] that it repairs after every mutation. Each
+/// mutator returns the **impact set** — the view centres whose verifier
+/// output can differ because of that mutation — which is exactly what a
+/// dirty-set tracker needs to mark; the cell itself keeps no dirty state,
+/// so callers are free to batch mutations between re-verifications.
+///
+/// Obtain one from [`DynScheme::dynamic_cell`] (registry/campaign path)
+/// or [`seal_mutable`] (typed path).
+pub trait MutableCell: Send {
+    /// The sealed scheme's name.
+    fn name(&self) -> String;
+    /// The verifier's horizon `r`.
+    fn radius(&self) -> usize;
+    /// `n(G)` — fixed for the lifetime of the cell (edge churn only).
+    fn n(&self) -> usize;
+    /// The current topology (read-only; mutate through the cell).
+    fn graph(&self) -> &Graph;
+    /// The current proof (read-only; mutate through the cell).
+    fn proof(&self) -> &Proof;
+    /// Ground truth of the **current** instance, recomputed on demand
+    /// (mutations routinely flip it).
+    fn holds_now(&self) -> bool;
+    /// Runs the sealed prover against the current instance.
+    fn prove_now(&self) -> Option<Proof>;
+    /// Inserts edge `{u, v}` and repairs the affected skeletons.
+    ///
+    /// Returns the centres whose views structurally changed, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices, self-loops, and duplicate edges are refused
+    /// and leave the cell untouched.
+    fn insert_edge(&mut self, u: usize, v: usize) -> Result<Vec<usize>, CellMutationError>;
+    /// Removes edge `{u, v}` (dropping any edge label) and repairs the
+    /// affected skeletons.
+    ///
+    /// Returns the centres whose views structurally changed, ascending.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-range indices and absent edges are refused and leave the
+    /// cell untouched.
+    fn remove_edge(&mut self, u: usize, v: usize) -> Result<Vec<usize>, CellMutationError>;
+    /// Replaces node `v`'s proof string.
+    ///
+    /// Returns the centres whose balls contain `v` — empty when the new
+    /// bits equal the old ones (a no-op rewrite changes no output).
+    ///
+    /// # Errors
+    ///
+    /// Refuses out-of-range nodes.
+    fn rewrite_proof(
+        &mut self,
+        v: usize,
+        bits: &BitString,
+    ) -> Result<Vec<usize>, CellMutationError>;
+    /// Replaces node `v`'s input label. The label is passed type-erased;
+    /// the cell downcasts it to the sealed scheme's `Node` type.
+    ///
+    /// Returns the centres whose balls contain `v`.
+    ///
+    /// # Errors
+    ///
+    /// Refuses out-of-range nodes and mismatched label types.
+    fn set_node_label(
+        &mut self,
+        v: usize,
+        label: Box<dyn Any>,
+    ) -> Result<Vec<usize>, CellMutationError>;
+    /// Runs the verifier at one node against the cached (repaired)
+    /// skeletons and the current proof.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    fn verify(&self, v: usize) -> bool;
+    /// From-scratch reference: prepares the current instance anew and
+    /// evaluates every node — what incremental re-verification must
+    /// agree with.
+    fn evaluate_full(&self) -> Verdict;
+}
+
+/// The typed implementation behind [`MutableCell`]: a shared `(scheme,
+/// seed instance)` cell plus privately owned mutable state.
+struct TypedCell<S: Scheme> {
+    cell: Arc<(S, Instance<S::Node, S::Edge>)>,
+    inst: Instance<S::Node, S::Edge>,
+    proof: Proof,
+    store: SkeletonStore<S::Node, S::Edge>,
+}
+
+impl<S> TypedCell<S>
+where
+    S: Scheme + Send + Sync,
+    S::Node: Clone + Send + Sync + 'static,
+    S::Edge: Clone + Send + Sync + 'static,
+{
+    fn from_arc(cell: Arc<(S, Instance<S::Node, S::Edge>)>, proof: Option<Proof>) -> Self {
+        let inst = cell.1.clone();
+        let proof = proof.unwrap_or_else(|| {
+            cell.0
+                .prove(&inst)
+                .unwrap_or_else(|| Proof::empty(inst.n()))
+        });
+        assert_eq!(proof.n(), inst.n(), "proof must label every node");
+        let store = SkeletonStore::new(&inst, cell.0.radius());
+        TypedCell {
+            cell,
+            inst,
+            proof,
+            store,
+        }
+    }
+
+    fn check_node(&self, v: usize) -> Result<(), CellMutationError> {
+        if v < self.inst.n() {
+            Ok(())
+        } else {
+            Err(CellMutationError::NodeOutOfRange(v))
+        }
+    }
+}
+
+impl<S> MutableCell for TypedCell<S>
+where
+    S: Scheme + Send + Sync,
+    S::Node: Clone + Send + Sync + 'static,
+    S::Edge: Clone + Send + Sync + 'static,
+{
+    fn name(&self) -> String {
+        self.cell.0.name()
+    }
+
+    fn radius(&self) -> usize {
+        self.cell.0.radius()
+    }
+
+    fn n(&self) -> usize {
+        self.inst.n()
+    }
+
+    fn graph(&self) -> &Graph {
+        self.inst.graph()
+    }
+
+    fn proof(&self) -> &Proof {
+        &self.proof
+    }
+
+    fn holds_now(&self) -> bool {
+        self.cell.0.holds(&self.inst)
+    }
+
+    fn prove_now(&self) -> Option<Proof> {
+        self.cell.0.prove(&self.inst)
+    }
+
+    fn insert_edge(&mut self, u: usize, v: usize) -> Result<Vec<usize>, CellMutationError> {
+        self.inst.insert_edge(u, v)?;
+        // Scope while the edge exists — here, after insertion.
+        let scope = self.store.edge_scope(&self.inst, u, v);
+        Ok(self.store.rebuild(&self.inst, &scope))
+    }
+
+    fn remove_edge(&mut self, u: usize, v: usize) -> Result<Vec<usize>, CellMutationError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if !self.inst.graph().has_edge(u, v) {
+            return Err(
+                GraphError::UnknownEdge(self.inst.graph().id(u), self.inst.graph().id(v)).into(),
+            );
+        }
+        // Scope while the edge exists — here, before removal.
+        let scope = self.store.edge_scope(&self.inst, u, v);
+        self.inst.remove_edge(u, v)?;
+        Ok(self.store.rebuild(&self.inst, &scope))
+    }
+
+    fn rewrite_proof(
+        &mut self,
+        v: usize,
+        bits: &BitString,
+    ) -> Result<Vec<usize>, CellMutationError> {
+        self.check_node(v)?;
+        if self.proof.get(v) == bits.as_bits() {
+            return Ok(Vec::new());
+        }
+        self.proof.set(v, bits);
+        Ok(self.store.dependents(v).collect())
+    }
+
+    fn set_node_label(
+        &mut self,
+        v: usize,
+        label: Box<dyn Any>,
+    ) -> Result<Vec<usize>, CellMutationError> {
+        self.check_node(v)?;
+        let label = *label
+            .downcast::<S::Node>()
+            .map_err(|_| CellMutationError::LabelType)?;
+        let touched = self.store.set_node_label(v, &label);
+        self.inst.set_node_label(v, label);
+        Ok(touched)
+    }
+
+    fn verify(&self, v: usize) -> bool {
+        self.cell.0.verify(&self.store.bind(v, &self.proof))
+    }
+
+    fn evaluate_full(&self) -> Verdict {
+        let prep = PreparedInstance::new(&self.inst, self.cell.0.radius());
+        prep.evaluate_seq(&self.cell.0, &self.proof)
+    }
+}
+
+/// Seals `scheme` and `inst` into a [`MutableCell`] — the typed entry
+/// point for dynamic-graph workloads.
+///
+/// The cell starts from `proof`, or (when `None`) from the honest proof
+/// of `inst` if the prover certifies it, else the empty proof.
+///
+/// # Panics
+///
+/// Panics if an explicit `proof` labels a different number of nodes.
+pub fn seal_mutable<S>(
+    scheme: S,
+    inst: Instance<S::Node, S::Edge>,
+    proof: Option<Proof>,
+) -> Box<dyn MutableCell>
+where
+    S: Scheme + Send + Sync + 'static,
+    S::Node: Clone + Send + Sync + 'static,
+    S::Edge: Clone + Send + Sync + 'static,
+{
+    Box::new(TypedCell::from_arc(Arc::new((scheme, inst)), proof))
+}
+
 /// A type-erased `(scheme, instance)` cell: every associated-type-bound
 /// [`Scheme`] operation re-exposed behind boxed closures over the shared
 /// cell, plus engine-backed harness checks.
@@ -95,6 +373,7 @@ pub struct DynScheme {
     soundness: Box<dyn Fn(usize) -> Result<Soundness, SoundnessError> + Send + Sync>,
     adversarial: Box<dyn Fn(usize, usize, u64) -> Option<Proof> + Send + Sync>,
     tamper: Box<dyn Fn(usize, u64) -> Option<TamperProbe> + Send + Sync>,
+    dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
 }
 
 impl fmt::Debug for DynScheme {
@@ -153,6 +432,10 @@ impl DynScheme {
         let c = Arc::clone(&cell);
         let tamper =
             Box::new(move |trials: usize, seed: u64| tamper_probe(&c.0, &c.1, trials, seed));
+        let c = Arc::clone(&cell);
+        let dynamic = Box::new(move || {
+            Box::new(TypedCell::from_arc(Arc::clone(&c), None)) as Box<dyn MutableCell>
+        });
 
         DynScheme {
             name,
@@ -166,6 +449,7 @@ impl DynScheme {
             soundness,
             adversarial,
             tamper,
+            dynamic,
         }
     }
 
@@ -243,6 +527,16 @@ impl DynScheme {
     /// reported by [`Self::check_completeness`] instead).
     pub fn tamper_probe(&self, trials: usize, seed: u64) -> Option<TamperProbe> {
         (self.tamper)(trials, seed)
+    }
+
+    /// Opens a fresh [`MutableCell`] over a private copy of the sealed
+    /// instance — the entry point of churn workloads on registry cells.
+    ///
+    /// The cell starts from the honest proof when the prover certifies
+    /// the sealed instance, else from the empty proof; mutations to the
+    /// cell never affect this `DynScheme` or sibling cells.
+    pub fn dynamic_cell(&self) -> Box<dyn MutableCell> {
+        (self.dynamic)()
     }
 }
 
@@ -433,6 +727,97 @@ mod tests {
             no.tamper_probe(8, 0).is_none(),
             "prover refuses no-instances"
         );
+    }
+
+    #[test]
+    fn mutable_cell_tracks_edge_and_proof_churn() {
+        let cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
+        let mut dynamic = cell.dynamic_cell();
+        assert_eq!(dynamic.n(), 6);
+        assert!(dynamic.holds_now());
+        // Starts from the honest proof: everything accepts.
+        assert!((0..6).all(|v| dynamic.verify(v)));
+        assert!(dynamic.evaluate_full().accepted());
+
+        // A chord closing a triangle flips ground truth. The impact set
+        // is *exact*: at radius 1 the changed views are the chord's
+        // endpoints plus node 1, whose ball contains both ends and so
+        // gains the newly visible edge — nodes 3, 4, 5 see nothing.
+        let impact = dynamic.insert_edge(0, 2).unwrap();
+        assert_eq!(impact, vec![0, 1, 2]);
+        assert!(!dynamic.holds_now());
+        let full = dynamic.evaluate_full();
+        for v in 0..6 {
+            assert_eq!(dynamic.verify(v), full.outputs()[v], "node {v}");
+        }
+
+        // Removing the chord restores the original cell exactly.
+        let impact = dynamic.remove_edge(0, 2).unwrap();
+        assert!(!impact.is_empty());
+        assert!(dynamic.holds_now());
+        assert!((0..6).all(|v| dynamic.verify(v)));
+
+        // Proof rewrites dirty the radius-1 ball; a no-op rewrite none.
+        let old = dynamic.proof().get(2).to_bitstring();
+        assert_eq!(dynamic.rewrite_proof(2, &old).unwrap(), Vec::<usize>::new());
+        let flipped = BitString::from_bits(old.iter().map(|b| !b));
+        assert_eq!(dynamic.rewrite_proof(2, &flipped).unwrap(), vec![1, 2, 3]);
+        assert!(!dynamic.verify(2), "flipped colour breaks the constraint");
+
+        // Errors leave the cell untouched.
+        assert!(dynamic.insert_edge(0, 1).is_err(), "duplicate edge");
+        assert!(dynamic.remove_edge(0, 2).is_err(), "already removed");
+        assert!(dynamic.rewrite_proof(9, &old).is_err(), "out of range");
+        assert_eq!(dynamic.graph().m(), 6);
+
+        // The sealed parent cell never observed any of this.
+        assert!(cell.holds());
+        assert_eq!(cell.check_completeness(), Ok(Some(1)));
+    }
+
+    #[test]
+    fn mutable_cell_label_changes_are_typed() {
+        struct ParityOfLabels;
+        impl Scheme for ParityOfLabels {
+            type Node = u8;
+            type Edge = ();
+            fn name(&self) -> String {
+                "label-parity".into()
+            }
+            fn radius(&self) -> usize {
+                1
+            }
+            fn holds(&self, _: &Instance<u8>) -> bool {
+                true
+            }
+            fn prove(&self, inst: &Instance<u8>) -> Option<Proof> {
+                Some(Proof::empty(inst.n()))
+            }
+            fn verify(&self, view: &View<u8>) -> bool {
+                view.nodes()
+                    .map(|u| *view.node_label(u) as usize)
+                    .sum::<usize>()
+                    .is_multiple_of(2)
+            }
+        }
+        let g = generators::path(5);
+        let inst = Instance::with_node_data(g, vec![0u8, 0, 0, 0, 0]);
+        let mut cell = crate::dynamic::seal_mutable(ParityOfLabels, inst, None);
+        assert!((0..5).all(|v| cell.verify(v)));
+        let touched = cell.set_node_label(2, Box::new(1u8)).unwrap();
+        assert_eq!(touched, vec![1, 2, 3]);
+        for v in touched {
+            assert!(!cell.verify(v), "odd sum visible at node {v}");
+        }
+        let full = cell.evaluate_full();
+        assert_eq!(full.rejecting(), vec![1, 2, 3]);
+        // Wrong label type is refused, right type accepted again.
+        assert_eq!(
+            cell.set_node_label(2, Box::new("nope")).unwrap_err(),
+            CellMutationError::LabelType
+        );
+        cell.set_node_label(2, Box::new(0u8)).unwrap();
+        assert!(cell.evaluate_full().accepted());
     }
 
     #[test]

@@ -238,8 +238,37 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         &self.dependents[self.dependent_off[v] as usize..self.dependent_off[v + 1] as usize]
     }
 
+    /// The global indices of the nodes in `v`'s radius-`r` ball — the
+    /// nodes whose proof bits, labels, and incident visible edges `v`'s
+    /// verifier reads — in view-local (sorted, ascending) order.
+    ///
+    /// This is the forward direction of the engine's locality tables;
+    /// [`Self::dependents`] is the inverse. Together they let callers
+    /// reason about *impact*: after changing anything at node `u`, the
+    /// verifiers to re-run are exactly `dependents(u)`, and each such
+    /// view reads exactly `members(w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn members(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.members_of(v).iter().map(|&m| m as usize)
+    }
+
     /// The nodes whose verifier output can change when `v`'s proof bits
-    /// change (the centres whose balls contain `v`).
+    /// (or label, or incident edges) change — the centres whose balls
+    /// contain `v`, in ascending order.
+    ///
+    /// Inverse of [`Self::members`]: `w ∈ dependents(v)` iff
+    /// `v ∈ members(w)` (pinned by the `members_and_dependents_are_
+    /// inverse_tables` test). On an undirected graph both relations are
+    /// the radius-`r` ball, but callers should not rely on that symmetry
+    /// — it is an artefact of distance being symmetric, not part of the
+    /// contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
     pub fn dependents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
         self.dependents_of(v)
             .iter()
@@ -330,6 +359,216 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         S: Scheme<Node = N, Edge = E>,
     {
         (0..self.n()).find(|&v| !scheme.verify(&self.bind(v, proof)))
+    }
+}
+
+/// An owned, *repairable* skeleton cache — the engine substrate of
+/// dynamic-graph workloads.
+///
+/// [`PreparedInstance`] borrows its instance and is immutable: perfect
+/// for sweeping many proofs over one frozen graph, useless once the
+/// graph itself churns. A `SkeletonStore` owns the same per-node data
+/// (skeletons, membership table, inverted dependency table) but keeps
+/// them in per-node buckets instead of frozen CSR arrays, so after a
+/// topology mutation the affected balls can be **rebuilt in place**
+/// ([`Self::rebuild`]) — `O(Σ|changed ball|)` work — while every other
+/// node's cached skeleton survives untouched. Label changes are cheaper
+/// still: [`Self::set_node_label`] patches the stored label through the
+/// dependency table without any BFS.
+///
+/// The store deliberately knows nothing about *what* changed in the
+/// instance — callers (e.g. `lcp-dynamic`'s `DynamicInstance`) apply the
+/// mutation to their owned [`Instance`] first, compute the mutation's
+/// scope with [`Self::edge_scope`], and hand the scope to
+/// [`Self::rebuild`]. `rebuild` reports which views *structurally*
+/// changed, which is what makes exact dirty-set tracking possible.
+pub struct SkeletonStore<N = (), E = ()> {
+    radius: usize,
+    skeletons: Vec<Arc<Skeleton<N, E>>>,
+    /// Global indices of each node's ball members, in view-local order.
+    members: Vec<Vec<u32>>,
+    /// For each global node `v`, the `(owner, local)` pairs of views
+    /// containing `v`, sorted by owner.
+    dependents: Vec<Vec<(u32, u32)>>,
+    scratch: BallScratch,
+}
+
+impl<N, E> std::fmt::Debug for SkeletonStore<N, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkeletonStore")
+            .field("n", &self.skeletons.len())
+            .field("radius", &self.radius)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<N: Clone, E: Clone> SkeletonStore<N, E> {
+    /// Builds the store for `inst` at `radius` — same cost as
+    /// [`PreparedInstance::new`] (one bounded BFS per node), paid once;
+    /// every later mutation repairs only its scope.
+    pub fn new(inst: &Instance<N, E>, radius: usize) -> Self {
+        let n = inst.n();
+        let mut scratch = BallScratch::new(inst.graph().n());
+        let mut skeletons = Vec::with_capacity(n);
+        let mut members = Vec::with_capacity(n);
+        for v in 0..n {
+            let (skel, ms) = build_skeleton(inst, v, radius, &mut scratch);
+            skeletons.push(Arc::new(skel));
+            members.push(ms);
+        }
+        let mut dependents: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        for (owner, ms) in members.iter().enumerate() {
+            for (local, &m) in ms.iter().enumerate() {
+                dependents[m as usize].push((owner as u32, local as u32));
+            }
+        }
+        SkeletonStore {
+            radius,
+            skeletons,
+            members,
+            dependents,
+            scratch,
+        }
+    }
+
+    /// Number of nodes (`n(G)` at construction; mutations preserve it).
+    pub fn n(&self) -> usize {
+        self.skeletons.len()
+    }
+
+    /// The cache radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Global indices of node `v`'s ball members, in view-local order
+    /// (mirrors [`PreparedInstance::members`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn members(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.members[v].iter().map(|&m| m as usize)
+    }
+
+    /// The centres whose views contain global node `v`, ascending
+    /// (mirrors [`PreparedInstance::dependents`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn dependents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
+        self.dependents[v].iter().map(|&(owner, _)| owner as usize)
+    }
+
+    /// Binds `proof` to node `v`'s cached skeleton — the same zero-copy
+    /// arena binding as [`PreparedInstance::bind`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or `proof.n()` mismatches.
+    #[inline]
+    pub fn bind<'s>(&'s self, v: usize, proof: &'s Proof) -> View<'s, N, E> {
+        assert_eq!(proof.n(), self.n(), "proof must label every node");
+        View::bind_arena(&self.skeletons[v], proof.arena(), &self.members[v])
+    }
+
+    /// The scope of an edge mutation on `{u, v}`: the sorted union
+    /// `ball(u, r) ∪ ball(v, r)` in `inst`'s **current** graph — every
+    /// node whose view can differ between the graph with and without the
+    /// edge.
+    ///
+    /// Call it on the graph that *contains* the edge: after applying an
+    /// insertion, before applying a deletion. One multi-source BFS,
+    /// `O(Σ|ball|)` — no `O(n)` scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range.
+    pub fn edge_scope(&mut self, inst: &Instance<N, E>, u: usize, v: usize) -> Vec<usize> {
+        self.scratch.ball_union(inst.graph(), &[u, v], self.radius)
+    }
+
+    /// Rebuilds the cached skeletons of `nodes` against the instance's
+    /// current topology and returns the subset whose views **changed
+    /// structurally** (membership, adjacency, or distances) — the exact
+    /// centres whose verifier output can differ, assuming unchanged
+    /// labels and proof bits.
+    ///
+    /// Cost: one bounded BFS per listed node plus `O(|ball|)` dependency
+    /// relinking — independent of `n`. Listing an unaffected node is
+    /// harmless (its rebuild is a no-op and it is not reported changed);
+    /// duplicates are tolerated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    pub fn rebuild(&mut self, inst: &Instance<N, E>, nodes: &[usize]) -> Vec<usize> {
+        let mut changed = Vec::new();
+        for &w in nodes {
+            let (skel, ms) = build_skeleton(inst, w, self.radius, &mut self.scratch);
+            let old = &self.skeletons[w];
+            let structurally_equal = self.members[w] == ms
+                && old.adj_off == skel.adj_off
+                && old.adj == skel.adj
+                && old.dist == skel.dist;
+            if structurally_equal {
+                continue;
+            }
+            // Unlink the stale membership, then link the new one.
+            for &m in &self.members[w] {
+                let deps = &mut self.dependents[m as usize];
+                if let Ok(pos) = deps.binary_search_by_key(&(w as u32), |&(o, _)| o) {
+                    deps.remove(pos);
+                }
+            }
+            for (local, &m) in ms.iter().enumerate() {
+                let deps = &mut self.dependents[m as usize];
+                let entry = (w as u32, local as u32);
+                match deps.binary_search_by_key(&(w as u32), |&(o, _)| o) {
+                    Ok(pos) => deps[pos] = entry,
+                    Err(pos) => deps.insert(pos, entry),
+                }
+            }
+            self.skeletons[w] = Arc::new(skel);
+            self.members[w] = ms;
+            changed.push(w);
+        }
+        changed
+    }
+
+    /// Patches node `v`'s label through the dependency table: every view
+    /// containing `v` gets the new label at `v`'s view-local slot. No
+    /// BFS, no membership change — `O(|dependents(v)| · |patch|)`.
+    ///
+    /// Returns the views that were patched (the centres whose verifier
+    /// output can change), ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_node_label(&mut self, v: usize, label: &N) -> Vec<usize> {
+        let mut touched = Vec::with_capacity(self.dependents[v].len());
+        for &(owner, local) in &self.dependents[v] {
+            Arc::make_mut(&mut self.skeletons[owner as usize]).node_data[local as usize] =
+                label.clone();
+            touched.push(owner as usize);
+        }
+        touched
+    }
+
+    /// Runs `scheme`'s verifier at every node against the cached
+    /// skeletons — the full-sweep counterpart of [`Self::bind`], used to
+    /// seed output caches and as the post-repair reference.
+    pub fn evaluate<S>(&self, scheme: &S, proof: &Proof) -> Verdict
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        Verdict::from_outputs(
+            (0..self.n())
+                .map(|v| scheme.verify(&self.bind(v, proof)))
+                .collect(),
+        )
     }
 }
 
@@ -500,6 +739,110 @@ mod tests {
             Some(false),
             "flip visible through the borrowed binding"
         );
+    }
+
+    #[test]
+    fn members_and_dependents_are_inverse_tables() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let prep = PreparedInstance::new(&inst, 2);
+        for v in 0..inst.n() {
+            // members(v) is the sorted radius-r ball around v.
+            let ms: Vec<usize> = prep.members(v).collect();
+            assert_eq!(ms, lcp_graph::traversal::ball(inst.graph(), v, 2));
+            // Exact inversion: w ∈ dependents(v) ⇔ v ∈ members(w).
+            for w in 0..inst.n() {
+                assert_eq!(
+                    prep.dependents(v).any(|o| o == w),
+                    prep.members(w).any(|m| m == v),
+                    "inversion broken at (v={v}, w={w})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skeleton_store_matches_prepared_instance_when_static() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let prep = PreparedInstance::new(&inst, 2);
+        let store = SkeletonStore::new(&inst, 2);
+        let proof = Proof::from_fn(inst.n(), |v| {
+            BitString::from_bits((0..v % 3).map(|i| i % 2 == 0))
+        });
+        for v in 0..inst.n() {
+            assert_eq!(store.bind(v, &proof), prep.bind(v, &proof), "view {v}");
+            assert_eq!(
+                store.members(v).collect::<Vec<_>>(),
+                prep.members(v).collect::<Vec<_>>()
+            );
+            assert_eq!(
+                store.dependents(v).collect::<Vec<_>>(),
+                prep.dependents(v).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(
+            store.evaluate(&Fingerprint, &proof),
+            prep.evaluate(&Fingerprint, &proof)
+        );
+    }
+
+    #[test]
+    fn rebuild_repairs_exactly_the_changed_views() {
+        let mut inst = Instance::unlabeled(generators::cycle(10));
+        let mut store = SkeletonStore::new(&inst, 2);
+        let proof = Proof::empty(10);
+
+        // Insert a chord, rebuild its scope, and check against a fresh
+        // full preparation of the mutated instance.
+        inst.insert_edge(0, 5).unwrap();
+        let scope = store.edge_scope(&inst, 0, 5);
+        let expected_scope: Vec<usize> = {
+            let mut s = lcp_graph::traversal::ball(inst.graph(), 0, 2);
+            s.extend(lcp_graph::traversal::ball(inst.graph(), 5, 2));
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        assert_eq!(scope, expected_scope);
+        let changed = store.rebuild(&inst, &scope);
+        assert!(!changed.is_empty());
+        assert!(changed.iter().all(|c| scope.contains(c)));
+        let fresh = SkeletonStore::new(&inst, 2);
+        for v in 0..10 {
+            assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
+            assert_eq!(
+                store.dependents(v).collect::<Vec<_>>(),
+                fresh.dependents(v).collect::<Vec<_>>(),
+                "dependents of {v}"
+            );
+        }
+
+        // Rebuilding an unaffected scope is a no-op and reports nothing.
+        assert_eq!(store.rebuild(&inst, &scope), Vec::<usize>::new());
+
+        // Deleting the chord again: scope computed while the edge exists.
+        let scope = store.edge_scope(&inst, 0, 5);
+        inst.remove_edge(0, 5).unwrap();
+        let changed = store.rebuild(&inst, &scope);
+        assert!(!changed.is_empty());
+        let fresh = SkeletonStore::new(&inst, 2);
+        for v in 0..10 {
+            assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
+        }
+    }
+
+    #[test]
+    fn label_patches_flow_through_dependents() {
+        let g = generators::path(6);
+        let mut inst: Instance<u8> = Instance::with_node_data(g, vec![0u8; 6]);
+        let mut store = SkeletonStore::new(&inst, 1);
+        inst.set_node_label(3, 9);
+        let touched = store.set_node_label(3, &9);
+        assert_eq!(touched, vec![2, 3, 4], "radius-1 dependents on a path");
+        let proof = Proof::empty(6);
+        let fresh = SkeletonStore::new(&inst, 1);
+        for v in 0..6 {
+            assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`Instance`] bundles a graph with per-node data `N` and per-edge data
 //! `E`; pure graph properties use `N = E = ()` with an empty edge map.
 
-use lcp_graph::{norm_edge, Graph};
+use lcp_graph::{norm_edge, Graph, GraphError};
 use std::collections::BTreeMap;
 
 /// Edge labelling keyed by normalized index pairs; *presence* in the map
@@ -137,6 +137,45 @@ impl<N, E> Instance<N, E> {
     pub fn labelled_edges(&self) -> Vec<(usize, usize)> {
         self.edge_data.keys().copied().collect()
     }
+
+    // -----------------------------------------------------------------
+    // Mutation (dynamic-graph workloads)
+    // -----------------------------------------------------------------
+    //
+    // Instances are mutated through these targeted operations instead of
+    // a raw `&mut Graph` accessor so the labelling invariants (one node
+    // datum per node, edge labels only on edges) cannot be broken.
+
+    /// Inserts the undirected edge `{u, v}` (unlabelled).
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range indices, self-loops, and duplicate edges.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.graph.add_edge(u, v)
+    }
+
+    /// Removes the undirected edge `{u, v}`, dropping its label (if any)
+    /// with it.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range indices and absent edges; the edge labelling
+    /// is untouched on error.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        self.graph.remove_edge(u, v)?;
+        self.edge_data.remove(&norm_edge(u, v));
+        Ok(())
+    }
+
+    /// Replaces the label of node `v`, returning the previous label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn set_node_label(&mut self, v: usize, label: N) -> N {
+        std::mem::replace(&mut self.node_data[v], label)
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +217,31 @@ mod tests {
     #[should_panic(expected = "one node datum per node")]
     fn node_data_length_checked() {
         let _: Instance<u8> = Instance::with_node_data(generators::path(3), vec![1u8]);
+    }
+
+    #[test]
+    fn edge_mutations_keep_labelling_invariants() {
+        let mut inst = Instance::unlabeled(generators::path(4)).with_edge_set([(1, 2)]);
+        // Removing a labelled edge drops its label with it.
+        inst.remove_edge(2, 1).unwrap();
+        assert!(inst.edge_label(1, 2).is_none());
+        assert_eq!(inst.graph().m(), 2);
+        // Re-inserting yields an unlabelled edge.
+        inst.insert_edge(1, 2).unwrap();
+        assert!(inst.edge_label(1, 2).is_none());
+        assert_eq!(inst.graph().m(), 3);
+        // Failed mutations leave everything intact.
+        assert!(inst.insert_edge(1, 2).is_err());
+        assert!(inst.remove_edge(0, 3).is_err());
+        assert_eq!(inst.graph().m(), 3);
+    }
+
+    #[test]
+    fn node_labels_swap_in_place() {
+        let mut inst: Instance<u32> =
+            Instance::with_node_data(generators::path(3), vec![10u32, 20, 30]);
+        assert_eq!(inst.set_node_label(1, 99), 20);
+        assert_eq!(inst.node_labels(), &[10, 99, 30]);
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub mod view;
 
 pub use arena::ProofArena;
 pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
-pub use dynamic::{DynScheme, TamperProbe};
-pub use engine::{prepare, prepare_sweep, PreparedInstance};
+pub use dynamic::{seal_mutable, CellMutationError, DynScheme, MutableCell, TamperProbe};
+pub use engine::{prepare, prepare_sweep, PreparedInstance, SkeletonStore};
 pub use instance::{EdgeMap, Instance};
 pub use proof::Proof;
 pub use scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};

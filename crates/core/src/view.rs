@@ -173,6 +173,50 @@ impl BallScratch {
             queue: Vec::with_capacity(n),
         }
     }
+
+    /// The sorted union of the radius-`r` balls around `sources` — one
+    /// multi-source BFS costing `O(Σ|ball|)`, not `O(n)` per call.
+    ///
+    /// This is the *scope* of an edge mutation: every node whose view can
+    /// change when an edge `{u, v}` appears or disappears lies in
+    /// `ball(u, r) ∪ ball(v, r)` of the graph that contains the edge.
+    pub(crate) fn ball_union(
+        &mut self,
+        g: &lcp_graph::Graph,
+        sources: &[usize],
+        r: usize,
+    ) -> Vec<usize> {
+        self.cur += 1;
+        let cur = self.cur;
+        self.queue.clear();
+        for &s in sources {
+            assert!(s < g.n(), "ball source {s} out of range");
+            if self.stamp[s] != cur {
+                self.stamp[s] = cur;
+                self.dist[s] = 0;
+                self.queue.push(s);
+            }
+        }
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = self.dist[u];
+            if du as usize == r {
+                continue;
+            }
+            for &w in g.neighbors(u) {
+                if self.stamp[w] != cur {
+                    self.stamp[w] = cur;
+                    self.dist[w] = du + 1;
+                    self.queue.push(w);
+                }
+            }
+        }
+        let mut members = self.queue.clone();
+        members.sort_unstable();
+        members
+    }
 }
 
 /// Builds the skeleton of `(G[v,r], v)` plus the sorted global indices of

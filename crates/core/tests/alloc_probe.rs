@@ -53,6 +53,25 @@ fn count_allocs<R>(f: impl FnOnce() -> R) -> (usize, R) {
     (ALLOCATIONS.load(Ordering::Relaxed) - before, out)
 }
 
+/// Minimum allocation count of `f` over several runs.
+///
+/// The counter is process-global, so other threads (libtest's harness
+/// thread, lazy runtime initialization) occasionally add a few events
+/// inside the window. That noise is strictly additive; the minimum over
+/// repeats recovers the loop's true allocation count and keeps the
+/// zero-per-candidate assertions deterministic.
+fn min_allocs<R>(mut f: impl FnMut() -> R) -> (usize, R) {
+    let (mut best, mut out) = count_allocs(&mut f);
+    for _ in 0..4 {
+        let (allocs, run_out) = count_allocs(&mut f);
+        if allocs < best {
+            best = allocs;
+        }
+        out = run_out;
+    }
+    (best, out)
+}
+
 /// The 1-bit bipartiteness scheme; its verifier reads proof bits without
 /// allocating, so every counted allocation belongs to the harness.
 struct Bipartite;
@@ -97,10 +116,10 @@ fn search_loops_do_not_allocate_per_candidate() {
     let prep_large = PreparedInstance::new(&large, 1);
 
     let (allocs_small, result) =
-        count_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_small, 1).unwrap());
+        min_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_small, 1).unwrap());
     assert!(matches!(result, Soundness::Holds(243)));
     let (allocs_large, result) =
-        count_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_large, 1).unwrap());
+        min_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_large, 1).unwrap());
     assert!(matches!(result, Soundness::Holds(2187)));
 
     assert!(
@@ -116,12 +135,12 @@ fn search_loops_do_not_allocate_per_candidate() {
     );
 
     // --- Adversarial bit-flip search ---------------------------------
-    let mut rng = StdRng::seed_from_u64(11);
-    let (allocs_short, _) = count_allocs(|| {
+    let (allocs_short, _) = min_allocs(|| {
+        let mut rng = StdRng::seed_from_u64(11);
         adversarial_proof_search(&Bipartite, &prep_large, 1, 250, &mut rng).is_some()
     });
-    let mut rng = StdRng::seed_from_u64(11);
-    let (allocs_long, _) = count_allocs(|| {
+    let (allocs_long, _) = min_allocs(|| {
+        let mut rng = StdRng::seed_from_u64(11);
         adversarial_proof_search(&Bipartite, &prep_large, 1, 2_250, &mut rng).is_some()
     });
     assert!(
@@ -138,8 +157,9 @@ fn search_loops_do_not_allocate_per_candidate() {
 
     // --- Binding and in-place mutation -------------------------------
     // bind + verify + flip on a live arena: strictly zero allocations.
+    let mut rng = StdRng::seed_from_u64(13);
     let mut proof = random_proof(prep_large.n(), 1, &mut rng);
-    let (allocs, _) = count_allocs(|| {
+    let (allocs, _) = min_allocs(|| {
         let mut rejections = 0usize;
         for round in 0..1_000 {
             let v = round % prep_large.n();

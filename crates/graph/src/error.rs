@@ -19,6 +19,8 @@ pub enum GraphError {
     SelfLoop(NodeId),
     /// The edge is already present in the graph.
     DuplicateEdge(NodeId, NodeId),
+    /// The edge is not present in the graph (removal of a non-edge).
+    UnknownEdge(NodeId, NodeId),
     /// A constructor received parameters outside its domain
     /// (e.g. a cycle on fewer than 3 nodes).
     InvalidConstruction(String),
@@ -32,6 +34,7 @@ impl fmt::Display for GraphError {
             GraphError::IndexOutOfRange(i) => write!(f, "node index {i} out of range"),
             GraphError::SelfLoop(id) => write!(f, "self-loop at node {id}"),
             GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {{{a}, {b}}}"),
+            GraphError::UnknownEdge(a, b) => write!(f, "unknown edge {{{a}, {b}}}"),
             GraphError::InvalidConstruction(msg) => write!(f, "invalid construction: {msg}"),
         }
     }

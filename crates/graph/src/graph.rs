@@ -190,6 +190,47 @@ impl Graph {
         self.add_edge(u, v)
     }
 
+    /// Removes the undirected edge `{u, v}` by internal index — the
+    /// inverse of [`Self::add_edge`], used by dynamic-graph workloads.
+    ///
+    /// Node indices and identifiers are untouched; only the adjacency
+    /// lists shrink (they stay sorted, so iteration orders remain
+    /// deterministic).
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range indices and edges that are not present
+    /// ([`GraphError::UnknownEdge`]).
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n() {
+            return Err(GraphError::IndexOutOfRange(u));
+        }
+        if v >= self.n() {
+            return Err(GraphError::IndexOutOfRange(v));
+        }
+        let Ok(pos_u) = self.adj[u].binary_search(&v) else {
+            return Err(GraphError::UnknownEdge(self.ids[u], self.ids[v]));
+        };
+        self.adj[u].remove(pos_u);
+        let pos_v = self.adj[v]
+            .binary_search(&u)
+            .expect("edge sets must stay symmetric");
+        self.adj[v].remove(pos_v);
+        self.m -= 1;
+        Ok(())
+    }
+
+    /// Removes the undirected edge `{a, b}` by identifier.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown identifiers and absent edges.
+    pub fn remove_edge_ids(&mut self, a: NodeId, b: NodeId) -> Result<(), GraphError> {
+        let u = self.index_of(a).ok_or(GraphError::UnknownNode(a))?;
+        let v = self.index_of(b).ok_or(GraphError::UnknownNode(b))?;
+        self.remove_edge(u, v)
+    }
+
     /// Number of nodes, written `n(G)` in the paper.
     pub fn n(&self) -> usize {
         self.ids.len()
@@ -438,6 +479,43 @@ mod tests {
         let mut g = Graph::from_ids([NodeId(1), NodeId(2)]).unwrap();
         assert_eq!(
             g.add_edge_ids(NodeId(1), NodeId(9)),
+            Err(GraphError::UnknownNode(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn remove_edge_is_the_inverse_of_add_edge() {
+        let mut g = triangle();
+        g.remove_edge(0, 2).unwrap();
+        assert_eq!(g.m(), 2);
+        assert!(!g.has_edge(0, 2) && !g.has_edge(2, 0));
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 2));
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1]);
+        // Re-adding restores the original graph exactly.
+        g.add_edge(0, 2).unwrap();
+        assert_eq!(g, triangle());
+    }
+
+    #[test]
+    fn remove_missing_edge_rejected() {
+        let mut g = Graph::path_with_ids((1..=3).map(NodeId)).unwrap();
+        assert_eq!(
+            g.remove_edge(0, 2),
+            Err(GraphError::UnknownEdge(NodeId(1), NodeId(3)))
+        );
+        assert_eq!(g.remove_edge(0, 9), Err(GraphError::IndexOutOfRange(9)));
+        assert_eq!(g.remove_edge(7, 0), Err(GraphError::IndexOutOfRange(7)));
+        assert_eq!(g.m(), 2, "failed removals leave the graph intact");
+    }
+
+    #[test]
+    fn remove_edge_by_ids() {
+        let mut g = triangle();
+        g.remove_edge_ids(NodeId(2), NodeId(1)).unwrap();
+        assert!(!g.has_edge(0, 1));
+        assert_eq!(
+            g.remove_edge_ids(NodeId(2), NodeId(9)),
             Err(GraphError::UnknownNode(NodeId(9)))
         );
     }

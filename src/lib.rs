@@ -5,6 +5,8 @@
 //!
 //! * [`graph`] — graph substrate ([`lcp_graph`]).
 //! * [`core`] — the LCP model ([`lcp_core`]).
+//! * [`dynamic`] — incremental verification for dynamic graphs
+//!   ([`lcp_dynamic`]).
 //! * [`sim`] — LOCAL-model simulator ([`lcp_sim`]).
 //! * [`logic`] — monadic Σ¹₁ engine ([`lcp_logic`]).
 //! * [`schemes`] — the Table 1 proof labeling schemes ([`lcp_schemes`]).
@@ -12,6 +14,7 @@
 //!   ([`lcp_lower_bounds`]).
 
 pub use lcp_core as core;
+pub use lcp_dynamic as dynamic;
 pub use lcp_graph as graph;
 pub use lcp_logic as logic;
 pub use lcp_lower_bounds as lower_bounds;
