@@ -1,7 +1,7 @@
 //! `bench_diff` — CI guard for committed benchmark snapshots.
 //!
 //! ```text
-//! bench_diff <fresh.json> <committed.json> [--max-regression 0.25] [--keys slow,fast]
+//! bench_diff <fresh.json> <committed.json> [--max-regression 0.25] [--keys slow,fast]...
 //! ```
 //!
 //! Compares the *relative* speedup (a slow reference path vs a fast
@@ -12,9 +12,19 @@
 //! the job regardless of runner hardware.
 //!
 //! The key pair defaults to the engine snapshot's
-//! `naive_seconds`/`engine_seconds`; other series pass their own, e.g.
-//! `--keys cycle_full_seconds,cycle_incremental_seconds` for the
-//! dynamic-churn snapshot.
+//! `naive_seconds`/`engine_seconds`; other series pass their own, and
+//! `--keys` may repeat to gate several series of one snapshot in a
+//! single run, e.g. the dynamic-churn snapshot's cycle *and* grid *and*
+//! tree series:
+//!
+//! ```text
+//! bench_diff target/BENCH_dynamic.json BENCH_dynamic.json \
+//!     --keys cycle_full_seconds,cycle_incremental_seconds \
+//!     --keys grid_full_seconds,grid_incremental_seconds \
+//!     --keys tree_full_seconds,tree_incremental_seconds
+//! ```
+//!
+//! Every listed pair is checked; any regressing pair fails the run.
 //!
 //! **First-introduction tolerance:** a brand-new series has nothing to
 //! diff against. When the committed snapshot file is absent, or it
@@ -46,9 +56,9 @@ struct Snapshot {
     fast_seconds: f64,
 }
 
-fn load(path: &str, slow_key: &str, fast_key: &str) -> Result<Snapshot, String> {
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let get = |key: &str| field(&json, key).ok_or_else(|| format!("{path}: missing \"{key}\""));
+/// Extracts one series from an already-read snapshot.
+fn series(json: &str, path: &str, slow_key: &str, fast_key: &str) -> Result<Snapshot, String> {
+    let get = |key: &str| field(json, key).ok_or_else(|| format!("{path}: missing \"{key}\""));
     Ok(Snapshot {
         slow_seconds: get(slow_key)?,
         fast_seconds: get(fast_key)?,
@@ -59,8 +69,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut max_regression = 0.25f64;
-    let mut slow_key = "naive_seconds".to_string();
-    let mut fast_key = "engine_seconds".to_string();
+    let mut key_pairs: Vec<(String, String)> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--max-regression" {
@@ -74,69 +83,96 @@ fn main() {
                 eprintln!("--keys needs a pair (e.g. naive_seconds,engine_seconds)");
                 exit(1);
             };
-            slow_key = slow.trim().to_string();
-            fast_key = fast.trim().to_string();
+            key_pairs.push((slow.trim().to_string(), fast.trim().to_string()));
         } else {
             paths.push(a.clone());
         }
     }
+    if key_pairs.is_empty() {
+        key_pairs.push(("naive_seconds".into(), "engine_seconds".into()));
+    }
     let [fresh_path, committed_path] = paths.as_slice() else {
         eprintln!(
             "usage: bench_diff <fresh.json> <committed.json> \
-             [--max-regression 0.25] [--keys slow,fast]"
+             [--max-regression 0.25] [--keys slow,fast]..."
         );
         exit(1);
     };
 
-    // The fresh snapshot must exist and carry the series — the bench
-    // producing it just ran, so anything missing here is a real failure.
-    let fresh = match load(fresh_path, &slow_key, &fast_key) {
-        Ok(f) => f,
+    // The fresh snapshot must exist — the bench producing it just ran,
+    // so an unreadable file is a real failure. Read once for all pairs.
+    let fresh_json = match std::fs::read_to_string(fresh_path) {
+        Ok(json) => json,
         Err(e) => {
-            eprintln!("error: {e}");
+            eprintln!("error: cannot read {fresh_path}: {e}");
             exit(1);
         }
     };
 
     // The committed baseline may legitimately not exist yet (first
-    // introduction of a bench series) or predate the requested keys.
-    if !std::path::Path::new(committed_path).exists() {
-        println!(
-            "no baseline: {committed_path} is not committed yet — \
-             skipping the diff (commit the fresh snapshot to start guarding)"
-        );
-        exit(0);
-    }
-    let committed = match load(committed_path, &slow_key, &fast_key) {
-        Ok(c) => c,
-        Err(e) => {
+    // introduction of a bench series): check once, for every pair.
+    let committed_json = match std::fs::read_to_string(committed_path) {
+        Ok(json) => Some(json),
+        Err(_) => {
             println!(
-                "no baseline for this series ({e}) — \
-                 skipping the diff (refresh the committed snapshot to start guarding)"
+                "no baseline: {committed_path} is not committed yet — \
+                 skipping the diff (commit the fresh snapshot to start guarding)"
             );
-            exit(0);
+            None
         }
     };
 
-    // Machine-normalized throughput: the fast path's advantage over the
-    // slow path measured in the same run.
-    let fresh_speedup = fresh.slow_seconds / fresh.fast_seconds;
-    let committed_speedup = committed.slow_seconds / committed.fast_seconds;
-    let ratio = fresh_speedup / committed_speedup;
-    println!(
-        "{fast_key}: fresh {fresh_speedup:.1}x over {slow_key}, \
-         committed {committed_speedup:.1}x, ratio {ratio:.2}"
-    );
-    if ratio < 1.0 - max_regression {
-        eprintln!(
-            "FAIL: speedup regressed by {:.0}% (allowed {:.0}%)",
-            (1.0 - ratio) * 100.0,
-            max_regression * 100.0
+    let mut regressed = false;
+    for (slow_key, fast_key) in &key_pairs {
+        // Every requested series must be present in the fresh snapshot.
+        let fresh = match series(&fresh_json, fresh_path, slow_key, fast_key) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("error: {e}");
+                exit(1);
+            }
+        };
+        let Some(committed_json) = &committed_json else {
+            continue;
+        };
+        // A committed snapshot may predate an individual series.
+        let committed = match series(committed_json, committed_path, slow_key, fast_key) {
+            Ok(c) => c,
+            Err(e) => {
+                println!(
+                    "no baseline for this series ({e}) — \
+                     skipping the diff (refresh the committed snapshot to start guarding)"
+                );
+                continue;
+            }
+        };
+
+        // Machine-normalized throughput: the fast path's advantage over
+        // the slow path measured in the same run.
+        let fresh_speedup = fresh.slow_seconds / fresh.fast_seconds;
+        let committed_speedup = committed.slow_seconds / committed.fast_seconds;
+        let ratio = fresh_speedup / committed_speedup;
+        println!(
+            "{fast_key}: fresh {fresh_speedup:.1}x over {slow_key}, \
+             committed {committed_speedup:.1}x, ratio {ratio:.2}"
         );
+        if ratio < 1.0 - max_regression {
+            eprintln!(
+                "FAIL: {fast_key} speedup regressed by {:.0}% (allowed {:.0}%)",
+                (1.0 - ratio) * 100.0,
+                max_regression * 100.0
+            );
+            regressed = true;
+        }
+    }
+    if regressed {
         exit(2);
     }
-    println!(
-        "ok: within the {:.0}% regression budget",
-        max_regression * 100.0
-    );
+    if committed_json.is_some() {
+        println!(
+            "ok: {} series within the {:.0}% regression budget",
+            key_pairs.len(),
+            max_regression * 100.0
+        );
+    }
 }

@@ -1,0 +1,136 @@
+//! `trend` — fold campaign artifacts into the `TREND.json` history.
+//!
+//! ```text
+//! trend --report report.json --bench BENCH_conformance.json \
+//!       --commit $(git rev-parse --short HEAD) --history TREND.json
+//! ```
+//!
+//! Reads the existing history (starting fresh when the file is absent),
+//! folds one entry per `(commit, seed)` from the run's `report.json` and
+//! any number of `--bench` artifacts (one per shard in sharded runs),
+//! rewrites the history, and prints the per-cell deltas against the
+//! previous entry — proof-size drift and pass/fail flips.
+//!
+//! Exit codes: `0` folded (even with deltas — the trend records, CI
+//! gates elsewhere), `1` usage or parse error.
+
+use lcp_bench::trend::{diff_entries, entry_from_artifacts, TrendHistory};
+use std::process::exit;
+
+const USAGE: &str = "\
+trend — fold conformance-campaign artifacts into the TREND.json history
+
+USAGE:
+    trend --report <report.json> --commit <sha> [OPTIONS]
+
+OPTIONS:
+    --report <path>    the campaign's deterministic report   (required)
+    --commit <sha>     commit the artifacts came from        (required)
+    --bench <path>     timed BENCH_conformance.json series; may repeat
+                       (one per shard in sharded campaigns)
+    --history <path>   history file to fold into             [default: TREND.json]
+    --out <path>       where to write the updated history    [default: --history]
+    --help             this text
+";
+
+fn main() {
+    let mut report = None;
+    let mut commit = None;
+    let mut benches: Vec<String> = Vec::new();
+    let mut history_path = "TREND.json".to_string();
+    let mut out = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| match args.next() {
+            Some(v) => v,
+            None => {
+                eprintln!("error: {name} requires a value\n\n{USAGE}");
+                exit(1);
+            }
+        };
+        match arg.as_str() {
+            "--report" => report = Some(value("--report")),
+            "--commit" => commit = Some(value("--commit")),
+            "--bench" => benches.push(value("--bench")),
+            "--history" => history_path = value("--history"),
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument '{other}'\n\n{USAGE}");
+                exit(1);
+            }
+        }
+    }
+    let (Some(report_path), Some(commit)) = (report, commit) else {
+        eprintln!("error: --report and --commit are required\n\n{USAGE}");
+        exit(1);
+    };
+    let out = out.unwrap_or_else(|| history_path.clone());
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+
+    let report_json = read(&report_path);
+    let bench_jsons: Vec<String> = benches.iter().map(|p| read(p)).collect();
+    let entry = match entry_from_artifacts(&commit, &report_json, &bench_jsons) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {report_path}: {e}");
+            exit(1);
+        }
+    };
+
+    let mut history = if std::path::Path::new(&history_path).exists() {
+        match TrendHistory::parse(&read(&history_path)) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("error: {history_path}: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        println!("starting a fresh history ({history_path} not found)");
+        TrendHistory::new()
+    };
+
+    let deltas = history
+        .previous(&entry.commit, entry.seed)
+        .map(|prev| diff_entries(prev, &entry))
+        .unwrap_or_default();
+    let replaced = history.upsert(entry.clone());
+
+    println!(
+        "{} {} (seed {}, profile {}): {} cells, {} passed, {} failed — history now {} entries",
+        if replaced { "refreshed" } else { "appended" },
+        entry.commit,
+        entry.seed,
+        entry.profile,
+        entry.cells,
+        entry.passed,
+        entry.failed,
+        history.entries.len()
+    );
+    if deltas.is_empty() {
+        println!("no per-cell drift vs the previous entry");
+    } else {
+        println!("drift vs the previous entry:");
+        for line in &deltas {
+            println!("  {line}");
+        }
+    }
+
+    if let Err(e) = std::fs::write(&out, history.to_json()) {
+        eprintln!("error: cannot write {out}: {e}");
+        exit(1);
+    }
+    println!("history written to {out}");
+}

@@ -14,6 +14,8 @@
 //! The criterion benches (`benches/`) measure prover/verifier throughput
 //! and attack cost.
 
+pub mod trend;
+
 use lcp_core::engine::prepare_sweep;
 use lcp_core::harness::{check_completeness, classify_growth, measure_sizes, GrowthClass};
 use lcp_core::{Instance, Scheme};

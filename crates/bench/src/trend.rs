@@ -1,0 +1,538 @@
+//! Trend history: fold successive conformance-campaign artifacts into an
+//! append-only `TREND.json` series (the `trend` bin).
+//!
+//! CI produces two artifacts per campaign run: the deterministic
+//! `report.json` (verdicts and per-cell honest proof sizes) and the
+//! timed `BENCH_conformance.json` (per-cell wall times). Each is a
+//! snapshot of one commit; the questions the ROADMAP cares about —
+//! *did a scheme's proof sizes creep up? is the campaign getting
+//! slower?* — need the series across commits. [`TrendHistory`] is that
+//! series: one [`TrendEntry`] per `(commit, seed)`, carrying the summary
+//! counts plus the per-cell proof sizes and wall times, appended run
+//! after run (re-running a commit replaces its entry instead of
+//! duplicating it, so the fold is idempotent).
+//!
+//! The history is plain JSON in the same hand-rolled style as the other
+//! artifacts, parseable by [`lcp_core::json`] — including by this module
+//! itself, which is how it folds.
+
+use lcp_core::json::{escape as json_str, Json};
+use std::fmt::Write as _;
+
+/// One cell's measurements in one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrendCell {
+    /// Registry id of the scheme.
+    pub scheme: String,
+    /// Graph family name.
+    pub family: String,
+    /// Actual instance size.
+    pub n: usize,
+    /// `yes` / `no`.
+    pub polarity: String,
+    /// Which check ran.
+    pub check: String,
+    /// Honest proof size in bits per node (yes cells).
+    pub proof_bits: Option<usize>,
+    /// Cell wall time, when a bench artifact supplied one.
+    pub wall_ms: Option<u128>,
+}
+
+impl TrendCell {
+    /// The identity cells are matched on across runs and artifacts.
+    pub fn key(&self) -> (String, String, usize, String, String) {
+        (
+            self.scheme.clone(),
+            self.family.clone(),
+            self.n,
+            self.polarity.clone(),
+            self.check.clone(),
+        )
+    }
+}
+
+/// One campaign run in the history, keyed by `(commit, seed)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrendEntry {
+    /// Commit the artifacts came from.
+    pub commit: String,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Profile name.
+    pub profile: String,
+    /// Total cells.
+    pub cells: usize,
+    /// Passed cells.
+    pub passed: usize,
+    /// Failed cells.
+    pub failed: usize,
+    /// Skipped (inapplicable) cells.
+    pub skipped: usize,
+    /// Total campaign wall time summed over the bench artifacts, when
+    /// any were supplied.
+    pub wall_ms: Option<u128>,
+    /// Per-cell measurements (non-skipped cells, matrix order).
+    pub series: Vec<TrendCell>,
+}
+
+/// The whole append-only history.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrendHistory {
+    /// Entries in fold order (oldest first).
+    pub entries: Vec<TrendEntry>,
+}
+
+fn opt_num<T: std::fmt::Display>(v: &Option<T>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "null".into(),
+    }
+}
+
+fn missing(what: &str) -> String {
+    format!("missing or mistyped field \"{what}\"")
+}
+
+impl TrendHistory {
+    /// An empty history (the first fold starts here).
+    pub fn new() -> Self {
+        TrendHistory::default()
+    }
+
+    /// Parses a previously written `TREND.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("entries"))?;
+        let entries = entries
+            .iter()
+            .map(|e| {
+                let series = e
+                    .get("series")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| missing("series"))?
+                    .iter()
+                    .map(|c| {
+                        Ok(TrendCell {
+                            scheme: c
+                                .get("scheme")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| missing("scheme"))?
+                                .into(),
+                            family: c
+                                .get("family")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| missing("family"))?
+                                .into(),
+                            n: c.get("n")
+                                .and_then(Json::as_usize)
+                                .ok_or_else(|| missing("n"))?,
+                            polarity: c
+                                .get("polarity")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| missing("polarity"))?
+                                .into(),
+                            check: c
+                                .get("check")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| missing("check"))?
+                                .into(),
+                            proof_bits: c.get("proof_bits").and_then(Json::as_usize),
+                            wall_ms: c.get("wall_ms").and_then(Json::as_u128),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(TrendEntry {
+                    commit: e
+                        .get("commit")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| missing("commit"))?
+                        .into(),
+                    seed: e
+                        .get("seed")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| missing("seed"))?,
+                    profile: e
+                        .get("profile")
+                        .and_then(Json::as_str)
+                        .ok_or_else(|| missing("profile"))?
+                        .into(),
+                    cells: e
+                        .get("cells")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| missing("cells"))?,
+                    passed: e
+                        .get("passed")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| missing("passed"))?,
+                    failed: e
+                        .get("failed")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| missing("failed"))?,
+                    skipped: e
+                        .get("skipped")
+                        .and_then(Json::as_usize)
+                        .ok_or_else(|| missing("skipped"))?,
+                    wall_ms: e.get("wall_ms").and_then(Json::as_u128),
+                    series,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(TrendHistory { entries })
+    }
+
+    /// Folds `entry` into the history: replaces the existing entry for
+    /// the same `(commit, seed)` if one exists (idempotent re-runs),
+    /// else appends. Returns `true` when an entry was replaced.
+    pub fn upsert(&mut self, entry: TrendEntry) -> bool {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.commit == entry.commit && e.seed == entry.seed)
+        {
+            *existing = entry;
+            true
+        } else {
+            self.entries.push(entry);
+            false
+        }
+    }
+
+    /// The entry chronologically before the given `(commit, seed)` —
+    /// the baseline a run is compared against. For a new `(commit,
+    /// seed)` that is the newest entry; for a re-fold of an existing one
+    /// it is the entry folded just before it (so backfilling an old run
+    /// never diffs forwards against a newer entry with the direction
+    /// inverted).
+    pub fn previous(&self, commit: &str, seed: u64) -> Option<&TrendEntry> {
+        match self
+            .entries
+            .iter()
+            .position(|e| e.commit == commit && e.seed == seed)
+        {
+            Some(0) => None,
+            Some(pos) => self.entries.get(pos - 1),
+            None => self.entries.last(),
+        }
+    }
+
+    /// Serializes the history (deterministic given the entries).
+    pub fn to_json(&self) -> String {
+        let mut w = String::with_capacity(1 << 16);
+        w.push_str("{\n");
+        let _ = writeln!(w, "  \"trend\": \"conformance-campaign\",");
+        let _ = writeln!(w, "  \"version\": 1,");
+        w.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            w.push_str("    {\n");
+            let _ = writeln!(w, "      \"commit\": {},", json_str(&e.commit));
+            let _ = writeln!(w, "      \"seed\": {},", e.seed);
+            let _ = writeln!(w, "      \"profile\": {},", json_str(&e.profile));
+            let _ = writeln!(
+                w,
+                "      \"cells\": {}, \"passed\": {}, \"failed\": {}, \"skipped\": {},",
+                e.cells, e.passed, e.failed, e.skipped
+            );
+            let _ = writeln!(w, "      \"wall_ms\": {},", opt_num(&e.wall_ms));
+            w.push_str("      \"series\": [\n");
+            for (j, c) in e.series.iter().enumerate() {
+                let _ = write!(
+                    w,
+                    "        {{ \"scheme\": {}, \"family\": {}, \"n\": {}, \"polarity\": {}, \
+                     \"check\": {}, \"proof_bits\": {}, \"wall_ms\": {} }}",
+                    json_str(&c.scheme),
+                    json_str(&c.family),
+                    c.n,
+                    json_str(&c.polarity),
+                    json_str(&c.check),
+                    opt_num(&c.proof_bits),
+                    opt_num(&c.wall_ms),
+                );
+                w.push_str(if j + 1 < e.series.len() { ",\n" } else { "\n" });
+            }
+            w.push_str("      ]\n");
+            w.push_str("    }");
+            w.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        w.push_str("  ]\n}\n");
+        w
+    }
+}
+
+/// Builds one history entry from a campaign `report.json` plus any
+/// number of `BENCH_conformance.json` artifacts (one per shard in
+/// sharded runs; their wall times are matched to cells by identity and
+/// summed into the entry total).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field of either
+/// artifact.
+pub fn entry_from_artifacts(
+    commit: &str,
+    report_json: &str,
+    bench_jsons: &[String],
+) -> Result<TrendEntry, String> {
+    let report = Json::parse(report_json).map_err(|e| format!("report: {e}"))?;
+    let summary = report.get("summary").ok_or_else(|| missing("summary"))?;
+    let mut entry = TrendEntry {
+        commit: commit.to_string(),
+        seed: report
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| missing("seed"))?,
+        profile: report
+            .get("profile")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("profile"))?
+            .into(),
+        cells: summary
+            .get("cells")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("summary.cells"))?,
+        passed: summary
+            .get("passed")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("summary.passed"))?,
+        failed: summary
+            .get("failed")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("summary.failed"))?,
+        skipped: summary
+            .get("skipped")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| missing("summary.skipped"))?,
+        wall_ms: None,
+        series: Vec::new(),
+    };
+
+    for scheme in report
+        .get("schemes")
+        .and_then(Json::as_array)
+        .ok_or_else(|| missing("schemes"))?
+    {
+        let id = scheme
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| missing("schemes[].id"))?;
+        for cell in scheme
+            .get("cells")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("schemes[].cells"))?
+        {
+            if cell.get("status").and_then(Json::as_str) == Some("skip") {
+                continue; // skipped cells measure nothing
+            }
+            entry.series.push(TrendCell {
+                scheme: id.to_string(),
+                family: cell
+                    .get("family")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("cells[].family"))?
+                    .into(),
+                n: cell
+                    .get("n")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| missing("cells[].n"))?,
+                polarity: cell
+                    .get("polarity")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("cells[].polarity"))?
+                    .into(),
+                check: cell
+                    .get("check")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("cells[].check"))?
+                    .into(),
+                proof_bits: cell.get("proof_bits").and_then(Json::as_usize),
+                wall_ms: None,
+            });
+        }
+    }
+
+    // Fold wall times in from the bench artifacts. Cells are matched by
+    // identity (scheme, family, n, polarity, check) with per-key FIFO
+    // order — exact for single-process runs; across shards, cells that
+    // collapse onto the same identity may swap statistically equivalent
+    // wall times.
+    let mut walls: std::collections::BTreeMap<_, std::collections::VecDeque<u128>> =
+        std::collections::BTreeMap::new();
+    let mut total: Option<u128> = None;
+    for (i, text) in bench_jsons.iter().enumerate() {
+        let bench = Json::parse(text).map_err(|e| format!("bench #{i}: {e}"))?;
+        if let Some(ms) = bench.get("wall_ms").and_then(Json::as_u128) {
+            total = Some(total.unwrap_or(0) + ms);
+        }
+        for cell in bench
+            .get("per_cell")
+            .and_then(Json::as_array)
+            .ok_or_else(|| missing("per_cell"))?
+        {
+            let key = (
+                cell.get("scheme")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("per_cell[].scheme"))?
+                    .to_string(),
+                cell.get("family")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("per_cell[].family"))?
+                    .to_string(),
+                cell.get("n")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| missing("per_cell[].n"))?,
+                cell.get("polarity")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("per_cell[].polarity"))?
+                    .to_string(),
+                cell.get("check")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| missing("per_cell[].check"))?
+                    .to_string(),
+            );
+            if let Some(ms) = cell.get("wall_ms").and_then(Json::as_u128) {
+                walls.entry(key).or_default().push_back(ms);
+            }
+        }
+    }
+    entry.wall_ms = total;
+    for cell in &mut entry.series {
+        if let Some(q) = walls.get_mut(&cell.key()) {
+            cell.wall_ms = q.pop_front();
+        }
+    }
+    Ok(entry)
+}
+
+/// Human-readable per-cell deltas between two runs: proof-size changes
+/// and pass/fail flips, for the summary the `trend` bin prints.
+pub fn diff_entries(prev: &TrendEntry, next: &TrendEntry) -> Vec<String> {
+    let mut lines = Vec::new();
+    if (prev.passed, prev.failed) != (next.passed, next.failed) {
+        lines.push(format!(
+            "summary: {}/{} passed/failed (was {}/{})",
+            next.passed, next.failed, prev.passed, prev.failed
+        ));
+    }
+    let index: std::collections::BTreeMap<_, &TrendCell> =
+        prev.series.iter().map(|c| (c.key(), c)).collect();
+    for cell in &next.series {
+        let Some(old) = index.get(&cell.key()) else {
+            continue; // new cell (registry growth): nothing to compare
+        };
+        if old.proof_bits != cell.proof_bits {
+            lines.push(format!(
+                "{} on {}/n={}/{}: proof bits {} -> {}",
+                cell.scheme,
+                cell.family,
+                cell.n,
+                cell.polarity,
+                opt_num(&old.proof_bits),
+                opt_num(&cell.proof_bits),
+            ));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const REPORT: &str = r#"{
+  "version": 1,
+  "seed": 7,
+  "profile": "smoke",
+  "parallel": true,
+  "summary": { "cells": 3, "passed": 2, "failed": 0, "skipped": 1 },
+  "schemes": [
+    { "id": "bipartite",
+      "cells": [
+        { "coord": 0, "family": "cycle", "requested_n": 8, "n": 8, "polarity": "yes",
+          "holds": true, "status": "pass", "check": "completeness", "proof_bits": 1,
+          "witness_node": null, "tamper": null, "detail": "ok" },
+        { "coord": 1, "family": "cycle", "requested_n": 8, "n": 9, "polarity": "no",
+          "holds": false, "status": "pass", "check": "soundness-exhaustive", "proof_bits": null,
+          "witness_node": null, "tamper": null, "detail": "ok" },
+        { "coord": 2, "family": "tree", "requested_n": 8, "n": 0, "polarity": "no",
+          "holds": false, "status": "skip", "check": "inapplicable", "proof_bits": null,
+          "witness_node": null, "tamper": null, "detail": "n/a" }
+      ] }
+  ]
+}"#;
+
+    const BENCH: &str = r#"{
+  "bench": "conformance-campaign",
+  "seed": 7,
+  "wall_ms": 41,
+  "per_cell": [
+    { "scheme": "bipartite", "family": "cycle", "n": 8, "polarity": "yes",
+      "check": "completeness", "proof_bits": 1, "wall_ms": 3 },
+    { "scheme": "bipartite", "family": "cycle", "n": 9, "polarity": "no",
+      "check": "soundness-exhaustive", "proof_bits": null, "wall_ms": 17 }
+  ]
+}"#;
+
+    #[test]
+    fn folds_report_and_bench_into_an_entry() {
+        let e = entry_from_artifacts("abc1234", REPORT, &[BENCH.to_string()]).unwrap();
+        assert_eq!((e.cells, e.passed, e.failed, e.skipped), (3, 2, 0, 1));
+        assert_eq!(e.wall_ms, Some(41));
+        // Skipped cells are not in the series; measured ones carry both
+        // proof bits and wall times.
+        assert_eq!(e.series.len(), 2);
+        assert_eq!(e.series[0].proof_bits, Some(1));
+        assert_eq!(e.series[0].wall_ms, Some(3));
+        assert_eq!(e.series[1].proof_bits, None);
+        assert_eq!(e.series[1].wall_ms, Some(17));
+    }
+
+    #[test]
+    fn history_round_trips_and_upserts() {
+        let mut history = TrendHistory::new();
+        let a = entry_from_artifacts("aaaa", REPORT, &[]).unwrap();
+        assert!(!history.upsert(a.clone()));
+        let mut b = a.clone();
+        b.commit = "bbbb".into();
+        assert!(!history.upsert(b));
+        // Same (commit, seed) replaces instead of duplicating.
+        assert!(history.upsert(a));
+        assert_eq!(history.entries.len(), 2);
+
+        let reparsed = TrendHistory::parse(&history.to_json()).unwrap();
+        assert_eq!(reparsed, history);
+        // A new (commit, seed) compares against the newest entry...
+        assert_eq!(
+            history.previous("cccc", 7).map(|e| e.commit.as_str()),
+            Some("bbbb")
+        );
+        // ...a re-fold compares against the entry folded just before
+        // it, never forwards...
+        assert_eq!(
+            history.previous("bbbb", 7).map(|e| e.commit.as_str()),
+            Some("aaaa")
+        );
+        // ...and the oldest entry has no baseline.
+        assert_eq!(history.previous("aaaa", 7).map(|e| e.commit.as_str()), None);
+    }
+
+    #[test]
+    fn diff_reports_proof_size_drift() {
+        let old = entry_from_artifacts("aaaa", REPORT, &[]).unwrap();
+        let mut new = entry_from_artifacts("bbbb", REPORT, &[]).unwrap();
+        new.series[0].proof_bits = Some(4);
+        let lines = diff_entries(&old, &new);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("proof bits 1 -> 4"), "{lines:?}");
+        assert!(diff_entries(&old, &old).is_empty());
+    }
+}

@@ -38,6 +38,9 @@ pub fn default_steps(profile: crate::Profile) -> usize {
 /// One churned cell of the matrix.
 #[derive(Clone, Debug)]
 pub struct ChurnCellResult {
+    /// Global index of this cell in the shared matrix enumeration —
+    /// stable across sharding, what `campaign_merge` orders by.
+    pub coord: usize,
     /// Registry id of the scheme.
     pub scheme: &'static str,
     /// Graph family the instance came from.
@@ -88,6 +91,9 @@ pub struct ChurnReport {
     pub steps: usize,
     /// Whether cells ran in parallel.
     pub parallel: bool,
+    /// The shard this report covers (`None` = the whole matrix; merged
+    /// reports are whole again).
+    pub shard: Option<crate::Shard>,
     /// Per-cell results, in matrix order.
     pub cells: Vec<ChurnCellResult>,
     /// Total wall time (excluded from deterministic JSON).
@@ -142,6 +148,13 @@ impl ChurnReport {
         let _ = writeln!(w, "  \"profile\": {},", crate::json_str(self.profile));
         let _ = writeln!(w, "  \"steps_per_cell\": {},", self.steps);
         let _ = writeln!(w, "  \"parallel\": {},", self.parallel);
+        if let Some(shard) = self.shard {
+            let _ = writeln!(
+                w,
+                "  \"shard\": {{ \"index\": {}, \"count\": {} }},",
+                shard.index, shard.count
+            );
+        }
         if include_timing {
             let _ = writeln!(w, "  \"wall_ms\": {},", self.wall_ms);
         }
@@ -157,11 +170,12 @@ impl ChurnReport {
             w.push_str("    { ");
             let _ = write!(
                 w,
-                "\"scheme\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \
+                "\"coord\": {}, \"scheme\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \
                  \"polarity\": {}, \"skipped\": {}, \"steps\": {}, \"inserts\": {}, \
                  \"deletes\": {}, \"rewrites\": {}, \"checks\": {}, \"mismatches\": {}, \
                  \"max_impact\": {}, \"total_reverified\": {}, \"reverified_permille\": {}, \
                  \"detail\": {}",
+                c.coord,
                 crate::json_str(c.scheme),
                 crate::json_str(c.family.name()),
                 c.requested_n,
@@ -249,6 +263,7 @@ fn churn_one(
         polarity: coord.polarity,
     };
     let mut result = ChurnCellResult {
+        coord: coord.index,
         scheme: entry.id,
         family: coord.family,
         requested_n: coord.n,
@@ -311,9 +326,9 @@ fn churn_one(
 }
 
 /// Runs the churn campaign over the same matrix the static campaign
-/// sweeps — the coordinates come from the same
-/// [`matrix_coords`] enumeration, so churn cells correspond one-to-one
-/// to static cells under the shared seed policy.
+/// sweeps — the coordinates come from the same shared enumeration, so
+/// churn cells correspond one-to-one to static cells under the shared
+/// seed policy (and shard under `--shard i/N` identically).
 pub fn run_churn_campaign(config: &CampaignConfig, steps: usize) -> ChurnReport {
     let started = Instant::now();
     let entries = filtered_entries(config);
@@ -325,6 +340,7 @@ pub fn run_churn_campaign(config: &CampaignConfig, steps: usize) -> ChurnReport 
         profile: config.profile.name(),
         steps,
         parallel: cfg!(feature = "parallel"),
+        shard: config.shard,
         cells,
         wall_ms: started.elapsed().as_millis(),
     }

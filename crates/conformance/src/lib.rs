@@ -29,14 +29,16 @@
 //! property CI and the determinism test pin.
 
 pub mod churn;
+pub mod merge;
 
 use lcp_core::dynamic::{DynScheme, TamperProbe};
 use lcp_core::harness::{classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness};
-use lcp_core::Scheme;
+use lcp_core::{Scheme, SkeletonCache};
 use lcp_graph::families::GraphFamily;
 use lcp_logic::{formulas, Sigma11Scheme};
 use lcp_schemes::registry::{self, CellRequest, Polarity, SchemeEntry};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 #[cfg(feature = "parallel")]
@@ -126,6 +128,47 @@ impl Profile {
     }
 }
 
+/// One shard of a horizontally split campaign: this process runs the
+/// matrix cells whose global coordinate is ≡ `index` (mod `count`).
+///
+/// The partition is over the *shared* coordinate enumeration (identical
+/// for static and churn campaigns), and cell seeds depend only on cell
+/// coordinates, so the union of all `count` shard reports is
+/// byte-identical to the unsharded report (modulo timing) — the
+/// invariant `campaign_merge` rebuilds and the sharding test suite pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, in `0..count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl Shard {
+    /// Parses the CLI form `i/N` (e.g. `--shard 2/4`); `i < N`, `N ≥ 1`.
+    pub fn parse(s: &str) -> Option<Shard> {
+        let (i, n) = s.split_once('/')?;
+        let shard = Shard {
+            index: i.parse().ok()?,
+            count: n.parse().ok()?,
+        };
+        (shard.count >= 1 && shard.index < shard.count).then_some(shard)
+    }
+
+    /// Whether the globally `index`-th matrix cell belongs to this shard
+    /// (round-robin: balances the expensive large-`n` cells, which are
+    /// adjacent in the enumeration, across shards).
+    pub fn owns(self, coord_index: usize) -> bool {
+        coord_index % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// A fully resolved campaign configuration.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
@@ -148,6 +191,9 @@ pub struct CampaignConfig {
     pub scheme_filter: Option<String>,
     /// Restrict to one family (CLI `--family`).
     pub family_filter: Option<GraphFamily>,
+    /// Run only this shard of the matrix (CLI `--shard i/N`); `None`
+    /// runs everything.
+    pub shard: Option<Shard>,
 }
 
 impl CampaignConfig {
@@ -163,6 +209,7 @@ impl CampaignConfig {
                 exhaustive_limit: 100_000,
                 scheme_filter: None,
                 family_filter: None,
+                shard: None,
             },
             Profile::Full => CampaignConfig {
                 seed,
@@ -173,6 +220,7 @@ impl CampaignConfig {
                 exhaustive_limit: 5_000_000,
                 scheme_filter: None,
                 family_filter: None,
+                shard: None,
             },
         }
     }
@@ -208,6 +256,9 @@ impl CellStatus {
 /// One `(scheme, family, size, polarity)` cell of the campaign matrix.
 #[derive(Clone, Debug)]
 pub struct CellResult {
+    /// Global index of this cell in the shared matrix enumeration —
+    /// stable across sharding, what `campaign_merge` orders by.
+    pub coord: usize,
     /// Registry id of the scheme.
     pub scheme: &'static str,
     /// Graph family the instance came from.
@@ -272,8 +323,18 @@ pub struct Report {
     pub profile: &'static str,
     /// Whether cells ran in parallel.
     pub parallel: bool,
+    /// The shard this report covers (`None` = the whole matrix; merged
+    /// reports are whole again).
+    pub shard: Option<Shard>,
     /// Per-scheme reports, in registry order.
     pub schemes: Vec<SchemeReport>,
+    /// Skeleton-cache hits across all cells (excluded from deterministic
+    /// JSON: racing misses make the split nondeterministic under
+    /// parallelism).
+    pub cache_hits: usize,
+    /// Skeleton-cache misses (fresh CSR builds) across all cells
+    /// (excluded from deterministic JSON).
+    pub cache_misses: usize,
     /// Total campaign wall time (excluded from deterministic JSON).
     pub wall_ms: u128,
 }
@@ -341,8 +402,20 @@ impl Report {
         let _ = writeln!(w, "  \"seed\": {},", self.seed);
         let _ = writeln!(w, "  \"profile\": {},", json_str(self.profile));
         let _ = writeln!(w, "  \"parallel\": {},", self.parallel);
+        if let Some(shard) = self.shard {
+            let _ = writeln!(
+                w,
+                "  \"shard\": {{ \"index\": {}, \"count\": {} }},",
+                shard.index, shard.count
+            );
+        }
         if include_timing {
             let _ = writeln!(w, "  \"wall_ms\": {},", self.wall_ms);
+            let _ = writeln!(
+                w,
+                "  \"skeleton_cache\": {{ \"hits\": {}, \"misses\": {} }},",
+                self.cache_hits, self.cache_misses
+            );
         }
         let _ = writeln!(
             w,
@@ -394,9 +467,10 @@ impl Report {
                 w.push_str("        { ");
                 let _ = write!(
                     w,
-                    "\"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
+                    "\"coord\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
                      \"holds\": {}, \"status\": {}, \"check\": {}, \"proof_bits\": {}, \
                      \"witness_node\": {}, \"tamper\": {}, \"detail\": {}",
+                    c.coord,
                     json_str(c.family.name()),
                     c.requested_n,
                     c.n,
@@ -488,24 +562,10 @@ fn render_points(points: &[SizePoint]) -> String {
         .join(" ")
 }
 
+/// The workspace-shared JSON string escaper (also what the merge's
+/// parser resolves, so reports round-trip byte-exactly).
 fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    lcp_core::json::escape(s)
 }
 
 fn json_opt(v: Option<usize>) -> String {
@@ -552,6 +612,9 @@ fn cell_seed(seed: u64, scheme_id: &str, family: GraphFamily, n: usize, polarity
 /// One cell coordinate of the campaign matrix (static and churn modes
 /// sweep the *same* matrix, so both build their coordinates here).
 pub(crate) struct Coord {
+    /// Global position in the full (unsharded) enumeration — the cell's
+    /// stable identity across shards.
+    pub(crate) index: usize,
     pub(crate) entry_idx: usize,
     pub(crate) family: GraphFamily,
     pub(crate) n: usize,
@@ -561,8 +624,13 @@ pub(crate) struct Coord {
 /// Enumerates the campaign matrix for `entries` under `config`'s
 /// filters: families × sizes × polarities per entry, with sizes clamped
 /// by each entry's `max_n` and collapsed duplicates enumerated once.
+///
+/// Global coordinate indices are assigned **before** shard selection, so
+/// every shard agrees on them; the returned list is restricted to
+/// `config.shard` when one is set.
 pub(crate) fn matrix_coords(entries: &[SchemeEntry], config: &CampaignConfig) -> Vec<Coord> {
     let mut coords = Vec::new();
+    let mut index = 0usize;
     for (entry_idx, entry) in entries.iter().enumerate() {
         // Entries cap their sizes (max_n); after clamping, several
         // requested sizes can collapse onto the same cell — enumerate
@@ -575,12 +643,16 @@ pub(crate) fn matrix_coords(entries: &[SchemeEntry], config: &CampaignConfig) ->
             for &n in &config.sizes {
                 for polarity in [Polarity::Yes, Polarity::No] {
                     if seen.insert((family, n.min(entry.max_n), polarity)) {
-                        coords.push(Coord {
-                            entry_idx,
-                            family,
-                            n,
-                            polarity,
-                        });
+                        if config.shard.is_none_or(|s| s.owns(index)) {
+                            coords.push(Coord {
+                                index,
+                                entry_idx,
+                                family,
+                                n,
+                                polarity,
+                            });
+                        }
+                        index += 1;
                     }
                 }
             }
@@ -622,7 +694,12 @@ pub(crate) fn map_coords<R: Send>(coords: &[Coord], f: impl Fn(&Coord) -> R + Sy
     coords.iter().map(f).collect()
 }
 
-fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> CellResult {
+fn run_one(
+    entries: &[SchemeEntry],
+    coord: &Coord,
+    config: &CampaignConfig,
+    cache: &Arc<SkeletonCache>,
+) -> CellResult {
     let entry = &entries[coord.entry_idx];
     let started = Instant::now();
     let seed = cell_seed(config.seed, entry.id, coord.family, coord.n, coord.polarity);
@@ -633,6 +710,7 @@ fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> C
         polarity: coord.polarity,
     };
     let mut result = CellResult {
+        coord: coord.index,
         scheme: entry.id,
         family: coord.family,
         requested_n: coord.n,
@@ -652,6 +730,10 @@ fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> C
         result.wall_ms = started.elapsed().as_millis();
         return result;
     };
+    // Engine-backed checks on this cell prepare through the campaign's
+    // shared cache: schemes asked about the same generated graph (at the
+    // same radius) reuse one CSR build.
+    let cell = cell.with_cache(Arc::clone(cache));
     result.n = cell.n();
     result.holds = cell.holds();
 
@@ -728,14 +810,10 @@ fn run_one(entries: &[SchemeEntry], coord: &Coord, config: &CampaignConfig) -> C
     result
 }
 
-/// Runs the campaign described by `config` and assembles the [`Report`].
-pub fn run_campaign(config: &CampaignConfig) -> Report {
-    let started = Instant::now();
-    let entries = filtered_entries(config);
-    let coords = matrix_coords(&entries, config);
-    let results = map_coords(&coords, |c| run_one(&entries, c, config));
-
-    let mut schemes: Vec<SchemeReport> = entries
+/// Empty per-scheme report shells for `entries`, in registry order —
+/// shared by the live runner and the shard merger.
+pub(crate) fn scheme_shells(entries: &[SchemeEntry]) -> Vec<SchemeReport> {
+    entries
         .iter()
         .map(|e| SchemeReport {
             id: e.id,
@@ -748,11 +826,15 @@ pub fn run_campaign(config: &CampaignConfig) -> Report {
             bound_ok: None,
             cells: Vec::new(),
         })
-        .collect();
-    for (coord, cell) in coords.iter().zip(results) {
-        schemes[coord.entry_idx].cells.push(cell);
-    }
-    for s in &mut schemes {
+        .collect()
+}
+
+/// Recomputes each scheme's measured `(n, bits)` points and
+/// growth-class fit from its cells — the aggregation step shared by the
+/// live runner and the shard merger (so merged reports re-fit over the
+/// *union* of cells, never trust per-shard fits).
+pub(crate) fn fit_growth(schemes: &mut [SchemeReport]) {
+    for s in schemes {
         let mut points: Vec<SizePoint> = s
             .cells
             .iter()
@@ -775,12 +857,36 @@ pub fn run_campaign(config: &CampaignConfig) -> Report {
             s.bound_ok = Some(measured <= s.claimed_growth);
         }
     }
+}
+
+/// Runs the campaign described by `config` and assembles the [`Report`].
+pub fn run_campaign(config: &CampaignConfig) -> Report {
+    let started = Instant::now();
+    let entries = filtered_entries(config);
+    let coords = matrix_coords(&entries, config);
+    let cache = Arc::new(SkeletonCache::new());
+    let results = map_coords(&coords, |c| run_one(&entries, c, config, &cache));
+
+    let mut schemes = scheme_shells(&entries);
+    for (coord, cell) in coords.iter().zip(results) {
+        schemes[coord.entry_idx].cells.push(cell);
+    }
+    // Growth fitting is a whole-matrix judgement: a shard sees only a
+    // slice of each scheme's (n, bits) points, so fitting it would
+    // produce spurious bound verdicts. Sharded runs leave the fits to
+    // `campaign_merge`, which re-fits over the union of cells.
+    if config.shard.is_none() {
+        fit_growth(&mut schemes);
+    }
 
     Report {
         seed: config.seed,
         profile: config.profile.name(),
         parallel: cfg!(feature = "parallel"),
+        shard: config.shard,
         schemes,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
         wall_ms: started.elapsed().as_millis(),
     }
 }

@@ -10,7 +10,7 @@
 //! `--churn` mode).
 
 use lcp_conformance::churn::{default_steps, run_churn_campaign, ChurnReport};
-use lcp_conformance::{run_campaign, CampaignConfig, CellStatus, Profile, Report};
+use lcp_conformance::{run_campaign, CampaignConfig, CellStatus, Profile, Report, Shard};
 use lcp_graph::families::GraphFamily;
 
 const USAGE: &str = "\
@@ -27,6 +27,9 @@ OPTIONS:
     --family <name>          run one graph family only
     --tamper-trials <n>      bit-flip probes per yes cell
     --adversarial-iters <n>  hill-climb steps per no cell
+    --shard <i/N>            run only the cells of shard i out of N; the
+                             union of all N reports is byte-identical to
+                             the unsharded run (merge with campaign_merge)
     --churn                  dynamic mode: churn every cell with seeded
                              mutations, checking incremental reverify
                              against from-scratch evaluation
@@ -58,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
     let mut family = None;
     let mut tamper = None;
     let mut adversarial = None;
+    let mut shard = None;
     let mut churn = false;
     let mut churn_steps = None;
     let mut json = None;
@@ -100,6 +104,12 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--adversarial-iters")?;
                 adversarial = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
             }
+            "--shard" => {
+                let v = value("--shard")?;
+                shard = Some(
+                    Shard::parse(&v).ok_or_else(|| format!("bad shard '{v}' (want i/N, i < N)"))?,
+                );
+            }
             "--churn" => churn = true,
             "--churn-steps" => {
                 let v = value("--churn-steps")?;
@@ -130,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
     }
     config.scheme_filter = scheme;
     config.family_filter = family;
+    config.shard = shard;
     Ok(Args {
         config,
         churn,
@@ -173,14 +184,18 @@ fn run_churn_mode(args: &Args) -> i32 {
     if !args.quiet {
         print_churn_table(&report);
     }
+    let shard_note = report
+        .shard
+        .map_or_else(String::new, |s| format!(", shard {s}"));
     println!(
-        "churn campaign: {} cells ({} ran) × {} mutations — {} mismatches ({} ms, seed {})",
+        "churn campaign: {} cells ({} ran) × {} mutations — {} mismatches ({} ms, seed {}{})",
         report.cells.len(),
         report.ran(),
         report.steps,
         report.mismatches(),
         report.wall_ms,
-        report.seed
+        report.seed,
+        shard_note,
     );
     for f in report.failures() {
         eprintln!("FAIL: {f}");
@@ -285,14 +300,21 @@ fn main() {
     if !args.quiet {
         print_table(&report);
     }
+    let shard_note = report
+        .shard
+        .map_or_else(String::new, |s| format!(", shard {s}"));
     println!(
-        "campaign: {} cells — {} passed, {} failed, {} inapplicable ({} ms, seed {})",
+        "campaign: {} cells — {} passed, {} failed, {} inapplicable \
+         ({} ms, seed {}{}, skeleton cache {} hits / {} builds)",
         report.cell_count(),
         report.count(CellStatus::Pass),
         report.count(CellStatus::Fail),
         report.count(CellStatus::Skip),
         report.wall_ms,
-        report.seed
+        report.seed,
+        shard_note,
+        report.cache_hits,
+        report.cache_misses,
     );
     for f in report.failures() {
         eprintln!("FAIL: {f}");

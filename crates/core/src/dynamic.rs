@@ -46,7 +46,7 @@
 //! ```
 
 use crate::bits::{AsBits, BitString};
-use crate::engine::{PreparedInstance, SkeletonStore};
+use crate::engine::{PreparedInstance, SkeletonCache, SkeletonStore};
 use crate::harness::{
     adversarial_proof_search, check_instance, check_soundness_exhaustive, CompletenessError,
     Soundness, SoundnessError,
@@ -366,14 +366,39 @@ pub struct DynScheme {
     radius: usize,
     n: usize,
     holds: bool,
+    /// Shared skeleton cache the engine-backed operations prepare
+    /// through, when attached ([`Self::with_cache`]).
+    cache: Option<Arc<SkeletonCache>>,
     prove: Box<dyn Fn() -> Option<Proof> + Send + Sync>,
     evaluate: Box<dyn Fn(&Proof) -> Verdict + Send + Sync>,
     until_reject: Box<dyn Fn(&Proof) -> Option<usize> + Send + Sync>,
-    completeness: Box<dyn Fn() -> Result<Option<usize>, CompletenessError> + Send + Sync>,
-    soundness: Box<dyn Fn(usize) -> Result<Soundness, SoundnessError> + Send + Sync>,
-    adversarial: Box<dyn Fn(usize, usize, u64) -> Option<Proof> + Send + Sync>,
-    tamper: Box<dyn Fn(usize, u64) -> Option<TamperProbe> + Send + Sync>,
+    completeness: Box<
+        dyn Fn(Option<&SkeletonCache>) -> Result<Option<usize>, CompletenessError> + Send + Sync,
+    >,
+    soundness: Box<
+        dyn Fn(usize, Option<&SkeletonCache>) -> Result<Soundness, SoundnessError> + Send + Sync,
+    >,
+    adversarial:
+        Box<dyn Fn(usize, usize, u64, Option<&SkeletonCache>) -> Option<Proof> + Send + Sync>,
+    tamper: Box<dyn Fn(usize, u64, Option<&SkeletonCache>) -> Option<TamperProbe> + Send + Sync>,
     dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
+}
+
+/// Prepares `inst` through `cache` when one is attached, else freshly —
+/// the single dispatch point of every engine-backed `DynScheme` op.
+fn prep_for<'i, N, E>(
+    inst: &'i Instance<N, E>,
+    radius: usize,
+    cache: Option<&SkeletonCache>,
+) -> PreparedInstance<'i, N, E>
+where
+    N: Clone + PartialEq + Send + Sync + 'static,
+    E: Clone + PartialEq + Send + Sync + 'static,
+{
+    match cache {
+        Some(cache) => cache.prepare(inst, radius),
+        None => PreparedInstance::new(inst, radius),
+    }
 }
 
 impl fmt::Debug for DynScheme {
@@ -398,8 +423,8 @@ impl DynScheme {
     pub fn seal<S>(scheme: S, inst: Instance<S::Node, S::Edge>) -> DynScheme
     where
         S: Scheme + Send + Sync + 'static,
-        S::Node: Clone + Send + Sync + 'static,
-        S::Edge: Clone + Send + Sync + 'static,
+        S::Node: Clone + PartialEq + Send + Sync + 'static,
+        S::Edge: Clone + PartialEq + Send + Sync + 'static,
     {
         let name = scheme.name();
         let radius = scheme.radius();
@@ -414,24 +439,29 @@ impl DynScheme {
         let c = Arc::clone(&cell);
         let until_reject = Box::new(move |proof: &Proof| evaluate_until_reject(&c.0, &c.1, proof));
         let c = Arc::clone(&cell);
-        let completeness = Box::new(move || {
-            let prep = PreparedInstance::new(&c.1, c.0.radius());
+        let completeness = Box::new(move |cache: Option<&SkeletonCache>| {
+            let prep = prep_for(&c.1, c.0.radius(), cache);
             check_instance(&c.0, &prep)
         });
         let c = Arc::clone(&cell);
-        let soundness = Box::new(move |max_bits: usize| {
-            let prep = PreparedInstance::new(&c.1, c.0.radius());
+        let soundness = Box::new(move |max_bits: usize, cache: Option<&SkeletonCache>| {
+            let prep = prep_for(&c.1, c.0.radius(), cache);
             check_soundness_exhaustive(&c.0, &prep, max_bits)
         });
         let c = Arc::clone(&cell);
-        let adversarial = Box::new(move |budget: usize, iterations: usize, seed: u64| {
-            let prep = PreparedInstance::new(&c.1, c.0.radius());
-            let mut rng = StdRng::seed_from_u64(seed);
-            adversarial_proof_search(&c.0, &prep, budget, iterations, &mut rng)
-        });
+        let adversarial = Box::new(
+            move |budget: usize, iterations: usize, seed: u64, cache: Option<&SkeletonCache>| {
+                let prep = prep_for(&c.1, c.0.radius(), cache);
+                let mut rng = StdRng::seed_from_u64(seed);
+                adversarial_proof_search(&c.0, &prep, budget, iterations, &mut rng)
+            },
+        );
         let c = Arc::clone(&cell);
-        let tamper =
-            Box::new(move |trials: usize, seed: u64| tamper_probe(&c.0, &c.1, trials, seed));
+        let tamper = Box::new(
+            move |trials: usize, seed: u64, cache: Option<&SkeletonCache>| {
+                tamper_probe(&c.0, &c.1, trials, seed, cache)
+            },
+        );
         let c = Arc::clone(&cell);
         let dynamic = Box::new(move || {
             Box::new(TypedCell::from_arc(Arc::clone(&c), None)) as Box<dyn MutableCell>
@@ -442,6 +472,7 @@ impl DynScheme {
             radius,
             n,
             holds,
+            cache: None,
             prove,
             evaluate: eval,
             until_reject,
@@ -451,6 +482,18 @@ impl DynScheme {
             tamper,
             dynamic,
         }
+    }
+
+    /// Attaches a shared [`SkeletonCache`]: every subsequent
+    /// engine-backed operation (completeness, soundness, adversarial
+    /// search, tamper probing) prepares the sealed instance through it,
+    /// so cells sealed over equal instances share one skeleton build.
+    ///
+    /// Results are identical with and without a cache (pinned by the
+    /// cache-equivalence tests) — only the preparation work is shared.
+    pub fn with_cache(mut self, cache: Arc<SkeletonCache>) -> DynScheme {
+        self.cache = Some(cache);
+        self
     }
 
     /// The sealed scheme's name.
@@ -491,7 +534,7 @@ impl DynScheme {
     /// Single-instance completeness check on the cached engine
     /// ([`crate::harness::check_instance`]).
     pub fn check_completeness(&self) -> Result<Option<usize>, CompletenessError> {
-        (self.completeness)()
+        (self.completeness)(self.cache.as_deref())
     }
 
     /// Exhaustive soundness check on the cached engine.
@@ -501,7 +544,7 @@ impl DynScheme {
     /// Panics if the sealed instance is a yes-instance (mirrors
     /// [`crate::harness::check_soundness_exhaustive`]).
     pub fn check_soundness_exhaustive(&self, max_bits: usize) -> Result<Soundness, SoundnessError> {
-        (self.soundness)(max_bits)
+        (self.soundness)(max_bits, self.cache.as_deref())
     }
 
     /// Seeded adversarial proof search on the cached engine; `Some` is a
@@ -517,7 +560,7 @@ impl DynScheme {
         iterations: usize,
         seed: u64,
     ) -> Option<Proof> {
-        (self.adversarial)(size_budget, iterations, seed)
+        (self.adversarial)(size_budget, iterations, seed, self.cache.as_deref())
     }
 
     /// Seeded single-bit tamper probe against the honest proof.
@@ -526,7 +569,7 @@ impl DynScheme {
     /// or the honest proof is not fully accepted (a completeness failure,
     /// reported by [`Self::check_completeness`] instead).
     pub fn tamper_probe(&self, trials: usize, seed: u64) -> Option<TamperProbe> {
-        (self.tamper)(trials, seed)
+        (self.tamper)(trials, seed, self.cache.as_deref())
     }
 
     /// Opens a fresh [`MutableCell`] over a private copy of the sealed
@@ -548,14 +591,15 @@ fn tamper_probe<S>(
     inst: &Instance<S::Node, S::Edge>,
     trials: usize,
     seed: u64,
+    cache: Option<&SkeletonCache>,
 ) -> Option<TamperProbe>
 where
     S: Scheme,
-    S::Node: Clone + Send + Sync,
-    S::Edge: Clone + Send + Sync,
+    S::Node: Clone + PartialEq + Send + Sync + 'static,
+    S::Edge: Clone + PartialEq + Send + Sync + 'static,
 {
     let mut proof = scheme.prove(inst)?;
-    let prep = PreparedInstance::new(inst, scheme.radius());
+    let prep = prep_for(inst, scheme.radius(), cache);
     if (0..prep.n()).any(|v| !scheme.verify(&prep.bind(v, &proof))) {
         return None; // honest proof rejected — that is a completeness failure
     }

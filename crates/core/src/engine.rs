@@ -79,7 +79,10 @@ use crate::instance::Instance;
 use crate::proof::Proof;
 use crate::scheme::{Scheme, Verdict};
 use crate::view::{build_skeleton, BallScratch, Skeleton, View};
-use std::sync::Arc;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
@@ -89,14 +92,17 @@ use rayon::prelude::*;
 #[cfg(feature = "parallel")]
 const PAR_THRESHOLD: usize = 256;
 
-/// An instance with every node's radius-`r` view skeleton precomputed,
-/// ready to bind candidate proofs cheaply.
+/// The owned, shareable half of a [`PreparedInstance`]: every node's
+/// view skeleton plus the membership / dependency tables, with no
+/// reference back to the instance they were built from.
 ///
-/// Borrows the instance (skeletons reference nothing mutable, but keeping
-/// the borrow makes it impossible to evaluate against a stale graph).
-#[derive(Clone, Debug)]
-pub struct PreparedInstance<'i, N = (), E = ()> {
-    inst: &'i Instance<N, E>,
+/// Splitting this out of [`PreparedInstance`] is what makes cross-cell
+/// skeleton sharing possible: a [`SkeletonCache`] can hold one
+/// `Arc<PreparedCore>` per distinct `(instance content, radius)` and hand
+/// it to any number of borrowing `PreparedInstance`s — different schemes
+/// sweeping the same generated graph reuse one CSR build.
+#[derive(Debug)]
+pub(crate) struct PreparedCore<N = (), E = ()> {
     radius: usize,
     skeletons: Vec<Arc<Skeleton<N, E>>>,
     /// CSR: global indices of node `v`'s ball members (view-local order)
@@ -109,13 +115,10 @@ pub struct PreparedInstance<'i, N = (), E = ()> {
     dependents: Vec<(u32, u32)>,
 }
 
-impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
-    /// Precomputes every node's radius-`radius` view skeleton.
-    ///
-    /// Cost: one bounded BFS per node (`O(Σ|ball|)` total work), done
-    /// exactly once; every subsequent proof binding reuses the result.
+impl<N: Clone, E: Clone> PreparedCore<N, E> {
+    /// Builds the skeletons and locality tables for `(inst, radius)`.
     #[cfg(not(feature = "parallel"))]
-    pub fn new(inst: &'i Instance<N, E>, radius: usize) -> Self {
+    fn new(inst: &Instance<N, E>, radius: usize) -> Self {
         let n = inst.n();
         let mut scratch = BallScratch::new(inst.graph().n());
         let built: Vec<(Skeleton<N, E>, Vec<u32>)> = (0..n)
@@ -124,10 +127,10 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         Self::assemble(inst, radius, built)
     }
 
-    /// Precomputes every node's radius-`radius` view skeleton, fanning
-    /// the per-node BFS out across cores for large instances.
+    /// Builds the skeletons and locality tables for `(inst, radius)`,
+    /// fanning the per-node BFS out across cores for large instances.
     #[cfg(feature = "parallel")]
-    pub fn new(inst: &'i Instance<N, E>, radius: usize) -> Self
+    fn new(inst: &Instance<N, E>, radius: usize) -> Self
     where
         N: Send + Sync,
         E: Send + Sync,
@@ -164,8 +167,16 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         Self::assemble(inst, radius, built)
     }
 
+    fn members_of(&self, v: usize) -> &[u32] {
+        &self.members[self.member_off[v] as usize..self.member_off[v + 1] as usize]
+    }
+
+    fn dependents_of(&self, v: usize) -> &[(u32, u32)] {
+        &self.dependents[self.dependent_off[v] as usize..self.dependent_off[v + 1] as usize]
+    }
+
     fn assemble(
-        inst: &'i Instance<N, E>,
+        inst: &Instance<N, E>,
         radius: usize,
         built: Vec<(Skeleton<N, E>, Vec<u32>)>,
     ) -> Self {
@@ -199,14 +210,45 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
             member_off.push(members.len() as u32);
             skeletons.push(Arc::new(skel));
         }
-        PreparedInstance {
-            inst,
+        PreparedCore {
             radius,
             skeletons,
             member_off,
             members,
             dependent_off,
             dependents,
+        }
+    }
+}
+
+/// An instance with every node's radius-`r` view skeleton precomputed,
+/// ready to bind candidate proofs cheaply.
+///
+/// Borrows the instance (skeletons reference nothing mutable, but keeping
+/// the borrow makes it impossible to evaluate against a stale graph); the
+/// skeletons themselves live in a shared `PreparedCore`, so cloning is
+/// cheap and a [`SkeletonCache`] can hand the same core to many cells.
+#[derive(Clone, Debug)]
+pub struct PreparedInstance<'i, N = (), E = ()> {
+    inst: &'i Instance<N, E>,
+    core: Arc<PreparedCore<N, E>>,
+}
+
+impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
+    /// Precomputes every node's radius-`radius` view skeleton.
+    ///
+    /// Cost: one bounded BFS per node (`O(Σ|ball|)` total work), done
+    /// exactly once; every subsequent proof binding reuses the result.
+    /// With the `parallel` feature the per-node BFS fans out across
+    /// cores for large instances.
+    pub fn new(inst: &'i Instance<N, E>, radius: usize) -> Self
+    where
+        N: Send + Sync,
+        E: Send + Sync,
+    {
+        PreparedInstance {
+            inst,
+            core: Arc::new(PreparedCore::new(inst, radius)),
         }
     }
 
@@ -217,12 +259,12 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
 
     /// The preparation radius `r`.
     pub fn radius(&self) -> usize {
-        self.radius
+        self.core.radius
     }
 
     /// Number of nodes (`n(G)`).
     pub fn n(&self) -> usize {
-        self.skeletons.len()
+        self.core.skeletons.len()
     }
 
     /// Global indices of node `v`'s ball members, in view-local order.
@@ -230,12 +272,12 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     /// Crate-visible: the harness's exhaustive memo keys verifier
     /// outputs on the member string indices.
     pub(crate) fn members_of(&self, v: usize) -> &[u32] {
-        &self.members[self.member_off[v] as usize..self.member_off[v + 1] as usize]
+        self.core.members_of(v)
     }
 
     /// The `(owner, local)` pairs of views containing global node `v`.
     fn dependents_of(&self, v: usize) -> &[(u32, u32)] {
-        &self.dependents[self.dependent_off[v] as usize..self.dependent_off[v + 1] as usize]
+        self.core.dependents_of(v)
     }
 
     /// The global indices of the nodes in `v`'s radius-`r` ball — the
@@ -290,7 +332,7 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     #[inline]
     pub fn bind<'s>(&'s self, v: usize, proof: &'s Proof) -> View<'s, N, E> {
         assert_eq!(proof.n(), self.n(), "proof must label every node");
-        View::bind_arena(&self.skeletons[v], proof.arena(), self.members_of(v))
+        View::bind_arena(&self.core.skeletons[v], proof.arena(), self.members_of(v))
     }
 
     /// Binds `proof` to every node's skeleton at once.
@@ -359,6 +401,184 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         S: Scheme<Node = N, Edge = E>,
     {
         (0..self.n()).find(|&v| !scheme.verify(&self.bind(v, proof)))
+    }
+}
+
+/// One cached `(instance, radius)` preparation: the instance copy is the
+/// collision-proof identity (hash keys only shortlist candidates), the
+/// core is what gets shared.
+struct CachedPrep<N, E> {
+    inst: Instance<N, E>,
+    core: Arc<PreparedCore<N, E>>,
+}
+
+/// A cross-instance skeleton cache: one CSR build per distinct
+/// `(instance content, radius)`, shared by every caller that prepares an
+/// equal instance.
+///
+/// # Why
+///
+/// The conformance campaign sweeps ~30 schemes over the *same* generated
+/// graphs: every scheme asked about `(cycle, n = 32)` re-BFSes the same
+/// 32 balls. Graph preparation dominates cell cost on the full profile,
+/// so the campaign threads one `SkeletonCache` through all its cells
+/// ([`crate::dynamic::DynScheme::with_cache`]) and each distinct graph is
+/// prepared exactly once.
+///
+/// # Correctness
+///
+/// A hit requires **full structural equality** of the instance (graph,
+/// node labels, edge labels) and an equal radius — the content hash only
+/// shortlists candidates, so a hash collision can cost a linear compare,
+/// never a wrong share. Cached cores are immutable; a
+/// [`PreparedInstance`] built from the cache is indistinguishable from a
+/// freshly built one (pinned by the cache-equivalence tests).
+///
+/// The cache is `Send + Sync`; lookups take one short mutex hold while
+/// skeleton construction itself runs outside the lock, so parallel
+/// campaign cells never serialize behind each other's BFS.
+#[derive(Default)]
+pub struct SkeletonCache {
+    entries: Mutex<HashMap<(TypeId, u64), Vec<Arc<dyn Any + Send + Sync>>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl std::fmt::Debug for SkeletonCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SkeletonCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+/// Structural content hash of `(inst, radius)`: radius, node ids,
+/// adjacency, and edge-label keys, FNV-folded. Node/edge label *values*
+/// are deliberately left out (they carry no trait bounds here); the
+/// equality check on lookup covers them.
+fn content_key<N, E>(inst: &Instance<N, E>, radius: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let g = inst.graph();
+    mix(radius as u64);
+    mix(g.n() as u64);
+    mix(g.m() as u64);
+    for v in g.nodes() {
+        mix(g.id(v).0);
+        mix(g.degree(v) as u64);
+        for &u in g.neighbors(v) {
+            mix(u as u64);
+        }
+    }
+    for (u, v) in g.edges() {
+        let labelled = u64::from(inst.edge_label(u, v).is_some());
+        mix(((u as u64) << 32) | (v as u64) | (labelled << 63));
+    }
+    h
+}
+
+impl SkeletonCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SkeletonCache::default()
+    }
+
+    /// Prepares `inst` at `radius`, reusing a cached core when an equal
+    /// instance was prepared before (at the same radius), else building
+    /// one and caching it.
+    ///
+    /// The returned [`PreparedInstance`] behaves exactly like
+    /// [`PreparedInstance::new`]'s.
+    pub fn prepare<'i, N, E>(
+        &self,
+        inst: &'i Instance<N, E>,
+        radius: usize,
+    ) -> PreparedInstance<'i, N, E>
+    where
+        N: Clone + PartialEq + Send + Sync + 'static,
+        E: Clone + PartialEq + Send + Sync + 'static,
+    {
+        let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
+        if let Some(core) = self.find::<N, E>(&key, inst, radius) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return PreparedInstance { inst, core };
+        }
+        // Build outside the lock: concurrent preparations of *different*
+        // graphs must not serialize. A racing twin may finish first; the
+        // re-scan below then adopts its copy so later hits share one
+        // allocation.
+        let core = Arc::new(PreparedCore::new(inst, radius));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("cache lock");
+        let bucket = entries.entry(key).or_default();
+        for e in bucket.iter() {
+            if let Some(c) = e.downcast_ref::<CachedPrep<N, E>>() {
+                if c.core.radius == radius && c.inst == *inst {
+                    return PreparedInstance {
+                        inst,
+                        core: Arc::clone(&c.core),
+                    };
+                }
+            }
+        }
+        bucket.push(Arc::new(CachedPrep {
+            inst: inst.clone(),
+            core: Arc::clone(&core),
+        }));
+        PreparedInstance { inst, core }
+    }
+
+    fn find<N, E>(
+        &self,
+        key: &(TypeId, u64),
+        inst: &Instance<N, E>,
+        radius: usize,
+    ) -> Option<Arc<PreparedCore<N, E>>>
+    where
+        N: PartialEq + Send + Sync + 'static,
+        E: PartialEq + Send + Sync + 'static,
+    {
+        let entries = self.entries.lock().expect("cache lock");
+        let bucket = entries.get(key)?;
+        bucket.iter().find_map(|e| {
+            e.downcast_ref::<CachedPrep<N, E>>()
+                .filter(|c| c.core.radius == radius && c.inst == *inst)
+                .map(|c| Arc::clone(&c.core))
+        })
+    }
+
+    /// Cached preparations (across all instance types).
+    pub fn len(&self) -> usize {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to build a fresh core so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached preparation (counters keep running).
+    pub fn clear(&self) {
+        self.entries.lock().expect("cache lock").clear();
     }
 }
 

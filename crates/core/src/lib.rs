@@ -70,6 +70,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod harness;
 pub mod instance;
+pub mod json;
 pub mod proof;
 pub mod scheme;
 pub mod view;
@@ -77,7 +78,7 @@ pub mod view;
 pub use arena::ProofArena;
 pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
 pub use dynamic::{seal_mutable, CellMutationError, DynScheme, MutableCell, TamperProbe};
-pub use engine::{prepare, prepare_sweep, PreparedInstance, SkeletonStore};
+pub use engine::{prepare, prepare_sweep, PreparedInstance, SkeletonCache, SkeletonStore};
 pub use instance::{EdgeMap, Instance};
 pub use proof::Proof;
 pub use scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};
