@@ -1,0 +1,121 @@
+//! End-to-end coverage for `bench_diff`'s tolerance and failure paths:
+//! a missing committed baseline and a committed snapshot predating a
+//! `--keys` series must *pass* (exit 0, "no baseline"), while a broken
+//! fresh snapshot or a real regression must fail (exit 1 / 2).
+
+use std::process::{Command, Output};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lcp-bench-diff-{}-{name}", std::process::id()));
+    p
+}
+
+fn write(name: &str, text: &str) -> std::path::PathBuf {
+    let p = tmp(name);
+    std::fs::write(&p, text).unwrap();
+    p
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_diff"))
+        .args(args)
+        .output()
+        .expect("bench_diff spawns")
+}
+
+const FRESH: &str = r#"{ "naive_seconds": 10.0, "engine_seconds": 1.0 }"#;
+
+#[test]
+fn a_missing_committed_baseline_passes_with_a_note() {
+    let fresh = write("fresh-a.json", FRESH);
+    let missing = tmp("never-written.json");
+    let out = run(&[fresh.to_str().unwrap(), missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no baseline"),
+        "tolerance is explicit: {stdout}"
+    );
+    let _ = std::fs::remove_file(fresh);
+}
+
+#[test]
+fn a_committed_snapshot_predating_a_keys_series_passes_that_series() {
+    // The committed snapshot has the default series but not the new
+    // one: the old series is still guarded, the new one is tolerated.
+    let fresh = write(
+        "fresh-b.json",
+        r#"{ "naive_seconds": 10.0, "engine_seconds": 1.0, "new_slow": 8.0, "new_fast": 2.0 }"#,
+    );
+    let committed = write("committed-b.json", FRESH);
+    let out = run(&[
+        fresh.to_str().unwrap(),
+        committed.to_str().unwrap(),
+        "--keys",
+        "naive_seconds,engine_seconds",
+        "--keys",
+        "new_slow,new_fast",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("no baseline for this series"),
+        "the unguarded series is called out: {stdout}"
+    );
+    assert!(
+        stdout.contains("engine_seconds:"),
+        "the guarded series is still diffed: {stdout}"
+    );
+    let _ = std::fs::remove_file(fresh);
+    let _ = std::fs::remove_file(committed);
+}
+
+#[test]
+fn a_fresh_snapshot_missing_a_requested_key_is_an_error() {
+    let fresh = write("fresh-c.json", r#"{ "naive_seconds": 10.0 }"#);
+    let committed = write("committed-c.json", FRESH);
+    let out = run(&[fresh.to_str().unwrap(), committed.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("engine_seconds"),
+        "missing key named: {stderr}"
+    );
+    let _ = std::fs::remove_file(fresh);
+    let _ = std::fs::remove_file(committed);
+}
+
+#[test]
+fn an_unreadable_fresh_snapshot_is_an_error_even_without_a_baseline() {
+    let out = run(&[
+        tmp("no-fresh.json").to_str().unwrap(),
+        tmp("no-committed.json").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn a_regression_beyond_the_allowance_fails_with_exit_2() {
+    // Committed speedup 10x, fresh 5x: a 50% loss against a 25% budget.
+    let fresh = write(
+        "fresh-d.json",
+        r#"{ "naive_seconds": 10.0, "engine_seconds": 2.0 }"#,
+    );
+    let committed = write("committed-d.json", FRESH);
+    let out = run(&[fresh.to_str().unwrap(), committed.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regressed"), "{stderr}");
+
+    // The same numbers under a generous allowance pass.
+    let out = run(&[
+        fresh.to_str().unwrap(),
+        committed.to_str().unwrap(),
+        "--max-regression",
+        "0.6",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_file(fresh);
+    let _ = std::fs::remove_file(committed);
+}

@@ -1,0 +1,329 @@
+//! Checkpoint/resume for campaign shards (`--checkpoint` / `--resume`).
+//!
+//! A checkpoint file is JSON-lines: one header line carrying the full
+//! campaign identity (mode, seed, profile, budgets, filters, shard),
+//! then one line per *completed* cell, appended and flushed as cells
+//! finish. A shard killed mid-run therefore loses at most the line it
+//! was writing; `--resume` tolerates exactly that — a torn final line —
+//! and refuses anything else.
+//!
+//! Resume splices the recovered cells back into the matrix enumeration
+//! by their global coordinate and recomputes every aggregate from the
+//! union, so a resumed run's report is **byte-identical** to an
+//! uninterrupted run of the same configuration (the standing policy
+//! `tests/fault_tolerance.rs` pins and the CI kill-and-resume job
+//! re-checks). `campaign_merge` accepts resumed shards unchanged — they
+//! are ordinary shard reports.
+//!
+//! Cell lines reuse the exact serializers of the reports
+//! (`cell_fields` / `churn_cell_fields`, with timings) and the merge
+//! parsers on the way back in, so the checkpoint format can never
+//! drift from the report format.
+
+use crate::churn::{churn_cell_fields, run_churn_campaign_inner, ChurnCellResult, ChurnReport};
+use crate::merge::{churn_cell, static_cell};
+use crate::{
+    cell_fields, filtered_entries, json_str, run_campaign_inner, CampaignConfig, CellResult, Report,
+};
+use lcp_core::json::Json;
+use lcp_schemes::registry::SchemeEntry;
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::Mutex;
+
+/// Why a checkpoint file refused to load (or be created).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointError(pub String);
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The header line: every knob that affects cell results or the matrix
+/// enumeration. Two runs may share checkpoints iff their headers are
+/// byte-equal.
+fn header_line(config: &CampaignConfig, mode: &str, steps: Option<usize>) -> String {
+    let mut w = String::with_capacity(256);
+    let _ = write!(
+        w,
+        "{{ \"checkpoint\": 1, \"mode\": {}, \"seed\": {}, \"profile\": {}, \"parallel\": {}, \
+         \"shard\": {}, \"sizes\": [{}], \"tamper_trials\": {}, \"adversarial_iterations\": {}, \
+         \"exhaustive_limit\": {}, \"cell_budget_ms\": {}, \"scheme\": {}, \"family\": {}",
+        json_str(mode),
+        config.seed,
+        json_str(config.profile.name()),
+        cfg!(feature = "parallel"),
+        config
+            .shard
+            .map_or_else(|| "null".into(), |s| json_str(&s.to_string())),
+        config
+            .sizes
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        config.tamper_trials,
+        config.adversarial_iterations,
+        config.exhaustive_limit,
+        config
+            .cell_budget_ms
+            .map_or_else(|| "null".into(), |ms| ms.to_string()),
+        config
+            .scheme_filter
+            .as_deref()
+            .map_or_else(|| "null".into(), json_str),
+        config
+            .family_filter
+            .map_or_else(|| "null".into(), |f| json_str(f.name())),
+    );
+    if let Some(steps) = steps {
+        let _ = write!(w, ", \"steps\": {steps}");
+    }
+    w.push_str(" }");
+    w
+}
+
+/// One static cell as a checkpoint line: the report's own cell fields
+/// (with timing) plus the scheme id resume needs to re-home the cell.
+pub(crate) fn static_cell_line(c: &CellResult) -> String {
+    format!(
+        "{{ \"scheme\": {}, {} }}",
+        json_str(c.scheme),
+        cell_fields(c, true)
+    )
+}
+
+/// Append-and-flush writer shared across worker threads. Write failures
+/// degrade to warnings: a broken checkpoint must never take down the
+/// campaign it exists to protect.
+pub struct CheckpointWriter {
+    path: String,
+    file: Mutex<std::fs::File>,
+}
+
+impl CheckpointWriter {
+    /// Creates (truncating) `path` with the header and any cells already
+    /// recovered by resume, so the file is self-contained from the first
+    /// byte: killing the process at any later point loses at most one
+    /// torn trailing line.
+    fn create(
+        path: &str,
+        header: &str,
+        initial: &[String],
+    ) -> Result<CheckpointWriter, CheckpointError> {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| CheckpointError(format!("cannot create checkpoint {path}: {e}")))?;
+        let mut text = String::with_capacity(header.len() + 1);
+        text.push_str(header);
+        text.push('\n');
+        for line in initial {
+            text.push_str(line);
+            text.push('\n');
+        }
+        file.write_all(text.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| CheckpointError(format!("cannot write checkpoint {path}: {e}")))?;
+        Ok(CheckpointWriter {
+            path: path.to_string(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Appends one completed-cell line and flushes it to the OS.
+    pub(crate) fn append(&self, line: &str) {
+        let mut file = self
+            .file
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Err(e) = writeln!(file, "{line}").and_then(|()| file.flush()) {
+            eprintln!("warning: checkpoint {}: {e}", self.path);
+        }
+    }
+}
+
+/// Reads a checkpoint's lines, validating the header. `Ok(None)` when
+/// the file does not exist (a fresh `--resume` is a fresh run).
+fn read_cell_lines(
+    path: &str,
+    header: &str,
+) -> Result<Option<Vec<(usize, String)>>, CheckpointError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => {
+            return Err(CheckpointError(format!(
+                "cannot read checkpoint {path}: {e}"
+            )))
+        }
+    };
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    match lines.next() {
+        Some((_, first)) if first == header => {}
+        Some(_) => {
+            return Err(CheckpointError(format!(
+                "checkpoint {path} was written by a different campaign configuration \
+                 (header mismatch); refusing to resume"
+            )))
+        }
+        None => return Ok(Some(Vec::new())),
+    }
+    Ok(Some(lines.map(|(i, l)| (i + 1, l.to_string())).collect()))
+}
+
+/// Parses checkpoint cell lines through `parse`, tolerating a torn
+/// (unparseable) **final** line — the signature a SIGKILL mid-append
+/// leaves behind. Any earlier damage refuses the resume.
+fn collect_cells<T>(
+    path: &str,
+    lines: &[(usize, String)],
+    mut parse: impl FnMut(&str, &Json) -> Result<(usize, T), CheckpointError>,
+) -> Result<HashMap<usize, T>, CheckpointError> {
+    let mut cells = HashMap::new();
+    for (pos, (line_no, line)) in lines.iter().enumerate() {
+        let name = format!("{path}:{}", line_no + 1);
+        let parsed = Json::parse(line)
+            .map_err(|e| CheckpointError(format!("{name}: {e}")))
+            .and_then(|doc| parse(&name, &doc));
+        match parsed {
+            Ok((coord, cell)) => {
+                // Duplicate coords (an interrupted rewrite) resolve to
+                // the latest line, matching append order.
+                cells.insert(coord, cell);
+            }
+            Err(e) if pos + 1 == lines.len() => {
+                eprintln!("note: dropping torn final checkpoint line ({e})");
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(cells)
+}
+
+/// Resolves a checkpoint line's scheme id against the run's entries.
+fn scheme_id<'e>(
+    name: &str,
+    doc: &Json,
+    entries: &'e [SchemeEntry],
+) -> Result<&'e SchemeEntry, CheckpointError> {
+    let id = doc
+        .get("scheme")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CheckpointError(format!("{name}: missing \"scheme\" id")))?;
+    entries
+        .iter()
+        .find(|e| e.id == id)
+        .ok_or_else(|| CheckpointError(format!("{name}: unknown scheme id \"{id}\"")))
+}
+
+fn load_static_resume(
+    path: &str,
+    header: &str,
+    entries: &[SchemeEntry],
+) -> Result<HashMap<usize, CellResult>, CheckpointError> {
+    let Some(lines) = read_cell_lines(path, header)? else {
+        return Ok(HashMap::new());
+    };
+    collect_cells(path, &lines, |name, doc| {
+        let entry = scheme_id(name, doc, entries)?;
+        let mut cell =
+            static_cell(name, doc, entry.id).map_err(|e| CheckpointError(e.to_string()))?;
+        cell.wall_ms = doc.get("wall_ms").and_then(Json::as_u128).unwrap_or(0);
+        Ok((cell.coord, cell))
+    })
+}
+
+fn load_churn_resume(
+    path: &str,
+    header: &str,
+    entries: &[SchemeEntry],
+) -> Result<HashMap<usize, ChurnCellResult>, CheckpointError> {
+    let Some(lines) = read_cell_lines(path, header)? else {
+        return Ok(HashMap::new());
+    };
+    collect_cells(path, &lines, |name, doc| {
+        let entry = scheme_id(name, doc, entries)?;
+        let mut cell =
+            churn_cell(name, doc, entry.id).map_err(|e| CheckpointError(e.to_string()))?;
+        cell.incremental_ms = doc
+            .get("incremental_ms")
+            .and_then(Json::as_u128)
+            .unwrap_or(0);
+        cell.full_ms = doc.get("full_ms").and_then(Json::as_u128).unwrap_or(0);
+        Ok((cell.coord, cell))
+    })
+}
+
+/// Opens the checkpoint writer, seeding it with the resumed cells so
+/// the file stays self-contained (and any torn line is compacted away).
+fn open_writer<T>(
+    checkpoint: Option<&str>,
+    header: &str,
+    resumed: &HashMap<usize, T>,
+    line: impl Fn(&T) -> String,
+) -> Result<Option<CheckpointWriter>, CheckpointError> {
+    let Some(path) = checkpoint else {
+        return Ok(None);
+    };
+    let mut keyed: Vec<(usize, String)> =
+        resumed.iter().map(|(&coord, c)| (coord, line(c))).collect();
+    keyed.sort_by_key(|(coord, _)| *coord);
+    let lines: Vec<String> = keyed.into_iter().map(|(_, l)| l).collect();
+    CheckpointWriter::create(path, header, &lines).map(Some)
+}
+
+/// [`crate::run_campaign`] with checkpoint/resume: `resume` recovers
+/// completed cells from a prior (possibly killed) run of the **same**
+/// configuration, `checkpoint` records this run's progress. The two may
+/// name the same file — the usual `--checkpoint X --resume X` loop.
+/// Returns the report plus how many cells were resumed rather than run.
+pub fn run_campaign_checkpointed(
+    config: &CampaignConfig,
+    checkpoint: Option<&str>,
+    resume: Option<&str>,
+) -> Result<(Report, usize), CheckpointError> {
+    let header = header_line(config, "static", None);
+    let entries = filtered_entries(config);
+    let resumed = match resume {
+        Some(path) => load_static_resume(path, &header, &entries)?,
+        None => HashMap::new(),
+    };
+    let writer = open_writer(checkpoint, &header, &resumed, static_cell_line)?;
+    let count = resumed.len();
+    Ok((
+        run_campaign_inner(&entries, config, writer.as_ref(), &resumed),
+        count,
+    ))
+}
+
+/// [`crate::churn::run_churn_campaign`] with checkpoint/resume; see
+/// [`run_campaign_checkpointed`].
+pub fn run_churn_campaign_checkpointed(
+    config: &CampaignConfig,
+    steps: usize,
+    checkpoint: Option<&str>,
+    resume: Option<&str>,
+) -> Result<(ChurnReport, usize), CheckpointError> {
+    let header = header_line(config, "churn", Some(steps));
+    let entries = filtered_entries(config);
+    let resumed = match resume {
+        Some(path) => load_churn_resume(path, &header, &entries)?,
+        None => HashMap::new(),
+    };
+    let writer = open_writer(checkpoint, &header, &resumed, |c| {
+        format!("{{ {} }}", churn_cell_fields(c, true))
+    })?;
+    let count = resumed.len();
+    Ok((
+        run_churn_campaign_inner(&entries, config, steps, writer.as_ref(), &resumed),
+        count,
+    ))
+}

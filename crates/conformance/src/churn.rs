@@ -19,13 +19,18 @@
 //! JSON report with `include_timing = false` is byte-identical across
 //! runs, machines, and thread schedules.
 
-use crate::{cell_seed, filtered_entries, map_coords, matrix_coords, CampaignConfig, Coord};
-use lcp_dynamic::churn::{run_churn, ChurnConfig};
+use crate::{
+    cell_seed, filtered_entries, map_coords, matrix_coords, panic_message, CampaignConfig,
+    CellStatus, Coord,
+};
+use lcp_core::Deadline;
+use lcp_dynamic::churn::{run_churn_within, ChurnConfig};
 use lcp_dynamic::{DynamicInstance, Mutation};
 use lcp_graph::families::GraphFamily;
 use lcp_schemes::registry::{CellRequest, Polarity, SchemeEntry};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// How many mutations each churn cell applies, per profile.
 pub fn default_steps(profile: crate::Profile) -> usize {
@@ -70,6 +75,11 @@ pub struct ChurnCellResult {
     pub reverified_permille: usize,
     /// Whether the cell was skipped (unbuildable polarity).
     pub skipped: bool,
+    /// Cell verdict: `Pass`/`Fail`/`Skip` mirror `skipped`/`mismatches`;
+    /// `Crashed` and `TimedOut` carry the fault-tolerance outcomes
+    /// (serialized as an extra `"status"` key only when present, so
+    /// healthy reports keep their historical byte layout).
+    pub status: CellStatus,
     /// Wall time of incremental apply+reverify (excluded from
     /// deterministic JSON).
     pub incremental_ms: u128,
@@ -112,9 +122,20 @@ impl ChurnReport {
         self.cells.iter().map(|c| c.mismatches).sum()
     }
 
-    /// Whether every cross-check on every cell agreed.
+    /// Whether every cross-check on every cell agreed. Crashed and
+    /// timed-out cells reached no verdict — they do not count as
+    /// mismatches but surface through [`Self::unresolved`] and exit
+    /// code 3.
     pub fn ok(&self) -> bool {
         self.mismatches() == 0
+    }
+
+    /// Cells that reached no verdict: crashed plus timed out.
+    pub fn unresolved(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.status, CellStatus::Crashed | CellStatus::TimedOut))
+            .count()
     }
 
     /// Human-readable failure lines.
@@ -158,48 +179,36 @@ impl ChurnReport {
         if include_timing {
             let _ = writeln!(w, "  \"wall_ms\": {},", self.wall_ms);
         }
-        let _ = writeln!(
-            w,
-            "  \"summary\": {{ \"cells\": {}, \"ran\": {}, \"mismatches\": {} }},",
+        // Optional keys appear only when nonzero so healthy reports keep
+        // their historical byte layout (the resume invariant depends on
+        // it).
+        let mut summary = format!(
+            "\"cells\": {}, \"ran\": {}, \"mismatches\": {}",
             self.cells.len(),
             self.ran(),
             self.mismatches()
         );
+        let crashed = self
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Crashed)
+            .count();
+        if crashed > 0 {
+            let _ = write!(summary, ", \"crashed\": {crashed}");
+        }
+        let timed_out = self
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::TimedOut)
+            .count();
+        if timed_out > 0 {
+            let _ = write!(summary, ", \"timed_out\": {timed_out}");
+        }
+        let _ = writeln!(w, "  \"summary\": {{ {summary} }},");
         w.push_str("  \"cells\": [\n");
         for (i, c) in self.cells.iter().enumerate() {
             w.push_str("    { ");
-            let _ = write!(
-                w,
-                "\"coord\": {}, \"scheme\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \
-                 \"polarity\": {}, \"skipped\": {}, \"steps\": {}, \"inserts\": {}, \
-                 \"deletes\": {}, \"rewrites\": {}, \"checks\": {}, \"mismatches\": {}, \
-                 \"max_impact\": {}, \"total_reverified\": {}, \"reverified_permille\": {}, \
-                 \"detail\": {}",
-                c.coord,
-                crate::json_str(c.scheme),
-                crate::json_str(c.family.name()),
-                c.requested_n,
-                c.n,
-                crate::json_str(c.polarity.name()),
-                c.skipped,
-                c.steps,
-                c.kinds.0,
-                c.kinds.1,
-                c.kinds.2,
-                c.checks,
-                c.mismatches,
-                c.max_impact,
-                c.total_reverified,
-                c.reverified_permille,
-                crate::json_str(&c.detail),
-            );
-            if include_timing {
-                let _ = write!(
-                    w,
-                    ", \"incremental_ms\": {}, \"full_ms\": {}",
-                    c.incremental_ms, c.full_ms
-                );
-            }
+            w.push_str(&churn_cell_fields(c, include_timing));
             w.push_str(" }");
             w.push_str(if i + 1 < self.cells.len() {
                 ",\n"
@@ -248,6 +257,51 @@ impl ChurnReport {
     }
 }
 
+/// One churn cell's JSON fields, brace-free — shared between
+/// [`ChurnReport::to_json`] and the checkpoint writer. The `"status"`
+/// key is emitted only for `crashed`/`timed_out` cells; for the
+/// ordinary verdicts it is fully determined by `skipped`/`mismatches`,
+/// and omitting it preserves the historical byte layout.
+pub(crate) fn churn_cell_fields(c: &ChurnCellResult, include_timing: bool) -> String {
+    let mut w = String::with_capacity(256);
+    let _ = write!(
+        w,
+        "\"coord\": {}, \"scheme\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \
+         \"polarity\": {}, \"skipped\": {}, \"steps\": {}, \"inserts\": {}, \
+         \"deletes\": {}, \"rewrites\": {}, \"checks\": {}, \"mismatches\": {}, \
+         \"max_impact\": {}, \"total_reverified\": {}, \"reverified_permille\": {}, \
+         \"detail\": {}",
+        c.coord,
+        crate::json_str(c.scheme),
+        crate::json_str(c.family.name()),
+        c.requested_n,
+        c.n,
+        crate::json_str(c.polarity.name()),
+        c.skipped,
+        c.steps,
+        c.kinds.0,
+        c.kinds.1,
+        c.kinds.2,
+        c.checks,
+        c.mismatches,
+        c.max_impact,
+        c.total_reverified,
+        c.reverified_permille,
+        crate::json_str(&c.detail),
+    );
+    if matches!(c.status, CellStatus::Crashed | CellStatus::TimedOut) {
+        let _ = write!(w, ", \"status\": {}", crate::json_str(c.status.name()));
+    }
+    if include_timing {
+        let _ = write!(
+            w,
+            ", \"incremental_ms\": {}, \"full_ms\": {}",
+            c.incremental_ms, c.full_ms
+        );
+    }
+    w
+}
+
 fn churn_one(
     entries: &[SchemeEntry],
     coord: &Coord,
@@ -277,6 +331,7 @@ fn churn_one(
         total_reverified: 0,
         reverified_permille: 0,
         skipped: true,
+        status: CellStatus::Skip,
         incremental_ms: 0,
         full_ms: 0,
         detail: String::new(),
@@ -291,7 +346,10 @@ fn churn_one(
     // Salted so the churn stream never collides with the static
     // campaign's adversarial/tamper streams for the same cell.
     let churn_config = ChurnConfig::new(seed ^ 0xd1_5ea5e);
-    let run = run_churn(&mut dynamic, &churn_config, steps, 1);
+    let deadline = config.cell_budget_ms.map_or_else(Deadline::none, |ms| {
+        Deadline::after(Duration::from_millis(ms))
+    });
+    let run = run_churn_within(&mut dynamic, &churn_config, steps, 1, &deadline);
     result.steps = run.steps.len();
     for step in &run.steps {
         match step.mutation {
@@ -311,18 +369,95 @@ fn churn_one(
         .unwrap_or(0);
     result.incremental_ms = run.incremental_nanos / 1_000_000;
     result.full_ms = run.full_nanos / 1_000_000;
-    result.detail = if run.mismatches == 0 {
-        format!(
+    if run.timed_out {
+        result.status = CellStatus::TimedOut;
+        result.detail = format!(
+            "wall budget expired after {} of {steps} mutations",
+            result.steps
+        );
+    } else if run.mismatches == 0 {
+        result.status = CellStatus::Pass;
+        result.detail = format!(
             "{} mutations, {}‰ of full-sweep verifier work, all {} cross-checks agreed",
             result.steps, result.reverified_permille, result.checks
-        )
+        );
     } else {
-        format!(
+        result.status = CellStatus::Fail;
+        result.detail = format!(
             "incremental reverify diverged from from-scratch evaluation on {} of {} checks",
             run.mismatches, run.checks
-        )
-    };
+        );
+    }
     result
+}
+
+/// The `crashed` verdict for a churn cell whose both attempts panicked.
+fn crashed_churn_cell(
+    entry: &SchemeEntry,
+    coord: &Coord,
+    first: String,
+    second: String,
+) -> ChurnCellResult {
+    ChurnCellResult {
+        coord: coord.index,
+        scheme: entry.id,
+        family: coord.family,
+        requested_n: coord.n,
+        n: 0,
+        polarity: coord.polarity,
+        steps: 0,
+        kinds: (0, 0, 0),
+        checks: 0,
+        mismatches: 0,
+        max_impact: 0,
+        total_reverified: 0,
+        reverified_permille: 0,
+        skipped: false,
+        status: CellStatus::Crashed,
+        incremental_ms: 0,
+        full_ms: 0,
+        detail: if first == second {
+            format!("panic: {first} (deterministic: retry panicked identically)")
+        } else {
+            format!("panic: {first} (retry panicked: {second})")
+        },
+    }
+}
+
+/// [`churn_one`] inside the same panic boundary as the static runner:
+/// one same-seed retry, then a `crashed` verdict.
+fn churn_one_isolated(
+    entries: &[SchemeEntry],
+    coord: &Coord,
+    config: &CampaignConfig,
+    steps: usize,
+) -> ChurnCellResult {
+    let attempt = || {
+        catch_unwind(AssertUnwindSafe(|| {
+            churn_one(entries, coord, config, steps)
+        }))
+    };
+    match attempt() {
+        Ok(result) => result,
+        Err(payload) => {
+            let first = panic_message(payload.as_ref());
+            match attempt() {
+                Ok(mut result) => {
+                    let _ = write!(
+                        result.detail,
+                        " [recovered: first attempt panicked: {first}]"
+                    );
+                    result
+                }
+                Err(payload) => crashed_churn_cell(
+                    &entries[coord.entry_idx],
+                    coord,
+                    first,
+                    panic_message(payload.as_ref()),
+                ),
+            }
+        }
+    }
 }
 
 /// Runs the churn campaign over the same matrix the static campaign
@@ -330,10 +465,47 @@ fn churn_one(
 /// churn cells correspond one-to-one to static cells under the shared
 /// seed policy (and shard under `--shard i/N` identically).
 pub fn run_churn_campaign(config: &CampaignConfig, steps: usize) -> ChurnReport {
+    run_churn_campaign_with(&filtered_entries(config), config, steps)
+}
+
+/// [`run_churn_campaign`] over an explicit entry list — the injection
+/// seam the fault-tolerance tests use, mirroring
+/// [`crate::run_campaign_with`].
+pub fn run_churn_campaign_with(
+    entries: &[SchemeEntry],
+    config: &CampaignConfig,
+    steps: usize,
+) -> ChurnReport {
+    run_churn_campaign_inner(
+        entries,
+        config,
+        steps,
+        None,
+        &std::collections::HashMap::new(),
+    )
+}
+
+/// The full churn runner with checkpoint/resume hooks (see
+/// [`crate::run_campaign_inner`]).
+pub(crate) fn run_churn_campaign_inner(
+    entries: &[SchemeEntry],
+    config: &CampaignConfig,
+    steps: usize,
+    writer: Option<&crate::checkpoint::CheckpointWriter>,
+    resume: &std::collections::HashMap<usize, ChurnCellResult>,
+) -> ChurnReport {
     let started = Instant::now();
-    let entries = filtered_entries(config);
-    let coords = matrix_coords(&entries, config);
-    let cells = map_coords(&coords, |c: &Coord| churn_one(&entries, c, config, steps));
+    let coords = matrix_coords(entries, config);
+    let cells = map_coords(&coords, |c: &Coord| {
+        if let Some(done) = resume.get(&c.index) {
+            return done.clone();
+        }
+        let cell = churn_one_isolated(entries, c, config, steps);
+        if let Some(w) = writer {
+            w.append(&format!("{{ {} }}", churn_cell_fields(&cell, true)));
+        }
+        cell
+    });
 
     ChurnReport {
         seed: config.seed,

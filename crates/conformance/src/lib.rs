@@ -28,18 +28,22 @@
 //! byte-identical across runs, machines, and thread schedules — the
 //! property CI and the determinism test pin.
 
+pub mod checkpoint;
 pub mod churn;
 pub mod merge;
 
 use lcp_core::dynamic::{DynScheme, TamperProbe};
-use lcp_core::harness::{classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness};
-use lcp_core::{Scheme, SkeletonCache};
+use lcp_core::harness::{
+    classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness, SoundnessError,
+};
+use lcp_core::{Deadline, Scheme, SkeletonCache};
 use lcp_graph::families::GraphFamily;
 use lcp_logic::{formulas, Sigma11Scheme};
 use lcp_schemes::registry::{self, CellRequest, Polarity, SchemeEntry};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
@@ -194,6 +198,12 @@ pub struct CampaignConfig {
     /// Run only this shard of the matrix (CLI `--shard i/N`); `None`
     /// runs everything.
     pub shard: Option<Shard>,
+    /// Wall budget per cell, in milliseconds (CLI `--cell-budget-ms`);
+    /// `None` — the default in every profile — leaves cells unbounded
+    /// and keeps reports byte-identical to budget-unaware builds. With a
+    /// budget, a cell whose checks exceed it degrades to a `timed_out`
+    /// verdict instead of hanging its shard.
+    pub cell_budget_ms: Option<u64>,
 }
 
 impl CampaignConfig {
@@ -210,6 +220,7 @@ impl CampaignConfig {
                 scheme_filter: None,
                 family_filter: None,
                 shard: None,
+                cell_budget_ms: None,
             },
             Profile::Full => CampaignConfig {
                 seed,
@@ -221,6 +232,7 @@ impl CampaignConfig {
                 scheme_filter: None,
                 family_filter: None,
                 shard: None,
+                cell_budget_ms: None,
             },
         }
     }
@@ -240,6 +252,14 @@ pub enum CellStatus {
     /// The `(family, polarity)` combination is inapplicable to the
     /// scheme.
     Skip,
+    /// The cell panicked (both the first attempt and its same-seed
+    /// retry); the panic payload is in the detail. Crashed cells keep
+    /// the rest of the campaign running and exit with code 3, not 2 —
+    /// a crash is an infrastructure defect, not a conformance verdict.
+    Crashed,
+    /// The cell exceeded its wall budget (`--cell-budget-ms`) and its
+    /// checks stopped cooperatively before reaching a verdict.
+    TimedOut,
 }
 
 impl CellStatus {
@@ -249,6 +269,8 @@ impl CellStatus {
             CellStatus::Pass => "pass",
             CellStatus::Fail => "fail",
             CellStatus::Skip => "skip",
+            CellStatus::Crashed => "crashed",
+            CellStatus::TimedOut => "timed_out",
         }
     }
 }
@@ -385,9 +407,17 @@ impl Report {
     }
 
     /// Whether the campaign is green: no failed cells, no bound
-    /// overshoots.
+    /// overshoots. Crashed and timed-out cells do *not* make a campaign
+    /// un-green (they carry no conformance verdict) — they surface
+    /// through [`Self::unresolved`] and exit code 3 instead.
     pub fn ok(&self) -> bool {
         self.failures().is_empty()
+    }
+
+    /// Cells that reached no verdict: crashed plus timed out. The CLI
+    /// exits 3 when this is nonzero on an otherwise green campaign.
+    pub fn unresolved(&self) -> usize {
+        self.count(CellStatus::Crashed) + self.count(CellStatus::TimedOut)
     }
 
     /// Serializes the report as JSON.
@@ -417,14 +447,26 @@ impl Report {
                 self.cache_hits, self.cache_misses
             );
         }
-        let _ = writeln!(
-            w,
-            "  \"summary\": {{ \"cells\": {}, \"passed\": {}, \"failed\": {}, \"skipped\": {} }},",
+        // The crashed/timed_out keys only appear when nonzero, so
+        // healthy reports stay byte-identical to pre-fault-tolerance
+        // output (the determinism and resume invariants both lean on
+        // this).
+        let mut summary = format!(
+            "\"cells\": {}, \"passed\": {}, \"failed\": {}, \"skipped\": {}",
             self.cell_count(),
             self.count(CellStatus::Pass),
             self.count(CellStatus::Fail),
             self.count(CellStatus::Skip)
         );
+        let crashed = self.count(CellStatus::Crashed);
+        if crashed > 0 {
+            let _ = write!(summary, ", \"crashed\": {crashed}");
+        }
+        let timed_out = self.count(CellStatus::TimedOut);
+        if timed_out > 0 {
+            let _ = write!(summary, ", \"timed_out\": {timed_out}");
+        }
+        let _ = writeln!(w, "  \"summary\": {{ {summary} }},");
         w.push_str("  \"schemes\": [\n");
         for (i, s) in self.schemes.iter().enumerate() {
             w.push_str("    {\n");
@@ -465,37 +507,7 @@ impl Report {
             w.push_str("      \"cells\": [\n");
             for (j, c) in s.cells.iter().enumerate() {
                 w.push_str("        { ");
-                let _ = write!(
-                    w,
-                    "\"coord\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
-                     \"holds\": {}, \"status\": {}, \"check\": {}, \"proof_bits\": {}, \
-                     \"witness_node\": {}, \"tamper\": {}, \"detail\": {}",
-                    c.coord,
-                    json_str(c.family.name()),
-                    c.requested_n,
-                    c.n,
-                    json_str(c.polarity.name()),
-                    c.holds,
-                    json_str(c.status.name()),
-                    json_str(c.check),
-                    json_opt(c.proof_bits),
-                    json_opt(c.witness_node),
-                    match &c.tamper {
-                        Some(t) => format!(
-                            "{{ \"trials\": {}, \"detected\": {}, \"undetected\": {}, \
-                             \"witness\": {} }}",
-                            t.trials,
-                            t.detected,
-                            t.undetected,
-                            json_opt(t.witness)
-                        ),
-                        None => "null".into(),
-                    },
-                    json_str(&c.detail),
-                );
-                if include_timing {
-                    let _ = write!(w, ", \"wall_ms\": {}", c.wall_ms);
-                }
+                w.push_str(&cell_fields(c, include_timing));
                 w.push_str(" }");
                 w.push_str(if j + 1 < s.cells.len() { ",\n" } else { "\n" });
             }
@@ -552,6 +564,46 @@ impl Report {
         w.push_str("  ]\n}\n");
         w
     }
+}
+
+/// One cell's JSON fields, brace-free — the single source of truth for
+/// cell serialization, shared between [`Report::to_json`] and the
+/// checkpoint writer so a resumed report is byte-identical to an
+/// uninterrupted one.
+pub(crate) fn cell_fields(c: &CellResult, include_timing: bool) -> String {
+    let mut w = String::with_capacity(256);
+    let _ = write!(
+        w,
+        "\"coord\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
+         \"holds\": {}, \"status\": {}, \"check\": {}, \"proof_bits\": {}, \
+         \"witness_node\": {}, \"tamper\": {}, \"detail\": {}",
+        c.coord,
+        json_str(c.family.name()),
+        c.requested_n,
+        c.n,
+        json_str(c.polarity.name()),
+        c.holds,
+        json_str(c.status.name()),
+        json_str(c.check),
+        json_opt(c.proof_bits),
+        json_opt(c.witness_node),
+        match &c.tamper {
+            Some(t) => format!(
+                "{{ \"trials\": {}, \"detected\": {}, \"undetected\": {}, \
+                 \"witness\": {} }}",
+                t.trials,
+                t.detected,
+                t.undetected,
+                json_opt(t.witness)
+            ),
+            None => "null".into(),
+        },
+        json_str(&c.detail),
+    );
+    if include_timing {
+        let _ = write!(w, ", \"wall_ms\": {}", c.wall_ms);
+    }
+    w
 }
 
 fn render_points(points: &[SizePoint]) -> String {
@@ -732,8 +784,15 @@ fn run_one(
     };
     // Engine-backed checks on this cell prepare through the campaign's
     // shared cache: schemes asked about the same generated graph (at the
-    // same radius) reuse one CSR build.
-    let cell = cell.with_cache(Arc::clone(cache));
+    // same radius) reuse one CSR build. The per-cell deadline starts
+    // counting here — instance generation above is not covered, but it
+    // is not where cells stall.
+    let deadline = config.cell_budget_ms.map_or_else(Deadline::none, |ms| {
+        Deadline::after(Duration::from_millis(ms))
+    });
+    let cell = cell
+        .with_cache(Arc::clone(cache))
+        .with_deadline(deadline.clone());
     result.n = cell.n();
     result.holds = cell.holds();
 
@@ -744,7 +803,12 @@ fn run_one(
                 result.status = CellStatus::Pass;
                 result.proof_bits = Some(bits);
                 result.detail = format!("honest proof of {bits} bits accepted everywhere");
-                if let Some(probe) = cell.tamper_probe(config.tamper_trials, seed ^ 0xa5a5) {
+                if deadline.expired() {
+                    // The sweep finished but the budget is gone: report
+                    // the overrun rather than starting the tamper probe.
+                    result.status = CellStatus::TimedOut;
+                    result.detail = "wall budget expired before the tamper probe".into();
+                } else if let Some(probe) = cell.tamper_probe(config.tamper_trials, seed ^ 0xa5a5) {
                     result.witness_node = probe.witness;
                     result.tamper = Some(probe);
                 }
@@ -753,6 +817,10 @@ fn run_one(
                 // check_instance only returns Ok(None) on no-instances.
                 result.status = CellStatus::Fail;
                 result.detail = "ground truth flipped between seal and check".into();
+            }
+            Err(CompletenessError::DeadlineExpired) => {
+                result.status = CellStatus::TimedOut;
+                result.detail = "wall budget expired during the completeness sweep".into();
             }
             Err(e) => {
                 result.status = CellStatus::Fail;
@@ -780,6 +848,10 @@ fn run_one(
                         p.size()
                     );
                 }
+                Err(SoundnessError::DeadlineExpired { tried }) => {
+                    result.status = CellStatus::TimedOut;
+                    result.detail = format!("wall budget expired after {tried} candidate proofs");
+                }
                 Err(e) => {
                     result.status = CellStatus::Skip;
                     result.detail = format!("exhaustive search refused: {e}");
@@ -789,6 +861,10 @@ fn run_one(
             result.check = "soundness-adversarial";
             let budget = adversarial_budget(entry.claimed_growth, cell.n());
             match cell.adversarial_search(budget, config.adversarial_iterations, seed ^ 0x5a5a) {
+                None if deadline.expired() => {
+                    result.status = CellStatus::TimedOut;
+                    result.detail = "wall budget expired during the adversarial search".into();
+                }
                 None => {
                     result.status = CellStatus::Pass;
                     result.detail = format!(
@@ -808,6 +884,80 @@ fn run_one(
     }
     result.wall_ms = started.elapsed().as_millis();
     result
+}
+
+// ---------------------------------------------------------------------
+// Cell isolation
+// ---------------------------------------------------------------------
+
+/// Renders a `catch_unwind` payload (the argument to `panic!`).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// The `crashed` verdict for a cell whose both attempts panicked.
+fn crashed_cell(entry: &SchemeEntry, coord: &Coord, first: String, second: String) -> CellResult {
+    CellResult {
+        coord: coord.index,
+        scheme: entry.id,
+        family: coord.family,
+        requested_n: coord.n,
+        n: 0,
+        polarity: coord.polarity,
+        holds: false,
+        status: CellStatus::Crashed,
+        check: "isolation",
+        proof_bits: None,
+        witness_node: None,
+        tamper: None,
+        detail: if first == second {
+            format!("panic: {first} (deterministic: retry panicked identically)")
+        } else {
+            format!("panic: {first} (retry panicked: {second})")
+        },
+        wall_ms: 0,
+    }
+}
+
+/// [`run_one`] inside a panic boundary: a panicking cell becomes a
+/// `crashed` result instead of tearing down the whole shard. The cell is
+/// retried once with the same seed — a clean retry is kept (annotated as
+/// recovered-flaky), a second panic is classified deterministic or flaky
+/// by comparing the payloads.
+fn run_one_isolated(
+    entries: &[SchemeEntry],
+    coord: &Coord,
+    config: &CampaignConfig,
+    cache: &Arc<SkeletonCache>,
+) -> CellResult {
+    let attempt = || catch_unwind(AssertUnwindSafe(|| run_one(entries, coord, config, cache)));
+    match attempt() {
+        Ok(result) => result,
+        Err(payload) => {
+            let first = panic_message(payload.as_ref());
+            match attempt() {
+                Ok(mut result) => {
+                    let _ = write!(
+                        result.detail,
+                        " [recovered: first attempt panicked: {first}]"
+                    );
+                    result
+                }
+                Err(payload) => crashed_cell(
+                    &entries[coord.entry_idx],
+                    coord,
+                    first,
+                    panic_message(payload.as_ref()),
+                ),
+            }
+        }
+    }
 }
 
 /// Empty per-scheme report shells for `entries`, in registry order —
@@ -861,13 +1011,42 @@ pub(crate) fn fit_growth(schemes: &mut [SchemeReport]) {
 
 /// Runs the campaign described by `config` and assembles the [`Report`].
 pub fn run_campaign(config: &CampaignConfig) -> Report {
-    let started = Instant::now();
-    let entries = filtered_entries(config);
-    let coords = matrix_coords(&entries, config);
-    let cache = Arc::new(SkeletonCache::new());
-    let results = map_coords(&coords, |c| run_one(&entries, c, config, &cache));
+    run_campaign_with(&filtered_entries(config), config)
+}
 
-    let mut schemes = scheme_shells(&entries);
+/// [`run_campaign`] over an explicit entry list instead of the filtered
+/// registry — the seam the fault-tolerance tests use to inject
+/// deliberately panicking or slow schemes into an otherwise normal
+/// matrix. Cells run inside the panic boundary either way.
+pub fn run_campaign_with(entries: &[SchemeEntry], config: &CampaignConfig) -> Report {
+    run_campaign_inner(entries, config, None, &std::collections::HashMap::new())
+}
+
+/// The full runner: `resume` short-circuits cells already completed by a
+/// checkpointed predecessor run (spliced back in matrix order, so the
+/// report is byte-identical to an uninterrupted run), and `writer`
+/// appends every freshly computed cell to the checkpoint file.
+pub(crate) fn run_campaign_inner(
+    entries: &[SchemeEntry],
+    config: &CampaignConfig,
+    writer: Option<&checkpoint::CheckpointWriter>,
+    resume: &std::collections::HashMap<usize, CellResult>,
+) -> Report {
+    let started = Instant::now();
+    let coords = matrix_coords(entries, config);
+    let cache = Arc::new(SkeletonCache::new());
+    let results = map_coords(&coords, |c| {
+        if let Some(done) = resume.get(&c.index) {
+            return done.clone();
+        }
+        let cell = run_one_isolated(entries, c, config, &cache);
+        if let Some(w) = writer {
+            w.append(&checkpoint::static_cell_line(&cell));
+        }
+        cell
+    });
+
+    let mut schemes = scheme_shells(entries);
     for (coord, cell) in coords.iter().zip(results) {
         schemes[coord.entry_idx].cells.push(cell);
     }

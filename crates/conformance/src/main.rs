@@ -6,9 +6,11 @@
 //! ```
 //!
 //! Exit codes: `0` green, `1` usage error, `2` conformance failures
-//! (static check failures, or incremental-vs-full mismatches in
-//! `--churn` mode).
+//! (static check failures, incremental-vs-full mismatches in `--churn`
+//! mode, or unhandled faults under `--inject-faults`), `3` no failures
+//! but some cells crashed or timed out (`2` takes precedence).
 
+use lcp_conformance::checkpoint::{run_campaign_checkpointed, run_churn_campaign_checkpointed};
 use lcp_conformance::churn::{default_steps, run_churn_campaign, ChurnReport};
 use lcp_conformance::{run_campaign, CampaignConfig, CellStatus, Profile, Report, Shard};
 use lcp_graph::families::GraphFamily;
@@ -34,18 +36,35 @@ OPTIONS:
                              mutations, checking incremental reverify
                              against from-scratch evaluation
     --churn-steps <n>        mutations per churn cell        [default: per profile]
+    --cell-budget-ms <n>     wall budget per cell; over-budget cells
+                             report timed_out instead of hanging the shard
+    --checkpoint <path>      append one JSON line per completed cell, so a
+                             killed shard can be resumed
+    --resume <path>          skip cells recorded in a prior checkpoint of
+                             the same configuration; the resumed report is
+                             byte-identical to an uninterrupted run
+    --inject-faults          run the seeded fault-injection plan (lcp-faults)
+                             instead of a campaign; exit 2 if any injected
+                             fault is neither detected nor repaired
     --json <path>            write the JSON report ('-' for stdout)
     --bench-out <path>       write per-cell sizes/timings (BENCH-style JSON)
     --no-timing              omit wall-clock fields from the JSON
     --list                   list registry entries and exit
     --quiet                  suppress the per-scheme table
     --help                   this text
+
+EXIT CODES:
+    0  green   1  usage error   2  failures / unhandled faults
+    3  no failures, but some cells crashed or timed out
 ";
 
 struct Args {
     config: CampaignConfig,
     churn: bool,
     churn_steps: Option<usize>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
+    inject_faults: bool,
     json: Option<String>,
     bench_out: Option<String>,
     include_timing: bool,
@@ -64,6 +83,10 @@ fn parse_args() -> Result<Args, String> {
     let mut shard = None;
     let mut churn = false;
     let mut churn_steps = None;
+    let mut cell_budget_ms = None;
+    let mut checkpoint = None;
+    let mut resume = None;
+    let mut inject_faults = false;
     let mut json = None;
     let mut bench_out = None;
     let mut include_timing = true;
@@ -115,6 +138,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--churn-steps")?;
                 churn_steps = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
             }
+            "--cell-budget-ms" => {
+                let v = value("--cell-budget-ms")?;
+                cell_budget_ms = Some(v.parse().map_err(|_| format!("bad budget '{v}'"))?);
+            }
+            "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+            "--resume" => resume = Some(value("--resume")?),
+            "--inject-faults" => inject_faults = true,
             "--json" => json = Some(value("--json")?),
             "--bench-out" => bench_out = Some(value("--bench-out")?),
             "--no-timing" => include_timing = false,
@@ -141,16 +171,75 @@ fn parse_args() -> Result<Args, String> {
     config.scheme_filter = scheme;
     config.family_filter = family;
     config.shard = shard;
+    config.cell_budget_ms = cell_budget_ms;
     Ok(Args {
         config,
         churn,
         churn_steps,
+        checkpoint,
+        resume,
+        inject_faults,
         json,
         bench_out,
         include_timing,
         list,
         quiet,
     })
+}
+
+/// `2` for failures, `3` for crashed/timed-out-only, `0` otherwise.
+fn exit_code(ok: bool, unresolved: usize) -> i32 {
+    if !ok {
+        2
+    } else if unresolved > 0 {
+        3
+    } else {
+        0
+    }
+}
+
+/// `--inject-faults` mode: run the standard seeded fault plan and
+/// report which injected faults the stack detected or repaired.
+fn run_fault_mode(args: &Args) -> i32 {
+    let report = lcp_faults::run_standard_plan(args.config.seed);
+    if !args.quiet {
+        println!(
+            "{:<20} {:<28} {:>8} {:>8}",
+            "fault", "site", "detected", "repaired"
+        );
+        println!("{}", "-".repeat(70));
+        for o in &report.outcomes {
+            println!(
+                "{:<20} {:<28} {:>8} {:>8}",
+                o.kind.name(),
+                o.site,
+                o.detected,
+                o.repaired
+            );
+        }
+        println!();
+    }
+    println!(
+        "fault injection: {} faults — {} unhandled (seed {})",
+        report.outcomes.len(),
+        report.unhandled().len(),
+        report.seed,
+    );
+    for o in report.unhandled() {
+        eprintln!("UNHANDLED: {} at {}: {}", o.kind.name(), o.site, o.detail);
+    }
+    if let Some(path) = &args.json {
+        let json = report.to_json();
+        if path == "-" {
+            print!("{json}");
+        } else if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        } else {
+            println!("fault report written to {path}");
+        }
+    }
+    i32::from(!report.all_handled()) * 2
 }
 
 fn print_churn_table(report: &ChurnReport) {
@@ -180,19 +269,49 @@ fn run_churn_mode(args: &Args) -> i32 {
     let steps = args
         .churn_steps
         .unwrap_or_else(|| default_steps(args.config.profile));
-    let report = run_churn_campaign(&args.config, steps);
+    let report = if args.checkpoint.is_some() || args.resume.is_some() {
+        match run_churn_campaign_checkpointed(
+            &args.config,
+            steps,
+            args.checkpoint.as_deref(),
+            args.resume.as_deref(),
+        ) {
+            Ok((report, resumed)) => {
+                if resumed > 0 {
+                    println!(
+                        "resumed {resumed} cells from {}",
+                        args.resume.as_deref().unwrap_or("?")
+                    );
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    } else {
+        run_churn_campaign(&args.config, steps)
+    };
     if !args.quiet {
         print_churn_table(&report);
     }
     let shard_note = report
         .shard
         .map_or_else(String::new, |s| format!(", shard {s}"));
+    let unresolved = report.unresolved();
+    let unresolved_note = if unresolved > 0 {
+        format!(", {unresolved} crashed/timed out")
+    } else {
+        String::new()
+    };
     println!(
-        "churn campaign: {} cells ({} ran) × {} mutations — {} mismatches ({} ms, seed {}{})",
+        "churn campaign: {} cells ({} ran) × {} mutations — {} mismatches{} ({} ms, seed {}{})",
         report.cells.len(),
         report.ran(),
         report.steps,
         report.mismatches(),
+        unresolved_note,
         report.wall_ms,
         report.seed,
         shard_note,
@@ -224,7 +343,7 @@ fn run_churn_mode(args: &Args) -> i32 {
             println!("bench series written to {path}");
         }
     }
-    i32::from(!report.ok()) * 2
+    exit_code(report.ok(), report.unresolved())
 }
 
 fn print_table(report: &Report) {
@@ -291,11 +410,37 @@ fn main() {
         return;
     }
 
+    if args.inject_faults {
+        std::process::exit(run_fault_mode(&args));
+    }
+
     if args.churn {
         std::process::exit(run_churn_mode(&args));
     }
 
-    let report = run_campaign(&args.config);
+    let report = if args.checkpoint.is_some() || args.resume.is_some() {
+        match run_campaign_checkpointed(
+            &args.config,
+            args.checkpoint.as_deref(),
+            args.resume.as_deref(),
+        ) {
+            Ok((report, resumed)) => {
+                if resumed > 0 {
+                    println!(
+                        "resumed {resumed} cells from {}",
+                        args.resume.as_deref().unwrap_or("?")
+                    );
+                }
+                report
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        run_campaign(&args.config)
+    };
 
     if !args.quiet {
         print_table(&report);
@@ -303,13 +448,20 @@ fn main() {
     let shard_note = report
         .shard
         .map_or_else(String::new, |s| format!(", shard {s}"));
+    let unresolved = report.unresolved();
+    let unresolved_note = if unresolved > 0 {
+        format!(", {unresolved} crashed/timed out")
+    } else {
+        String::new()
+    };
     println!(
-        "campaign: {} cells — {} passed, {} failed, {} inapplicable \
+        "campaign: {} cells — {} passed, {} failed, {} inapplicable{} \
          ({} ms, seed {}{}, skeleton cache {} hits / {} builds)",
         report.cell_count(),
         report.count(CellStatus::Pass),
         report.count(CellStatus::Fail),
         report.count(CellStatus::Skip),
+        unresolved_note,
         report.wall_ms,
         report.seed,
         shard_note,
@@ -346,5 +498,5 @@ fn main() {
         }
     }
 
-    std::process::exit(if report.ok() { 0 } else { 2 });
+    std::process::exit(exit_code(report.ok(), report.unresolved()));
 }

@@ -323,6 +323,7 @@ fn static_check(name: &str, raw: &str) -> Result<&'static str, MergeError> {
         "soundness-exhaustive",
         "soundness-adversarial",
         "inapplicable",
+        "isolation",
     ] {
         if raw == known {
             return Ok(known);
@@ -331,13 +332,23 @@ fn static_check(name: &str, raw: &str) -> Result<&'static str, MergeError> {
     Err(fail(name, format_args!("unknown check \"{raw}\"")))
 }
 
-fn static_cell(name: &str, obj: &Json, scheme: &'static str) -> Result<CellResult, MergeError> {
-    let status = match str_field(name, obj, "status")? {
-        "pass" => CellStatus::Pass,
-        "fail" => CellStatus::Fail,
-        "skip" => CellStatus::Skip,
-        other => return Err(fail(name, format_args!("unknown status \"{other}\""))),
-    };
+pub(crate) fn cell_status(name: &str, raw: &str) -> Result<CellStatus, MergeError> {
+    match raw {
+        "pass" => Ok(CellStatus::Pass),
+        "fail" => Ok(CellStatus::Fail),
+        "skip" => Ok(CellStatus::Skip),
+        "crashed" => Ok(CellStatus::Crashed),
+        "timed_out" => Ok(CellStatus::TimedOut),
+        other => Err(fail(name, format_args!("unknown status \"{other}\""))),
+    }
+}
+
+pub(crate) fn static_cell(
+    name: &str,
+    obj: &Json,
+    scheme: &'static str,
+) -> Result<CellResult, MergeError> {
+    let status = cell_status(name, str_field(name, obj, "status")?)?;
     let tamper = match field(name, obj, "tamper")? {
         Json::Null => None,
         t => Some(TamperProbe {
@@ -460,7 +471,26 @@ fn copy_entry(e: &SchemeEntry) -> SchemeEntry {
 // Churn merge
 // ---------------------------------------------------------------------
 
-fn churn_cell(name: &str, obj: &Json, scheme: &'static str) -> Result<ChurnCellResult, MergeError> {
+pub(crate) fn churn_cell(
+    name: &str,
+    obj: &Json,
+    scheme: &'static str,
+) -> Result<ChurnCellResult, MergeError> {
+    let skipped = bool_field(name, obj, "skipped")?;
+    let mismatches = usize_field(name, obj, "mismatches")?;
+    // The "status" key is only written for crashed/timed_out cells; for
+    // the ordinary verdicts it is fully determined by skipped/mismatches.
+    let status = match obj.get("status") {
+        Some(raw) => {
+            let raw = raw
+                .as_str()
+                .ok_or_else(|| fail(name, "\"status\" is not a string"))?;
+            cell_status(name, raw)?
+        }
+        None if skipped => CellStatus::Skip,
+        None if mismatches > 0 => CellStatus::Fail,
+        None => CellStatus::Pass,
+    };
     Ok(ChurnCellResult {
         coord: usize_field(name, obj, "coord")?,
         scheme,
@@ -475,11 +505,12 @@ fn churn_cell(name: &str, obj: &Json, scheme: &'static str) -> Result<ChurnCellR
             usize_field(name, obj, "rewrites")?,
         ),
         checks: usize_field(name, obj, "checks")?,
-        mismatches: usize_field(name, obj, "mismatches")?,
+        mismatches,
         max_impact: usize_field(name, obj, "max_impact")?,
         total_reverified: usize_field(name, obj, "total_reverified")?,
         reverified_permille: usize_field(name, obj, "reverified_permille")?,
-        skipped: bool_field(name, obj, "skipped")?,
+        skipped,
+        status,
         incremental_ms: 0,
         full_ms: 0,
         detail: str_field(name, obj, "detail")?.to_string(),

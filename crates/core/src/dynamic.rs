@@ -46,10 +46,11 @@
 //! ```
 
 use crate::bits::{AsBits, BitString};
+use crate::deadline::Deadline;
 use crate::engine::{PreparedInstance, SkeletonCache, SkeletonStore};
 use crate::harness::{
-    adversarial_proof_search, check_instance, check_soundness_exhaustive, CompletenessError,
-    Soundness, SoundnessError,
+    adversarial_proof_search_within, check_instance_within, check_soundness_exhaustive_within,
+    CompletenessError, Soundness, SoundnessError,
 };
 use crate::instance::Instance;
 use crate::proof::Proof;
@@ -369,17 +370,25 @@ pub struct DynScheme {
     /// Shared skeleton cache the engine-backed operations prepare
     /// through, when attached ([`Self::with_cache`]).
     cache: Option<Arc<SkeletonCache>>,
+    /// Wall budget the engine-backed checks poll, when attached
+    /// ([`Self::with_deadline`]); unbounded by default.
+    deadline: Deadline,
     prove: Box<dyn Fn() -> Option<Proof> + Send + Sync>,
     evaluate: Box<dyn Fn(&Proof) -> Verdict + Send + Sync>,
     until_reject: Box<dyn Fn(&Proof) -> Option<usize> + Send + Sync>,
     completeness: Box<
-        dyn Fn(Option<&SkeletonCache>) -> Result<Option<usize>, CompletenessError> + Send + Sync,
+        dyn Fn(Option<&SkeletonCache>, &Deadline) -> Result<Option<usize>, CompletenessError>
+            + Send
+            + Sync,
     >,
     soundness: Box<
-        dyn Fn(usize, Option<&SkeletonCache>) -> Result<Soundness, SoundnessError> + Send + Sync,
+        dyn Fn(usize, Option<&SkeletonCache>, &Deadline) -> Result<Soundness, SoundnessError>
+            + Send
+            + Sync,
     >,
-    adversarial:
-        Box<dyn Fn(usize, usize, u64, Option<&SkeletonCache>) -> Option<Proof> + Send + Sync>,
+    adversarial: Box<
+        dyn Fn(usize, usize, u64, Option<&SkeletonCache>, &Deadline) -> Option<Proof> + Send + Sync,
+    >,
     tamper: Box<dyn Fn(usize, u64, Option<&SkeletonCache>) -> Option<TamperProbe> + Send + Sync>,
     dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
 }
@@ -439,21 +448,27 @@ impl DynScheme {
         let c = Arc::clone(&cell);
         let until_reject = Box::new(move |proof: &Proof| evaluate_until_reject(&c.0, &c.1, proof));
         let c = Arc::clone(&cell);
-        let completeness = Box::new(move |cache: Option<&SkeletonCache>| {
+        let completeness = Box::new(move |cache: Option<&SkeletonCache>, deadline: &Deadline| {
             let prep = prep_for(&c.1, c.0.radius(), cache);
-            check_instance(&c.0, &prep)
+            check_instance_within(&c.0, &prep, deadline)
         });
         let c = Arc::clone(&cell);
-        let soundness = Box::new(move |max_bits: usize, cache: Option<&SkeletonCache>| {
-            let prep = prep_for(&c.1, c.0.radius(), cache);
-            check_soundness_exhaustive(&c.0, &prep, max_bits)
-        });
+        let soundness = Box::new(
+            move |max_bits: usize, cache: Option<&SkeletonCache>, deadline: &Deadline| {
+                let prep = prep_for(&c.1, c.0.radius(), cache);
+                check_soundness_exhaustive_within(&c.0, &prep, max_bits, deadline)
+            },
+        );
         let c = Arc::clone(&cell);
         let adversarial = Box::new(
-            move |budget: usize, iterations: usize, seed: u64, cache: Option<&SkeletonCache>| {
+            move |budget: usize,
+                  iterations: usize,
+                  seed: u64,
+                  cache: Option<&SkeletonCache>,
+                  deadline: &Deadline| {
                 let prep = prep_for(&c.1, c.0.radius(), cache);
                 let mut rng = StdRng::seed_from_u64(seed);
-                adversarial_proof_search(&c.0, &prep, budget, iterations, &mut rng)
+                adversarial_proof_search_within(&c.0, &prep, budget, iterations, &mut rng, deadline)
             },
         );
         let c = Arc::clone(&cell);
@@ -473,6 +488,7 @@ impl DynScheme {
             n,
             holds,
             cache: None,
+            deadline: Deadline::none(),
             prove,
             evaluate: eval,
             until_reject,
@@ -493,6 +509,16 @@ impl DynScheme {
     /// cache-equivalence tests) — only the preparation work is shared.
     pub fn with_cache(mut self, cache: Arc<SkeletonCache>) -> DynScheme {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a wall budget: every subsequent engine-backed check
+    /// (completeness, exhaustive soundness, adversarial search) polls
+    /// `deadline` and degrades to a deadline error / early `None` when it
+    /// expires. The default is [`Deadline::none`], under which every
+    /// operation behaves exactly as before the budget machinery existed.
+    pub fn with_deadline(mut self, deadline: Deadline) -> DynScheme {
+        self.deadline = deadline;
         self
     }
 
@@ -534,7 +560,7 @@ impl DynScheme {
     /// Single-instance completeness check on the cached engine
     /// ([`crate::harness::check_instance`]).
     pub fn check_completeness(&self) -> Result<Option<usize>, CompletenessError> {
-        (self.completeness)(self.cache.as_deref())
+        (self.completeness)(self.cache.as_deref(), &self.deadline)
     }
 
     /// Exhaustive soundness check on the cached engine.
@@ -544,7 +570,7 @@ impl DynScheme {
     /// Panics if the sealed instance is a yes-instance (mirrors
     /// [`crate::harness::check_soundness_exhaustive`]).
     pub fn check_soundness_exhaustive(&self, max_bits: usize) -> Result<Soundness, SoundnessError> {
-        (self.soundness)(max_bits, self.cache.as_deref())
+        (self.soundness)(max_bits, self.cache.as_deref(), &self.deadline)
     }
 
     /// Seeded adversarial proof search on the cached engine; `Some` is a
@@ -560,7 +586,13 @@ impl DynScheme {
         iterations: usize,
         seed: u64,
     ) -> Option<Proof> {
-        (self.adversarial)(size_budget, iterations, seed, self.cache.as_deref())
+        (self.adversarial)(
+            size_budget,
+            iterations,
+            seed,
+            self.cache.as_deref(),
+            &self.deadline,
+        )
     }
 
     /// Seeded single-bit tamper probe against the honest proof.
@@ -771,6 +803,23 @@ mod tests {
             no.tamper_probe(8, 0).is_none(),
             "prover refuses no-instances"
         );
+    }
+
+    #[test]
+    fn attached_deadlines_bound_the_sealed_checks() {
+        use std::time::Duration;
+        let make = || DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
+        // Unbounded (default): unchanged results.
+        assert_eq!(make().check_completeness(), Ok(Some(1)));
+        // Expired: the sweep degrades to a budget error, deterministically.
+        let cell = make().with_deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(
+            cell.check_completeness(),
+            Err(CompletenessError::DeadlineExpired)
+        );
+        // A generous budget behaves like no budget at all.
+        let cell = make().with_deadline(Deadline::after(Duration::from_secs(3600)));
+        assert_eq!(cell.check_completeness(), Ok(Some(1)));
     }
 
     #[test]

@@ -75,6 +75,7 @@
 //! assert_eq!(prep.evaluate_until_reject(&EvenDegrees, &proof), None);
 //! ```
 
+use crate::deadline::{Deadline, DeadlineExpired};
 use crate::instance::Instance;
 use crate::proof::Proof;
 use crate::scheme::{Scheme, Verdict};
@@ -401,6 +402,60 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         S: Scheme<Node = N, Edge = E>,
     {
         (0..self.n()).find(|&v| !scheme.verify(&self.bind(v, proof)))
+    }
+
+    /// Deadline-aware verifier sweep: sequential, polling `deadline`
+    /// between nodes (a single verifier may still overrun — cooperative
+    /// budgets cannot preempt scheme code). Identical outputs to
+    /// [`Self::evaluate`] when the budget holds.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExpired`] when the budget runs out before the sweep
+    /// finishes.
+    pub fn evaluate_within<S>(
+        &self,
+        scheme: &S,
+        proof: &Proof,
+        deadline: &Deadline,
+    ) -> Result<Verdict, DeadlineExpired>
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        let mut outputs = Vec::with_capacity(self.n());
+        for v in 0..self.n() {
+            if deadline.expired() {
+                return Err(DeadlineExpired);
+            }
+            outputs.push(scheme.verify(&self.bind(v, proof)));
+        }
+        Ok(Verdict::from_outputs(outputs))
+    }
+
+    /// Deadline-aware [`Self::evaluate_until_reject`]: polls `deadline`
+    /// between nodes.
+    ///
+    /// # Errors
+    ///
+    /// [`DeadlineExpired`] when the budget runs out before a verdict.
+    pub fn evaluate_until_reject_within<S>(
+        &self,
+        scheme: &S,
+        proof: &Proof,
+        deadline: &Deadline,
+    ) -> Result<Option<usize>, DeadlineExpired>
+    where
+        S: Scheme<Node = N, Edge = E>,
+    {
+        for v in 0..self.n() {
+            if deadline.expired() {
+                return Err(DeadlineExpired);
+            }
+            if !scheme.verify(&self.bind(v, proof)) {
+                return Ok(Some(v));
+            }
+        }
+        Ok(None)
     }
 }
 
@@ -777,6 +832,38 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
         touched
     }
 
+    /// Fault-injection hook: structurally corrupts node `v`'s cached
+    /// skeleton in place — bumps its farthest cached distance and, when
+    /// the ball has at least two adjacency entries, reverses the CSR
+    /// neighbour array — without touching the instance. Returns a short
+    /// description of the damage.
+    ///
+    /// The corruption is exactly the kind of damage [`Self::rebuild`]
+    /// exists to repair: a rebuild over any scope containing `v` compares
+    /// against a freshly built skeleton and replaces the corrupted one.
+    /// Exposed (hidden) for `lcp-faults` and tests only — never called by
+    /// the engine itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[doc(hidden)]
+    pub fn corrupt_skeleton_for_tests(&mut self, v: usize) -> &'static str {
+        let skel = Arc::make_mut(&mut self.skeletons[v]);
+        if skel.adj.len() >= 2 && skel.adj.first() != skel.adj.last() {
+            skel.adj.reverse();
+            if let Some(d) = skel.dist.last_mut() {
+                *d = d.wrapping_add(1);
+            }
+            "reversed CSR adjacency and bumped a cached distance"
+        } else if let Some(d) = skel.dist.last_mut() {
+            *d = d.wrapping_add(1);
+            "bumped a cached distance"
+        } else {
+            "empty skeleton: nothing to corrupt"
+        }
+    }
+
     /// Runs `scheme`'s verifier at every node against the cached
     /// skeletons — the full-sweep counterpart of [`Self::bind`], used to
     /// seed output caches and as the post-repair reference.
@@ -1048,6 +1135,49 @@ mod tests {
         for v in 0..10 {
             assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
         }
+    }
+
+    #[test]
+    fn injected_skeleton_corruption_is_repaired_by_rebuild() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let mut store = SkeletonStore::new(&inst, 2);
+        let proof = Proof::empty(inst.n());
+        let fresh = SkeletonStore::new(&inst, 2);
+        let damage = store.corrupt_skeleton_for_tests(5);
+        assert_ne!(damage, "empty skeleton: nothing to corrupt");
+        // The corrupted view diverges from the truth...
+        assert_ne!(store.bind(5, &proof), fresh.bind(5, &proof));
+        // ...and a rebuild over a scope containing it repairs exactly it.
+        let changed = store.rebuild(&inst, &[4, 5, 6]);
+        assert_eq!(changed, vec![5]);
+        for v in 0..inst.n() {
+            assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
+        }
+    }
+
+    #[test]
+    fn deadline_aware_sweeps_match_their_unbounded_twins() {
+        let inst = Instance::unlabeled(generators::cycle(9));
+        let prep = PreparedInstance::new(&inst, Fingerprint.radius());
+        let proof = Proof::empty(inst.n());
+        let unbounded = Deadline::none();
+        assert_eq!(
+            prep.evaluate_within(&Fingerprint, &proof, &unbounded),
+            Ok(prep.evaluate(&Fingerprint, &proof))
+        );
+        assert_eq!(
+            prep.evaluate_until_reject_within(&Fingerprint, &proof, &unbounded),
+            Ok(prep.evaluate_until_reject(&Fingerprint, &proof))
+        );
+        let expired = Deadline::after(std::time::Duration::ZERO);
+        assert_eq!(
+            prep.evaluate_within(&Fingerprint, &proof, &expired),
+            Err(DeadlineExpired)
+        );
+        assert_eq!(
+            prep.evaluate_until_reject_within(&Fingerprint, &proof, &expired),
+            Err(DeadlineExpired)
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! changed bits — zero heap allocations per candidate proof.
 
 use crate::bits::BitString;
+use crate::deadline::Deadline;
 use crate::engine::PreparedInstance;
 use crate::proof::Proof;
 use crate::scheme::Scheme;
@@ -43,6 +44,9 @@ pub enum CompletenessError {
     /// that all nodes accepted — a soundness smell surfaced during a
     /// completeness sweep.
     AcceptedNoInstance,
+    /// The attached [`Deadline`] expired before the verifier sweep
+    /// finished — not a verdict about the scheme, a budget exhaustion.
+    DeadlineExpired,
 }
 
 impl fmt::Display for CompletenessError {
@@ -54,6 +58,12 @@ impl fmt::Display for CompletenessError {
             }
             CompletenessError::AcceptedNoInstance => {
                 write!(f, "a no-instance was fully accepted")
+            }
+            CompletenessError::DeadlineExpired => {
+                write!(
+                    f,
+                    "wall budget expired before the completeness sweep finished"
+                )
             }
         }
     }
@@ -121,6 +131,49 @@ where
     S::Edge: Send + Sync,
 {
     check_one(scheme, prep, true)
+}
+
+/// Deadline-aware [`check_instance`]: the verifier sweeps poll `deadline`
+/// and bail out with [`CompletenessError::DeadlineExpired`] when the wall
+/// budget runs out mid-sweep.
+///
+/// An unbounded deadline takes exactly the [`check_instance`] path, so
+/// results (and any parallel fan-out) are unchanged when no budget is
+/// attached. A bounded deadline forces the sequential per-node sweep —
+/// identical outputs, checked node by node.
+pub fn check_instance_within<S>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    deadline: &Deadline,
+) -> Result<Option<usize>, CompletenessError>
+where
+    S: Scheme + Sync,
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
+    if deadline.is_unbounded() {
+        return check_one(scheme, prep, true);
+    }
+    let inst = prep.instance();
+    match (scheme.holds(inst), scheme.prove(inst)) {
+        (true, None) => Err(CompletenessError::ProverRefused),
+        (true, Some(proof)) => match prep.evaluate_within(scheme, &proof, deadline) {
+            Err(_) => Err(CompletenessError::DeadlineExpired),
+            Ok(verdict) => {
+                if verdict.accepted() {
+                    Ok(Some(proof.size()))
+                } else {
+                    Err(CompletenessError::Rejected(verdict.rejecting()))
+                }
+            }
+        },
+        (false, Some(proof)) => match prep.evaluate_until_reject_within(scheme, &proof, deadline) {
+            Err(_) => Err(CompletenessError::DeadlineExpired),
+            Ok(None) => Err(CompletenessError::AcceptedNoInstance),
+            Ok(Some(_)) => Ok(None),
+        },
+        (false, None) => Ok(None),
+    }
 }
 
 /// Completeness check of one prepared instance: `Ok(Some(size))` for an
@@ -264,7 +317,7 @@ pub enum Soundness {
     Violated(Proof),
 }
 
-/// The exhaustive search was refused before enumerating anything.
+/// The exhaustive search was refused or abandoned without a verdict.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SoundnessError {
     /// `(2^(max_bits+1) − 1)^n` exceeds [`EXHAUSTIVE_PROOF_LIMIT`] (or
@@ -276,6 +329,12 @@ pub enum SoundnessError {
         n: usize,
         /// The exact space when it fits in a `u128`.
         space: Option<u128>,
+    },
+    /// The attached [`Deadline`] expired mid-enumeration, after `tried`
+    /// candidates — no soundness verdict was reached.
+    DeadlineExpired {
+        /// Candidates enumerated before the budget ran out.
+        tried: u64,
     },
 }
 
@@ -293,6 +352,10 @@ impl fmt::Display for SoundnessError {
                     "search space of {strings}^{n} proofs overflows u128; shrink n or max_bits"
                 ),
             },
+            SoundnessError::DeadlineExpired { tried } => write!(
+                f,
+                "wall budget expired after {tried} candidate proofs, before a soundness verdict"
+            ),
         }
     }
 }
@@ -393,6 +456,29 @@ where
     S::Node: Send + Sync,
     S::Edge: Send + Sync,
 {
+    check_soundness_exhaustive_within(scheme, prep, max_bits, &Deadline::none())
+}
+
+/// Deadline-aware [`check_soundness_exhaustive`]: the odometer polls
+/// `deadline` every [`crate::deadline::CHECK_INTERVAL`] candidates and
+/// abandons the enumeration with [`SoundnessError::DeadlineExpired`]
+/// when the wall budget runs out. Unbounded deadlines add one branch per
+/// candidate and change nothing else.
+///
+/// # Errors / Panics
+///
+/// As [`check_soundness_exhaustive`], plus
+/// [`SoundnessError::DeadlineExpired`] on budget exhaustion.
+pub fn check_soundness_exhaustive_within<S: Scheme>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    max_bits: usize,
+    deadline: &Deadline,
+) -> Result<Soundness, SoundnessError>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
         !scheme.holds(prep.instance()),
         "exhaustive soundness check requires a no-instance"
@@ -449,6 +535,9 @@ where
         tried += 1;
         if rejecting == 0 {
             return Ok(Soundness::Violated(proof));
+        }
+        if deadline.should_stop(tried) {
+            return Err(SoundnessError::DeadlineExpired { tried });
         }
         // Odometer increment; each changed node overwrites its arena
         // slot (a word copy) and re-runs only its dependent verifiers.
@@ -529,6 +618,38 @@ where
     S::Node: Send + Sync,
     S::Edge: Send + Sync,
 {
+    adversarial_proof_search_within(
+        scheme,
+        prep,
+        size_budget,
+        iterations,
+        rng,
+        &Deadline::none(),
+    )
+}
+
+/// Deadline-aware [`adversarial_proof_search`]: polls `deadline` every
+/// 256 candidate steps (each step re-runs a ball's worth of verifiers,
+/// so the stride is finer than the enumeration loops') and gives up
+/// early — returning `None` — when the wall budget runs out. Callers
+/// that need to distinguish "no forgery found" from "ran out of budget"
+/// check `deadline.expired()` afterwards.
+///
+/// # Panics
+///
+/// Panics if the instance is a yes-instance.
+pub fn adversarial_proof_search_within<S: Scheme>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    size_budget: usize,
+    iterations: usize,
+    rng: &mut StdRng,
+    deadline: &Deadline,
+) -> Option<Proof>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
         !scheme.holds(prep.instance()),
         "adversarial search requires a no-instance"
@@ -547,6 +668,9 @@ where
     for iter in 0..iterations {
         if score == n {
             return Some(proof);
+        }
+        if deadline.poll(iter as u64, 0xff) {
+            return None;
         }
         // Occasional restart to escape local optima: refill the arena in
         // place and re-score everything.
@@ -859,7 +983,9 @@ mod tests {
         let inst = Instance::unlabeled(generators::cycle(65));
         let prep = prepare(&Bipartite, &inst);
         let err = check_soundness_exhaustive(&Bipartite, &prep, 8).unwrap_err();
-        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err;
+        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err else {
+            panic!("expected a search-space refusal, got {err:?}");
+        };
         assert_eq!(strings, 511);
         assert_eq!(n, 65);
         assert_eq!(space, None, "511^65 overflows u128");
@@ -870,7 +996,9 @@ mod tests {
         let inst = Instance::unlabeled(generators::cycle(17));
         let prep = prepare(&Bipartite, &inst);
         let err = check_soundness_exhaustive(&Bipartite, &prep, 2).unwrap_err();
-        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err.clone();
+        let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err.clone() else {
+            panic!("expected a search-space refusal, got {err:?}");
+        };
         assert_eq!((strings, n), (7, 17));
         assert_eq!(space, Some(7u128.pow(17)));
         assert!(err.to_string().contains("exceeds the limit"));
@@ -933,7 +1061,9 @@ mod tests {
         // the guard returns the refusal error instead of computing.
         for max_bits in [64, 65, 100, 127, 128, usize::MAX] {
             let err = all_bitstrings_up_to(max_bits).unwrap_err();
-            let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err;
+            let SoundnessError::SearchSpaceTooLarge { strings, n, space } = err else {
+                panic!("expected a search-space refusal, got {err:?}");
+            };
             assert_eq!(n, 1);
             assert_eq!(strings, usize::MAX, "count saturates at {max_bits}");
             if max_bits >= 127 {
@@ -998,5 +1128,96 @@ mod tests {
         let p = random_proof(5, 4, &mut rng);
         assert_eq!(p.n(), 5);
         assert!(p.size() <= 4);
+    }
+
+    /// Deliberately unsound scheme used by the deadline tests: accepts
+    /// when every visible first bit is 1, so the only ≤1-bit violation
+    /// is the all-`"1"` proof — the *last* candidate in odometer order.
+    struct GulliblePath;
+    impl Scheme for GulliblePath {
+        type Node = ();
+        type Edge = ();
+        fn name(&self) -> String {
+            "gullible-path".into()
+        }
+        fn radius(&self) -> usize {
+            1
+        }
+        fn holds(&self, _: &Instance) -> bool {
+            false
+        }
+        fn prove(&self, _: &Instance) -> Option<Proof> {
+            None
+        }
+        fn verify(&self, view: &View) -> bool {
+            view.nodes().all(|u| view.proof(u).first() == Some(true))
+        }
+    }
+
+    #[test]
+    fn exhaustive_soundness_stops_at_an_expired_deadline() {
+        use crate::deadline::CHECK_INTERVAL;
+        use std::time::Duration;
+        // 3^9 = 19683 candidates: past the first deadline poll, before
+        // the (final-candidate) violation.
+        let inst = Instance::unlabeled(generators::path(9));
+        let prep = prepare(&GulliblePath, &inst);
+        let expired = Deadline::after(Duration::ZERO);
+        let err = check_soundness_exhaustive_within(&GulliblePath, &prep, 1, &expired).unwrap_err();
+        assert_eq!(
+            err,
+            SoundnessError::DeadlineExpired {
+                tried: CHECK_INTERVAL
+            }
+        );
+        // The unbounded token enumerates to the genuine violation.
+        let ok = check_soundness_exhaustive_within(&GulliblePath, &prep, 1, &Deadline::none());
+        assert!(matches!(ok, Ok(Soundness::Violated(_))));
+    }
+
+    #[test]
+    fn exhaustive_soundness_reports_a_violation_found_before_the_poll() {
+        use std::time::Duration;
+        // The Gullible-from-above violation on a short path falls below
+        // the poll stride, so even an expired deadline sees it first.
+        let inst = Instance::unlabeled(generators::path(4));
+        let prep = prepare(&GulliblePath, &inst);
+        let expired = Deadline::after(Duration::ZERO);
+        let got = check_soundness_exhaustive_within(&GulliblePath, &prep, 1, &expired).unwrap();
+        assert!(matches!(got, Soundness::Violated(_)));
+    }
+
+    #[test]
+    fn adversarial_search_gives_up_at_an_expired_deadline() {
+        use std::time::Duration;
+        let inst = Instance::unlabeled(generators::cycle(6));
+        let prep = prepare(&GulliblePath, &inst);
+        // The unbounded search forges a proof from this seed...
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(adversarial_proof_search(&GulliblePath, &prep, 1, 2000, &mut rng).is_some());
+        // ...the expired-deadline search stops before trying anything.
+        let mut rng = StdRng::seed_from_u64(2);
+        let expired = Deadline::after(Duration::ZERO);
+        let got =
+            adversarial_proof_search_within(&GulliblePath, &prep, 1, 2000, &mut rng, &expired);
+        assert!(got.is_none());
+        assert!(expired.expired());
+    }
+
+    #[test]
+    fn completeness_within_expired_deadline_reports_budget_exhaustion() {
+        use std::time::Duration;
+        let inst = Instance::unlabeled(generators::cycle(6));
+        let prep = prepare(&Bipartite, &inst);
+        let expired = Deadline::after(Duration::ZERO);
+        assert_eq!(
+            check_instance_within(&Bipartite, &prep, &expired),
+            Err(CompletenessError::DeadlineExpired)
+        );
+        // Unbounded: byte-for-byte the default path.
+        assert_eq!(
+            check_instance_within(&Bipartite, &prep, &Deadline::none()),
+            check_instance(&Bipartite, &prep)
+        );
     }
 }

@@ -66,6 +66,7 @@
 pub mod arena;
 pub mod bits;
 pub mod components;
+pub mod deadline;
 pub mod dynamic;
 pub mod engine;
 pub mod harness;
@@ -77,6 +78,7 @@ pub mod view;
 
 pub use arena::ProofArena;
 pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
+pub use deadline::{Deadline, DeadlineExpired};
 pub use dynamic::{seal_mutable, CellMutationError, DynScheme, MutableCell, TamperProbe};
 pub use engine::{prepare, prepare_sweep, PreparedInstance, SkeletonCache, SkeletonStore};
 pub use instance::{EdgeMap, Instance};

@@ -1,0 +1,142 @@
+//! Fuzz properties for the hand-rolled JSON codec every campaign
+//! artifact (reports, checkpoints, bench series) flows through:
+//!
+//! * [`Json::parse`] never panics, whatever bytes arrive — malformed
+//!   input is a [`JsonError`] with a byte offset, full stop;
+//! * parse → serialize → parse round-trips structurally on arbitrary
+//!   valid documents, including escapes, nesting, and unicode.
+
+use lcp_core::json::{escape, Json};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The characters a JSON parser actually branches on — random text over
+/// this alphabet reaches far deeper than uniform bytes.
+const JSONISH: &[u8] = br#"{}[]:,"\ truefalsnu0123456789-+.eE"#;
+
+fn jsonish(len: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| JSONISH[rng.random_range(0..JSONISH.len())] as char)
+        .collect()
+}
+
+fn arbitrary_text(len: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bytes: Vec<u8> = (0..len)
+        .map(|_| rng.random_range(0..256usize) as u8)
+        .collect();
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// A random document of bounded depth, built from a seed. Object keys
+/// are made unique ("duplicate keys keep the first" would otherwise
+/// break structural round-trips). Numbers stay integral: the codec
+/// keeps number text verbatim, so any canonical form round-trips.
+fn document(rng: &mut StdRng, depth: usize) -> Json {
+    match if depth == 0 {
+        rng.random_range(0..4usize)
+    } else {
+        rng.random_range(0..6usize)
+    } {
+        0 => Json::Null,
+        1 => Json::Bool(rng.random_bool(0.5)),
+        2 => Json::Num((rng.random_range(0..u64::MAX) as i64).to_string()),
+        3 => {
+            let len = rng.random_range(0..12usize);
+            Json::Str(
+                (0..len)
+                    .map(|_| {
+                        // Quotes, backslashes, control bytes, and a
+                        // multi-byte char — everything escape() handles.
+                        *['a', '"', '\\', '\n', '\t', '\u{1}', 'Ω', '/', ' ']
+                            .get(rng.random_range(0..9usize))
+                            .unwrap()
+                    })
+                    .collect(),
+            )
+        }
+        4 => {
+            let len = rng.random_range(0..5usize);
+            Json::Arr((0..len).map(|_| document(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.random_range(0..5usize);
+            Json::Obj(
+                (0..len)
+                    .map(|i| (format!("k{i}"), document(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// The serializer under test: the same shape every report writer in the
+/// workspace emits by hand.
+fn render(doc: &Json) -> String {
+    match doc {
+        Json::Null => "null".into(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(text) => text.clone(),
+        Json::Str(s) => escape(s),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", inner.join(", "))
+        }
+        Json::Obj(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(k, v)| format!("{}: {}", escape(k), render(v)))
+                .collect();
+            format!("{{ {} }}", inner.join(", "))
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(len in 0usize..400, seed in any::<u64>()) {
+        let _ = Json::parse(&arbitrary_text(len, seed));
+    }
+
+    #[test]
+    fn parse_never_panics_on_jsonish_text(len in 0usize..400, seed in any::<u64>()) {
+        let _ = Json::parse(&jsonish(len, seed));
+    }
+
+    #[test]
+    fn valid_documents_roundtrip_structurally(seed in any::<u64>(), depth in 0usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let doc = document(&mut rng, depth);
+        let text = render(&doc);
+        let parsed = Json::parse(&text);
+        prop_assert_eq!(parsed.as_ref(), Ok(&doc), "rendered text: {}", text);
+        // And the reparse is a fixpoint: serialize(parse(s)) == s.
+        prop_assert_eq!(render(&parsed.unwrap()), text);
+    }
+
+    #[test]
+    fn truncating_a_valid_document_never_panics(seed in any::<u64>(), depth in 1usize..4) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let text = render(&document(&mut rng, depth));
+        for cut in 0..text.len() {
+            if text.is_char_boundary(cut) {
+                let _ = Json::parse(&text[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_a_byte_offset_within_the_input(len in 1usize..200, seed in any::<u64>()) {
+        let text = jsonish(len, seed);
+        if let Err(e) = Json::parse(&text) {
+            prop_assert!(
+                e.to_string().contains("byte"),
+                "error names its offset: {}", e
+            );
+        }
+    }
+}

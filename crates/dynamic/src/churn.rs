@@ -19,7 +19,7 @@
 //! through [`DynamicInstance::set_node_label`] by typed callers.
 
 use crate::{DynamicInstance, Mutation};
-use lcp_core::BitString;
+use lcp_core::{BitString, Deadline};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::time::Instant;
@@ -198,6 +198,9 @@ pub struct ChurnRun {
     pub incremental_nanos: u128,
     /// Wall time spent in from-scratch cross-checks, in nanoseconds.
     pub full_nanos: u128,
+    /// Whether the run stopped early because its wall budget expired
+    /// (only possible through [`run_churn_within`]).
+    pub timed_out: bool,
 }
 
 /// Drives `steps` mutations from a fresh [`ChurnStream`] through
@@ -217,11 +220,32 @@ pub fn run_churn(
     steps: usize,
     check_every: usize,
 ) -> ChurnRun {
+    run_churn_within(target, config, steps, check_every, &Deadline::none())
+}
+
+/// [`run_churn`] under a cooperative wall budget: the mutation loop
+/// polls `deadline` before each step and stops early — flagging
+/// [`ChurnRun::timed_out`] — once it has expired. Everything applied
+/// before the stop is still cross-checked (the final-step check below
+/// runs regardless), so a timed-out run's partial trace remains a
+/// valid equivalence witness. With [`Deadline::none`] this is exactly
+/// [`run_churn`].
+pub fn run_churn_within(
+    target: &mut DynamicInstance,
+    config: &ChurnConfig,
+    steps: usize,
+    check_every: usize,
+    deadline: &Deadline,
+) -> ChurnRun {
     let mut stream = ChurnStream::new(*config);
     let mut run = ChurnRun::default();
     // Seed the cache so per-step reverified counts measure increments.
     target.reverify();
     for step in 1..=steps {
+        if deadline.expired() {
+            run.timed_out = true;
+            break;
+        }
         let Some(mutation) = stream.propose(target) else {
             break;
         };
@@ -359,6 +383,33 @@ mod tests {
             assert_eq!(run.mismatches, 0, "seed {seed}: {run:?}");
             assert_eq!(run.checks, run.steps.len());
             assert!(run.total_reverified > 0);
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_stop_the_churn_loop_cleanly() {
+        use std::time::Duration;
+        let mut d = DynamicInstance::seal(Fingerprint, Instance::unlabeled(generators::cycle(14)));
+        let run = run_churn_within(
+            &mut d,
+            &ChurnConfig::new(5),
+            60,
+            1,
+            &Deadline::after(Duration::ZERO),
+        );
+        assert!(run.timed_out);
+        assert!(run.steps.is_empty(), "expired before the first step");
+        // An unbounded token reproduces `run_churn` exactly.
+        let mut a = DynamicInstance::seal(Fingerprint, Instance::unlabeled(generators::cycle(14)));
+        let mut b = DynamicInstance::seal(Fingerprint, Instance::unlabeled(generators::cycle(14)));
+        let full = run_churn(&mut a, &ChurnConfig::new(5), 20, 4);
+        let within = run_churn_within(&mut b, &ChurnConfig::new(5), 20, 4, &Deadline::none());
+        assert!(!within.timed_out);
+        assert_eq!(full.steps.len(), within.steps.len());
+        assert_eq!(full.mismatches, within.mismatches);
+        for (x, y) in full.steps.iter().zip(&within.steps) {
+            assert_eq!(x.mutation, y.mutation);
+            assert_eq!(x.accepted, y.accepted);
         }
     }
 
