@@ -1,0 +1,160 @@
+//! Residency economics of `lcp-serve`, measured over a real socket:
+//! what does keeping a cell resident buy compared to paying the cold
+//! prepare-and-verify price per request?
+//!
+//! Workload: the bipartiteness cell on an n ≈ 10⁴ cycle, served over
+//! loopback. Three latencies:
+//!
+//! * `cold` — prepare + verify of a never-seen cell (registry build,
+//!   ground truth, skeleton BFS, completeness sweep). Distinct seeds
+//!   per sample keep every sample genuinely cold.
+//! * `resident verify` — the same full verify against the already-
+//!   resident cell: zero skeleton rebuilds, pure sweep + wire cost.
+//! * `session mutate` — one mutation round-trip inside a churn
+//!   session: incremental reverify of the dirty ball only.
+//!
+//! The committed reference is `BENCH_serve.json` (README § Benchmarks);
+//! the acceptance target is session reverify ≥ 100× faster than cold
+//! prepare-and-verify, and in practice the gap is far larger. Snapshot
+//! policy matches the criterion benches: casual runs write to
+//! `target/`, `LCP_BENCH_SNAPSHOT=1` refreshes the committed file.
+//!
+//! `serve_bench --smoke` shrinks the workload to run in milliseconds
+//! (tier-1 / CI smoke); smoke runs never write a snapshot.
+
+use lcp_core::json::Json;
+use lcp_graph::families::GraphFamily;
+use lcp_schemes::registry::Polarity;
+use lcp_serve::{CellCoord, Client, Server, ServerConfig, WireMutation};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn coord(n: usize, seed: u64) -> CellCoord {
+    CellCoord {
+        scheme: "bipartite".into(),
+        family: GraphFamily::Cycle,
+        n,
+        seed,
+        polarity: Polarity::Yes,
+    }
+}
+
+/// Median of the collected seconds (samples are few; sort is fine).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, cold_samples, verify_samples, mutate_pairs) = if smoke {
+        (400, 2, 3, 8)
+    } else {
+        (10_000, 3, 9, 128)
+    };
+
+    let handle = Server::bind(ServerConfig::default())
+        .expect("bind loopback")
+        .spawn()
+        .expect("spawn server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    // Cold: distinct seeds, so every sample pays the full load.
+    let mut cold = Vec::new();
+    for s in 0..cold_samples {
+        let c = coord(n, 101 + s as u64);
+        let t = Instant::now();
+        client.prepare(&c).expect("cold prepare");
+        let verdict = client.verify(&c, None).expect("cold verify");
+        cold.push(t.elapsed().as_secs_f64());
+        assert_eq!(verdict.get("accepted").and_then(Json::as_bool), Some(true));
+    }
+    let cold_s = median(&mut cold);
+
+    // Resident: one warm cell, repeated sweeps. The miss counter must
+    // not move — that is the residency guarantee, asserted here too.
+    let warm = coord(n, 7);
+    client.prepare(&warm).expect("warm prepare");
+    let misses_before = skeleton_misses(&mut client);
+    let mut resident = Vec::new();
+    for _ in 0..verify_samples {
+        let t = Instant::now();
+        client.verify(&warm, None).expect("resident verify");
+        resident.push(t.elapsed().as_secs_f64());
+    }
+    let resident_s = median(&mut resident);
+    assert_eq!(
+        skeleton_misses(&mut client),
+        misses_before,
+        "resident verifies must not rebuild skeletons"
+    );
+
+    // Session: mutation round-trips (insert + delete pairs, returning
+    // to the start state), measured individually.
+    client.session_open(&warm).expect("session-open");
+    let mut mutate = Vec::new();
+    for _ in 0..mutate_pairs {
+        for m in [
+            WireMutation::EdgeInsert(0, 2),
+            WireMutation::EdgeDelete(0, 2),
+        ] {
+            let t = Instant::now();
+            client.mutate(&m).expect("session mutate");
+            mutate.push(t.elapsed().as_secs_f64());
+        }
+    }
+    let mutate_s = median(&mut mutate);
+    client.session_close().expect("session-close");
+    handle.stop().expect("clean drain");
+
+    let verify_speedup = cold_s / resident_s;
+    let session_speedup = cold_s / mutate_s;
+    println!(
+        "serve-bench on cycle (n = {n}): cold prepare+verify {cold_s:.4}s, \
+         resident verify {resident_s:.5}s ({verify_speedup:.0}x), \
+         session mutate {mutate_s:.6}s ({session_speedup:.0}x)"
+    );
+    if !smoke {
+        assert!(
+            session_speedup >= 100.0,
+            "acceptance: session reverify must be >= 100x faster than cold \
+             prepare-and-verify (got {session_speedup:.0}x)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"serve-resident-vs-cold\",\n");
+    let _ = writeln!(json, "  \"scheme\": \"bipartite\",");
+    let _ = writeln!(json, "  \"family\": \"cycle\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"cold_prepare_verify_seconds\": {cold_s:.5},");
+    let _ = writeln!(json, "  \"resident_verify_seconds\": {resident_s:.6},");
+    let _ = writeln!(json, "  \"session_mutate_seconds\": {mutate_s:.7},");
+    let _ = writeln!(json, "  \"resident_verify_speedup\": {verify_speedup:.1},");
+    let _ = writeln!(json, "  \"session_vs_cold_speedup\": {session_speedup:.1}");
+    json.push_str("}\n");
+
+    if smoke {
+        return;
+    }
+    let path = if std::env::var_os("LCP_BENCH_SNAPSHOT").is_some_and(|v| v == "1") {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_serve.json")
+    };
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("snapshot written to {path}");
+    }
+}
+
+fn skeleton_misses(client: &mut Client) -> u64 {
+    client
+        .stats()
+        .expect("stats")
+        .get("skeletons")
+        .and_then(|s| s.get("misses"))
+        .and_then(Json::as_u64)
+        .expect("stats carries skeleton counters")
+}

@@ -9,6 +9,26 @@
 //! (static check failures, incremental-vs-full mismatches in `--churn`
 //! mode, or unhandled faults under `--inject-faults`), `3` no failures
 //! but some cells crashed or timed out (`2` takes precedence).
+//!
+//! ## Cell coordinates and seed derivation
+//!
+//! The campaign matrix is addressed by **cell coordinates**
+//! `(scheme id, family, n, polarity)` — the same vocabulary the serve
+//! daemon (`crates/serve`) and the churn engine use. Every cell derives
+//! its private RNG stream as `cell_seed(campaign seed, coordinates)`
+//! (FNV-1a over the stable scheme *id* — never its registry position —
+//! then splitmix64 rounds over the remaining coordinates), so:
+//!
+//! * cells never share an RNG stream: running one cell alone (via the
+//!   `--scheme`/`--family`/`--sizes` filters) replays exactly the bits
+//!   it saw inside the full sweep;
+//! * `--shard i/N` partitions the same enumeration order without
+//!   perturbing any cell, so the union of shard reports is
+//!   byte-identical to the unsharded run;
+//! * `--resume` can skip completed cells and still produce a report
+//!   byte-identical to an uninterrupted one.
+//!
+//! See `docs/ARCHITECTURE.md` § "Where determinism is enforced".
 
 use lcp_conformance::checkpoint::{run_campaign_checkpointed, run_churn_campaign_checkpointed};
 use lcp_conformance::churn::{default_steps, run_churn_campaign, ChurnReport};

@@ -391,6 +391,8 @@ pub struct DynScheme {
     >,
     tamper: Box<dyn Fn(usize, u64, Option<&SkeletonCache>) -> Option<TamperProbe> + Send + Sync>,
     dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
+    prepare: Box<dyn Fn(Option<&SkeletonCache>) + Send + Sync>,
+    evict: Box<dyn Fn(&SkeletonCache) -> bool + Send + Sync>,
 }
 
 /// Prepares `inst` through `cache` when one is attached, else freshly —
@@ -481,6 +483,12 @@ impl DynScheme {
         let dynamic = Box::new(move || {
             Box::new(TypedCell::from_arc(Arc::clone(&c), None)) as Box<dyn MutableCell>
         });
+        let c = Arc::clone(&cell);
+        let prepare = Box::new(move |cache: Option<&SkeletonCache>| {
+            let _ = prep_for(&c.1, c.0.radius(), cache);
+        });
+        let c = Arc::clone(&cell);
+        let evict = Box::new(move |cache: &SkeletonCache| cache.remove(&c.1, c.0.radius()));
 
         DynScheme {
             name,
@@ -497,6 +505,8 @@ impl DynScheme {
             adversarial,
             tamper,
             dynamic,
+            prepare,
+            evict,
         }
     }
 
@@ -560,7 +570,21 @@ impl DynScheme {
     /// Single-instance completeness check on the cached engine
     /// ([`crate::harness::check_instance`]).
     pub fn check_completeness(&self) -> Result<Option<usize>, CompletenessError> {
-        (self.completeness)(self.cache.as_deref(), &self.deadline)
+        self.check_completeness_within(&self.deadline)
+    }
+
+    /// [`Self::check_completeness`] under an explicit per-call `deadline`
+    /// instead of the attached one.
+    ///
+    /// [`Self::with_deadline`] consumes the cell, which is the right
+    /// shape for batch campaigns but not for a resident service where one
+    /// shared `Arc<DynScheme>` must serve many requests, each with its
+    /// own budget — this is the request-scoped entry point.
+    pub fn check_completeness_within(
+        &self,
+        deadline: &Deadline,
+    ) -> Result<Option<usize>, CompletenessError> {
+        (self.completeness)(self.cache.as_deref(), deadline)
     }
 
     /// Exhaustive soundness check on the cached engine.
@@ -570,7 +594,21 @@ impl DynScheme {
     /// Panics if the sealed instance is a yes-instance (mirrors
     /// [`crate::harness::check_soundness_exhaustive`]).
     pub fn check_soundness_exhaustive(&self, max_bits: usize) -> Result<Soundness, SoundnessError> {
-        (self.soundness)(max_bits, self.cache.as_deref(), &self.deadline)
+        self.check_soundness_exhaustive_within(max_bits, &self.deadline)
+    }
+
+    /// [`Self::check_soundness_exhaustive`] under an explicit per-call
+    /// `deadline` (see [`Self::check_completeness_within`] for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sealed instance is a yes-instance.
+    pub fn check_soundness_exhaustive_within(
+        &self,
+        max_bits: usize,
+        deadline: &Deadline,
+    ) -> Result<Soundness, SoundnessError> {
+        (self.soundness)(max_bits, self.cache.as_deref(), deadline)
     }
 
     /// Seeded adversarial proof search on the cached engine; `Some` is a
@@ -586,13 +624,56 @@ impl DynScheme {
         iterations: usize,
         seed: u64,
     ) -> Option<Proof> {
+        self.adversarial_search_within(size_budget, iterations, seed, &self.deadline)
+    }
+
+    /// [`Self::adversarial_search`] under an explicit per-call `deadline`
+    /// (see [`Self::check_completeness_within`] for why).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sealed instance is a yes-instance.
+    pub fn adversarial_search_within(
+        &self,
+        size_budget: usize,
+        iterations: usize,
+        seed: u64,
+        deadline: &Deadline,
+    ) -> Option<Proof> {
         (self.adversarial)(
             size_budget,
             iterations,
             seed,
             self.cache.as_deref(),
-            &self.deadline,
+            deadline,
         )
+    }
+
+    /// Eagerly prepares the sealed instance's skeletons, warming the
+    /// attached [`SkeletonCache`] so that later engine-backed operations
+    /// hit instead of building.
+    ///
+    /// This is how a resident service front-loads the one BFS a cell ever
+    /// needs: `prepare` once at load time, then every `verify` and
+    /// `tamper-probe` on the resident cell reuses the cached core
+    /// (observable through [`SkeletonCache::hits`]). Without an attached
+    /// cache the preparation is built and immediately dropped.
+    pub fn prepare_skeletons(&self) {
+        (self.prepare)(self.cache.as_deref());
+    }
+
+    /// Drops this cell's skeleton core from the attached
+    /// [`SkeletonCache`], reporting whether anything was evicted.
+    ///
+    /// The counterpart of [`Self::prepare_skeletons`]: an instance table
+    /// evicting this cell calls it so the shared cache does not pin the
+    /// core forever. `false` when no cache is attached or the core was
+    /// never cached (or already evicted).
+    pub fn evict_skeletons(&self) -> bool {
+        match self.cache.as_deref() {
+            Some(cache) => (self.evict)(cache),
+            None => false,
+        }
     }
 
     /// Seeded single-bit tamper probe against the honest proof.
@@ -820,6 +901,48 @@ mod tests {
         // A generous budget behaves like no budget at all.
         let cell = make().with_deadline(Deadline::after(Duration::from_secs(3600)));
         assert_eq!(cell.check_completeness(), Ok(Some(1)));
+    }
+
+    #[test]
+    fn prepare_and_evict_manage_the_shared_cache() {
+        let cache = Arc::new(SkeletonCache::new());
+        let cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)))
+            .with_cache(Arc::clone(&cache));
+        assert!(!cell.evict_skeletons(), "nothing cached yet");
+        cell.prepare_skeletons();
+        assert_eq!((cache.len(), cache.misses()), (1, 1));
+        cell.prepare_skeletons();
+        assert_eq!(cache.hits(), 1, "second preparation hits");
+        assert_eq!(cell.check_completeness(), Ok(Some(1)));
+        assert_eq!(cache.misses(), 1, "resident check rebuilds nothing");
+        assert!(cell.evict_skeletons());
+        assert!(!cell.evict_skeletons(), "already evicted");
+        assert!(cache.is_empty());
+        // Without a cache both calls are harmless no-ops.
+        let free = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
+        free.prepare_skeletons();
+        assert!(!free.evict_skeletons());
+    }
+
+    #[test]
+    fn request_scoped_deadlines_leave_the_attached_one_alone() {
+        let cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
+        let expired = Deadline::manual();
+        expired.cancel();
+        assert_eq!(
+            cell.check_completeness_within(&expired),
+            Err(CompletenessError::DeadlineExpired)
+        );
+        assert_eq!(
+            cell.check_completeness(),
+            Ok(Some(1)),
+            "attached (unbounded) deadline unaffected by the request budget"
+        );
+        let no = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(5)));
+        assert!(
+            no.adversarial_search_within(1, 50, 7, &expired).is_none(),
+            "expired request budget degrades the search to None"
+        );
     }
 
     #[test]

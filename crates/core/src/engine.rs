@@ -635,6 +635,39 @@ impl SkeletonCache {
     pub fn clear(&self) {
         self.entries.lock().expect("cache lock").clear();
     }
+
+    /// Drops the cached core of exactly `(inst, radius)`, if present, and
+    /// reports whether anything was removed.
+    ///
+    /// This is the eviction hook of resident services (`lcp-serve`): when
+    /// an instance table drops a cell, its skeleton core must leave the
+    /// process-wide cache too, or evicted cells would pin their BFS
+    /// results forever. Removal uses the same key and full structural
+    /// equality as [`Self::prepare`], so it never evicts a different
+    /// instance that merely collides on the content hash. Cores still
+    /// borrowed by live [`PreparedInstance`]s stay valid — the `Arc` only
+    /// drops once the last user does.
+    pub fn remove<N, E>(&self, inst: &Instance<N, E>, radius: usize) -> bool
+    where
+        N: PartialEq + Send + Sync + 'static,
+        E: PartialEq + Send + Sync + 'static,
+    {
+        let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
+        let mut entries = self.entries.lock().expect("cache lock");
+        let Some(bucket) = entries.get_mut(&key) else {
+            return false;
+        };
+        let before = bucket.len();
+        bucket.retain(|e| {
+            e.downcast_ref::<CachedPrep<N, E>>()
+                .is_none_or(|c| c.core.radius != radius || c.inst != *inst)
+        });
+        let removed = bucket.len() != before;
+        if bucket.is_empty() {
+            entries.remove(&key);
+        }
+        removed
+    }
 }
 
 /// An owned, *repairable* skeleton cache — the engine substrate of

@@ -122,6 +122,17 @@ pub struct Reverified {
     pub reverified: usize,
 }
 
+/// Outcome of one [`DynamicInstance::apply_verified`] round-trip: the
+/// mutation's exact impact set plus the incremental verdict reached
+/// immediately after applying it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Applied {
+    /// The view centres this mutation dirtied, ascending.
+    pub impact: Vec<usize>,
+    /// The incremental re-verification outcome after the mutation.
+    pub outcome: Reverified,
+}
+
 /// A mutable instance + proof under incremental verification.
 ///
 /// Built over an [`MutableCell`] (a typed scheme sealed behind an
@@ -352,6 +363,25 @@ impl DynamicInstance {
         }
     }
 
+    /// Applies `m` and immediately re-verifies, atomically from the
+    /// caller's point of view — the mutation-per-request entry point of
+    /// session layers (`lcp-serve`). The client streams one mutation and
+    /// gets back the exact impact set together with the post-mutation
+    /// verdict; the instance is never observable in a
+    /// mutated-but-unverified state between the two.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::apply`]'s errors; on error the instance is
+    /// untouched — nothing applied, dirtied, or logged, and any cached
+    /// verdict stays valid.
+    pub fn apply_verified(&mut self, m: &Mutation) -> Result<Applied, CellMutationError> {
+        let mut impact = self.apply(m)?;
+        impact.sort_unstable();
+        let outcome = self.reverify();
+        Ok(Applied { impact, outcome })
+    }
+
     /// Re-verifies exactly the dirty nodes, updating the cached outputs,
     /// and reports the global verdict with the same first-rejector
     /// witness a from-scratch `evaluate` would produce.
@@ -526,6 +556,29 @@ mod tests {
         assert!(d.apply(&Mutation::NodeLabelChange(1)).is_err());
         assert_eq!(d.dirty_len(), 0);
         assert!(d.log().is_empty());
+    }
+
+    #[test]
+    fn apply_verified_is_apply_plus_reverify() {
+        let mut a = DynamicInstance::seal(Bipartite, Instance::unlabeled(generators::cycle(8)));
+        a.reverify();
+        let mut b = DynamicInstance::seal(Bipartite, Instance::unlabeled(generators::cycle(8)));
+        b.reverify();
+
+        // Same verdicts as the two-step path, with the impact attached.
+        let applied = a.apply_verified(&Mutation::EdgeInsert(0, 2)).unwrap();
+        let impact = b.apply(&Mutation::EdgeInsert(0, 2)).unwrap();
+        assert_eq!(applied.impact, impact);
+        assert_eq!(applied.outcome, b.reverify());
+        assert!(!applied.outcome.accepted);
+        assert!(a.cached_verdict().is_some(), "never left dirty");
+
+        // Errors leave the instance untouched, verdict intact.
+        let before = a.cached_verdict();
+        assert!(a.apply_verified(&Mutation::EdgeInsert(0, 2)).is_err());
+        assert!(a.apply_verified(&Mutation::NodeLabelChange(1)).is_err());
+        assert_eq!(a.cached_verdict(), before);
+        assert_eq!(a.log().len(), 1);
     }
 
     #[test]

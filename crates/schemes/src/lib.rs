@@ -35,6 +35,7 @@
 //!
 //! The matching `Θ(log n)` **lower** bounds are not in this crate — they
 //! are executable attacks in `lcp-lower-bounds`.
+#![deny(missing_docs)]
 
 pub mod bipartite;
 pub mod chromatic;

@@ -22,6 +22,33 @@
 //! the builder's *intent*; the campaign re-derives ground truth from
 //! [`DynScheme::holds`], so a random family member that lands on the
 //! other side is re-classified, never mis-checked.
+//!
+//! ## Cell coordinates and seed derivation
+//!
+//! Everything downstream of the registry addresses work by **cell
+//! coordinates**: the tuple `(scheme id, family, n, seed, polarity)`.
+//! The first four become a [`CellRequest`] handed to the entry's
+//! builder; the id resolves through [`find`]. Two conventions make
+//! coordinates a stable, location-independent addressing scheme:
+//!
+//! * **Ids, not positions.** The scheme id is a stable kebab-case
+//!   string. Consumers that need per-cell randomness (the conformance
+//!   campaign, `lcp-serve` cell loading) hash the *id* — never the
+//!   entry's index in [`all`] — so inserting a new scheme reorders
+//!   nothing and replays stay byte-identical.
+//! * **Derived seeds, not shared streams.** A campaign-level seed is
+//!   mixed (splitmix64-style, in `lcp-conformance`) with the remaining
+//!   coordinates to give every cell its own RNG stream. Cells therefore
+//!   generate identical instances regardless of execution order,
+//!   thread schedule, `--scheme`/`--family` filters, or shard
+//!   assignment — the root of the repo's standing seed and shard
+//!   determinism policies.
+//!
+//! The builder itself adds the last determinism layer: equal
+//! `CellRequest`s yield equal instances, so any two processes that
+//! agree on coordinates agree on the cell — which is also what lets a
+//! resident server and an in-process checker compare verdicts
+//! cell-for-cell.
 
 use crate::labels::{ArcDir, StMark};
 use crate::{
@@ -891,6 +918,16 @@ fn b_weak_leader_election(req: &CellRequest) -> Option<DynScheme> {
 
 use GraphFamily::{Barbell, Bipartite as FBipartite, Cycle, Gnp, Grid, Path, Tree};
 
+/// Looks up a registered scheme by its stable kebab-case id — the
+/// resolution step for anything that addresses cells by coordinates
+/// (`lcp-serve` requests, CLI `--scheme` filters).
+///
+/// Ids are unique across the registry, so the first match is the only
+/// one. `None` for unknown ids.
+pub fn find(id: &str) -> Option<SchemeEntry> {
+    all().into_iter().find(|e| e.id == id)
+}
+
 /// Every registered scheme, in Table-1 order (properties, then
 /// problems).
 ///
@@ -1241,11 +1278,6 @@ pub fn all() -> Vec<SchemeEntry> {
             builder: b_weak_leader_election,
         },
     ]
-}
-
-/// Looks an entry up by [`SchemeEntry::id`].
-pub fn find(id: &str) -> Option<SchemeEntry> {
-    all().into_iter().find(|e| e.id == id)
 }
 
 #[cfg(test)]

@@ -1,0 +1,232 @@
+//! A small blocking client for the `lcp-serve` protocol — the substrate
+//! of the integration tests, the `serve_session` example, and the
+//! `serve_bench` latency harness.
+
+use crate::protocol::{read_frame, write_frame, CellCoord, WireMutation};
+use lcp_core::json::Json;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server closed the connection before answering (e.g. during a
+    /// drain).
+    Closed,
+    /// The server answered `"ok": false`.
+    Protocol {
+        /// The stable error kind (a `protocol::ERR_*` value).
+        kind: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The response frame was not the JSON envelope the protocol
+    /// promises.
+    Malformed(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Closed => write!(f, "connection closed by the server"),
+            ClientError::Protocol { kind, detail } => write!(f, "{kind}: {detail}"),
+            ClientError::Malformed(detail) => write!(f, "malformed response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// The protocol error kind, when this is a typed server error.
+    pub fn kind(&self) -> Option<&str> {
+        match self {
+            ClientError::Protocol { kind, .. } => Some(kind),
+            _ => None,
+        }
+    }
+}
+
+/// One blocking connection to a daemon; requests run strictly
+/// in order (the protocol has no pipelining).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, so mutate round-trips stay
+    /// sub-millisecond).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one raw request payload and returns the parsed `"ok":
+    /// true` response object.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] for typed server errors,
+    /// [`ClientError::Closed`] when the server hung up first.
+    pub fn request(&mut self, payload: &str) -> Result<Json, ClientError> {
+        write_frame(&mut self.stream, payload)?;
+        self.read_response()
+    }
+
+    /// Reads one response frame without sending anything — e.g. the
+    /// busy error an overloaded acceptor writes on its own.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::request`].
+    pub fn read_response(&mut self) -> Result<Json, ClientError> {
+        let payload = read_frame(&mut self.stream, &|| false)?.ok_or(ClientError::Closed)?;
+        let doc = Json::parse(&payload).map_err(|e| ClientError::Malformed(e.to_string()))?;
+        match doc.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(doc),
+            Some(false) => Err(ClientError::Protocol {
+                kind: doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_string(),
+                detail: doc
+                    .get("detail")
+                    .and_then(Json::as_str)
+                    .unwrap_or_default()
+                    .to_string(),
+            }),
+            None => Err(ClientError::Malformed("response without \"ok\"".into())),
+        }
+    }
+
+    /// `prepare`: materialize + warm a cell.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn prepare(&mut self, coord: &CellCoord) -> Result<Json, ClientError> {
+        self.request(&format!("{{\"op\":\"prepare\",{}}}", coord.render_fields()))
+    }
+
+    /// `verify`: full verdict on a resident cell, optionally budgeted.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn verify(
+        &mut self,
+        coord: &CellCoord,
+        budget_ms: Option<u64>,
+    ) -> Result<Json, ClientError> {
+        let budget = match budget_ms {
+            Some(ms) => format!(",\"budget_ms\":{ms}"),
+            None => String::new(),
+        };
+        self.request(&format!(
+            "{{\"op\":\"verify\",{}{}}}",
+            coord.render_fields(),
+            budget
+        ))
+    }
+
+    /// `tamper-probe`: seeded single-bit flips on the honest proof.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn tamper_probe(
+        &mut self,
+        coord: &CellCoord,
+        trials: usize,
+        seed: u64,
+    ) -> Result<Json, ClientError> {
+        self.request(&format!(
+            "{{\"op\":\"tamper-probe\",{},\"trials\":{trials},\"seed\":{seed}}}",
+            coord.render_fields()
+        ))
+    }
+
+    /// `stats`: instance-table and skeleton-cache counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"stats\"}")
+    }
+
+    /// `session-open`: start a churn session on this connection.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn session_open(&mut self, coord: &CellCoord) -> Result<Json, ClientError> {
+        self.request(&format!(
+            "{{\"op\":\"session-open\",{}}}",
+            coord.render_fields()
+        ))
+    }
+
+    /// `mutate`: apply one mutation in the session, get the incremental
+    /// verdict.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn mutate(&mut self, mutation: &WireMutation) -> Result<Json, ClientError> {
+        self.request(&format!(
+            "{{\"op\":\"mutate\",{}}}",
+            mutation.render_fields()
+        ))
+    }
+
+    /// `churn`: run a seeded mutation stream inside the session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn churn(
+        &mut self,
+        seed: u64,
+        steps: usize,
+        check_every: usize,
+    ) -> Result<Json, ClientError> {
+        self.request(&format!(
+            "{{\"op\":\"churn\",\"seed\":{seed},\"steps\":{steps},\"check_every\":{check_every}}}"
+        ))
+    }
+
+    /// `session-close`: drop this connection's session.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn session_close(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"session-close\"}")
+    }
+
+    /// `shutdown`: ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`].
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.request("{\"op\":\"shutdown\"}")
+    }
+}

@@ -1,0 +1,55 @@
+//! # `lcp-serve` — a resident verification daemon
+//!
+//! Everything else in this workspace is batch-process-and-exit: the
+//! expensive artifacts (skeleton BFS results, prepared cores, dirty-set
+//! state) are rebuilt on every invocation, throwing away exactly the
+//! reuse that makes incremental verification thousands of times faster
+//! than from-scratch checks (`BENCH_dynamic.json`). This crate converts
+//! that machinery into a servable capability: a long-lived daemon that
+//!
+//! * loads registry cells on demand into an LRU-bounded
+//!   [`InstanceTable`] whose cells share one process-wide
+//!   [`SkeletonCache`](lcp_core::SkeletonCache) — a resident `verify`
+//!   issues **zero** skeleton rebuilds;
+//! * answers `prepare` / `verify` / `tamper-probe` / `stats` requests
+//!   over a length-prefixed JSON protocol on TCP
+//!   ([`protocol`], `docs/PROTOCOL.md`), with per-request
+//!   [`Deadline`](lcp_core::Deadline) budgets;
+//! * runs stateful **churn sessions**: a client opens a private
+//!   [`DynamicInstance`](lcp_dynamic::DynamicInstance) over a resident
+//!   cell and streams mutations, getting a sub-millisecond incremental
+//!   verdict per mutation;
+//! * bounds its own concurrency with a fixed worker pool and answers
+//!   overload with a typed busy error instead of queueing unboundedly.
+//!
+//! ```no_run
+//! use lcp_serve::{Client, Server, ServerConfig};
+//! use lcp_serve::protocol::CellCoord;
+//! use lcp_schemes::registry::Polarity;
+//! use lcp_graph::families::GraphFamily;
+//!
+//! let handle = Server::bind(ServerConfig::default())?.spawn()?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let coord = CellCoord {
+//!     scheme: "bipartite".into(),
+//!     family: GraphFamily::Cycle,
+//!     n: 100,
+//!     seed: 7,
+//!     polarity: Polarity::Yes,
+//! };
+//! client.prepare(&coord)?;          // build + warm skeletons, once
+//! client.verify(&coord, None)?;     // resident: zero rebuilds
+//! handle.stop()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod table;
+
+pub use client::{Client, ClientError};
+pub use protocol::{CellCoord, ProtoError, Request, WireLabel, WireMutation, REQUEST_NAMES};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use table::{InstanceTable, TableStats};

@@ -1,0 +1,249 @@
+//! The LRU-bounded instance table: resident cells keyed by coordinates,
+//! sharing one process-wide [`SkeletonCache`].
+//!
+//! Loading a cell is the expensive part of every request — registry
+//! build, ground truth, one bounded BFS per node — so the table pays it
+//! once per coordinate and hands out `Arc<DynScheme>` clones after
+//! that. The skeleton core lives in the shared cache (attached via
+//! `DynScheme::with_cache` and warmed by `prepare_skeletons`), which is
+//! what makes a resident `verify` issue **zero** skeleton rebuilds: the
+//! completeness sweep prepares through the cache and hits.
+//!
+//! Eviction is the other half of residency: when the table exceeds its
+//! capacity the least-recently-used cell is dropped *and* its skeleton
+//! core is removed from the shared cache (`DynScheme::evict_skeletons`
+//! → `SkeletonCache::remove`), so a long-lived daemon's memory is
+//! bounded by the capacity, not by the history of cells it ever served.
+
+use crate::protocol::{CellCoord, ProtoError, ERR_INAPPLICABLE, ERR_UNKNOWN_SCHEME};
+use lcp_core::{DynScheme, SkeletonCache};
+use lcp_schemes::registry::{self, CellRequest};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time counters of an [`InstanceTable`] (the `stats` op).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TableStats {
+    /// Resident cells right now.
+    pub resident: usize,
+    /// The configured capacity.
+    pub capacity: usize,
+    /// Cells evicted since the table was created.
+    pub evictions: usize,
+    /// Cells loaded (registry build + skeleton warm) since creation.
+    pub loads: usize,
+    /// Cached skeleton preparations right now.
+    pub skeleton_len: usize,
+    /// Skeleton-cache lookups served from the cache.
+    pub skeleton_hits: usize,
+    /// Skeleton-cache lookups that had to build.
+    pub skeleton_misses: usize,
+}
+
+/// An LRU-bounded map from [`CellCoord`] to resident, skeleton-warmed
+/// [`DynScheme`] cells.
+pub struct InstanceTable {
+    cache: Arc<SkeletonCache>,
+    capacity: usize,
+    /// LRU order: front = least recently used, back = most recent.
+    entries: Mutex<Vec<(CellCoord, Arc<DynScheme>)>>,
+    evictions: AtomicUsize,
+    loads: AtomicUsize,
+}
+
+impl std::fmt::Debug for InstanceTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("InstanceTable")
+            .field("resident", &stats.resident)
+            .field("capacity", &stats.capacity)
+            .field("evictions", &stats.evictions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl InstanceTable {
+    /// An empty table bounded to `capacity` resident cells (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        InstanceTable {
+            cache: Arc::new(SkeletonCache::new()),
+            capacity: capacity.max(1),
+            entries: Mutex::new(Vec::new()),
+            evictions: AtomicUsize::new(0),
+            loads: AtomicUsize::new(0),
+        }
+    }
+
+    /// The shared skeleton cache every resident cell prepares through.
+    pub fn cache(&self) -> &Arc<SkeletonCache> {
+        &self.cache
+    }
+
+    /// Returns the resident cell at `coord`, loading (and LRU-evicting)
+    /// as needed. The returned cell has its skeletons warm in
+    /// [`Self::cache`].
+    ///
+    /// # Errors
+    ///
+    /// [`ERR_UNKNOWN_SCHEME`] for ids outside the registry and
+    /// [`ERR_INAPPLICABLE`] when the builder cannot realize the
+    /// requested `(family, polarity)`.
+    pub fn get_or_load(&self, coord: &CellCoord) -> Result<Arc<DynScheme>, ProtoError> {
+        if let Some(cell) = self.touch(coord) {
+            return Ok(cell);
+        }
+        // Build outside the lock: loading a 10⁴-node cell takes
+        // milliseconds and must not serialize unrelated requests. A
+        // racing twin may insert first; the re-check below adopts it.
+        let entry = registry::find(&coord.scheme).ok_or_else(|| {
+            ProtoError::new(
+                ERR_UNKNOWN_SCHEME,
+                format!("no scheme {:?} in the registry", coord.scheme),
+            )
+        })?;
+        let request = CellRequest {
+            family: coord.family,
+            n: coord.n,
+            seed: coord.seed,
+            polarity: coord.polarity,
+        };
+        let cell = entry
+            .build(&request)
+            .ok_or_else(|| {
+                ProtoError::new(
+                    ERR_INAPPLICABLE,
+                    format!(
+                        "scheme {:?} has no {} cell on family {:?}",
+                        coord.scheme,
+                        coord.polarity.name(),
+                        coord.family.name()
+                    ),
+                )
+            })?
+            .with_cache(Arc::clone(&self.cache));
+        cell.prepare_skeletons();
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(cell);
+
+        let evicted = {
+            let mut entries = self.entries.lock().expect("table lock");
+            if let Some(pos) = entries.iter().position(|(k, _)| k == coord) {
+                // Racing twin won; adopt its cell (ours evaporates, and
+                // its identical skeleton core was already cached).
+                let (key, theirs) = entries.remove(pos);
+                entries.push((key, Arc::clone(&theirs)));
+                return Ok(theirs);
+            }
+            entries.push((coord.clone(), Arc::clone(&cell)));
+            if entries.len() > self.capacity {
+                Some(entries.remove(0))
+            } else {
+                None
+            }
+        };
+        if let Some((_, old)) = evicted {
+            // Outside the lock: eviction touches the skeleton cache's
+            // own mutex and needs no table state.
+            old.evict_skeletons();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(cell)
+    }
+
+    /// Looks `coord` up and refreshes its recency, without loading.
+    fn touch(&self, coord: &CellCoord) -> Option<Arc<DynScheme>> {
+        let mut entries = self.entries.lock().expect("table lock");
+        let pos = entries.iter().position(|(k, _)| k == coord)?;
+        let entry = entries.remove(pos);
+        let cell = Arc::clone(&entry.1);
+        entries.push(entry);
+        Some(cell)
+    }
+
+    /// Current table + skeleton-cache counters.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            resident: self.entries.lock().expect("table lock").len(),
+            capacity: self.capacity,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            loads: self.loads.load(Ordering::Relaxed),
+            skeleton_len: self.cache.len(),
+            skeleton_hits: self.cache.hits(),
+            skeleton_misses: self.cache.misses(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcp_graph::families::GraphFamily;
+    use lcp_schemes::registry::Polarity;
+
+    fn coord(n: usize) -> CellCoord {
+        CellCoord {
+            scheme: "bipartite".into(),
+            family: GraphFamily::Cycle,
+            n,
+            seed: 7,
+            polarity: Polarity::Yes,
+        }
+    }
+
+    #[test]
+    fn loads_are_cached_and_skeletons_warm() {
+        let table = InstanceTable::new(4);
+        let a = table.get_or_load(&coord(16)).unwrap();
+        assert!(a.holds());
+        let stats = table.stats();
+        assert_eq!((stats.resident, stats.loads), (1, 1));
+        assert_eq!(stats.skeleton_misses, 1, "prepare_skeletons built once");
+
+        // Resident verify: zero rebuilds, only hits.
+        assert_eq!(a.check_completeness(), Ok(Some(1)));
+        let b = table.get_or_load(&coord(16)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same resident cell");
+        let stats = table.stats();
+        assert_eq!((stats.loads, stats.skeleton_misses), (1, 1));
+        assert!(stats.skeleton_hits >= 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_drops_skeletons() {
+        let table = InstanceTable::new(2);
+        table.get_or_load(&coord(8)).unwrap();
+        table.get_or_load(&coord(10)).unwrap();
+        // Touch 8 so 10 becomes the LRU victim.
+        table.get_or_load(&coord(8)).unwrap();
+        table.get_or_load(&coord(12)).unwrap();
+        let stats = table.stats();
+        assert_eq!((stats.resident, stats.evictions), (2, 1));
+        assert_eq!(stats.skeleton_len, 2, "evicted cell left the cache too");
+
+        // The evicted cell reloads (a fresh build, not a hit).
+        table.get_or_load(&coord(10)).unwrap();
+        let stats = table.stats();
+        assert_eq!(stats.loads, 4);
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn unknown_cells_are_typed_errors() {
+        let table = InstanceTable::new(2);
+        let mut bad = coord(8);
+        bad.scheme = "no-such-scheme".into();
+        assert_eq!(
+            table.get_or_load(&bad).unwrap_err().kind,
+            ERR_UNKNOWN_SCHEME
+        );
+        let mut inapplicable = coord(8);
+        inapplicable.polarity = Polarity::No;
+        inapplicable.scheme = "eulerian".into();
+        // Eulerian has no no-instance on cycles (cycles are Eulerian).
+        assert_eq!(
+            table.get_or_load(&inapplicable).unwrap_err().kind,
+            ERR_INAPPLICABLE
+        );
+        assert_eq!(table.stats().resident, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The concurrency contract: two sessions on distinct cells progress
+//! independently, a connection beyond the worker pool waits its turn in
+//! the bounded room, and one past the room gets the typed busy error —
+//! immediately, never a hang.
+
+use lcp_graph::families::GraphFamily;
+use lcp_schemes::registry::Polarity;
+use lcp_serve::{CellCoord, Client, ClientError, Server, ServerConfig, WireMutation};
+
+fn coord(n: usize) -> CellCoord {
+    CellCoord {
+        scheme: "bipartite".into(),
+        family: GraphFamily::Cycle,
+        n,
+        seed: 7,
+        polarity: Polarity::Yes,
+    }
+}
+
+#[test]
+fn sessions_progress_and_overload_is_a_typed_busy_error() {
+    // Two workers, a one-slot waiting room: connections 1 and 2 get
+    // workers, 3 waits, 4 is refused.
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        queue: 1,
+        capacity: 8,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+
+    let mut c1 = Client::connect(addr).expect("connect c1");
+    c1.session_open(&coord(24)).expect("c1 session");
+    let mut c2 = Client::connect(addr).expect("connect c2");
+    c2.session_open(&coord(32)).expect("c2 session");
+
+    // Both sessions make interleaved progress on their private cells.
+    c1.mutate(&WireMutation::EdgeInsert(0, 2))
+        .expect("c1 mutate");
+    c2.mutate(&WireMutation::EdgeInsert(1, 3))
+        .expect("c2 mutate");
+    c1.mutate(&WireMutation::EdgeDelete(0, 2))
+        .expect("c1 mutate");
+    c2.mutate(&WireMutation::EdgeDelete(1, 3))
+        .expect("c2 mutate");
+
+    // Both workers are pinned to c1/c2, so c3 lands in the waiting room
+    // (kernel accept order is connection order) and c4 overflows it.
+    let mut c3 = Client::connect(addr).expect("connect c3");
+    let mut c4 = Client::connect(addr).expect("connect c4");
+    let err = c4.read_response().expect_err("c4 must be refused");
+    match err {
+        ClientError::Protocol { ref kind, .. } => assert_eq!(kind, "busy"),
+        other => panic!("expected the typed busy error, got {other}"),
+    }
+
+    // c3's request parks in its socket until a worker frees up...
+    let waiter = std::thread::spawn(move || c3.stats());
+    // ...which happens when c1 finishes.
+    c1.session_close().expect("c1 close");
+    drop(c1);
+    waiter
+        .join()
+        .expect("waiter panicked")
+        .expect("c3 is served after c1 departs");
+
+    // c2 was never disturbed.
+    c2.session_close().expect("c2 close");
+    drop(c2);
+    handle.stop().expect("clean drain");
+}
+
+#[test]
+fn shutdown_request_drains_the_daemon() {
+    let handle = Server::bind(ServerConfig::default())
+        .expect("bind")
+        .spawn()
+        .expect("spawn");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.prepare(&coord(16)).expect("prepare");
+    client.shutdown().expect("shutdown is acknowledged");
+
+    // The drain closes the connection between requests; depending on
+    // timing the next request observes the close on write or on read.
+    match client.stats() {
+        Err(ClientError::Closed | ClientError::Io(_)) => {}
+        other => panic!("expected a drained connection, got {other:?}"),
+    }
+    handle.stop().expect("already-drained stop is clean");
+}

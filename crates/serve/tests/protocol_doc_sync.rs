@@ -1,0 +1,57 @@
+//! Keeps `docs/PROTOCOL.md` honest: the documented request set must be
+//! exactly the dispatch table, and every typed error kind must appear.
+
+use lcp_serve::protocol::{
+    ERR_BAD_REQUEST, ERR_BUSY, ERR_DEADLINE, ERR_INAPPLICABLE, ERR_LABEL_TYPE, ERR_MUTATION,
+    ERR_NO_SESSION, ERR_SESSION_ACTIVE, ERR_UNKNOWN_FAMILY, ERR_UNKNOWN_OP, ERR_UNKNOWN_SCHEME,
+};
+use lcp_serve::REQUEST_NAMES;
+
+fn protocol_doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/PROTOCOL.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/PROTOCOL.md must exist (tried {path}): {e}"))
+}
+
+/// Every `` ### `name` `` heading in the requests section, in document
+/// order. Prose headings (no backticks) are not request docs.
+fn documented_requests(doc: &str) -> Vec<&str> {
+    doc.lines()
+        .filter_map(|line| line.strip_prefix("### `")?.strip_suffix('`'))
+        .collect()
+}
+
+#[test]
+fn documented_requests_match_the_dispatch_table() {
+    let doc = protocol_doc();
+    let documented = documented_requests(&doc);
+    assert_eq!(
+        documented, REQUEST_NAMES,
+        "docs/PROTOCOL.md request sections and lcp_serve::REQUEST_NAMES \
+         must list the same ops in the same order"
+    );
+}
+
+#[test]
+fn every_error_kind_is_documented() {
+    let doc = protocol_doc();
+    let kinds = [
+        ERR_BAD_REQUEST,
+        ERR_UNKNOWN_OP,
+        ERR_UNKNOWN_SCHEME,
+        ERR_UNKNOWN_FAMILY,
+        ERR_INAPPLICABLE,
+        ERR_BUSY,
+        ERR_DEADLINE,
+        ERR_NO_SESSION,
+        ERR_SESSION_ACTIVE,
+        ERR_MUTATION,
+        ERR_LABEL_TYPE,
+    ];
+    for kind in kinds {
+        assert!(
+            doc.contains(&format!("`{kind}`")),
+            "error kind {kind:?} is missing from docs/PROTOCOL.md"
+        );
+    }
+}
