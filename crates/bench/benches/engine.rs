@@ -1,5 +1,6 @@
-//! Cached engine vs naive per-proof `View::extract`: the comparison that
-//! justifies `lcp_core::engine`.
+//! Cached engine vs naive per-proof `View::extract`, and the batched
+//! block odometer vs both: the comparisons that justify
+//! `lcp_core::engine` and `lcp_core::batch`.
 //!
 //! Workload (the acceptance workload for the engine): exhaustive
 //! soundness of the `Θ(log n)` non-bipartiteness scheme on the cycle
@@ -10,17 +11,22 @@
 //!   candidate — the pre-engine behaviour, reproduced locally below;
 //! * `engine` binds the 8 cached skeletons once and then re-binds only
 //!   the odometer-changed node, re-running only the ≤ 3 affected
-//!   verifiers per candidate.
+//!   verifiers per candidate (`BatchPolicy::Scalar`);
+//! * `batch` enumerates 49 candidates per block (`7² ≤ 64`) through
+//!   the block odometer's per-owner mask tables, deciding a whole
+//!   block with a handful of `u64` ANDs (`BatchPolicy::Auto`, the
+//!   library default).
 //!
-//! Besides the criterion timings, the bench prints the measured speedup
-//! and records a machine-readable snapshot in `BENCH_engine.json`
-//! (see README § Benchmarks). Run with `-- --test` for a smoke pass on a
+//! Besides the criterion timings, the bench prints the measured
+//! speedups and records a machine-readable snapshot in
+//! `BENCH_engine.json` (see README § Benchmarks) with both the `engine`
+//! and `batch` series. Run with `-- --test` for a smoke pass on a
 //! reduced workload.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lcp_core::engine::prepare;
-use lcp_core::harness::{all_bitstrings_up_to, check_soundness_exhaustive, Soundness};
-use lcp_core::{evaluate, Instance, Proof, Scheme};
+use lcp_core::harness::{all_bitstrings_up_to, check_soundness_exhaustive_policy, Soundness};
+use lcp_core::{evaluate, BatchPolicy, Deadline, Instance, Proof, Scheme};
 use lcp_graph::generators;
 use lcp_schemes::chromatic::NonBipartite;
 use std::hint::black_box;
@@ -58,6 +64,13 @@ fn naive_exhaustive<S: Scheme>(
     }
 }
 
+/// One cached-engine exhaustive run under an explicit batch policy.
+fn engine_exhaustive(inst: &Instance, max_bits: usize, policy: BatchPolicy) -> Soundness {
+    let prep = prepare(&NonBipartite, inst);
+    check_soundness_exhaustive_policy(&NonBipartite, &prep, max_bits, &Deadline::none(), policy)
+        .unwrap()
+}
+
 fn workload(c: &Criterion) -> (usize, usize) {
     // Smoke mode exercises the same code on a workload that finishes in
     // milliseconds; the real comparison is n = 8, max_bits = 2.
@@ -73,11 +86,11 @@ fn bench_exhaustive(c: &mut Criterion) {
     let inst = Instance::unlabeled(generators::cycle(n));
     let mut group = c.benchmark_group(format!("exhaustive-c{n}-b{max_bits}"));
     group.sample_size(1);
+    group.bench_function("batch", |b| {
+        b.iter(|| engine_exhaustive(black_box(&inst), max_bits, BatchPolicy::Auto))
+    });
     group.bench_function("engine", |b| {
-        b.iter(|| {
-            let prep = prepare(&NonBipartite, black_box(&inst));
-            check_soundness_exhaustive(&NonBipartite, &prep, max_bits).unwrap()
-        })
+        b.iter(|| engine_exhaustive(black_box(&inst), max_bits, BatchPolicy::Scalar))
     });
     group.bench_function("naive", |b| {
         b.iter(|| naive_exhaustive(&NonBipartite, black_box(&inst), max_bits))
@@ -94,42 +107,49 @@ fn bench_speedup_snapshot(c: &mut Criterion) {
     let (n, max_bits) = workload(c);
     let inst = Instance::unlabeled(generators::cycle(n));
 
-    // The engine side finishes in well under a second, so a single
-    // sample is at the mercy of scheduler noise — CI diffs this number,
-    // so take the best of three (the naive side runs tens of seconds
-    // and is comparatively stable; one sample suffices).
-    let mut engine_s = f64::INFINITY;
-    let mut engine_result = None;
-    for _ in 0..if c.is_test_mode() { 1 } else { 3 } {
-        let t = Instant::now();
-        let result = {
-            let prep = prepare(&NonBipartite, &inst);
-            check_soundness_exhaustive(&NonBipartite, &prep, max_bits).unwrap()
-        };
-        engine_s = engine_s.min(t.elapsed().as_secs_f64());
-        engine_result = Some(result);
-    }
-    let engine_result = engine_result.expect("at least one engine run");
+    // The engine and batch sides finish in well under a second, so a
+    // single sample is at the mercy of scheduler noise — CI diffs these
+    // numbers, so take the best of three (the naive side runs tens of
+    // seconds and is comparatively stable; one sample suffices).
+    let reps = if c.is_test_mode() { 1 } else { 3 };
+    let timed = |policy: BatchPolicy| {
+        let mut best = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let out = engine_exhaustive(&inst, max_bits, policy);
+            best = best.min(t.elapsed().as_secs_f64());
+            result = Some(out);
+        }
+        (best, result.expect("at least one run"))
+    };
+    let (engine_s, engine_result) = timed(BatchPolicy::Scalar);
+    let (batch_s, batch_result) = timed(BatchPolicy::Auto);
 
     let t = Instant::now();
     let naive_result = naive_exhaustive(&NonBipartite, &inst, max_bits);
     let naive_s = t.elapsed().as_secs_f64();
 
     assert_eq!(engine_result, naive_result, "executors must agree");
+    assert_eq!(batch_result, naive_result, "batched executor must agree");
     let speedup = naive_s / engine_s;
+    let batch_speedup = naive_s / batch_s;
     let Soundness::Holds(tried) = engine_result else {
         panic!("C{n} must be sound for chromatic>2");
     };
     println!(
         "engine-vs-naive: {tried} proofs on C{n} (max_bits = {max_bits}): \
-         naive {naive_s:.3}s, engine {engine_s:.3}s, speedup {speedup:.1}x"
+         naive {naive_s:.3}s, engine {engine_s:.3}s ({speedup:.1}x), \
+         batch {batch_s:.3}s ({batch_speedup:.1}x, {:.1}x over engine)",
+        engine_s / batch_s
     );
     if !c.is_test_mode() {
         let json = format!(
             "{{\n  \"bench\": \"engine-vs-naive-exhaustive\",\n  \"graph\": \"cycle\",\n  \
              \"n\": {n},\n  \"max_bits\": {max_bits},\n  \"proofs\": {tried},\n  \
              \"naive_seconds\": {naive_s:.4},\n  \"engine_seconds\": {engine_s:.4},\n  \
-             \"speedup\": {speedup:.2}\n}}\n"
+             \"speedup\": {speedup:.2},\n  \"batch_seconds\": {batch_s:.4},\n  \
+             \"batch_speedup\": {batch_speedup:.2}\n}}\n"
         );
         // Default to an untracked location so casual bench runs don't
         // dirty the committed reference snapshot; opt in to refreshing

@@ -36,7 +36,7 @@ use lcp_core::dynamic::{DynScheme, TamperProbe};
 use lcp_core::harness::{
     classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness, SoundnessError,
 };
-use lcp_core::{Deadline, Scheme, SkeletonCache};
+use lcp_core::{BatchPolicy, Deadline, Scheme, SkeletonCache};
 use lcp_graph::families::GraphFamily;
 use lcp_logic::{formulas, Sigma11Scheme};
 use lcp_schemes::registry::{self, CellRequest, Polarity, SchemeEntry};
@@ -204,6 +204,11 @@ pub struct CampaignConfig {
     /// budget, a cell whose checks exceed it degrades to a `timed_out`
     /// verdict instead of hanging its shard.
     pub cell_budget_ms: Option<u64>,
+    /// Route the search checks through the batched evaluation layer
+    /// (`lcp_core::batch`). On by default in every profile; `--no-batch`
+    /// forces the scalar loops. Reports are byte-identical either way —
+    /// batching may never change a verdict, a witness, or an RNG stream.
+    pub batch: bool,
 }
 
 impl CampaignConfig {
@@ -221,6 +226,7 @@ impl CampaignConfig {
                 family_filter: None,
                 shard: None,
                 cell_budget_ms: None,
+                batch: true,
             },
             Profile::Full => CampaignConfig {
                 seed,
@@ -233,6 +239,7 @@ impl CampaignConfig {
                 family_filter: None,
                 shard: None,
                 cell_budget_ms: None,
+                batch: true,
             },
         }
     }
@@ -792,7 +799,12 @@ fn run_one(
     });
     let cell = cell
         .with_cache(Arc::clone(cache))
-        .with_deadline(deadline.clone());
+        .with_deadline(deadline.clone())
+        .with_batch(if config.batch {
+            BatchPolicy::Auto
+        } else {
+            BatchPolicy::Scalar
+        });
     result.n = cell.n();
     result.holds = cell.holds();
 

@@ -58,6 +58,9 @@ OPTIONS:
     --churn-steps <n>        mutations per churn cell        [default: per profile]
     --cell-budget-ms <n>     wall budget per cell; over-budget cells
                              report timed_out instead of hanging the shard
+    --no-batch               force the scalar search loops instead of the
+                             batched (64-candidates-per-word) evaluation
+                             layer; reports are byte-identical either way
     --checkpoint <path>      append one JSON line per completed cell, so a
                              killed shard can be resumed
     --resume <path>          skip cells recorded in a prior checkpoint of
@@ -104,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
     let mut churn = false;
     let mut churn_steps = None;
     let mut cell_budget_ms = None;
+    let mut batch = true;
     let mut checkpoint = None;
     let mut resume = None;
     let mut inject_faults = false;
@@ -162,6 +166,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = value("--cell-budget-ms")?;
                 cell_budget_ms = Some(v.parse().map_err(|_| format!("bad budget '{v}'"))?);
             }
+            "--no-batch" => batch = false,
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--resume" => resume = Some(value("--resume")?),
             "--inject-faults" => inject_faults = true,
@@ -192,6 +197,7 @@ fn parse_args() -> Result<Args, String> {
     config.family_filter = family;
     config.shard = shard;
     config.cell_budget_ms = cell_budget_ms;
+    config.batch = batch;
     Ok(Args {
         config,
         churn,

@@ -45,11 +45,12 @@
 //! assert_eq!(cells[0].check_completeness(), Ok(Some(0)));
 //! ```
 
+use crate::batch::BatchPolicy;
 use crate::bits::{AsBits, BitString};
 use crate::deadline::Deadline;
 use crate::engine::{PreparedInstance, SkeletonCache, SkeletonStore};
 use crate::harness::{
-    adversarial_proof_search_within, check_instance_within, check_soundness_exhaustive_within,
+    adversarial_proof_search_policy, check_instance_within, check_soundness_exhaustive_policy,
     CompletenessError, Soundness, SoundnessError,
 };
 use crate::instance::Instance;
@@ -373,6 +374,9 @@ pub struct DynScheme {
     /// Wall budget the engine-backed checks poll, when attached
     /// ([`Self::with_deadline`]); unbounded by default.
     deadline: Deadline,
+    /// Routing policy for the batched evaluation layer
+    /// ([`Self::with_batch`]); `Auto` by default.
+    batch: BatchPolicy,
     prove: Box<dyn Fn() -> Option<Proof> + Send + Sync>,
     evaluate: Box<dyn Fn(&Proof) -> Verdict + Send + Sync>,
     until_reject: Box<dyn Fn(&Proof) -> Option<usize> + Send + Sync>,
@@ -382,12 +386,19 @@ pub struct DynScheme {
             + Sync,
     >,
     soundness: Box<
-        dyn Fn(usize, Option<&SkeletonCache>, &Deadline) -> Result<Soundness, SoundnessError>
+        dyn Fn(
+                usize,
+                Option<&SkeletonCache>,
+                &Deadline,
+                BatchPolicy,
+            ) -> Result<Soundness, SoundnessError>
             + Send
             + Sync,
     >,
     adversarial: Box<
-        dyn Fn(usize, usize, u64, Option<&SkeletonCache>, &Deadline) -> Option<Proof> + Send + Sync,
+        dyn Fn(usize, usize, u64, Option<&SkeletonCache>, &Deadline, BatchPolicy) -> Option<Proof>
+            + Send
+            + Sync,
     >,
     tamper: Box<dyn Fn(usize, u64, Option<&SkeletonCache>) -> Option<TamperProbe> + Send + Sync>,
     dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
@@ -456,9 +467,12 @@ impl DynScheme {
         });
         let c = Arc::clone(&cell);
         let soundness = Box::new(
-            move |max_bits: usize, cache: Option<&SkeletonCache>, deadline: &Deadline| {
+            move |max_bits: usize,
+                  cache: Option<&SkeletonCache>,
+                  deadline: &Deadline,
+                  policy: BatchPolicy| {
                 let prep = prep_for(&c.1, c.0.radius(), cache);
-                check_soundness_exhaustive_within(&c.0, &prep, max_bits, deadline)
+                check_soundness_exhaustive_policy(&c.0, &prep, max_bits, deadline, policy)
             },
         );
         let c = Arc::clone(&cell);
@@ -467,10 +481,13 @@ impl DynScheme {
                   iterations: usize,
                   seed: u64,
                   cache: Option<&SkeletonCache>,
-                  deadline: &Deadline| {
+                  deadline: &Deadline,
+                  policy: BatchPolicy| {
                 let prep = prep_for(&c.1, c.0.radius(), cache);
                 let mut rng = StdRng::seed_from_u64(seed);
-                adversarial_proof_search_within(&c.0, &prep, budget, iterations, &mut rng, deadline)
+                adversarial_proof_search_policy(
+                    &c.0, &prep, budget, iterations, &mut rng, deadline, policy,
+                )
             },
         );
         let c = Arc::clone(&cell);
@@ -497,6 +514,7 @@ impl DynScheme {
             holds,
             cache: None,
             deadline: Deadline::none(),
+            batch: BatchPolicy::default(),
             prove,
             evaluate: eval,
             until_reject,
@@ -529,6 +547,16 @@ impl DynScheme {
     /// operation behaves exactly as before the budget machinery existed.
     pub fn with_deadline(mut self, deadline: Deadline) -> DynScheme {
         self.deadline = deadline;
+        self
+    }
+
+    /// Sets the [`BatchPolicy`] for the engine-backed search checks
+    /// (exhaustive soundness, adversarial search). The default is
+    /// [`BatchPolicy::Auto`]; `Scalar` is the campaign's `--no-batch`
+    /// escape hatch. Results are identical either way — only the
+    /// evaluation strategy changes.
+    pub fn with_batch(mut self, policy: BatchPolicy) -> DynScheme {
+        self.batch = policy;
         self
     }
 
@@ -608,7 +636,7 @@ impl DynScheme {
         max_bits: usize,
         deadline: &Deadline,
     ) -> Result<Soundness, SoundnessError> {
-        (self.soundness)(max_bits, self.cache.as_deref(), deadline)
+        (self.soundness)(max_bits, self.cache.as_deref(), deadline, self.batch)
     }
 
     /// Seeded adversarial proof search on the cached engine; `Some` is a
@@ -646,6 +674,7 @@ impl DynScheme {
             seed,
             self.cache.as_deref(),
             deadline,
+            self.batch,
         )
     }
 

@@ -15,6 +15,7 @@
 //! arena in place and re-verify only the nodes whose views contain the
 //! changed bits — zero heap allocations per candidate proof.
 
+use crate::batch::BatchPolicy;
 use crate::bits::BitString;
 use crate::deadline::Deadline;
 use crate::engine::PreparedInstance;
@@ -379,11 +380,11 @@ const MEMO_BYTE_CAP: usize = 1 << 22;
 /// signature over `indices[members(v)]`. Tables are preallocated once
 /// and filled lazily — a hit replaces a whole bind + verify with a few
 /// multiplies and a byte load, and the loop stays allocation-free.
-struct OutputMemo {
+pub(crate) struct OutputMemo {
     /// Table region offsets per owner (`off[v]..off[v + 1]`).
     off: Vec<usize>,
     /// 0 = unknown, 1 = rejected, 2 = accepted.
-    table: Vec<u8>,
+    pub(crate) table: Vec<u8>,
     /// Radix: the number of candidate strings per node.
     radix: usize,
 }
@@ -391,7 +392,10 @@ struct OutputMemo {
 impl OutputMemo {
     /// Builds the memo when every owner's signature space fits the byte
     /// budget; `None` falls back to direct re-verification.
-    fn try_new(ball_sizes: impl Iterator<Item = usize>, radix: usize) -> Option<OutputMemo> {
+    pub(crate) fn try_new(
+        ball_sizes: impl Iterator<Item = usize>,
+        radix: usize,
+    ) -> Option<OutputMemo> {
         let mut off = vec![0usize];
         let mut total = 0usize;
         for b in ball_sizes {
@@ -414,7 +418,7 @@ impl OutputMemo {
 
     /// The owner's table slot for the current odometer state.
     #[inline(always)]
-    fn slot(&self, owner: usize, members: &[u32], indices: &[usize]) -> usize {
+    pub(crate) fn slot(&self, owner: usize, members: &[u32], indices: &[usize]) -> usize {
         let mut sig = 0usize;
         for &m in members {
             sig = sig * self.radix + indices[m as usize];
@@ -479,6 +483,31 @@ where
     S::Node: Send + Sync,
     S::Edge: Send + Sync,
 {
+    check_soundness_exhaustive_policy(scheme, prep, max_bits, deadline, BatchPolicy::default())
+}
+
+/// [`check_soundness_exhaustive_within`] with an explicit
+/// [`BatchPolicy`]: `Auto` (the default everywhere else) routes the
+/// enumeration through the batched block odometer of [`crate::batch`]
+/// when compiled in and applicable, `Scalar` forces the classic
+/// per-candidate loop. **Identical results either way** — same verdict,
+/// same first violating proof, same `tried` counts, same deadline grid
+/// (pinned by the `batch_equivalence` property tests).
+///
+/// # Errors / Panics
+///
+/// As [`check_soundness_exhaustive_within`].
+pub fn check_soundness_exhaustive_policy<S: Scheme>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    max_bits: usize,
+    deadline: &Deadline,
+    policy: BatchPolicy,
+) -> Result<Soundness, SoundnessError>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
         !scheme.holds(prep.instance()),
         "exhaustive soundness check requires a no-instance"
@@ -499,6 +528,27 @@ where
         return Ok(Soundness::Violated(Proof::empty(0)));
     }
     let strings = all_bitstrings_up_to(max_bits).expect("per-node table within the checked space");
+    if crate::batch::enabled(policy) {
+        // The block odometer declines shapes it cannot lay out (string
+        // table outside 2..=64, mask tables over budget) — those fall
+        // through to the scalar loop.
+        if let Some(result) = crate::batch::exhaustive(scheme, prep, max_bits, &strings, deadline) {
+            return result;
+        }
+    }
+    exhaustive_scalar(scheme, prep, max_bits, &strings, deadline)
+}
+
+/// The classic one-candidate-at-a-time odometer (the `Scalar` route and
+/// the fallback for shapes the batch layer declines).
+fn exhaustive_scalar<S: Scheme>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    max_bits: usize,
+    strings: &[BitString],
+    deadline: &Deadline,
+) -> Result<Soundness, SoundnessError> {
+    let n = prep.n();
     // One preallocated arena holds the candidate; the all-ε start is
     // verified once, then every later candidate mutates the arena in
     // place and re-runs only the affected verifiers.
@@ -581,8 +631,8 @@ pub fn random_proof(n: usize, max_bits: usize, rng: &mut StdRng) -> Proof {
 
 /// Regenerates every node's bits in place — same RNG stream as
 /// [`random_proof`], zero allocations (the restart path of
-/// [`adversarial_proof_search`]).
-fn refill_random(proof: &mut Proof, max_bits: usize, rng: &mut StdRng) {
+/// [`adversarial_proof_search`], shared with the batched search).
+pub(crate) fn refill_random(proof: &mut Proof, max_bits: usize, rng: &mut StdRng) {
     for v in 0..proof.n() {
         proof.write_bits(v, (0..max_bits).map(|_| rng.random_bool(0.5)));
     }
@@ -650,6 +700,42 @@ where
     S::Node: Send + Sync,
     S::Edge: Send + Sync,
 {
+    adversarial_proof_search_policy(
+        scheme,
+        prep,
+        size_budget,
+        iterations,
+        rng,
+        deadline,
+        BatchPolicy::default(),
+    )
+}
+
+/// [`adversarial_proof_search_within`] with an explicit [`BatchPolicy`]:
+/// `Auto` routes schemes with a bit-sliced kernel
+/// ([`Scheme::supports_batch`]) through the chunked 64-lane search of
+/// [`crate::batch`]; everything else (no kernel, zero size budget,
+/// bounded deadline, or `Scalar`) takes the classic per-flip loop.
+/// **Identical results either way** — same incumbent, same returned
+/// proof, and the RNG is left at the same stream position on every exit
+/// path (pinned by the `batch_equivalence` property tests).
+///
+/// # Panics
+///
+/// Panics if the instance is a yes-instance.
+pub fn adversarial_proof_search_policy<S: Scheme>(
+    scheme: &S,
+    prep: &PreparedInstance<'_, S::Node, S::Edge>,
+    size_budget: usize,
+    iterations: usize,
+    rng: &mut StdRng,
+    deadline: &Deadline,
+    policy: BatchPolicy,
+) -> Option<Proof>
+where
+    S::Node: Send + Sync,
+    S::Edge: Send + Sync,
+{
     assert!(
         !scheme.holds(prep.instance()),
         "adversarial search requires a no-instance"
@@ -657,6 +743,13 @@ where
     let n = prep.n();
     if n == 0 {
         return None;
+    }
+    if crate::batch::enabled(policy) {
+        if let Some(result) =
+            crate::batch::adversarial(scheme, prep, size_budget, iterations, rng, deadline)
+        {
+            return result;
+        }
     }
     let mut proof = random_proof(n, size_budget, rng);
     let mut outputs: Vec<bool> = (0..n)

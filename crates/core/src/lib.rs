@@ -64,6 +64,7 @@
 //! ```
 
 pub mod arena;
+pub mod batch;
 pub mod bits;
 pub mod components;
 pub mod deadline;
@@ -76,7 +77,8 @@ pub mod proof;
 pub mod scheme;
 pub mod view;
 
-pub use arena::ProofArena;
+pub use arena::{BatchArena, ProofArena};
+pub use batch::{BatchPolicy, BatchView};
 pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
 pub use deadline::{Deadline, DeadlineExpired};
 pub use dynamic::{seal_mutable, CellMutationError, DynScheme, MutableCell, TamperProbe};

@@ -8,14 +8,22 @@
 //! (string table, arena, output vectors) allocates a bounded amount,
 //! the per-candidate steady state allocates nothing.
 //!
+//! Every search-loop phase runs under **both** batch policies: `Auto`
+//! (the scheme below ships a bit-sliced kernel, so this exercises the
+//! 64-lane block odometer and the chunked adversarial search) and
+//! `Scalar` (the classic per-candidate loops). The zero-allocations
+//! guarantee covers both: the batched paths allocate only bounded
+//! setup (transposed arena, mask tables, chunk scratch), never per
+//! 64-candidate block or per chunk.
+//!
 //! One `#[test]` drives all phases: the counter is process-global, so
 //! concurrent test functions would double-count.
 
 use lcp_core::engine::PreparedInstance;
 use lcp_core::harness::{
-    adversarial_proof_search, check_soundness_exhaustive, random_proof, Soundness,
+    adversarial_proof_search_policy, check_soundness_exhaustive_policy, random_proof, Soundness,
 };
-use lcp_core::{Instance, Proof, Scheme, View};
+use lcp_core::{BatchArena, BatchPolicy, BatchView, Deadline, Instance, Proof, Scheme, View};
 use lcp_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,6 +110,17 @@ impl Scheme for Bipartite {
                 .iter()
                 .all(|&u| view.proof(u).first().is_some_and(|b| Some(b) != mine))
     }
+    fn supports_batch(&self) -> bool {
+        true
+    }
+    fn verify_batch(&self, view: &BatchView) -> u64 {
+        let c = view.center();
+        let mut acc = view.has_bit(c, 0);
+        for &u in view.neighbors(c) {
+            acc &= view.has_bit(u, 0) & (view.bit(c, 0) ^ view.bit(u, 0));
+        }
+        acc
+    }
 }
 
 #[test]
@@ -115,45 +134,77 @@ fn search_loops_do_not_allocate_per_candidate() {
     let prep_small = PreparedInstance::new(&small, 1);
     let prep_large = PreparedInstance::new(&large, 1);
 
-    let (allocs_small, result) =
-        min_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_small, 1).unwrap());
-    assert!(matches!(result, Soundness::Holds(243)));
-    let (allocs_large, result) =
-        min_allocs(|| check_soundness_exhaustive(&Bipartite, &prep_large, 1).unwrap());
-    assert!(matches!(result, Soundness::Holds(2187)));
+    for policy in [BatchPolicy::Auto, BatchPolicy::Scalar] {
+        let (allocs_small, result) = min_allocs(|| {
+            check_soundness_exhaustive_policy(&Bipartite, &prep_small, 1, &Deadline::none(), policy)
+                .unwrap()
+        });
+        assert!(matches!(result, Soundness::Holds(243)));
+        let (allocs_large, result) = min_allocs(|| {
+            check_soundness_exhaustive_policy(&Bipartite, &prep_large, 1, &Deadline::none(), policy)
+                .unwrap()
+        });
+        assert!(matches!(result, Soundness::Holds(2187)));
 
-    assert!(
-        allocs_small < 100,
-        "odometer setup should allocate a bounded amount, counted {allocs_small}"
-    );
-    // 1944 extra candidates may not buy even one extra allocation
-    // beyond the slightly larger O(n) setup vectors.
-    assert!(
-        allocs_large <= allocs_small + 20,
-        "odometer allocations grew with the candidate count: \
-         {allocs_small} for 243 candidates vs {allocs_large} for 2187"
-    );
+        assert!(
+            allocs_small < 100,
+            "odometer setup should allocate a bounded amount, \
+             counted {allocs_small} under {policy:?}"
+        );
+        // 1944 extra candidates (72 extra 27-lane blocks under `Auto`)
+        // may not buy even one extra allocation beyond the slightly
+        // larger O(n) setup vectors.
+        assert!(
+            allocs_large <= allocs_small + 20,
+            "odometer allocations grew with the candidate count under {policy:?}: \
+             {allocs_small} for 243 candidates vs {allocs_large} for 2187"
+        );
+    }
 
     // --- Adversarial bit-flip search ---------------------------------
-    let (allocs_short, _) = min_allocs(|| {
-        let mut rng = StdRng::seed_from_u64(11);
-        adversarial_proof_search(&Bipartite, &prep_large, 1, 250, &mut rng).is_some()
-    });
-    let (allocs_long, _) = min_allocs(|| {
-        let mut rng = StdRng::seed_from_u64(11);
-        adversarial_proof_search(&Bipartite, &prep_large, 1, 2_250, &mut rng).is_some()
-    });
-    assert!(
-        allocs_short < 60,
-        "adversarial setup should allocate a bounded amount, counted {allocs_short}"
-    );
-    // 2000 extra candidate steps (including 10 in-place restarts) must
-    // not allocate.
-    assert!(
-        allocs_long <= allocs_short,
-        "adversarial allocations grew with the iteration count: \
-         {allocs_short} for 250 iters vs {allocs_long} for 2250"
-    );
+    // Under `Auto` the kernel + unbounded deadline route this through
+    // the chunked 64-lane search; its per-chunk scratch is preallocated
+    // once, so extra iterations are allocation-free there too.
+    for policy in [BatchPolicy::Auto, BatchPolicy::Scalar] {
+        let (allocs_short, _) = min_allocs(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            adversarial_proof_search_policy(
+                &Bipartite,
+                &prep_large,
+                1,
+                250,
+                &mut rng,
+                &Deadline::none(),
+                policy,
+            )
+            .is_some()
+        });
+        let (allocs_long, _) = min_allocs(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            adversarial_proof_search_policy(
+                &Bipartite,
+                &prep_large,
+                1,
+                2_250,
+                &mut rng,
+                &Deadline::none(),
+                policy,
+            )
+            .is_some()
+        });
+        assert!(
+            allocs_short < 60,
+            "adversarial setup should allocate a bounded amount, \
+             counted {allocs_short} under {policy:?}"
+        );
+        // 2000 extra candidate steps (including 10 in-place restarts)
+        // must not allocate.
+        assert!(
+            allocs_long <= allocs_short,
+            "adversarial allocations grew with the iteration count under {policy:?}: \
+             {allocs_short} for 250 iters vs {allocs_long} for 2250"
+        );
+    }
 
     // --- Binding and in-place mutation -------------------------------
     // bind + verify + flip on a live arena: strictly zero allocations.
@@ -175,5 +226,30 @@ fn search_loops_do_not_allocate_per_candidate() {
     assert_eq!(
         allocs, 0,
         "bind + verify + flip must be allocation-free, counted {allocs}"
+    );
+
+    // --- Batched binding and in-place mutation -----------------------
+    // The 64-lane mirror of the phase above: bind_batch + verify_batch
+    // + per-lane flip on a live transposed arena — strictly zero
+    // allocations per 64-candidate block.
+    let mut arena = BatchArena::new(prep_large.n(), 1);
+    for v in 0..prep_large.n() {
+        arena.broadcast(v, proof.get(v));
+    }
+    let (allocs, _) = min_allocs(|| {
+        let mut rejections = 0u32;
+        for round in 0..1_000 {
+            let v = round % prep_large.n();
+            arena.flip((round / prep_large.n()) % 64, v, 0);
+            for owner in prep_large.dependents(v) {
+                let accepted = Bipartite.verify_batch(&prep_large.bind_batch(owner, &arena));
+                rejections += (!accepted).count_ones();
+            }
+        }
+        rejections
+    });
+    assert_eq!(
+        allocs, 0,
+        "bind_batch + verify_batch + flip must be allocation-free, counted {allocs}"
     );
 }
