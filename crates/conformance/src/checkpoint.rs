@@ -23,7 +23,8 @@
 use crate::churn::{churn_cell_fields, run_churn_campaign_inner, ChurnCellResult, ChurnReport};
 use crate::merge::{churn_cell, static_cell};
 use crate::{
-    cell_fields, filtered_entries, json_str, run_campaign_inner, CampaignConfig, CellResult, Report,
+    cell_fields, filtered_entries, json_str, run_campaign_inner, split_timeout_detail,
+    CampaignConfig, CellResult, CellStatus, Report,
 };
 use lcp_core::json::Json;
 use lcp_schemes::registry::SchemeEntry;
@@ -224,6 +225,25 @@ fn scheme_id<'e>(
         .ok_or_else(|| CheckpointError(format!("{name}: unknown scheme id \"{id}\"")))
 }
 
+/// Checkpoint lines are written in the timed form, so a timed-out
+/// cell's detail carries the timeout enrichment. Splitting it back into
+/// the structured `timeout` field restores the in-memory shape an
+/// uninterrupted run would have produced — the resumed `--no-timing`
+/// report stays byte-identical, and a timed re-serialization renders
+/// the enrichment (rather than doubling it).
+fn restore_timeout(
+    detail: &mut String,
+    timeout: &mut Option<(&'static str, u64)>,
+    status: CellStatus,
+) {
+    if status == CellStatus::TimedOut {
+        if let Some((base, phase, polls)) = split_timeout_detail(detail) {
+            *detail = base;
+            *timeout = Some((phase, polls));
+        }
+    }
+}
+
 fn load_static_resume(
     path: &str,
     header: &str,
@@ -237,6 +257,7 @@ fn load_static_resume(
         let mut cell =
             static_cell(name, doc, entry.id).map_err(|e| CheckpointError(e.to_string()))?;
         cell.wall_ms = doc.get("wall_ms").and_then(Json::as_u128).unwrap_or(0);
+        restore_timeout(&mut cell.detail, &mut cell.timeout, cell.status);
         Ok((cell.coord, cell))
     })
 }
@@ -258,6 +279,7 @@ fn load_churn_resume(
             .and_then(Json::as_u128)
             .unwrap_or(0);
         cell.full_ms = doc.get("full_ms").and_then(Json::as_u128).unwrap_or(0);
+        restore_timeout(&mut cell.detail, &mut cell.timeout, cell.status);
         Ok((cell.coord, cell))
     })
 }

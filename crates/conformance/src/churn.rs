@@ -88,6 +88,11 @@ pub struct ChurnCellResult {
     pub full_ms: u128,
     /// Deterministic human-readable detail.
     pub detail: String,
+    /// Timed-out cells only: the phase (always `churn`) and the cell's
+    /// deadline-poll count — rendered into `detail` in the **timed**
+    /// report only, mirroring the static campaign's
+    /// [`crate::CellResult::timeout`].
+    pub timeout: Option<(&'static str, u64)>,
 }
 
 /// The whole churn-campaign outcome.
@@ -264,6 +269,15 @@ impl ChurnReport {
 /// and omitting it preserves the historical byte layout.
 pub(crate) fn churn_cell_fields(c: &ChurnCellResult, include_timing: bool) -> String {
     let mut w = String::with_capacity(256);
+    let detail = match c.timeout {
+        // Timed form only, like the static campaign (see `cell_fields`).
+        Some((phase, polls)) if include_timing => crate::json_str(&format!(
+            "{}{}",
+            c.detail,
+            crate::timeout_suffix(phase, polls)
+        )),
+        _ => crate::json_str(&c.detail),
+    };
     let _ = write!(
         w,
         "\"coord\": {}, \"scheme\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \
@@ -287,7 +301,7 @@ pub(crate) fn churn_cell_fields(c: &ChurnCellResult, include_timing: bool) -> St
         c.max_impact,
         c.total_reverified,
         c.reverified_permille,
-        crate::json_str(&c.detail),
+        detail,
     );
     if matches!(c.status, CellStatus::Crashed | CellStatus::TimedOut) {
         let _ = write!(w, ", \"status\": {}", crate::json_str(c.status.name()));
@@ -335,6 +349,7 @@ fn churn_one(
         incremental_ms: 0,
         full_ms: 0,
         detail: String::new(),
+        timeout: None,
     };
     let Some(cell) = entry.build(&req) else {
         result.detail = "polarity not realizable on this family".into();
@@ -375,6 +390,7 @@ fn churn_one(
             "wall budget expired after {} of {steps} mutations",
             result.steps
         );
+        result.timeout = Some(("churn", deadline.polls()));
     } else if run.mismatches == 0 {
         result.status = CellStatus::Pass;
         result.detail = format!(
@@ -421,6 +437,7 @@ fn crashed_churn_cell(
         } else {
             format!("panic: {first} (retry panicked: {second})")
         },
+        timeout: None,
     }
 }
 
@@ -443,6 +460,7 @@ fn churn_one_isolated(
             let first = panic_message(payload.as_ref());
             match attempt() {
                 Ok(mut result) => {
+                    crate::metrics::FLAKE_RETRIES.inc();
                     let _ = write!(
                         result.detail,
                         " [recovered: first attempt panicked: {first}]"
@@ -495,12 +513,18 @@ pub(crate) fn run_churn_campaign_inner(
     resume: &std::collections::HashMap<usize, ChurnCellResult>,
 ) -> ChurnReport {
     let started = Instant::now();
+    let _campaign_span = lcp_obs::start_span(crate::metrics::campaign_span());
     let coords = matrix_coords(entries, config);
     let cells = map_coords(&coords, |c: &Coord| {
         if let Some(done) = resume.get(&c.index) {
+            crate::metrics::CELLS_RESUMED.inc();
             return done.clone();
         }
-        let cell = churn_one_isolated(entries, c, config, steps);
+        let cell = {
+            let _cell_span = lcp_obs::start_span(crate::metrics::churn_cell_span());
+            churn_one_isolated(entries, c, config, steps)
+        };
+        crate::metrics::record_cell(cell.status, cell.incremental_ms + cell.full_ms);
         if let Some(w) = writer {
             w.append(&format!("{{ {} }}", churn_cell_fields(&cell, true)));
         }

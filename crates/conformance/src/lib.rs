@@ -31,6 +31,7 @@
 pub mod checkpoint;
 pub mod churn;
 pub mod merge;
+pub mod metrics;
 
 use lcp_core::dynamic::{DynScheme, TamperProbe};
 use lcp_core::harness::{
@@ -314,6 +315,12 @@ pub struct CellResult {
     pub tamper: Option<TamperProbe>,
     /// Deterministic human-readable detail.
     pub detail: String,
+    /// Timed-out cells only: the phase the wall budget expired in and
+    /// the cell's deadline-poll count at that moment. Rendered into the
+    /// `detail` field of the **timed** report only (poll counts are
+    /// wall-clock-dependent, like `wall_ms`), so the deterministic
+    /// `--no-timing` bytes never move.
+    pub timeout: Option<(&'static str, u64)>,
     /// Wall time of the cell (excluded from deterministic JSON).
     pub wall_ms: u128,
 }
@@ -579,6 +586,15 @@ impl Report {
 /// uninterrupted one.
 pub(crate) fn cell_fields(c: &CellResult, include_timing: bool) -> String {
     let mut w = String::with_capacity(256);
+    let detail = match c.timeout {
+        // Poll counts are wall-clock-dependent, so the enrichment lives
+        // with the other timed fields; the checkpoint loader strips it
+        // back out (`split_timeout_detail`) to keep resume byte-exact.
+        Some((phase, polls)) if include_timing => {
+            json_str(&format!("{}{}", c.detail, timeout_suffix(phase, polls)))
+        }
+        _ => json_str(&c.detail),
+    };
     let _ = write!(
         w,
         "\"coord\": {}, \"family\": {}, \"requested_n\": {}, \"n\": {}, \"polarity\": {}, \
@@ -605,12 +621,39 @@ pub(crate) fn cell_fields(c: &CellResult, include_timing: bool) -> String {
             ),
             None => "null".into(),
         },
-        json_str(&c.detail),
+        detail,
     );
     if include_timing {
         let _ = write!(w, ", \"wall_ms\": {}", c.wall_ms);
     }
     w
+}
+
+/// The closed set of phase names a timed-out cell can report in its
+/// [`CellResult::timeout`] field; keeping it closed is what lets the
+/// checkpoint loader map a parsed phase back to a `&'static str`.
+pub(crate) const TIMEOUT_PHASES: [&str; 4] = ["completeness", "exhaustive", "adversarial", "churn"];
+
+/// Renders the timed-report-only detail enrichment of a timed-out cell.
+pub(crate) fn timeout_suffix(phase: &str, polls: u64) -> String {
+    format!(" [timed out in the {phase} phase after {polls} deadline polls]")
+}
+
+/// Inverse of [`timeout_suffix`]: splits the enrichment back off a
+/// checkpointed detail string, returning the base detail plus the
+/// recovered `(phase, polls)`. `None` when the detail carries no
+/// (well-formed) suffix — resume then keeps the detail untouched.
+pub(crate) fn split_timeout_detail(detail: &str) -> Option<(String, &'static str, u64)> {
+    let idx = detail.rfind(" [timed out in the ")?;
+    let rest = detail[idx..]
+        .strip_prefix(" [timed out in the ")?
+        .strip_suffix(" deadline polls]")?;
+    let (phase_raw, polls_raw) = rest.split_once(" phase after ")?;
+    let phase = TIMEOUT_PHASES.iter().find(|&&p| p == phase_raw)?;
+    polls_raw
+        .parse()
+        .ok()
+        .map(|polls| (detail[..idx].to_string(), *phase, polls))
 }
 
 fn render_points(points: &[SizePoint]) -> String {
@@ -782,6 +825,7 @@ fn run_one(
         witness_node: None,
         tamper: None,
         detail: String::new(),
+        timeout: None,
         wall_ms: 0,
     };
     let Some(cell) = entry.build(&req) else {
@@ -820,6 +864,7 @@ fn run_one(
                     // the overrun rather than starting the tamper probe.
                     result.status = CellStatus::TimedOut;
                     result.detail = "wall budget expired before the tamper probe".into();
+                    result.timeout = Some(("completeness", deadline.polls()));
                 } else if let Some(probe) = cell.tamper_probe(config.tamper_trials, seed ^ 0xa5a5) {
                     result.witness_node = probe.witness;
                     result.tamper = Some(probe);
@@ -833,6 +878,7 @@ fn run_one(
             Err(CompletenessError::DeadlineExpired) => {
                 result.status = CellStatus::TimedOut;
                 result.detail = "wall budget expired during the completeness sweep".into();
+                result.timeout = Some(("completeness", deadline.polls()));
             }
             Err(e) => {
                 result.status = CellStatus::Fail;
@@ -863,6 +909,7 @@ fn run_one(
                 Err(SoundnessError::DeadlineExpired { tried }) => {
                     result.status = CellStatus::TimedOut;
                     result.detail = format!("wall budget expired after {tried} candidate proofs");
+                    result.timeout = Some(("exhaustive", deadline.polls()));
                 }
                 Err(e) => {
                     result.status = CellStatus::Skip;
@@ -876,6 +923,7 @@ fn run_one(
                 None if deadline.expired() => {
                     result.status = CellStatus::TimedOut;
                     result.detail = "wall budget expired during the adversarial search".into();
+                    result.timeout = Some(("adversarial", deadline.polls()));
                 }
                 None => {
                     result.status = CellStatus::Pass;
@@ -933,6 +981,7 @@ fn crashed_cell(entry: &SchemeEntry, coord: &Coord, first: String, second: Strin
         } else {
             format!("panic: {first} (retry panicked: {second})")
         },
+        timeout: None,
         wall_ms: 0,
     }
 }
@@ -955,6 +1004,7 @@ fn run_one_isolated(
             let first = panic_message(payload.as_ref());
             match attempt() {
                 Ok(mut result) => {
+                    metrics::FLAKE_RETRIES.inc();
                     let _ = write!(
                         result.detail,
                         " [recovered: first attempt panicked: {first}]"
@@ -1045,13 +1095,19 @@ pub(crate) fn run_campaign_inner(
     resume: &std::collections::HashMap<usize, CellResult>,
 ) -> Report {
     let started = Instant::now();
+    let _campaign_span = lcp_obs::start_span(metrics::campaign_span());
     let coords = matrix_coords(entries, config);
     let cache = Arc::new(SkeletonCache::new());
     let results = map_coords(&coords, |c| {
         if let Some(done) = resume.get(&c.index) {
+            metrics::CELLS_RESUMED.inc();
             return done.clone();
         }
-        let cell = run_one_isolated(entries, c, config, &cache);
+        let cell = {
+            let _cell_span = lcp_obs::start_span(metrics::cell_span());
+            run_one_isolated(entries, c, config, &cache)
+        };
+        metrics::record_cell(cell.status, cell.wall_ms);
         if let Some(w) = writer {
             w.append(&checkpoint::static_cell_line(&cell));
         }

@@ -71,6 +71,10 @@ OPTIONS:
                              fault is neither detected nor repaired
     --json <path>            write the JSON report ('-' for stdout)
     --bench-out <path>       write per-cell sizes/timings (BENCH-style JSON)
+    --metrics-out <path>     write the observability sidecar (per-cell phase
+                             timings plus every process counter/histogram);
+                             a separate artifact — report.json, checkpoints,
+                             and RNG streams are byte-identical either way
     --no-timing              omit wall-clock fields from the JSON
     --list                   list registry entries and exit
     --quiet                  suppress the per-scheme table
@@ -90,6 +94,7 @@ struct Args {
     inject_faults: bool,
     json: Option<String>,
     bench_out: Option<String>,
+    metrics_out: Option<String>,
     include_timing: bool,
     list: bool,
     quiet: bool,
@@ -113,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
     let mut inject_faults = false;
     let mut json = None;
     let mut bench_out = None;
+    let mut metrics_out = None;
     let mut include_timing = true;
     let mut list = false;
     let mut quiet = false;
@@ -172,6 +178,7 @@ fn parse_args() -> Result<Args, String> {
             "--inject-faults" => inject_faults = true,
             "--json" => json = Some(value("--json")?),
             "--bench-out" => bench_out = Some(value("--bench-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--no-timing" => include_timing = false,
             "--list" => list = true,
             "--quiet" => quiet = true,
@@ -207,10 +214,25 @@ fn parse_args() -> Result<Args, String> {
         inject_faults,
         json,
         bench_out,
+        metrics_out,
         include_timing,
         list,
         quiet,
     })
+}
+
+/// Writes the `--metrics-out` sidecar (`'-'` for stdout); shared by the
+/// static and churn paths. Returns false on an unwritable path.
+fn write_metrics_sidecar(path: &str, json: &str) -> bool {
+    if path == "-" {
+        print!("{json}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("error: cannot write {path}: {e}");
+        return false;
+    } else {
+        println!("metrics sidecar written to {path}");
+    }
+    true
 }
 
 /// `2` for failures, `3` for crashed/timed-out-only, `0` otherwise.
@@ -369,6 +391,11 @@ fn run_churn_mode(args: &Args) -> i32 {
             println!("bench series written to {path}");
         }
     }
+    if let Some(path) = &args.metrics_out {
+        if !write_metrics_sidecar(path, &lcp_conformance::metrics::churn_sidecar(&report)) {
+            return 1;
+        }
+    }
     exit_code(report.ok(), report.unresolved())
 }
 
@@ -521,6 +548,12 @@ fn main() {
             std::process::exit(1);
         } else {
             println!("bench series written to {path}");
+        }
+    }
+
+    if let Some(path) = &args.metrics_out {
+        if !write_metrics_sidecar(path, &lcp_conformance::metrics::static_sidecar(&report)) {
+            std::process::exit(1);
         }
     }
 

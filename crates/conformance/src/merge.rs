@@ -373,7 +373,9 @@ pub(crate) fn static_cell(
         tamper,
         detail: str_field(name, obj, "detail")?.to_string(),
         // Shards are merged from their deterministic (--no-timing) form;
-        // the merged report is only ever serialized without timings.
+        // the merged report is only ever serialized without timings, and
+        // the timeout enrichment exists only in timed output.
+        timeout: None,
         wall_ms: 0,
     })
 }
@@ -514,6 +516,7 @@ pub(crate) fn churn_cell(
         incremental_ms: 0,
         full_ms: 0,
         detail: str_field(name, obj, "detail")?.to_string(),
+        timeout: None,
     })
 }
 

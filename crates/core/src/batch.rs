@@ -51,6 +51,7 @@ use crate::bits::{AsBits, BitString};
 use crate::deadline::{Deadline, CHECK_INTERVAL};
 use crate::engine::PreparedInstance;
 use crate::harness::{random_proof, refill_random, OutputMemo, Soundness, SoundnessError};
+use crate::metrics;
 use crate::proof::Proof;
 use crate::scheme::Scheme;
 use crate::view::Skeleton;
@@ -374,6 +375,21 @@ pub(crate) fn exhaustive<S: Scheme>(
     );
     let mut proof = Proof::with_capacity(n, max_bits);
     let mut indices = vec![0usize; n];
+    // Metric accumulators (`Cell`s shared by the closures below): the
+    // block loop touches plain locals only, flushed once at each exit.
+    let memo_hits = std::cell::Cell::new(0u64);
+    let memo_misses = std::cell::Cell::new(0u64);
+    let verifies = std::cell::Cell::new(0u64);
+    let kernel_fills = std::cell::Cell::new(0u64);
+    let scalar_fills = std::cell::Cell::new(0u64);
+    let flush = |tried: u64| {
+        metrics::EXHAUSTIVE_CANDIDATES.add(tried);
+        metrics::BINDS.add(verifies.get());
+        metrics::MEMO_HITS.add(memo_hits.get());
+        metrics::MEMO_MISSES.add(memo_misses.get());
+        metrics::MASK_FILLS_KERNEL.add(kernel_fills.get());
+        metrics::MASK_FILLS_SCALAR.add(scalar_fills.get());
+    };
     let check_high =
         |owner: usize, proof: &Proof, indices: &[usize], memo: &mut Option<OutputMemo>| -> bool {
             if let Some(m) = memo {
@@ -382,11 +398,17 @@ pub(crate) fn exhaustive<S: Scheme>(
                     0 => {
                         let now = scheme.verify(&prep.bind(owner, proof));
                         m.table[slot] = 1 + now as u8;
+                        memo_misses.set(memo_misses.get() + 1);
+                        verifies.set(verifies.get() + 1);
                         now
                     }
-                    cached => cached == 2,
+                    cached => {
+                        memo_hits.set(memo_hits.get() + 1);
+                        cached == 2
+                    }
                 }
             } else {
+                verifies.set(verifies.get() + 1);
                 scheme.verify(&prep.bind(owner, proof))
             }
         };
@@ -437,6 +459,8 @@ pub(crate) fn exhaustive<S: Scheme>(
                         for &m in &high_mem[high_mem_off[li]..high_mem_off[li + 1]] {
                             a.broadcast(m as usize, strings[indices[m as usize]].as_bits());
                         }
+                        kernel_fills.set(kernel_fills.get() + 1);
+                        verifies.set(verifies.get() + 1);
                         scheme.verify_batch(&BatchView::bind(
                             prep.skeleton_of(w),
                             a,
@@ -462,6 +486,8 @@ pub(crate) fn exhaustive<S: Scheme>(
                                 mask |= pattern[li] << offset;
                             }
                         }
+                        scalar_fills.set(scalar_fills.get() + 1);
+                        verifies.set(verifies.get() + combos as u64);
                         mask
                     };
                     tables[slot] = mask;
@@ -481,6 +507,7 @@ pub(crate) fn exhaustive<S: Scheme>(
                 if !deadline.is_unbounded() {
                     if let Some(m) = first_poll_in(base, block_u64) {
                         if m < t && deadline.expired() {
+                            flush(m);
                             return Some(Err(SoundnessError::DeadlineExpired { tried: m }));
                         }
                     }
@@ -490,12 +517,14 @@ pub(crate) fn exhaustive<S: Scheme>(
                     proof.set(p, &strings[rem % r]);
                     rem /= r;
                 }
+                flush(t);
                 return Some(Ok(Soundness::Violated(proof)));
             }
         }
         if !deadline.is_unbounded() {
             if let Some(m) = first_poll_in(base, block_u64) {
                 if deadline.expired() {
+                    flush(m);
                     return Some(Err(SoundnessError::DeadlineExpired { tried: m }));
                 }
             }
@@ -506,6 +535,7 @@ pub(crate) fn exhaustive<S: Scheme>(
         let mut pos = k;
         loop {
             if pos == n {
+                flush(base);
                 return Some(Ok(Soundness::Holds(base)));
             }
             indices[pos] += 1;
@@ -580,9 +610,14 @@ pub(crate) fn adversarial<S: Scheme>(
     let mut committed: Vec<u32> = Vec::with_capacity(64);
     let mut touched: Vec<(usize, bool)> = Vec::with_capacity(n);
 
+    // Verifier work (scalar verifies + kernel sweeps), accumulated
+    // locally and flushed with the step count only when the search exits.
+    let mut verifies = n as u64;
     let mut iter = 0usize;
     while iter < iterations {
         if score == n {
+            metrics::ADVERSARIAL_STEPS.add(iter as u64);
+            metrics::BINDS.add(verifies);
             return Some(Some(proof));
         }
         if iter % 200 == 199 {
@@ -592,6 +627,7 @@ pub(crate) fn adversarial<S: Scheme>(
             for (v, out) in outputs.iter_mut().enumerate() {
                 *out = scheme.verify(&prep.bind(v, &proof));
             }
+            verifies += n as u64;
             score = outputs.iter().filter(|&&b| b).count();
             for v in 0..n {
                 arena.broadcast(v, proof.get(v));
@@ -637,6 +673,7 @@ pub(crate) fn adversarial<S: Scheme>(
         for &w in &owner_list {
             owner_mask[w as usize] = scheme.verify_batch(&prep.bind_batch(w as usize, &arena));
         }
+        verifies += owner_list.len() as u64;
         // Sequential commit walk, preserving the scalar loop's
         // hill-climbing semantics. A lane whose owners were touched by
         // an earlier in-chunk commit is stale — its precomputed mask
@@ -660,6 +697,7 @@ pub(crate) fn adversarial<S: Scheme>(
                     }
                     touched.push((owner, now));
                 }
+                verifies += touched.len() as u64;
                 if new_score >= score {
                     for &(owner, out) in &touched {
                         outputs[owner] = out;
@@ -704,6 +742,8 @@ pub(crate) fn adversarial<S: Scheme>(
                 let _ = rng.random_range(0..n);
                 let _ = rng.random_range(0..size_budget);
             }
+            metrics::ADVERSARIAL_STEPS.add((iter + j + 1) as u64);
+            metrics::BINDS.add(verifies);
             return Some(Some(proof));
         }
         // Un-flip the lanes (XOR is its own inverse): the arena is back
@@ -718,6 +758,8 @@ pub(crate) fn adversarial<S: Scheme>(
         }
         iter = chunk_end;
     }
+    metrics::ADVERSARIAL_STEPS.add(iterations as u64);
+    metrics::BINDS.add(verifies);
     Some((score == n).then_some(proof))
 }
 

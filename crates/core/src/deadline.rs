@@ -16,9 +16,11 @@
 //! candidates in enumeration loops, finer in per-node sweeps) keeps the
 //! `Instant::now()` syscall off the per-candidate fast path.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use crate::metrics;
 
 /// How often enumeration loops poll an attached deadline: every
 /// `CHECK_INTERVAL` candidates. A power of two, so the poll guard
@@ -43,6 +45,12 @@ struct Inner {
     /// Absolute expiry instant; `None` for purely manual tokens.
     at: Option<Instant>,
     cancelled: AtomicBool,
+    /// How many times [`Deadline::expired`] actually ran on this token —
+    /// i.e. strided polls that got past the mask, across all clones.
+    polls: AtomicU64,
+    /// Set by the first poll that observes expiry, so the global
+    /// expiration counter counts tokens, not polls.
+    tripped: AtomicBool,
 }
 
 impl Deadline {
@@ -58,6 +66,8 @@ impl Deadline {
             inner: Some(Arc::new(Inner {
                 at: Some(Instant::now() + budget),
                 cancelled: AtomicBool::new(false),
+                polls: AtomicU64::new(0),
+                tripped: AtomicBool::new(false),
             })),
         }
     }
@@ -68,6 +78,8 @@ impl Deadline {
             inner: Some(Arc::new(Inner {
                 at: None,
                 cancelled: AtomicBool::new(false),
+                polls: AtomicU64::new(0),
+                tripped: AtomicBool::new(false),
             })),
         }
     }
@@ -89,10 +101,26 @@ impl Deadline {
         match &self.inner {
             None => false,
             Some(inner) => {
-                inner.cancelled.load(Ordering::Relaxed)
-                    || inner.at.is_some_and(|at| Instant::now() >= at)
+                inner.polls.fetch_add(1, Ordering::Relaxed);
+                metrics::DEADLINE_POLLS.inc();
+                let expired = inner.cancelled.load(Ordering::Relaxed)
+                    || inner.at.is_some_and(|at| Instant::now() >= at);
+                if expired && !inner.tripped.swap(true, Ordering::Relaxed) {
+                    metrics::DEADLINE_EXPIRATIONS.inc();
+                }
+                expired
             }
         }
+    }
+
+    /// How many wall-clock checks this token has absorbed, summed over
+    /// all clones (0 for unbounded tokens). Campaign timeout diagnostics
+    /// report this so a `timed_out` cell shows how responsive the
+    /// cooperative polling actually was.
+    pub fn polls(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.polls.load(Ordering::Relaxed))
     }
 
     /// Strided poll for hot loops: checks [`Deadline::expired`] only when
@@ -136,6 +164,7 @@ mod tests {
         }
         d.cancel(); // no-op
         assert!(!d.expired());
+        assert_eq!(d.polls(), 0);
     }
 
     #[test]
@@ -147,6 +176,10 @@ mod tests {
         assert!(d.should_stop(0));
         assert!(!d.should_stop(1));
         assert!(d.should_stop(CHECK_INTERVAL));
+        // Each check that got past the stride mask counted as a poll,
+        // shared across clones of the token.
+        assert_eq!(d.polls(), 3);
+        assert_eq!(d.clone().polls(), 3);
     }
 
     #[test]

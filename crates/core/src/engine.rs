@@ -79,6 +79,7 @@ use crate::arena::BatchArena;
 use crate::batch::BatchView;
 use crate::deadline::{Deadline, DeadlineExpired};
 use crate::instance::Instance;
+use crate::metrics;
 use crate::proof::Proof;
 use crate::scheme::{Scheme, Verdict};
 use crate::view::{build_skeleton, BallScratch, Skeleton, View};
@@ -249,10 +250,11 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         N: Send + Sync,
         E: Send + Sync,
     {
-        PreparedInstance {
-            inst,
-            core: Arc::new(PreparedCore::new(inst, radius)),
-        }
+        let started = std::time::Instant::now();
+        let core = Arc::new(PreparedCore::new(inst, radius));
+        metrics::PREPARES.inc();
+        metrics::PREPARE_NS.observe(started.elapsed().as_nanos() as u64);
+        PreparedInstance { inst, core }
     }
 
     /// The underlying instance.
@@ -405,11 +407,16 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     where
         S: Scheme<Node = N, Edge = E>,
     {
-        Verdict::from_outputs(
+        let started = std::time::Instant::now();
+        let verdict = Verdict::from_outputs(
             (0..self.n())
                 .map(|v| scheme.verify(&self.bind(v, proof)))
                 .collect(),
-        )
+        );
+        metrics::EVALUATE_SWEEPS.inc();
+        metrics::EVALUATE_NS.observe(started.elapsed().as_nanos() as u64);
+        metrics::BINDS.add(self.n() as u64);
+        verdict
     }
 
     /// Runs `scheme`'s verifier at every node against cached skeletons.
@@ -435,12 +442,17 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         E: Send + Sync,
     {
         if self.n() >= PAR_THRESHOLD {
-            Verdict::from_outputs(
+            let started = std::time::Instant::now();
+            let verdict = Verdict::from_outputs(
                 (0..self.n())
                     .into_par_iter()
                     .map(|v| scheme.verify(&self.bind(v, proof)))
                     .collect(),
-            )
+            );
+            metrics::EVALUATE_SWEEPS.inc();
+            metrics::EVALUATE_NS.observe(started.elapsed().as_nanos() as u64);
+            metrics::BINDS.add(self.n() as u64);
+            verdict
         } else {
             self.evaluate_seq(scheme, proof)
         }
@@ -616,14 +628,19 @@ impl SkeletonCache {
         let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
         if let Some(core) = self.find::<N, E>(&key, inst, radius) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            metrics::SKELETON_CACHE_HITS.inc();
             return PreparedInstance { inst, core };
         }
         // Build outside the lock: concurrent preparations of *different*
         // graphs must not serialize. A racing twin may finish first; the
         // re-scan below then adopts its copy so later hits share one
         // allocation.
+        let started = std::time::Instant::now();
         let core = Arc::new(PreparedCore::new(inst, radius));
+        metrics::PREPARES.inc();
+        metrics::PREPARE_NS.observe(started.elapsed().as_nanos() as u64);
         self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics::SKELETON_CACHE_MISSES.inc();
         let mut entries = self.entries.lock().expect("cache lock");
         let bucket = entries.entry(key).or_default();
         for e in bucket.iter() {

@@ -19,6 +19,7 @@ use crate::batch::BatchPolicy;
 use crate::bits::BitString;
 use crate::deadline::Deadline;
 use crate::engine::PreparedInstance;
+use crate::metrics;
 use crate::proof::Proof;
 use crate::scheme::Scheme;
 use rand::rngs::StdRng;
@@ -533,9 +534,11 @@ where
         // table outside 2..=64, mask tables over budget) — those fall
         // through to the scalar loop.
         if let Some(result) = crate::batch::exhaustive(scheme, prep, max_bits, &strings, deadline) {
+            metrics::EXHAUSTIVE_BATCHED.inc();
             return result;
         }
     }
+    metrics::EXHAUSTIVE_SCALAR.inc();
     exhaustive_scalar(scheme, prep, max_bits, &strings, deadline)
 }
 
@@ -560,6 +563,17 @@ fn exhaustive_scalar<S: Scheme>(
     // byte budget). Identical results either way — only fewer verifier
     // invocations.
     let mut memo = OutputMemo::try_new((0..n).map(|v| prep.members_of(v).len()), strings.len());
+    // Metric accumulators: `Cell`s shared by the check closure and the
+    // exit-time flush, so the per-candidate path touches no shared atomic.
+    let memo_hits = std::cell::Cell::new(0u64);
+    let memo_misses = std::cell::Cell::new(0u64);
+    let verifies = std::cell::Cell::new(0u64);
+    let flush = |tried: u64| {
+        metrics::EXHAUSTIVE_CANDIDATES.add(tried);
+        metrics::BINDS.add(verifies.get());
+        metrics::MEMO_HITS.add(memo_hits.get());
+        metrics::MEMO_MISSES.add(memo_misses.get());
+    };
     let check =
         |owner: usize, proof: &Proof, indices: &[usize], memo: &mut Option<OutputMemo>| -> bool {
             if let Some(m) = memo {
@@ -568,11 +582,17 @@ fn exhaustive_scalar<S: Scheme>(
                     0 => {
                         let now = scheme.verify(&prep.bind(owner, proof));
                         m.table[slot] = 1 + now as u8;
+                        memo_misses.set(memo_misses.get() + 1);
+                        verifies.set(verifies.get() + 1);
                         now
                     }
-                    cached => cached == 2,
+                    cached => {
+                        memo_hits.set(memo_hits.get() + 1);
+                        cached == 2
+                    }
                 }
             } else {
+                verifies.set(verifies.get() + 1);
                 scheme.verify(&prep.bind(owner, proof))
             }
         };
@@ -584,9 +604,11 @@ fn exhaustive_scalar<S: Scheme>(
     loop {
         tried += 1;
         if rejecting == 0 {
+            flush(tried);
             return Ok(Soundness::Violated(proof));
         }
         if deadline.should_stop(tried) {
+            flush(tried);
             return Err(SoundnessError::DeadlineExpired { tried });
         }
         // Odometer increment; each changed node overwrites its arena
@@ -594,6 +616,7 @@ fn exhaustive_scalar<S: Scheme>(
         let mut pos = 0;
         loop {
             if pos == n {
+                flush(tried);
                 return Ok(Soundness::Holds(tried));
             }
             indices[pos] += 1;
@@ -748,21 +771,30 @@ where
         if let Some(result) =
             crate::batch::adversarial(scheme, prep, size_budget, iterations, rng, deadline)
         {
+            metrics::ADVERSARIAL_BATCHED.inc();
             return result;
         }
     }
+    metrics::ADVERSARIAL_SCALAR.inc();
     let mut proof = random_proof(n, size_budget, rng);
     let mut outputs: Vec<bool> = (0..n)
         .map(|v| scheme.verify(&prep.bind(v, &proof)))
         .collect();
     let mut score = outputs.iter().filter(|&&b| b).count();
+    // Verifier re-runs, accumulated locally and flushed into the shared
+    // bind counter only when the loop exits.
+    let mut verifies = n as u64;
     // Scratch reused across candidates (the only buffer the loop needs).
     let mut touched: Vec<(usize, bool)> = Vec::new();
     for iter in 0..iterations {
         if score == n {
+            metrics::ADVERSARIAL_STEPS.add(iter as u64);
+            metrics::BINDS.add(verifies);
             return Some(proof);
         }
         if deadline.poll(iter as u64, 0xff) {
+            metrics::ADVERSARIAL_STEPS.add(iter as u64);
+            metrics::BINDS.add(verifies);
             return None;
         }
         // Occasional restart to escape local optima: refill the arena in
@@ -772,6 +804,7 @@ where
             for (v, out) in outputs.iter_mut().enumerate() {
                 *out = scheme.verify(&prep.bind(v, &proof));
             }
+            verifies += n as u64;
             score = outputs.iter().filter(|&&b| b).count();
             continue;
         }
@@ -800,6 +833,7 @@ where
             }
             touched.push((owner, now));
         }
+        verifies += touched.len() as u64;
         if new_score >= score {
             for &(owner, out) in &touched {
                 outputs[owner] = out;
@@ -813,6 +847,8 @@ where
             }
         }
     }
+    metrics::ADVERSARIAL_STEPS.add(iterations as u64);
+    metrics::BINDS.add(verifies);
     (score == n).then_some(proof)
 }
 

@@ -73,6 +73,7 @@ pub mod engine;
 pub mod harness;
 pub mod instance;
 pub mod json;
+pub mod metrics;
 pub mod proof;
 pub mod scheme;
 pub mod view;

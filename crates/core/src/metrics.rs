@@ -1,0 +1,183 @@
+//! The engine/harness/batch metric catalog (see `docs/OBSERVABILITY.md`).
+//!
+//! Every metric is a `static` from [`lcp_obs`], incremented behind
+//! cheap relaxed atomics — hot loops accumulate in locals and flush one
+//! `add` at their exit, so the per-candidate steady state stays exactly
+//! as allocation- and contention-free as before instrumentation
+//! (`tests/alloc_probe.rs` pins this). Nothing in the engine ever
+//! *reads* a metric: observability is write-only and cannot perturb
+//! verdicts, RNG streams, or report bytes.
+//!
+//! [`register`] publishes the catalog into a [`lcp_obs::Registry`]
+//! (idempotently); exporters call it before rendering.
+
+use lcp_obs::{Counter, Histogram, Registry};
+
+/// `PreparedInstance` skeleton builds (one per `(instance, radius)`).
+pub static PREPARES: Counter = Counter::new();
+/// Wall time of each skeleton build, nanoseconds.
+pub static PREPARE_NS: Histogram = Histogram::new();
+/// Whole-instance verifier sweeps (`evaluate` / `evaluate_seq`).
+pub static EVALUATE_SWEEPS: Counter = Counter::new();
+/// Wall time of each whole-instance sweep, nanoseconds.
+pub static EVALUATE_NS: Histogram = Histogram::new();
+/// View bindings performed by the sweeps and search loops (aggregated
+/// at loop exits, never per candidate).
+pub static BINDS: Counter = Counter::new();
+
+/// `SkeletonCache` lookups that reused a cached CSR build.
+pub static SKELETON_CACHE_HITS: Counter = Counter::new();
+/// `SkeletonCache` lookups that built (and inserted) a fresh skeleton.
+pub static SKELETON_CACHE_MISSES: Counter = Counter::new();
+
+/// Candidate proofs enumerated by the exhaustive odometers (scalar and
+/// block), counted at search exit.
+pub static EXHAUSTIVE_CANDIDATES: Counter = Counter::new();
+/// Bit-flip iterations executed by the adversarial searches, counted at
+/// search exit.
+pub static ADVERSARIAL_STEPS: Counter = Counter::new();
+/// `OutputMemo` lookups answered from the memo table.
+pub static MEMO_HITS: Counter = Counter::new();
+/// `OutputMemo` lookups that ran the verifier and filled a slot.
+pub static MEMO_MISSES: Counter = Counter::new();
+
+/// Exhaustive searches routed through the 64-lane block odometer.
+pub static EXHAUSTIVE_BATCHED: Counter = Counter::new();
+/// Exhaustive searches that ran the scalar odometer (policy `Scalar`,
+/// feature off, or a shape the block layout declined).
+pub static EXHAUSTIVE_SCALAR: Counter = Counter::new();
+/// Adversarial searches routed through the chunked 64-lane path.
+pub static ADVERSARIAL_BATCHED: Counter = Counter::new();
+/// Adversarial searches that ran the scalar bit-flip loop.
+pub static ADVERSARIAL_SCALAR: Counter = Counter::new();
+/// Block-odometer mask-table slots filled by one `verify_batch` kernel
+/// call.
+pub static MASK_FILLS_KERNEL: Counter = Counter::new();
+/// Block-odometer mask-table slots filled by spread scalar verifier
+/// calls (kernel-free schemes).
+pub static MASK_FILLS_SCALAR: Counter = Counter::new();
+
+/// Bounded-deadline wall-clock checks actually performed (the strided
+/// `expired()` reads; unbounded tokens never count).
+pub static DEADLINE_POLLS: Counter = Counter::new();
+/// Deadlines observed expired (once per token, however often it is
+/// re-polled afterwards).
+pub static DEADLINE_EXPIRATIONS: Counter = Counter::new();
+
+/// Registers the whole core catalog into `reg` (idempotent).
+pub fn register(reg: &Registry) {
+    reg.counter(
+        "lcp_engine_prepares_total",
+        "",
+        "PreparedInstance skeleton builds",
+        &PREPARES,
+    );
+    reg.histogram(
+        "lcp_engine_prepare_ns",
+        "",
+        "skeleton build wall time in nanoseconds",
+        &PREPARE_NS,
+    );
+    reg.counter(
+        "lcp_engine_evaluate_sweeps_total",
+        "",
+        "whole-instance verifier sweeps",
+        &EVALUATE_SWEEPS,
+    );
+    reg.histogram(
+        "lcp_engine_evaluate_ns",
+        "",
+        "whole-instance sweep wall time in nanoseconds",
+        &EVALUATE_NS,
+    );
+    reg.counter(
+        "lcp_engine_binds_total",
+        "",
+        "view bindings, aggregated at loop exits",
+        &BINDS,
+    );
+    reg.counter(
+        "lcp_engine_skeleton_cache_total",
+        "outcome=\"hit\"",
+        "SkeletonCache lookups by outcome",
+        &SKELETON_CACHE_HITS,
+    );
+    reg.counter(
+        "lcp_engine_skeleton_cache_total",
+        "outcome=\"miss\"",
+        "SkeletonCache lookups by outcome",
+        &SKELETON_CACHE_MISSES,
+    );
+    reg.counter(
+        "lcp_harness_exhaustive_candidates_total",
+        "",
+        "candidate proofs enumerated by the exhaustive searches",
+        &EXHAUSTIVE_CANDIDATES,
+    );
+    reg.counter(
+        "lcp_harness_adversarial_steps_total",
+        "",
+        "bit-flip iterations executed by the adversarial searches",
+        &ADVERSARIAL_STEPS,
+    );
+    reg.counter(
+        "lcp_harness_memo_total",
+        "outcome=\"hit\"",
+        "OutputMemo lookups by outcome",
+        &MEMO_HITS,
+    );
+    reg.counter(
+        "lcp_harness_memo_total",
+        "outcome=\"miss\"",
+        "OutputMemo lookups by outcome",
+        &MEMO_MISSES,
+    );
+    reg.counter(
+        "lcp_batch_exhaustive_routed_total",
+        "path=\"batched\"",
+        "exhaustive searches by routing decision",
+        &EXHAUSTIVE_BATCHED,
+    );
+    reg.counter(
+        "lcp_batch_exhaustive_routed_total",
+        "path=\"scalar\"",
+        "exhaustive searches by routing decision",
+        &EXHAUSTIVE_SCALAR,
+    );
+    reg.counter(
+        "lcp_batch_adversarial_routed_total",
+        "path=\"batched\"",
+        "adversarial searches by routing decision",
+        &ADVERSARIAL_BATCHED,
+    );
+    reg.counter(
+        "lcp_batch_adversarial_routed_total",
+        "path=\"scalar\"",
+        "adversarial searches by routing decision",
+        &ADVERSARIAL_SCALAR,
+    );
+    reg.counter(
+        "lcp_batch_mask_fills_total",
+        "path=\"kernel\"",
+        "block-odometer mask-table fills by path",
+        &MASK_FILLS_KERNEL,
+    );
+    reg.counter(
+        "lcp_batch_mask_fills_total",
+        "path=\"scalar\"",
+        "block-odometer mask-table fills by path",
+        &MASK_FILLS_SCALAR,
+    );
+    reg.counter(
+        "lcp_deadline_polls_total",
+        "",
+        "bounded-deadline wall-clock checks performed",
+        &DEADLINE_POLLS,
+    );
+    reg.counter(
+        "lcp_deadline_expirations_total",
+        "",
+        "deadline tokens observed expired (once per token)",
+        &DEADLINE_EXPIRATIONS,
+    );
+}

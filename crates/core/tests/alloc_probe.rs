@@ -16,6 +16,14 @@
 //! setup (transposed arena, mask tables, chunk scratch), never per
 //! 64-candidate block or per chunk.
 //!
+//! The search loops counted here run **instrumented**: they carry the
+//! `lcp_core::metrics` catalog's flush-at-exit accounting, so the
+//! zero-per-candidate assertions pin that observability never
+//! reintroduced an allocation. A final phase probes the metric
+//! primitives themselves — the counter adds and histogram observes the
+//! loops flush into are single relaxed atomics and must be strictly
+//! allocation-free.
+//!
 //! One `#[test]` drives all phases: the counter is process-global, so
 //! concurrent test functions would double-count.
 
@@ -251,5 +259,21 @@ fn search_loops_do_not_allocate_per_candidate() {
     assert_eq!(
         allocs, 0,
         "bind_batch + verify_batch + flip must be allocation-free, counted {allocs}"
+    );
+
+    // --- Metric primitives -------------------------------------------
+    // What the loops above flush into at their exits. A counter add and
+    // a histogram observe are relaxed atomic ops on `static` storage:
+    // zero allocations, however many samples land.
+    let (allocs, _) = min_allocs(|| {
+        for i in 0..10_000u64 {
+            lcp_core::metrics::BINDS.add(i & 7);
+            lcp_core::metrics::EVALUATE_NS.observe(i);
+        }
+        lcp_core::metrics::DEADLINE_POLLS.inc();
+    });
+    assert_eq!(
+        allocs, 0,
+        "metric increments must be allocation-free, counted {allocs}"
     );
 }

@@ -1,0 +1,90 @@
+//! Round-trips the metric registry's exports through the workspace's
+//! own JSON parser: the `to_json` export must parse with
+//! `lcp_core::json`, counters must be monotone across exports, and
+//! every exported histogram must be internally consistent (bucket
+//! counts summing to the sample count). The Prometheus exposition of
+//! the same registry must agree with the JSON on the series it lists.
+
+use lcp_core::json::Json;
+use lcp_core::metrics;
+
+fn counter(doc: &Json, name: &str) -> u64 {
+    doc.get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| panic!("counter {name} missing from the JSON export"))
+}
+
+#[test]
+fn registry_exports_parse_and_stay_consistent() {
+    let reg = lcp_obs::global();
+    metrics::register(reg);
+    // Drive a few series directly so the export has live values even
+    // before any engine work runs in this process.
+    metrics::PREPARES.inc();
+    metrics::PREPARE_NS.observe(1_500);
+    metrics::PREPARE_NS.observe(40);
+    metrics::SKELETON_CACHE_HITS.add(3);
+
+    let export = reg.to_json();
+    let doc = Json::parse(&export).expect("to_json parses with lcp_core::json");
+    for section in ["counters", "gauges", "histograms", "spans"] {
+        assert!(
+            doc.get(section).and_then(Json::as_object).is_some(),
+            "export lacks the {section} section:\n{export}"
+        );
+    }
+
+    let prepares = counter(&doc, "lcp_engine_prepares_total");
+    assert!(prepares >= 1);
+    assert!(counter(&doc, "lcp_engine_skeleton_cache_total{outcome=\"hit\"}") >= 3);
+
+    // Histograms (and span histograms) are internally consistent:
+    // per-bucket counts sum to the total sample count.
+    for section in ["histograms", "spans"] {
+        for (name, h) in doc.get(section).and_then(Json::as_object).unwrap() {
+            let count = h
+                .get("count")
+                .and_then(Json::as_u64)
+                .unwrap_or_else(|| panic!("{name} lacks a count"));
+            let bucket_sum: u64 = h
+                .get("buckets")
+                .and_then(Json::as_array)
+                .unwrap_or_else(|| panic!("{name} lacks buckets"))
+                .iter()
+                .map(|b| b.as_u64().expect("bucket counts are integers"))
+                .sum();
+            assert_eq!(bucket_sum, count, "{name}: bucket counts must sum to count");
+        }
+    }
+    let prepare_ns = doc
+        .get("histograms")
+        .and_then(|h| h.get("lcp_engine_prepare_ns"))
+        .expect("lcp_engine_prepare_ns exported");
+    assert!(prepare_ns.get("count").and_then(Json::as_u64).unwrap() >= 2);
+    assert!(prepare_ns.get("sum").and_then(Json::as_u64).unwrap() >= 1_540);
+
+    // Counters are monotone: more work, strictly larger exported value.
+    metrics::PREPARES.inc();
+    let doc2 = Json::parse(&reg.to_json()).expect("second export parses");
+    assert!(counter(&doc2, "lcp_engine_prepares_total") > prepares);
+
+    // The Prometheus exposition lists the same series with the same
+    // monotone values.
+    let prom = reg.to_prometheus();
+    let sample = |series: &str| -> u64 {
+        prom.lines()
+            .find_map(|l| l.strip_prefix(series)?.strip_prefix(' '))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| panic!("series {series} missing from exposition:\n{prom}"))
+    };
+    assert_eq!(
+        sample("lcp_engine_prepares_total"),
+        counter(&doc2, "lcp_engine_prepares_total")
+    );
+    assert_eq!(
+        sample("lcp_engine_prepare_ns_count"),
+        prepare_ns.get("count").and_then(Json::as_u64).unwrap()
+    );
+    assert!(prom.contains("# TYPE lcp_engine_prepare_ns histogram"));
+}

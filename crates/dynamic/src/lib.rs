@@ -72,6 +72,7 @@
 #![deny(missing_docs)]
 
 pub mod churn;
+pub mod metrics;
 
 use lcp_core::{
     seal_mutable, BitString, CellMutationError, Instance, MutableCell, Proof, Scheme, Verdict,
@@ -290,6 +291,7 @@ impl DynamicInstance {
         let impact = self.cell.insert_edge(u, v)?;
         self.mark_dirty(&impact);
         self.log.push(Mutation::EdgeInsert(u, v));
+        metrics::MUTATIONS_EDGE_INSERT.inc();
         Ok(impact)
     }
 
@@ -305,6 +307,7 @@ impl DynamicInstance {
         let impact = self.cell.remove_edge(u, v)?;
         self.mark_dirty(&impact);
         self.log.push(Mutation::EdgeDelete(u, v));
+        metrics::MUTATIONS_EDGE_DELETE.inc();
         Ok(impact)
     }
 
@@ -324,6 +327,7 @@ impl DynamicInstance {
         if !impact.is_empty() {
             self.mark_dirty(&impact);
             self.log.push(Mutation::ProofRewrite(v, bits.clone()));
+            metrics::MUTATIONS_PROOF_REWRITE.inc();
         }
         Ok(impact)
     }
@@ -343,6 +347,7 @@ impl DynamicInstance {
         let impact = self.cell.set_node_label(v, Box::new(label))?;
         self.mark_dirty(&impact);
         self.log.push(Mutation::NodeLabelChange(v));
+        metrics::MUTATIONS_NODE_LABEL.inc();
         Ok(impact)
     }
 
@@ -389,6 +394,7 @@ impl DynamicInstance {
     /// Cost: `O(Σ|dirty ball|)` verifier work plus `O(dirty · log n)`
     /// bookkeeping — independent of `n` for local mutations.
     pub fn reverify(&mut self) -> Reverified {
+        let started = std::time::Instant::now();
         let mut nodes = std::mem::take(&mut self.dirty_list);
         nodes.sort_unstable();
         for &v in &nodes {
@@ -407,6 +413,10 @@ impl DynamicInstance {
                 self.rejecting.insert(v);
             }
         }
+        metrics::REVERIFIES.inc();
+        metrics::DIRTY_SET_SIZE.observe(nodes.len() as u64);
+        metrics::REVERIFIED_NODES.add(nodes.len() as u64);
+        metrics::REVERIFY_NS.observe(started.elapsed().as_nanos() as u64);
         Reverified {
             accepted: self.rejecting.is_empty(),
             witness: self.rejecting.first().copied(),

@@ -1,0 +1,79 @@
+//! The dynamic-layer metric catalog (see `docs/OBSERVABILITY.md`).
+//!
+//! Same write-only discipline as [`lcp_core::metrics`]: relaxed atomics,
+//! incremented at mutation/reverify boundaries (never inside a per-node
+//! verifier loop), and never read back by the engine — metrics cannot
+//! perturb verdicts, dirty sets, or churn RNG streams.
+
+use lcp_obs::{Counter, Histogram, Registry};
+
+/// Applied `edge-insert` mutations (successful only).
+pub static MUTATIONS_EDGE_INSERT: Counter = Counter::new();
+/// Applied `edge-delete` mutations (successful only).
+pub static MUTATIONS_EDGE_DELETE: Counter = Counter::new();
+/// Applied `node-label-change` mutations (successful only).
+pub static MUTATIONS_NODE_LABEL: Counter = Counter::new();
+/// Applied `proof-rewrite` mutations (successful, bit-changing only —
+/// mirrors the mutation log, which skips no-op rewrites).
+pub static MUTATIONS_PROOF_REWRITE: Counter = Counter::new();
+
+/// `reverify` calls.
+pub static REVERIFIES: Counter = Counter::new();
+/// Dirty-set size observed by each `reverify` call.
+pub static DIRTY_SET_SIZE: Histogram = Histogram::new();
+/// Wall time of each `reverify` call, nanoseconds.
+pub static REVERIFY_NS: Histogram = Histogram::new();
+/// Total verifiers re-run by `reverify` calls.
+pub static REVERIFIED_NODES: Counter = Counter::new();
+
+/// Registers the dynamic-layer catalog into `reg` (idempotent).
+pub fn register(reg: &Registry) {
+    reg.counter(
+        "lcp_dynamic_mutations_total",
+        "kind=\"edge-insert\"",
+        "applied mutations by kind",
+        &MUTATIONS_EDGE_INSERT,
+    );
+    reg.counter(
+        "lcp_dynamic_mutations_total",
+        "kind=\"edge-delete\"",
+        "applied mutations by kind",
+        &MUTATIONS_EDGE_DELETE,
+    );
+    reg.counter(
+        "lcp_dynamic_mutations_total",
+        "kind=\"node-label-change\"",
+        "applied mutations by kind",
+        &MUTATIONS_NODE_LABEL,
+    );
+    reg.counter(
+        "lcp_dynamic_mutations_total",
+        "kind=\"proof-rewrite\"",
+        "applied mutations by kind",
+        &MUTATIONS_PROOF_REWRITE,
+    );
+    reg.counter(
+        "lcp_dynamic_reverifies_total",
+        "",
+        "incremental reverify calls",
+        &REVERIFIES,
+    );
+    reg.histogram(
+        "lcp_dynamic_dirty_set_size",
+        "",
+        "dirty-set size per reverify call",
+        &DIRTY_SET_SIZE,
+    );
+    reg.histogram(
+        "lcp_dynamic_reverify_ns",
+        "",
+        "reverify wall time in nanoseconds",
+        &REVERIFY_NS,
+    );
+    reg.counter(
+        "lcp_dynamic_reverified_nodes_total",
+        "",
+        "verifiers re-run across all reverify calls",
+        &REVERIFIED_NODES,
+    );
+}

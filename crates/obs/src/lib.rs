@@ -1,0 +1,695 @@
+//! # `lcp-obs` — zero-dependency observability primitives
+//!
+//! The verification stack runs in three very different shapes — batch
+//! campaigns (`lcp-campaign`), churn equivalence sweeps, and the
+//! resident daemon (`lcp-serve`) — and all three need the same things
+//! measured: how often a hot path ran, how long a phase took, and which
+//! routing decision (batched vs scalar, cache hit vs rebuild) was taken.
+//! This crate provides the shared substrate, hand-rolled like
+//! `lcp_core::json` so the workspace stays free of external
+//! dependencies:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-ordering atomics, `const`
+//!   constructible so instrumented crates declare them as plain
+//!   `static`s with zero registration cost on the hot path;
+//! * [`Histogram`] — a fixed array of log2 buckets (bucket `b` counts
+//!   values of bit-length `b`, i.e. `2^(b-1) ≤ v < 2^b`), sized for
+//!   nanosecond latencies up to ~1 s and beyond into a `+Inf` bucket;
+//! * a lightweight span API ([`register_span`] / [`start_span`]) —
+//!   monotonic start/stop timing with registration-time parent links,
+//!   recorded into pre-sized per-thread buffers that drain into the
+//!   process-wide [`Registry`] (never mid-hot-loop: records are written
+//!   by index into a buffer allocated once per thread);
+//! * two exporters — [`Registry::to_json`] (deterministically ordered,
+//!   parseable by `lcp_core::json`) and [`Registry::to_prometheus`]
+//!   (text exposition format, what the `lcp-serve` `metrics` op
+//!   returns).
+//!
+//! ## The determinism contract
+//!
+//! Instrumentation must never perturb what the instrumented code
+//! computes: every primitive here is write-only from the hot path's
+//! point of view (nothing reads a metric to make a decision), records
+//! are plain relaxed atomic adds, and the span path performs no heap
+//! allocation after a thread's first span (the probe in
+//! `lcp-core/tests/alloc_probe.rs` pins this transitively). Metrics
+//! appear only in sidecar outputs — reports, checkpoints, and RNG
+//! streams never embed them.
+#![deny(missing_docs)]
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Scalar metrics
+// ---------------------------------------------------------------------
+
+/// A monotonically increasing event count (relaxed atomic).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter, `const` so it can back a `static`.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (hot loops accumulate locally and flush once here).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if n != 0 {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, residency counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge, `const` so it can back a `static`.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------
+
+/// Bucket count of every [`Histogram`]: bucket `b < 31` holds values of
+/// bit-length `b` (cumulative upper bound `2^b − 1`); bucket 31 is the
+/// `+Inf` tail. In nanoseconds, bucket 30 reaches ~1.07 s.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A fixed-bucket log2 histogram for latency-like `u64` samples.
+///
+/// Observation is two relaxed atomic adds — no allocation, no locks —
+/// so it is safe on any hot path. Bucket boundaries are powers of two:
+/// exact enough to separate a cache hit from a rebuild or a resident
+/// verify from a cold prepare, which is what operators actually read.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram, `const` so it can back a `static`.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index `value` falls into (its bit length, capped).
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The inclusive upper bound of bucket `b`, or `None` for `+Inf`.
+    pub fn bucket_bound(b: usize) -> Option<u64> {
+        (b + 1 < HISTOGRAM_BUCKETS).then(|| (1u64 << b) - 1)
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn observe(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total samples observed (the sum over all buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the per-bucket counts.
+    pub fn snapshot(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// Identifier of a registered span (an index into the global span
+/// table). Copyable and cheap to stash in a `OnceLock` per call site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(u16);
+
+struct SpanDef {
+    name: &'static str,
+    parent: Option<SpanId>,
+    hist: Histogram,
+}
+
+/// How many finished-span records a thread buffers before draining into
+/// the registry. The buffer is allocated once per thread (at its first
+/// span); recording is an in-capacity write by index — no allocation.
+const SPAN_BUF_CAP: usize = 256;
+
+struct SpanBuf {
+    records: Vec<(u16, u64)>,
+    depth: usize,
+}
+
+thread_local! {
+    static SPAN_BUF: RefCell<SpanBuf> = RefCell::new(SpanBuf {
+        records: Vec::with_capacity(SPAN_BUF_CAP),
+        depth: 0,
+    });
+}
+
+fn span_defs() -> &'static Mutex<Vec<&'static SpanDef>> {
+    static DEFS: OnceLock<Mutex<Vec<&'static SpanDef>>> = OnceLock::new();
+    DEFS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a span under `name` with an optional parent link,
+/// returning its id. Idempotent: re-registering an existing name
+/// returns the original id (the first parent link wins).
+pub fn register_span(name: &'static str, parent: Option<SpanId>) -> SpanId {
+    let mut defs = span_defs().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(i) = defs.iter().position(|d| d.name == name) {
+        return SpanId(i as u16);
+    }
+    assert!(defs.len() < u16::MAX as usize, "span table overflow");
+    if let Some(SpanId(p)) = parent {
+        assert!(
+            (p as usize) < defs.len(),
+            "span parent must be registered first"
+        );
+    }
+    defs.push(Box::leak(Box::new(SpanDef {
+        name,
+        parent,
+        hist: Histogram::new(),
+    })));
+    SpanId((defs.len() - 1) as u16)
+}
+
+/// A running span; its wall-clock duration (monotonic, nanoseconds) is
+/// recorded into the thread buffer when dropped.
+#[derive(Debug)]
+pub struct ActiveSpan {
+    id: SpanId,
+    start: Instant,
+}
+
+/// Starts timing span `id` now.
+pub fn start_span(id: SpanId) -> ActiveSpan {
+    SPAN_BUF.with(|b| b.borrow_mut().depth += 1);
+    ActiveSpan {
+        id,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_BUF.with(|b| {
+            let mut buf = b.borrow_mut();
+            if buf.records.len() == SPAN_BUF_CAP {
+                drain_records(&mut buf.records);
+            }
+            buf.records.push((self.id.0, ns));
+            buf.depth = buf.depth.saturating_sub(1);
+            // Leaving the outermost span: nothing is pending above us,
+            // so the buffer drains eagerly — exporters on other threads
+            // see complete data once a thread is quiescent.
+            if buf.depth == 0 {
+                drain_records(&mut buf.records);
+            }
+        });
+    }
+}
+
+fn drain_records(records: &mut Vec<(u16, u64)>) {
+    if records.is_empty() {
+        return;
+    }
+    let defs = span_defs().lock().unwrap_or_else(|e| e.into_inner());
+    for &(id, ns) in records.iter() {
+        if let Some(def) = defs.get(id as usize) {
+            def.hist.observe(ns);
+        }
+    }
+    records.clear();
+}
+
+/// Drains the calling thread's pending span records into the registry.
+/// Exporters call this so a thread's own just-finished spans are always
+/// visible in the same thread's export.
+pub fn flush_thread() {
+    SPAN_BUF.with(|b| drain_records(&mut b.borrow_mut().records));
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    /// Base metric name (`lcp_serve_request_seconds`).
+    name: &'static str,
+    /// Label pairs without braces (`op="verify"`), or `""`.
+    labels: &'static str,
+    help: &'static str,
+    metric: MetricRef,
+}
+
+impl Entry {
+    /// The series key both exporters sort by: `name{labels}`.
+    fn key(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.to_string()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+}
+
+/// The process-wide metric catalog: instrumented crates register their
+/// `static` metrics here (idempotently), exporters snapshot it.
+///
+/// Registration is not on any hot path — incrementing a `Counter` needs
+/// no registry at all; registering merely makes it exportable.
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    fn new() -> Self {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn register(&self, name: &'static str, labels: &'static str, help: &'static str, m: MetricRef) {
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if entries.iter().any(|e| e.name == name && e.labels == labels) {
+            return;
+        }
+        entries.push(Entry {
+            name,
+            labels,
+            help,
+            metric: m,
+        });
+    }
+
+    /// Registers a counter series (idempotent by `(name, labels)`).
+    pub fn counter(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+        c: &'static Counter,
+    ) {
+        self.register(name, labels, help, MetricRef::Counter(c));
+    }
+
+    /// Registers a gauge series (idempotent by `(name, labels)`).
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+        g: &'static Gauge,
+    ) {
+        self.register(name, labels, help, MetricRef::Gauge(g));
+    }
+
+    /// Registers a histogram series (idempotent by `(name, labels)`).
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        labels: &'static str,
+        help: &'static str,
+        h: &'static Histogram,
+    ) {
+        self.register(name, labels, help, MetricRef::Histogram(h));
+    }
+
+    /// Deterministic JSON export: every registered series plus every
+    /// registered span, keys sorted, parseable by `lcp_core::json`.
+    /// Determinism here means *structural* — same catalog, same key
+    /// order, byte for byte; the values are live measurements.
+    pub fn to_json(&self) -> String {
+        flush_thread();
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut counters: Vec<(String, String)> = Vec::new();
+        let mut gauges: Vec<(String, String)> = Vec::new();
+        let mut hists: Vec<(String, String)> = Vec::new();
+        for e in entries.iter() {
+            match e.metric {
+                MetricRef::Counter(c) => counters.push((e.key(), c.get().to_string())),
+                MetricRef::Gauge(g) => gauges.push((e.key(), g.get().to_string())),
+                MetricRef::Histogram(h) => hists.push((e.key(), histogram_json(h))),
+            }
+        }
+        drop(entries);
+        let mut spans: Vec<(String, String)> = Vec::new();
+        {
+            let defs = span_defs().lock().unwrap_or_else(|e| e.into_inner());
+            for def in defs.iter() {
+                let parent = match def.parent {
+                    Some(SpanId(p)) => escape(defs[p as usize].name),
+                    None => "null".into(),
+                };
+                spans.push((
+                    def.name.to_string(),
+                    format!(
+                        "{{ \"parent\": {parent}, {} }}",
+                        histogram_fields(&def.hist)
+                    ),
+                ));
+            }
+        }
+        for list in [&mut counters, &mut gauges, &mut hists, &mut spans] {
+            list.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let mut w = String::with_capacity(1 << 12);
+        w.push_str("{\n");
+        for (i, (section, list)) in [
+            ("counters", &counters),
+            ("gauges", &gauges),
+            ("histograms", &hists),
+            ("spans", &spans),
+        ]
+        .iter()
+        .enumerate()
+        {
+            let _ = write!(w, "  \"{section}\": {{");
+            for (j, (key, value)) in list.iter().enumerate() {
+                let sep = if j + 1 < list.len() { "," } else { "" };
+                let _ = write!(w, "\n    {}: {value}{sep}", escape(key));
+            }
+            if !list.is_empty() {
+                w.push_str("\n  ");
+            }
+            w.push_str(if i + 1 < 4 { "},\n" } else { "}\n" });
+        }
+        w.push_str("}\n");
+        w
+    }
+
+    /// Prometheus-style text exposition: `# HELP`/`# TYPE` headers,
+    /// counters and gauges as single samples, histograms as cumulative
+    /// `_bucket{le=...}` series plus `_sum`/`_count`. Spans export as
+    /// histograms of nanoseconds with a `# SPAN name parent=...`
+    /// comment recording the hierarchy.
+    pub fn to_prometheus(&self) -> String {
+        flush_thread();
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let mut sorted: Vec<&Entry> = entries.iter().collect();
+        sorted.sort_by(|a, b| (a.name, a.labels).cmp(&(b.name, b.labels)));
+        let mut w = String::with_capacity(1 << 12);
+        let mut last_name = "";
+        for e in &sorted {
+            if e.name != last_name {
+                let kind = match e.metric {
+                    MetricRef::Counter(_) => "counter",
+                    MetricRef::Gauge(_) => "gauge",
+                    MetricRef::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(w, "# HELP {} {}", e.name, e.help);
+                let _ = writeln!(w, "# TYPE {} {kind}", e.name);
+                last_name = e.name;
+            }
+            match e.metric {
+                MetricRef::Counter(c) => {
+                    let _ = writeln!(w, "{} {}", e.key(), c.get());
+                }
+                MetricRef::Gauge(g) => {
+                    let _ = writeln!(w, "{} {}", e.key(), g.get());
+                }
+                MetricRef::Histogram(h) => exposition_histogram(&mut w, e.name, e.labels, h),
+            }
+        }
+        drop(entries);
+        let defs = span_defs().lock().unwrap_or_else(|e| e.into_inner());
+        for def in defs.iter() {
+            let parent = match def.parent {
+                Some(SpanId(p)) => defs[p as usize].name,
+                None => "none",
+            };
+            let _ = writeln!(w, "# SPAN {} parent={parent}", def.name);
+            let _ = writeln!(w, "# HELP {} span duration in nanoseconds", def.name);
+            let _ = writeln!(w, "# TYPE {} histogram", def.name);
+            exposition_histogram(&mut w, def.name, "", &def.hist);
+        }
+        w
+    }
+}
+
+fn histogram_fields(h: &Histogram) -> String {
+    let snapshot = h.snapshot();
+    let buckets = snapshot
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "\"count\": {}, \"sum\": {}, \"buckets\": [{buckets}]",
+        snapshot.iter().sum::<u64>(),
+        h.sum()
+    )
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    format!("{{ {} }}", histogram_fields(h))
+}
+
+fn exposition_histogram(w: &mut String, name: &str, labels: &str, h: &Histogram) {
+    let snapshot = h.snapshot();
+    let sep = if labels.is_empty() { "" } else { "," };
+    let mut cumulative = 0u64;
+    for (b, count) in snapshot.iter().enumerate() {
+        cumulative += count;
+        // Empty buckets below the data are elided to keep the wire
+        // format small; cumulative counts make this lossless.
+        if *count == 0 && b + 1 != HISTOGRAM_BUCKETS {
+            continue;
+        }
+        let le = match Histogram::bucket_bound(b) {
+            Some(bound) => bound.to_string(),
+            None => "+Inf".into(),
+        };
+        let _ = writeln!(w, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}");
+    }
+    let suffix = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    let _ = writeln!(w, "{name}_sum{suffix} {}", h.sum());
+    let _ = writeln!(w, "{name}_count{suffix} {cumulative}");
+}
+
+/// The process-wide registry every instrumented crate registers into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Minimal JSON string escaper (mirrors `lcp_core::json::escape`; this
+/// crate sits below `lcp-core` and cannot call it).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        c.add(0);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_partition_the_u64_line() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every value of bit-length b lands in bucket b, within bound.
+        for b in 1..HISTOGRAM_BUCKETS - 1 {
+            let bound = Histogram::bucket_bound(b).unwrap();
+            assert_eq!(Histogram::bucket_of(bound), b, "upper edge of bucket {b}");
+            assert_eq!(
+                Histogram::bucket_of(bound / 2 + 1),
+                b,
+                "lower edge of bucket {b}"
+            );
+        }
+        assert_eq!(Histogram::bucket_bound(HISTOGRAM_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_bucket_sums_equal_counts() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 900, 1_000_000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.snapshot().iter().sum::<u64>(), h.count());
+        // The sum is a wrapping atomic add by construction.
+        assert_eq!(
+            h.sum(),
+            (1 + 1 + 3 + 900 + 1_000_000u64).wrapping_add(u64::MAX)
+        );
+    }
+
+    // The registry and span table are process-global, so the export and
+    // span behaviours are exercised in one test function: libtest runs
+    // test fns concurrently and interleaved registration would make
+    // list contents (though never their ordering guarantees) racy.
+    #[test]
+    fn exports_are_sorted_and_spans_drain() {
+        static C_B: Counter = Counter::new();
+        static C_A: Counter = Counter::new();
+        static G: Gauge = Gauge::new();
+        static H: Histogram = Histogram::new();
+        let reg = global();
+        reg.counter(
+            "zz_obs_test_total",
+            "",
+            "registered first, sorts last",
+            &C_B,
+        );
+        reg.counter(
+            "aa_obs_test_total",
+            "",
+            "registered second, sorts first",
+            &C_A,
+        );
+        reg.counter("aa_obs_test_total", "", "duplicate is ignored", &C_B);
+        reg.gauge("obs_test_depth", "", "a gauge", &G);
+        reg.histogram("obs_test_latency_ns", "shape=\"test\"", "a histogram", &H);
+        C_A.inc();
+        C_B.add(2);
+        G.set(-4);
+        H.observe(5);
+        H.observe(700);
+
+        let parent = register_span("obs_test_outer", None);
+        let child = register_span("obs_test_inner", Some(parent));
+        assert_eq!(register_span("obs_test_outer", None), parent, "idempotent");
+        {
+            let _outer = start_span(parent);
+            let _inner = start_span(child);
+        }
+
+        let json = reg.to_json();
+        let aa = json
+            .find("\"aa_obs_test_total\": 1")
+            .expect("counter exported");
+        let zz = json
+            .find("\"zz_obs_test_total\": 2")
+            .expect("counter exported");
+        assert!(aa < zz, "counters are name-sorted:\n{json}");
+        assert!(json.contains("\"obs_test_depth\": -4"));
+        assert!(json.contains("\"obs_test_latency_ns{shape=\\\"test\\\"}\""));
+        assert!(json.contains("\"obs_test_inner\": { \"parent\": \"obs_test_outer\""));
+
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE aa_obs_test_total counter"));
+        assert!(text.contains("aa_obs_test_total 1"));
+        assert!(text.contains("obs_test_depth -4"));
+        assert!(text.contains("obs_test_latency_ns_bucket{shape=\"test\",le=\"7\"} 1"));
+        assert!(text.contains("obs_test_latency_ns_bucket{shape=\"test\",le=\"+Inf\"} 2"));
+        assert!(text.contains("obs_test_latency_ns_count{shape=\"test\"} 2"));
+        assert!(text.contains("# SPAN obs_test_inner parent=obs_test_outer"));
+        // Both spans drained when the outer span closed the stack.
+        assert!(
+            text.contains("obs_test_outer_count 1"),
+            "span histograms populated:\n{text}"
+        );
+        assert!(text.contains("obs_test_inner_count 1"));
+
+        // Structural determinism: a second export with unchanged values
+        // is byte-identical.
+        assert_eq!(json, reg.to_json());
+    }
+}

@@ -16,7 +16,9 @@
 //!
 //! `--client-smoke ADDR` runs a tiny over-TCP exercise against an
 //! already-running daemon instead (prepare → verify → session → two
-//! mutations → close) — the CI serve-smoke job's client half.
+//! mutations → close, with `metrics` scrapes asserting nonzero request
+//! counters and zero skeleton rebuilds across the resident verify) —
+//! the CI serve-smoke job's client half.
 
 use lcp_graph::families::GraphFamily;
 use lcp_schemes::registry::Polarity;
@@ -139,6 +141,15 @@ fn main() -> ExitCode {
     }
 }
 
+/// Reads one sample value out of a Prometheus-style text export:
+/// `series` is the full key (`name` or `name{labels}`), the value the
+/// integer after the space.
+fn prom_value(text: &str, series: &str) -> Option<i64> {
+    text.lines()
+        .find_map(|line| line.strip_prefix(series)?.strip_prefix(' '))
+        .and_then(|v| v.trim().parse().ok())
+}
+
 fn parse_usize(
     value: &mut impl FnMut(&str) -> Result<String, String>,
     name: &str,
@@ -161,7 +172,19 @@ fn run_client_smoke(addr: &str) -> ExitCode {
     let run = || -> Result<(), Box<dyn std::error::Error>> {
         let mut client = Client::connect(addr)?;
         client.prepare(&coord)?;
+        // A resident verify must be pure cache reuse: the skeleton-miss
+        // count (= skeleton builds) may not move across it.
+        let misses_before = prom_value(&client.metrics_text()?, "lcp_serve_skeleton_misses")
+            .ok_or("lcp_serve_skeleton_misses missing from the metrics export")?;
         client.verify(&coord, Some(5_000))?;
+        let misses_after = prom_value(&client.metrics_text()?, "lcp_serve_skeleton_misses")
+            .ok_or("lcp_serve_skeleton_misses missing from the metrics export")?;
+        if misses_after != misses_before {
+            return Err(format!(
+                "resident verify rebuilt skeletons ({misses_before} -> {misses_after} misses)"
+            )
+            .into());
+        }
         client.session_open(&coord)?;
         client.mutate(&WireMutation::EdgeInsert(0, 2))?;
         client.mutate(&WireMutation::EdgeDelete(0, 2))?;
@@ -170,7 +193,19 @@ fn run_client_smoke(addr: &str) -> ExitCode {
             .get("mutations")
             .and_then(lcp_core::json::Json::as_u64)
             .unwrap_or(0);
+        let text = client.metrics_text()?;
+        for series in [
+            "lcp_serve_requests_total{op=\"prepare\"}",
+            "lcp_serve_requests_total{op=\"verify\"}",
+            "lcp_serve_requests_total{op=\"mutate\"}",
+            "lcp_serve_requests_total{op=\"metrics\"}",
+        ] {
+            if prom_value(&text, series).unwrap_or(0) == 0 {
+                return Err(format!("{series} is zero after the smoke workload").into());
+            }
+        }
         println!("client-smoke: ok ({mutations} mutations applied)");
+        println!("client-smoke: metrics ok (skeleton rebuilds across resident verify: 0)");
         Ok(())
     };
     match run() {

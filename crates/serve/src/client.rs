@@ -171,6 +171,22 @@ impl Client {
         self.request("{\"op\":\"stats\"}")
     }
 
+    /// `metrics`: Prometheus-style text export of the daemon's whole
+    /// metric registry, decoded from the response envelope.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::request`]; additionally
+    /// [`ClientError::Malformed`] when the envelope lacks the text
+    /// `"body"`.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let doc = self.request("{\"op\":\"metrics\"}")?;
+        doc.get("body")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Malformed("metrics response without \"body\"".into()))
+    }
+
     /// `session-open`: start a churn session on this connection.
     ///
     /// # Errors

@@ -20,7 +20,11 @@
 //!   cell and streams mutations, getting a sub-millisecond incremental
 //!   verdict per mutation;
 //! * bounds its own concurrency with a fixed worker pool and answers
-//!   overload with a typed busy error instead of queueing unboundedly.
+//!   overload with a typed busy error instead of queueing unboundedly;
+//! * watches itself: every request is counted and timed into the
+//!   process metric registry ([`metrics`]), and a `metrics` request
+//!   returns the whole registry — serve, engine, and dynamic catalogs —
+//!   as Prometheus-style text (`docs/OBSERVABILITY.md`).
 //!
 //! ```no_run
 //! use lcp_serve::{Client, Server, ServerConfig};
@@ -45,6 +49,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod table;

@@ -29,11 +29,12 @@ pub const MAX_FRAME: usize = 16 << 20;
 /// Every request name the dispatch table accepts, in documentation
 /// order. `docs/PROTOCOL.md` documents exactly this set (pinned by the
 /// doc-sync test).
-pub const REQUEST_NAMES: [&str; 9] = [
+pub const REQUEST_NAMES: [&str; 10] = [
     "prepare",
     "verify",
     "tamper-probe",
     "stats",
+    "metrics",
     "session-open",
     "mutate",
     "churn",
@@ -343,6 +344,10 @@ pub enum Request {
     },
     /// Instance-table and skeleton-cache counters.
     Stats,
+    /// Prometheus-style text export of the daemon's whole metric
+    /// registry (per-op latencies, queue depth, plus the engine and
+    /// dynamic catalogs).
+    Metrics,
     /// Open a churn session over a private copy of a resident cell.
     SessionOpen(CellCoord),
     /// Apply one mutation to the session and re-verify incrementally.
@@ -374,6 +379,7 @@ impl Request {
             Request::Verify { .. } => "verify",
             Request::TamperProbe { .. } => "tamper-probe",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
             Request::SessionOpen(_) => "session-open",
             Request::Mutate(_) => "mutate",
             Request::Churn { .. } => "churn",
@@ -407,6 +413,7 @@ impl Request {
                 seed: opt_u64_field(&doc, "seed")?.unwrap_or(0),
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "session-open" => Ok(Request::SessionOpen(CellCoord::parse(&doc)?)),
             "mutate" => Ok(Request::Mutate(WireMutation::parse(&doc)?)),
             "churn" => Ok(Request::Churn {
@@ -593,6 +600,7 @@ mod tests {
             format!("{{\"op\":\"verify\",{coord}}}"),
             format!("{{\"op\":\"tamper-probe\",{coord}}}"),
             "{\"op\":\"stats\"}".into(),
+            "{\"op\":\"metrics\"}".into(),
             format!("{{\"op\":\"session-open\",{coord}}}"),
             "{\"op\":\"mutate\",\"kind\":\"edge-insert\",\"u\":0,\"v\":2}".into(),
             "{\"op\":\"churn\",\"seed\":7,\"steps\":4,\"check_every\":2}".into(),

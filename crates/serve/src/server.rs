@@ -24,6 +24,7 @@
 //! to completion and answered — then closes its connection and exits.
 //! Connections still in the waiting room are closed without a response.
 
+use crate::metrics;
 use crate::protocol::{
     read_frame, write_frame, ProtoError, Request, WireLabel, WireMutation, ERR_BUSY, ERR_DEADLINE,
     ERR_INAPPLICABLE, ERR_LABEL_TYPE, ERR_MUTATION, ERR_NO_SESSION, ERR_SESSION_ACTIVE,
@@ -40,7 +41,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of a [`Server`].
 #[derive(Clone, Debug)]
@@ -177,6 +178,7 @@ impl Server {
                     if conns.len() >= self.config.queue.max(1) {
                         drop(conns);
                         // Backpressure: answer immediately, never hang.
+                        metrics::BUSY_REJECTIONS.inc();
                         let mut stream = stream;
                         let busy = ProtoError::new(
                             ERR_BUSY,
@@ -185,6 +187,7 @@ impl Server {
                         let _ = write_frame(&mut stream, &busy.render());
                     } else {
                         conns.push_back(stream);
+                        metrics::QUEUE_DEPTH.set(conns.len() as i64);
                         drop(conns);
                         queue.ready.notify_one();
                     }
@@ -197,10 +200,12 @@ impl Server {
             }
         }
 
+        let drain_started = Instant::now();
         queue.ready.notify_all();
         for worker in workers {
             worker.join().expect("worker thread panicked");
         }
+        metrics::DRAIN_MS.set(drain_started.elapsed().as_millis().min(i64::MAX as u128) as i64);
         Ok(())
     }
 
@@ -228,6 +233,7 @@ fn worker_loop(queue: &WorkQueue, table: &InstanceTable, shutdown: &AtomicBool) 
             let mut conns = queue.conns.lock().expect("queue lock");
             loop {
                 if let Some(conn) = conns.pop_front() {
+                    metrics::QUEUE_DEPTH.set(conns.len() as i64);
                     break Some(conn);
                 }
                 if shutdown.load(Ordering::Relaxed) {
@@ -260,6 +266,7 @@ fn serve_connection(mut stream: TcpStream, table: &InstanceTable, shutdown: &Ato
     // needs a read timeout (WouldBlock re-polls the shutdown flag).
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    metrics::CONNECTIONS.inc();
     let mut session: Option<Session> = None;
     let stop = || shutdown.load(Ordering::Relaxed);
     loop {
@@ -273,11 +280,27 @@ fn serve_connection(mut stream: TcpStream, table: &InstanceTable, shutdown: &Ato
             Ok(Some(payload)) => payload,
             Ok(None) | Err(_) => return,
         };
+        // The latency window is parse + dispatch — the work the op name
+        // describes — not socket I/O or the idle wait for the frame.
+        let started = Instant::now();
         let response = match Request::parse(&payload) {
             Ok(request) => {
-                dispatch(request, table, &mut session, shutdown).unwrap_or_else(|e| e.render())
+                let op = metrics::op_index(request.op());
+                let result = dispatch(request, table, &mut session, shutdown);
+                if result.is_err() {
+                    metrics::ERROR_RESPONSES.inc();
+                }
+                if let Some(i) = op {
+                    metrics::REQUESTS[i].inc();
+                    metrics::REQUEST_NS[i]
+                        .observe(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                }
+                result.unwrap_or_else(|e| e.render())
             }
-            Err(e) => e.render(),
+            Err(e) => {
+                metrics::BAD_REQUESTS.inc();
+                e.render()
+            }
         };
         if write_frame(&mut stream, &response).is_err() {
             return;
@@ -385,6 +408,17 @@ fn dispatch(
                 s.skeleton_len,
                 s.skeleton_hits,
                 s.skeleton_misses
+            ))
+        }
+        Request::Metrics => {
+            // Table and skeleton counters live in the table, not in
+            // statics; copy a point-in-time snapshot into the export
+            // gauges so the scrape reflects the table right now.
+            metrics::snapshot_table(&table.stats());
+            let text = metrics::global_registry().to_prometheus();
+            Ok(format!(
+                "{{\"ok\":true,\"op\":\"metrics\",\"format\":\"prometheus\",\"body\":{}}}",
+                escape(&text)
             ))
         }
         Request::SessionOpen(coord) => {
