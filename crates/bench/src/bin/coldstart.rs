@@ -1,0 +1,166 @@
+//! Cold-start economics of frozen skeleton artifacts: what does
+//! `mmap`-loading a prepared core (`docs/FORMAT.md`) buy over rebuilding
+//! it from scratch?
+//!
+//! Workload: unlabeled cycles at n ≈ 10⁴ and 10⁵ (and 10⁶ with
+//! `--full`), radius 2 — the standard skeleton shape every campaign
+//! cell pays on first touch. Two timings per size:
+//!
+//! * `prepare` — a from-scratch [`ArtifactSource::BuildFresh`]
+//!   preparation: one bounded BFS per node, CSR assembly, freeze.
+//! * `load` — [`FrozenCore::open`] on the persisted artifact file:
+//!   `mmap`, header/checksum/structure validation, zero
+//!   deserialization. The same bytes a restarted daemon or a warmed
+//!   campaign shard starts from.
+//!
+//! The committed reference is `BENCH_coldstart.json` (README
+//! § Benchmarks); the acceptance target is load ≥ 10× faster than
+//! prepare at n ≈ 10⁵. Keys are flat per size (`prepare_seconds_1e5`,
+//! `load_seconds_1e5`, `speedup_1e5`, …) so `bench_diff --keys
+//! prepare_seconds_1e5,load_seconds_1e5` gates the ratio in CI.
+//! Snapshot policy matches the other bench binaries: casual runs write
+//! to `target/`, `LCP_BENCH_SNAPSHOT=1` refreshes the committed file,
+//! `--smoke` shrinks the workload to milliseconds and never writes.
+
+use lcp_core::{ArtifactSource, ArtifactStore, CoreProvenance, FrozenCore, Instance};
+use lcp_graph::generators;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const RADIUS: usize = 2;
+
+/// Median of the collected seconds (samples are few; sort is fine).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct SizeResult {
+    n: usize,
+    prepare_s: f64,
+    load_s: f64,
+}
+
+fn measure(n: usize, samples: usize, dir: &std::path::Path) -> SizeResult {
+    let inst: Instance<(), ()> = Instance::unlabeled(generators::cycle(n));
+
+    // From-scratch preparations: the price every process pays without
+    // an artifact directory.
+    let mut prepare = Vec::new();
+    for _ in 0..samples {
+        let t = Instant::now();
+        let (prep, prov) = ArtifactSource::BuildFresh.prepare(&inst, RADIUS);
+        prepare.push(t.elapsed().as_secs_f64());
+        assert_eq!(prov, CoreProvenance::Built);
+        assert_eq!(prep.n(), n);
+    }
+
+    // Persist once (untimed), then time cold loads of the file itself:
+    // every sample re-opens, re-maps, and re-validates from scratch,
+    // exactly what a fresh process pays per core.
+    let store = ArtifactStore::open(dir).expect("open artifact dir");
+    store.prepare(&inst, RADIUS);
+    assert_eq!(store.writes(), 1, "core persisted exactly once");
+    let path = std::fs::read_dir(dir)
+        .expect("list artifact dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "lcpc"))
+        .expect("the persisted artifact file");
+    let mut load = Vec::new();
+    for _ in 0..samples {
+        let t = Instant::now();
+        let core = FrozenCore::<(), ()>::open(&path, None).expect("open artifact");
+        load.push(t.elapsed().as_secs_f64());
+        assert_eq!(core.n(), n);
+    }
+    std::fs::remove_file(&path).expect("clear for the next size");
+
+    SizeResult {
+        n,
+        prepare_s: median(&mut prepare),
+        load_s: median(&mut load),
+    }
+}
+
+/// `12_000` → `"1e4"`: the flat-key suffix for a size's series.
+fn magnitude(n: usize) -> String {
+    format!("1e{}", (n as f64).log10().round() as u32)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
+    let (sizes, samples): (&[usize], usize) = if smoke {
+        (&[1_000], 2)
+    } else if full {
+        (&[10_000, 100_000, 1_000_000], 5)
+    } else {
+        (&[10_000, 100_000], 5)
+    };
+
+    let dir = std::env::temp_dir().join(format!("lcp-coldstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut results = Vec::new();
+    for &n in sizes {
+        let r = measure(n, samples, &dir);
+        println!(
+            "coldstart on cycle (n = {n}, r = {RADIUS}): prepare {:.4}s, \
+             mmap load {:.5}s ({:.0}x)",
+            r.prepare_s,
+            r.load_s,
+            r.prepare_s / r.load_s
+        );
+        results.push(r);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !smoke {
+        let r = results
+            .iter()
+            .find(|r| r.n == 100_000)
+            .expect("1e5 is in every non-smoke run");
+        let speedup = r.prepare_s / r.load_s;
+        assert!(
+            speedup >= 10.0,
+            "acceptance: mmap load must be >= 10x faster than prepare at \
+             n = 1e5 (got {speedup:.1}x)"
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"artifact-coldstart\",\n");
+    let _ = writeln!(json, "  \"family\": \"cycle\",");
+    let _ = writeln!(json, "  \"radius\": {RADIUS},");
+    for (i, r) in results.iter().enumerate() {
+        let m = magnitude(r.n);
+        let _ = writeln!(json, "  \"n_{m}\": {},", r.n);
+        let _ = writeln!(json, "  \"prepare_seconds_{m}\": {:.5},", r.prepare_s);
+        let _ = writeln!(json, "  \"load_seconds_{m}\": {:.6},", r.load_s);
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "  \"speedup_{m}\": {:.1}{comma}",
+            r.prepare_s / r.load_s
+        );
+    }
+    json.push_str("}\n");
+
+    if smoke {
+        return;
+    }
+    let path = if std::env::var_os("LCP_BENCH_SNAPSHOT").is_some_and(|v| v == "1") {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_coldstart.json")
+    } else {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_coldstart.json"
+        )
+    };
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("snapshot written to {path}");
+    }
+}

@@ -20,10 +20,10 @@
 //! runs, machines, and thread schedules.
 
 use crate::{
-    cell_seed, filtered_entries, map_coords, matrix_coords, panic_message, CampaignConfig,
-    CellStatus, Coord,
+    artifact_source_for, cell_seed, filtered_entries, map_coords, matrix_coords, panic_message,
+    CampaignConfig, CellStatus, Coord,
 };
-use lcp_core::Deadline;
+use lcp_core::{ArtifactSource, Deadline};
 use lcp_dynamic::churn::{run_churn_within, ChurnConfig};
 use lcp_dynamic::{DynamicInstance, Mutation};
 use lcp_graph::families::GraphFamily;
@@ -320,6 +320,7 @@ fn churn_one(
     entries: &[SchemeEntry],
     coord: &Coord,
     config: &CampaignConfig,
+    source: &ArtifactSource,
     steps: usize,
 ) -> ChurnCellResult {
     let entry = &entries[coord.entry_idx];
@@ -355,7 +356,10 @@ fn churn_one(
         result.detail = "polarity not realizable on this family".into();
         return result;
     };
-    let mut dynamic = DynamicInstance::from_cell(cell.dynamic_cell());
+    // The dynamic cell thaws its mutable store from the shared source,
+    // so with `--artifact-dir` even churn cells cold-start from mapped
+    // cores — the mutation stream and verdicts are unaffected.
+    let mut dynamic = DynamicInstance::from_cell(cell.with_source(source.clone()).dynamic_cell());
     result.n = dynamic.n();
     result.skipped = false;
     // Salted so the churn stream never collides with the static
@@ -447,11 +451,12 @@ fn churn_one_isolated(
     entries: &[SchemeEntry],
     coord: &Coord,
     config: &CampaignConfig,
+    source: &ArtifactSource,
     steps: usize,
 ) -> ChurnCellResult {
     let attempt = || {
         catch_unwind(AssertUnwindSafe(|| {
-            churn_one(entries, coord, config, steps)
+            churn_one(entries, coord, config, source, steps)
         }))
     };
     match attempt() {
@@ -515,6 +520,7 @@ pub(crate) fn run_churn_campaign_inner(
     let started = Instant::now();
     let _campaign_span = lcp_obs::start_span(crate::metrics::campaign_span());
     let coords = matrix_coords(entries, config);
+    let source = artifact_source_for(config);
     let cells = map_coords(&coords, |c: &Coord| {
         if let Some(done) = resume.get(&c.index) {
             crate::metrics::CELLS_RESUMED.inc();
@@ -522,7 +528,7 @@ pub(crate) fn run_churn_campaign_inner(
         }
         let cell = {
             let _cell_span = lcp_obs::start_span(crate::metrics::churn_cell_span());
-            churn_one_isolated(entries, c, config, steps)
+            churn_one_isolated(entries, c, config, &source, steps)
         };
         crate::metrics::record_cell(cell.status, cell.incremental_ms + cell.full_ms);
         if let Some(w) = writer {

@@ -37,7 +37,9 @@ use lcp_core::dynamic::{DynScheme, TamperProbe};
 use lcp_core::harness::{
     classify_growth, CompletenessError, GrowthClass, SizePoint, Soundness, SoundnessError,
 };
-use lcp_core::{BatchPolicy, Deadline, Scheme, SkeletonCache};
+use lcp_core::{
+    ArtifactSource, ArtifactStore, BatchPolicy, CoreProvenance, Deadline, Scheme, SkeletonCache,
+};
 use lcp_graph::families::GraphFamily;
 use lcp_logic::{formulas, Sigma11Scheme};
 use lcp_schemes::registry::{self, CellRequest, Polarity, SchemeEntry};
@@ -210,6 +212,13 @@ pub struct CampaignConfig {
     /// forces the scalar loops. Reports are byte-identical either way —
     /// batching may never change a verdict, a witness, or an RNG stream.
     pub batch: bool,
+    /// Directory of persistent skeleton artifacts (CLI `--artifact-dir`).
+    /// When set, cells prepare through a two-tier
+    /// [`lcp_core::ArtifactStore`] instead of the plain in-process
+    /// cache: cores already on disk are mapped in, fresh builds are
+    /// persisted for later shards and processes. Reports are
+    /// byte-identical with and without it — only cold-start time moves.
+    pub artifact_dir: Option<std::path::PathBuf>,
 }
 
 impl CampaignConfig {
@@ -228,6 +237,7 @@ impl CampaignConfig {
                 shard: None,
                 cell_budget_ms: None,
                 batch: true,
+                artifact_dir: None,
             },
             Profile::Full => CampaignConfig {
                 seed,
@@ -241,6 +251,7 @@ impl CampaignConfig {
                 shard: None,
                 cell_budget_ms: None,
                 batch: true,
+                artifact_dir: None,
             },
         }
     }
@@ -800,7 +811,7 @@ fn run_one(
     entries: &[SchemeEntry],
     coord: &Coord,
     config: &CampaignConfig,
-    cache: &Arc<SkeletonCache>,
+    source: &ArtifactSource,
 ) -> CellResult {
     let entry = &entries[coord.entry_idx];
     let started = Instant::now();
@@ -834,15 +845,16 @@ fn run_one(
         return result;
     };
     // Engine-backed checks on this cell prepare through the campaign's
-    // shared cache: schemes asked about the same generated graph (at the
-    // same radius) reuse one CSR build. The per-cell deadline starts
-    // counting here — instance generation above is not covered, but it
-    // is not where cells stall.
+    // shared artifact source: schemes asked about the same generated
+    // graph (at the same radius) reuse one CSR build, and with
+    // `--artifact-dir` that build may come straight off disk. The
+    // per-cell deadline starts counting here — instance generation above
+    // is not covered, but it is not where cells stall.
     let deadline = config.cell_budget_ms.map_or_else(Deadline::none, |ms| {
         Deadline::after(Duration::from_millis(ms))
     });
     let cell = cell
-        .with_cache(Arc::clone(cache))
+        .with_source(source.clone())
         .with_deadline(deadline.clone())
         .with_batch(if config.batch {
             BatchPolicy::Auto
@@ -995,9 +1007,9 @@ fn run_one_isolated(
     entries: &[SchemeEntry],
     coord: &Coord,
     config: &CampaignConfig,
-    cache: &Arc<SkeletonCache>,
+    source: &ArtifactSource,
 ) -> CellResult {
-    let attempt = || catch_unwind(AssertUnwindSafe(|| run_one(entries, coord, config, cache)));
+    let attempt = || catch_unwind(AssertUnwindSafe(|| run_one(entries, coord, config, source)));
     match attempt() {
         Ok(result) => result,
         Err(payload) => {
@@ -1071,9 +1083,92 @@ pub(crate) fn fit_growth(schemes: &mut [SchemeReport]) {
     }
 }
 
+/// Builds the campaign's shared skeleton source from `config`: a
+/// two-tier mmap-backed [`ArtifactStore`] when `--artifact-dir` is set,
+/// the plain in-process [`SkeletonCache`] otherwise. An unopenable
+/// artifact directory degrades (with a warning) to the cache — artifact
+/// persistence is a cold-start optimisation, never a correctness gate.
+pub(crate) fn artifact_source_for(config: &CampaignConfig) -> ArtifactSource {
+    match &config.artifact_dir {
+        Some(dir) => match ArtifactStore::open(dir) {
+            Ok(store) => ArtifactSource::MappedDir(Arc::new(store)),
+            Err(e) => {
+                eprintln!(
+                    "warning: artifact dir {} unusable ({e}); falling back to in-process cache",
+                    dir.display()
+                );
+                ArtifactSource::Cache(Arc::new(SkeletonCache::new()))
+            }
+        },
+        None => ArtifactSource::Cache(Arc::new(SkeletonCache::new())),
+    }
+}
+
 /// Runs the campaign described by `config` and assembles the [`Report`].
 pub fn run_campaign(config: &CampaignConfig) -> Report {
     run_campaign_with(&filtered_entries(config), config)
+}
+
+/// Per-provenance cell counts from a [`warm_artifacts`] pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmSummary {
+    /// Cores built in-process and persisted to the artifact directory.
+    pub built: usize,
+    /// Cores deduplicated against the warming pass's own cache
+    /// (several schemes sharing one generated graph at one radius).
+    pub cache_hits: usize,
+    /// Cores already on disk from a previous pass, mapped in.
+    pub loaded: usize,
+    /// Matrix cells with no realizable instance (nothing to warm).
+    pub skipped: usize,
+}
+
+/// Pre-populates `config.artifact_dir` with the frozen skeleton core of
+/// every cell in the campaign matrix, so subsequent campaign shards and
+/// serve daemons cold-start by `mmap` instead of rebuilding
+/// (`--warm-artifacts` on the CLI). The shard filter is deliberately
+/// ignored: one warming pass covers the whole matrix, and every shard
+/// then shares the same directory.
+///
+/// # Panics
+///
+/// Panics if `config.artifact_dir` is unset or unusable — warming to
+/// nowhere is a misconfiguration, not a degraded mode.
+pub fn warm_artifacts(config: &CampaignConfig) -> WarmSummary {
+    let dir = config
+        .artifact_dir
+        .as_deref()
+        .expect("warm_artifacts requires artifact_dir");
+    let store = ArtifactStore::open(dir)
+        .unwrap_or_else(|e| panic!("artifact dir {} unusable: {e}", dir.display()));
+    let source = ArtifactSource::MappedDir(Arc::new(store));
+    let entries = filtered_entries(config);
+    let full = CampaignConfig {
+        shard: None,
+        ..config.clone()
+    };
+    let coords = matrix_coords(&entries, &full);
+    let mut summary = WarmSummary::default();
+    for coord in &coords {
+        let entry = &entries[coord.entry_idx];
+        let seed = cell_seed(config.seed, entry.id, coord.family, coord.n, coord.polarity);
+        let req = CellRequest {
+            family: coord.family,
+            n: coord.n,
+            seed,
+            polarity: coord.polarity,
+        };
+        let Some(cell) = entry.build(&req) else {
+            summary.skipped += 1;
+            continue;
+        };
+        match cell.with_source(source.clone()).prepare_skeletons() {
+            CoreProvenance::Built => summary.built += 1,
+            CoreProvenance::CacheHit => summary.cache_hits += 1,
+            CoreProvenance::ArtifactLoaded => summary.loaded += 1,
+        }
+    }
+    summary
 }
 
 /// [`run_campaign`] over an explicit entry list instead of the filtered
@@ -1097,7 +1192,7 @@ pub(crate) fn run_campaign_inner(
     let started = Instant::now();
     let _campaign_span = lcp_obs::start_span(metrics::campaign_span());
     let coords = matrix_coords(entries, config);
-    let cache = Arc::new(SkeletonCache::new());
+    let source = artifact_source_for(config);
     let results = map_coords(&coords, |c| {
         if let Some(done) = resume.get(&c.index) {
             metrics::CELLS_RESUMED.inc();
@@ -1105,7 +1200,7 @@ pub(crate) fn run_campaign_inner(
         }
         let cell = {
             let _cell_span = lcp_obs::start_span(metrics::cell_span());
-            run_one_isolated(entries, c, config, &cache)
+            run_one_isolated(entries, c, config, &source)
         };
         metrics::record_cell(cell.status, cell.wall_ms);
         if let Some(w) = writer {
@@ -1132,8 +1227,8 @@ pub(crate) fn run_campaign_inner(
         parallel: cfg!(feature = "parallel"),
         shard: config.shard,
         schemes,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
+        cache_hits: source.cache().map_or(0, SkeletonCache::hits),
+        cache_misses: source.cache().map_or(0, SkeletonCache::misses),
         wall_ms: started.elapsed().as_millis(),
     }
 }

@@ -61,6 +61,12 @@ OPTIONS:
     --no-batch               force the scalar search loops instead of the
                              batched (64-candidates-per-word) evaluation
                              layer; reports are byte-identical either way
+    --artifact-dir <dir>     persist frozen skeleton cores to <dir> and mmap
+                             them back on later runs (see docs/FORMAT.md);
+                             reports are byte-identical either way
+    --warm-artifacts         build + persist every matrix cell's core into
+                             --artifact-dir, then exit (shard filter is
+                             ignored: one pass serves all shards)
     --checkpoint <path>      append one JSON line per completed cell, so a
                              killed shard can be resumed
     --resume <path>          skip cells recorded in a prior checkpoint of
@@ -88,6 +94,7 @@ EXIT CODES:
 struct Args {
     config: CampaignConfig,
     churn: bool,
+    warm_artifacts: bool,
     churn_steps: Option<usize>,
     checkpoint: Option<String>,
     resume: Option<String>,
@@ -110,6 +117,8 @@ fn parse_args() -> Result<Args, String> {
     let mut adversarial = None;
     let mut shard = None;
     let mut churn = false;
+    let mut warm_artifacts = false;
+    let mut artifact_dir = None;
     let mut churn_steps = None;
     let mut cell_budget_ms = None;
     let mut batch = true;
@@ -173,6 +182,10 @@ fn parse_args() -> Result<Args, String> {
                 cell_budget_ms = Some(v.parse().map_err(|_| format!("bad budget '{v}'"))?);
             }
             "--no-batch" => batch = false,
+            "--artifact-dir" => {
+                artifact_dir = Some(std::path::PathBuf::from(value("--artifact-dir")?));
+            }
+            "--warm-artifacts" => warm_artifacts = true,
             "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
             "--resume" => resume = Some(value("--resume")?),
             "--inject-faults" => inject_faults = true,
@@ -205,9 +218,14 @@ fn parse_args() -> Result<Args, String> {
     config.shard = shard;
     config.cell_budget_ms = cell_budget_ms;
     config.batch = batch;
+    config.artifact_dir = artifact_dir;
+    if warm_artifacts && config.artifact_dir.is_none() {
+        return Err("--warm-artifacts requires --artifact-dir".into());
+    }
     Ok(Args {
         config,
         churn,
+        warm_artifacts,
         churn_steps,
         checkpoint,
         resume,
@@ -465,6 +483,21 @@ fn main() {
 
     if args.inject_faults {
         std::process::exit(run_fault_mode(&args));
+    }
+
+    if args.warm_artifacts {
+        let dir = args.config.artifact_dir.clone().unwrap_or_default();
+        let s = lcp_conformance::warm_artifacts(&args.config);
+        println!(
+            "warmed {}: {} cores built, {} deduplicated in-process, {} already on disk, \
+             {} cells inapplicable",
+            dir.display(),
+            s.built,
+            s.cache_hits,
+            s.loaded,
+            s.skipped,
+        );
+        return;
     }
 
     if args.churn {

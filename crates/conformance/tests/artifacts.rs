@@ -1,0 +1,108 @@
+//! The artifact directory's correctness contract at campaign scale:
+//! `--artifact-dir` is an *economic* knob, never a semantic one. A
+//! campaign that writes artifacts cold, a campaign that maps them warm,
+//! and a campaign that never touches disk must produce byte-identical
+//! deterministic reports — static and churn alike — and a warmed
+//! directory must actually be what serves the cells (zero rebuilds).
+
+use lcp_conformance::churn::run_churn_campaign;
+use lcp_conformance::{run_campaign, warm_artifacts, CampaignConfig, Profile};
+use std::path::PathBuf;
+
+/// Small but representative: every scheme, two sizes, both polarities.
+fn config(dir: Option<PathBuf>) -> CampaignConfig {
+    CampaignConfig {
+        sizes: vec![6, 10],
+        tamper_trials: 4,
+        adversarial_iterations: 120,
+        exhaustive_limit: 20_000,
+        artifact_dir: dir,
+        ..CampaignConfig::for_profile(Profile::Smoke, 7)
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lcp-conf-art-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lcpc_count(dir: &std::path::Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "lcpc"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[test]
+fn static_reports_are_byte_identical_across_artifact_modes() {
+    let dir = temp_dir("static");
+    let baseline = run_campaign(&config(None)).to_json(false);
+
+    // Cold: the directory starts empty, every core is built and saved.
+    let cold = run_campaign(&config(Some(dir.clone()))).to_json(false);
+    assert_eq!(baseline, cold, "writing artifacts changed the report");
+    let persisted = lcpc_count(&dir);
+    assert!(persisted > 0, "cold campaign persisted nothing");
+
+    // Warm: the same campaign again, now served from mapped files.
+    let warm = run_campaign(&config(Some(dir.clone()))).to_json(false);
+    assert_eq!(baseline, warm, "mapped artifacts changed the report");
+    assert_eq!(lcpc_count(&dir), persisted, "warm run rewrote artifacts");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn churn_reports_are_byte_identical_across_artifact_modes() {
+    let steps = 12;
+    let dir = temp_dir("churn");
+    let baseline = run_churn_campaign(&config(None), steps).to_json(false);
+
+    let cold = run_churn_campaign(&config(Some(dir.clone())), steps).to_json(false);
+    assert_eq!(baseline, cold, "writing artifacts changed the churn report");
+    assert!(
+        lcpc_count(&dir) > 0,
+        "cold churn campaign persisted nothing"
+    );
+
+    let warm = run_churn_campaign(&config(Some(dir.clone())), steps).to_json(false);
+    assert_eq!(baseline, warm, "mapped artifacts changed the churn report");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warming_builds_once_and_serves_from_disk_thereafter() {
+    let dir = temp_dir("warm");
+
+    // First pass over an empty directory: everything applicable is
+    // built (or deduplicated in process when cells share a skeleton).
+    let first = warm_artifacts(&config(Some(dir.clone())));
+    assert!(first.built > 0, "first warm pass built nothing: {first:?}");
+    assert_eq!(first.loaded, 0, "empty dir cannot serve loads: {first:?}");
+
+    // Second pass: every core it built last time now comes off disk.
+    let second = warm_artifacts(&config(Some(dir.clone())));
+    assert_eq!(second.built, 0, "warm dir still built cores: {second:?}");
+    assert_eq!(
+        second.loaded, first.built,
+        "every built core must map back: {first:?} then {second:?}"
+    );
+    assert_eq!(
+        (second.cache_hits, second.skipped),
+        (first.cache_hits, first.skipped),
+        "dedup and applicability are mode-independent"
+    );
+
+    // And a campaign over the warmed directory still reports exactly
+    // what an artifact-free campaign reports.
+    let warmed = run_campaign(&config(Some(dir.clone()))).to_json(false);
+    let fresh = run_campaign(&config(None)).to_json(false);
+    assert_eq!(warmed, fresh, "pre-warmed artifacts changed the report");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,500 @@
+//! Persistent skeleton artifacts: the disk-backed tier of core reuse.
+//!
+//! # Why
+//!
+//! A [`SkeletonCache`] deduplicates
+//! skeleton builds *within* a process; every new process still pays the
+//! full BFS bill on its first touch of each graph. For campaign shards
+//! sweeping the same generated instances, a resident `lcp-serve` daemon
+//! restarting, or a nightly matrix re-running the seed graphs, that cold
+//! start is pure waste: the frozen core is already a flat little-endian
+//! word image ([`docs/FORMAT.md`]), so it can be written to disk once and
+//! mapped back by any later process with **zero deserialization**.
+//!
+//! An [`ArtifactStore`] stacks the two tiers:
+//!
+//! 1. in-process [`SkeletonCache`] lookup (full structural equality);
+//! 2. on miss, open `dir/n{n}-r{r}-{fingerprint}.lcpc` — `mmap` + header
+//!    / checksum / structure validation ([`FrozenCore::open`]);
+//! 3. on miss or rejection, build from scratch and persist the result
+//!    (atomic tmp-file + rename, so racing shards never expose a torn
+//!    file — and since serialization is deterministic, racing writers
+//!    produce identical bytes anyway).
+//!
+//! Every prepared core reports its [`CoreProvenance`] so services can
+//! account for artifact effectiveness (`lcp-serve stats`, campaign
+//! summaries) and CI can assert that warmed shards build nothing.
+//!
+//! A corrupt, truncated, or version-skewed file is **never** trusted:
+//! validation rejects it with a precise [`ArtifactError`], the store
+//! counts the rejection, warns on stderr, and transparently rebuilds
+//! (overwriting the bad file). Verdicts and report bytes can therefore
+//! never depend on artifact state — only wall-clock time can.
+//!
+//! [`docs/FORMAT.md`]: https://github.com/../docs/FORMAT.md
+
+use crate::engine::{content_key, PreparedInstance, SkeletonCache};
+use crate::frozen::{build_all, ArtifactError, FrozenCore, PortableLabel};
+use crate::instance::Instance;
+use crate::metrics;
+use std::io::ErrorKind;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Where a [`PreparedInstance`]'s frozen core came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoreProvenance {
+    /// Built in this process by a fresh BFS sweep.
+    Built,
+    /// Adopted from the in-process [`SkeletonCache`].
+    CacheHit,
+    /// Loaded (mapped) from an on-disk artifact file.
+    ArtifactLoaded,
+}
+
+impl CoreProvenance {
+    /// Stable snake_case name, used in serve stats and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoreProvenance::Built => "built",
+            CoreProvenance::CacheHit => "cache_hit",
+            CoreProvenance::ArtifactLoaded => "artifact_loaded",
+        }
+    }
+}
+
+/// The full `(instance, radius)` identity an artifact file is checked
+/// against before it may be shared: the structural content key (graph
+/// shape, ids, edge-label presence) paired with an FNV fold of the
+/// *encoded label values* — the part the structural key deliberately
+/// omits. Collisions across either component cannot cause a wrong share
+/// silently corrupting verdicts in the way a cache can't: the cache
+/// compares full content on hit, and the fingerprint is additionally
+/// embedded in (and re-derived from) the file name, so a mismatched file
+/// is simply never opened as this instance's artifact.
+pub(crate) fn fingerprint<N: PortableLabel, E: PortableLabel>(
+    inst: &Instance<N, E>,
+    radius: usize,
+) -> (u64, u64) {
+    let structural = content_key(inst, radius);
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |x: u64| {
+        h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    mix(N::TAG);
+    mix(E::TAG);
+    let mut buf = Vec::new();
+    for v in 0..inst.n() {
+        buf.clear();
+        inst.node_label(v).encode(&mut buf);
+        mix(buf.len() as u64);
+        for &w in &buf {
+            mix(w);
+        }
+    }
+    for (u, v) in inst.graph().edges() {
+        if let Some(label) = inst.edge_label(u, v) {
+            buf.clear();
+            label.encode(&mut buf);
+            mix(((u as u64) << 32) | v as u64);
+            mix(buf.len() as u64);
+            for &w in &buf {
+                mix(w);
+            }
+        }
+    }
+    (structural, h)
+}
+
+/// Builds a fresh frozen core, with the same metrics accounting as
+/// [`PreparedInstance::new`] — every from-scratch build in the process
+/// shows up in `lcp_engine_prepares_total`, whatever tier requested it.
+fn build_core<N, E>(inst: &Instance<N, E>, radius: usize) -> Arc<FrozenCore<N, E>>
+where
+    N: Clone + Send + Sync,
+    E: Clone + Send + Sync,
+{
+    let started = std::time::Instant::now();
+    let core = Arc::new(FrozenCore::from_built(radius, build_all(inst, radius)));
+    metrics::PREPARES.inc();
+    metrics::PREPARE_NS.observe(started.elapsed().as_nanos() as u64);
+    core
+}
+
+/// A directory of frozen-core artifact files fronted by an in-process
+/// [`SkeletonCache`] — the cross-process skeleton tier.
+///
+/// Thread-safe; campaign cells and serve workers share one store behind
+/// an `Arc`. Files are immutable once renamed into place: a store never
+/// modifies an existing artifact except to overwrite one that failed
+/// validation.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    cache: SkeletonCache,
+    loads: AtomicUsize,
+    writes: AtomicUsize,
+    builds: AtomicUsize,
+    rejects: AtomicUsize,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) the artifact directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, ArtifactError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| ArtifactError::Io {
+            path: dir.clone(),
+            source: e,
+        })?;
+        Ok(ArtifactStore {
+            dir,
+            cache: SkeletonCache::new(),
+            loads: AtomicUsize::new(0),
+            writes: AtomicUsize::new(0),
+            builds: AtomicUsize::new(0),
+            rejects: AtomicUsize::new(0),
+        })
+    }
+
+    /// The artifact directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The in-process cache tier (hit/miss counters live there).
+    pub fn cache(&self) -> &SkeletonCache {
+        &self.cache
+    }
+
+    /// Cores served from artifact files so far.
+    pub fn loads(&self) -> usize {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Artifact files written so far.
+    pub fn writes(&self) -> usize {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Cores built from scratch so far (cache and directory both missed).
+    pub fn builds(&self) -> usize {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Artifact files rejected by validation so far.
+    pub fn rejects(&self) -> usize {
+        self.rejects.load(Ordering::Relaxed)
+    }
+
+    /// The canonical file path of `(n, radius, fingerprint)`. Embedding
+    /// the fingerprint in the name makes the directory self-describing
+    /// and collision-free across instances without any index file.
+    pub fn path_for(&self, n: usize, radius: usize, fingerprint: (u64, u64)) -> PathBuf {
+        self.dir.join(format!(
+            "n{n}-r{radius}-{:016x}{:016x}.lcpc",
+            fingerprint.0, fingerprint.1
+        ))
+    }
+
+    /// Prepares `inst` at `radius` through the two-tier hierarchy,
+    /// reporting where the core came from.
+    ///
+    /// Hit/miss accounting on the embedded [`SkeletonCache`] is
+    /// identical to a plain cache's: a disk load and a from-scratch
+    /// build both count as one cache miss, so campaign reports stay
+    /// byte-identical whether or not an artifact directory is attached.
+    pub fn prepare<'i, N, E>(
+        &self,
+        inst: &'i Instance<N, E>,
+        radius: usize,
+    ) -> (PreparedInstance<'i, N, E>, CoreProvenance)
+    where
+        N: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+        E: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+    {
+        if let Some(core) = self.cache.find_core(inst, radius) {
+            self.cache.record_hit();
+            return (
+                PreparedInstance::from_core(inst, core),
+                CoreProvenance::CacheHit,
+            );
+        }
+        self.cache.record_miss();
+
+        let fp = fingerprint(inst, radius);
+        let path = self.path_for(inst.n(), radius, fp);
+        match FrozenCore::<N, E>::open(&path, Some(fp)) {
+            Ok(core) => {
+                self.loads.fetch_add(1, Ordering::Relaxed);
+                metrics::ARTIFACT_LOADS.inc();
+                let core = self.cache.insert_core(inst, radius, Arc::new(core));
+                return (
+                    PreparedInstance::from_core(inst, core),
+                    CoreProvenance::ArtifactLoaded,
+                );
+            }
+            Err(ArtifactError::Io { ref source, .. }) if source.kind() == ErrorKind::NotFound => {
+                // First touch of this instance on this machine: build
+                // below and persist for the next process.
+            }
+            Err(err) => {
+                self.rejects.fetch_add(1, Ordering::Relaxed);
+                metrics::ARTIFACT_REJECTS.inc();
+                eprintln!("warning: rejecting skeleton artifact ({err}); rebuilding");
+            }
+        }
+
+        let core = build_core(inst, radius);
+        self.builds.fetch_add(1, Ordering::Relaxed);
+        match core.save(&path, fp) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+                metrics::ARTIFACT_WRITES.inc();
+            }
+            Err(err) => {
+                // Persistence is best-effort: a read-only or full disk
+                // degrades to per-process builds, never to a failure.
+                eprintln!("warning: could not persist skeleton artifact ({err})");
+            }
+        }
+        let core = self.cache.insert_core(inst, radius, core);
+        (
+            PreparedInstance::from_core(inst, core),
+            CoreProvenance::Built,
+        )
+    }
+
+    /// Ensures `(inst, radius)`'s artifact file exists (building and
+    /// writing it if needed) without keeping anything resident beyond
+    /// the cache entry — the `--warm-artifacts` primitive.
+    pub fn warm<N, E>(&self, inst: &Instance<N, E>, radius: usize) -> CoreProvenance
+    where
+        N: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+        E: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+    {
+        let (_, provenance) = self.prepare(inst, radius);
+        provenance
+    }
+}
+
+/// Where a cell gets its prepared cores from — the single entry point
+/// threaded through [`DynScheme`](crate::dynamic::DynScheme).
+///
+/// The old `Option<Arc<SkeletonCache>>` plumbing collapses into this
+/// enum: `None` is [`ArtifactSource::BuildFresh`], `Some(cache)` is
+/// [`ArtifactSource::Cache`], and the new disk tier is
+/// [`ArtifactSource::MappedDir`]. All three produce observably identical
+/// [`PreparedInstance`]s; only provenance and wall-clock differ.
+#[derive(Clone, Debug, Default)]
+pub enum ArtifactSource {
+    /// No sharing: every preparation runs its own BFS sweep.
+    #[default]
+    BuildFresh,
+    /// In-process sharing through a [`SkeletonCache`].
+    Cache(Arc<SkeletonCache>),
+    /// Two-tier sharing: in-process cache over an artifact directory.
+    MappedDir(Arc<ArtifactStore>),
+}
+
+impl ArtifactSource {
+    /// Prepares `inst` at `radius` through this source, reporting where
+    /// the core came from.
+    pub fn prepare<'i, N, E>(
+        &self,
+        inst: &'i Instance<N, E>,
+        radius: usize,
+    ) -> (PreparedInstance<'i, N, E>, CoreProvenance)
+    where
+        N: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+        E: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+    {
+        match self {
+            ArtifactSource::BuildFresh => (
+                PreparedInstance::from_core(inst, build_core(inst, radius)),
+                CoreProvenance::Built,
+            ),
+            ArtifactSource::Cache(cache) => {
+                if let Some(core) = cache.find_core(inst, radius) {
+                    cache.record_hit();
+                    (
+                        PreparedInstance::from_core(inst, core),
+                        CoreProvenance::CacheHit,
+                    )
+                } else {
+                    cache.record_miss();
+                    let core = cache.insert_core(inst, radius, build_core(inst, radius));
+                    (
+                        PreparedInstance::from_core(inst, core),
+                        CoreProvenance::Built,
+                    )
+                }
+            }
+            ArtifactSource::MappedDir(store) => store.prepare(inst, radius),
+        }
+    }
+
+    /// Drops `(inst, radius)`'s core from whatever in-process tier this
+    /// source carries, reporting whether anything was resident. Artifact
+    /// *files* are never deleted — they are the durable tier.
+    pub fn evict<N, E>(&self, inst: &Instance<N, E>, radius: usize) -> bool
+    where
+        N: PartialEq + Send + Sync + 'static,
+        E: PartialEq + Send + Sync + 'static,
+    {
+        match self {
+            ArtifactSource::BuildFresh => false,
+            ArtifactSource::Cache(cache) => cache.remove(inst, radius),
+            ArtifactSource::MappedDir(store) => store.cache.remove(inst, radius),
+        }
+    }
+
+    /// The in-process cache tier, when this source has one.
+    pub fn cache(&self) -> Option<&SkeletonCache> {
+        match self {
+            ArtifactSource::BuildFresh => None,
+            ArtifactSource::Cache(cache) => Some(cache),
+            ArtifactSource::MappedDir(store) => Some(&store.cache),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proof::Proof;
+    use lcp_graph::generators;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("lcp-artifact-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_round_trips_through_disk() {
+        let dir = scratch_dir("roundtrip");
+        let inst = Instance::unlabeled(generators::grid(4, 5));
+        let proof = Proof::empty(inst.n());
+
+        let store = ArtifactStore::open(&dir).unwrap();
+        let (first, prov) = store.prepare(&inst, 2);
+        assert_eq!(prov, CoreProvenance::Built);
+        assert_eq!((store.builds(), store.writes(), store.loads()), (1, 1, 0));
+        let (again, prov) = store.prepare(&inst, 2);
+        assert_eq!(prov, CoreProvenance::CacheHit);
+        assert_eq!(store.cache().hits(), 1);
+
+        // A second "process": a fresh store over the same directory
+        // loads the file instead of building.
+        let cold = ArtifactStore::open(&dir).unwrap();
+        let (loaded, prov) = cold.prepare(&inst, 2);
+        assert_eq!(prov, CoreProvenance::ArtifactLoaded);
+        assert_eq!((cold.builds(), cold.loads()), (0, 1));
+        for v in 0..inst.n() {
+            assert_eq!(loaded.bind(v, &proof), first.bind(v, &proof), "view {v}");
+            assert_eq!(again.bind(v, &proof), first.bind(v, &proof), "view {v}");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected_and_rebuilt() {
+        let dir = scratch_dir("corrupt");
+        let inst = Instance::unlabeled(generators::cycle(12));
+        let store = ArtifactStore::open(&dir).unwrap();
+        let (_, prov) = store.prepare(&inst, 1);
+        assert_eq!(prov, CoreProvenance::Built);
+
+        let fp = fingerprint(&inst, 1);
+        let path = store.path_for(inst.n(), 1, fp);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let cold = ArtifactStore::open(&dir).unwrap();
+        let (prep, prov) = cold.prepare(&inst, 1);
+        assert_eq!(prov, CoreProvenance::Built, "corrupt file must not load");
+        assert_eq!(cold.rejects(), 1);
+        assert_eq!(prep.n(), inst.n());
+
+        // The rebuild overwrote the damaged file with a valid one.
+        let healed = ArtifactStore::open(&dir).unwrap();
+        let (_, prov) = healed.prepare(&inst, 1);
+        assert_eq!(prov, CoreProvenance::ArtifactLoaded);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_label_values_get_distinct_artifacts() {
+        // content_key ignores label values; the fingerprint must not.
+        let g = generators::path(6);
+        let a: Instance<u8> = Instance::with_node_data(g.clone(), vec![1u8; 6]);
+        let b: Instance<u8> = Instance::with_node_data(g, vec![2u8; 6]);
+        assert_eq!(content_key(&a, 1), content_key(&b, 1));
+        assert_ne!(fingerprint(&a, 1), fingerprint(&b, 1));
+
+        let dir = scratch_dir("labels");
+        let store = ArtifactStore::open(&dir).unwrap();
+        let (pa, _) = store.prepare(&a, 1);
+        let (pb, _) = store.prepare(&b, 1);
+        assert_eq!(store.builds(), 2, "different label values never share");
+        let proof = Proof::empty(6);
+        assert_ne!(
+            pa.bind(3, &proof).node_label(pa.bind(3, &proof).center()),
+            pb.bind(3, &proof).node_label(pb.bind(3, &proof).center()),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_source_prepares_identically() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let proof = Proof::empty(inst.n());
+        let dir = scratch_dir("sources");
+
+        let fresh = ArtifactSource::BuildFresh;
+        let cached = ArtifactSource::Cache(Arc::new(SkeletonCache::new()));
+        let mapped = ArtifactSource::MappedDir(Arc::new(ArtifactStore::open(&dir).unwrap()));
+
+        let (p0, prov0) = fresh.prepare(&inst, 2);
+        let (p1, prov1) = cached.prepare(&inst, 2);
+        let (p2, prov2) = mapped.prepare(&inst, 2);
+        assert_eq!(
+            (prov0, prov1, prov2),
+            (
+                CoreProvenance::Built,
+                CoreProvenance::Built,
+                CoreProvenance::Built
+            )
+        );
+        for v in 0..inst.n() {
+            assert_eq!(p0.bind(v, &proof), p1.bind(v, &proof), "view {v}");
+            assert_eq!(p0.bind(v, &proof), p2.bind(v, &proof), "view {v}");
+        }
+
+        // Second round: each stateful source reports its tier.
+        let (_, prov1) = cached.prepare(&inst, 2);
+        let (_, prov2) = mapped.prepare(&inst, 2);
+        assert_eq!(
+            (prov1, prov2),
+            (CoreProvenance::CacheHit, CoreProvenance::CacheHit)
+        );
+
+        assert!(!fresh.evict(&inst, 2));
+        assert!(cached.evict(&inst, 2));
+        assert!(mapped.evict(&inst, 2));
+        // After eviction the mapped source reloads from disk, not a BFS.
+        let (_, prov2) = mapped.prepare(&inst, 2);
+        assert_eq!(prov2, CoreProvenance::ArtifactLoaded);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

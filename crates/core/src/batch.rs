@@ -54,7 +54,7 @@ use crate::harness::{random_proof, refill_random, OutputMemo, Soundness, Soundne
 use crate::metrics;
 use crate::proof::Proof;
 use crate::scheme::Scheme;
-use crate::view::Skeleton;
+use crate::view::SkelView;
 use lcp_graph::{norm_edge, NodeId};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -90,18 +90,28 @@ pub(crate) fn enabled(policy: BatchPolicy) -> bool {
 /// [`PreparedInstance::bind_batch`](crate::engine::PreparedInstance::bind_batch).
 /// Topology accessors mirror [`crate::View`]; proof accessors return
 /// 64-lane words (bit `i` — candidate `i`).
-#[derive(Clone, Copy, Debug)]
+#[derive(Debug)]
 pub struct BatchView<'a, N = (), E = ()> {
-    skel: &'a Skeleton<N, E>,
+    skel: SkelView<'a, N, E>,
     arena: &'a BatchArena,
     members: &'a [u32],
 }
 
+// Manual Copy/Clone: the derives would demand `N: Copy`/`E: Copy`, but
+// the fields are slices, copyable for any label type.
+impl<N, E> Clone for BatchView<'_, N, E> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N, E> Copy for BatchView<'_, N, E> {}
+
 impl<'a, N, E> BatchView<'a, N, E> {
-    /// Assembles a batch view from a cached skeleton and the transposed
-    /// arena — the batched analogue of `View::bind_arena`.
+    /// Assembles a batch view from a cached flat skeleton and the
+    /// transposed arena — the batched analogue of `View::bind_arena`.
     pub(crate) fn bind(
-        skel: &'a Skeleton<N, E>,
+        skel: SkelView<'a, N, E>,
         arena: &'a BatchArena,
         members: &'a [u32],
     ) -> Self {
@@ -144,7 +154,7 @@ impl<'a, N, E> BatchView<'a, N, E> {
 
     /// All identifiers in view-index order.
     pub fn ids(&self) -> &[NodeId] {
-        &self.skel.ids
+        self.skel.ids
     }
 
     /// View index of the node with identifier `id`, if visible.
@@ -462,7 +472,7 @@ pub(crate) fn exhaustive<S: Scheme>(
                         kernel_fills.set(kernel_fills.get() + 1);
                         verifies.set(verifies.get() + 1);
                         scheme.verify_batch(&BatchView::bind(
-                            prep.skeleton_of(w),
+                            prep.skel_view_of(w),
                             a,
                             prep.members_of(w),
                         )) & active

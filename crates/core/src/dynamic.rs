@@ -45,10 +45,12 @@
 //! assert_eq!(cells[0].check_completeness(), Ok(Some(0)));
 //! ```
 
+use crate::artifact::{ArtifactSource, CoreProvenance};
 use crate::batch::BatchPolicy;
 use crate::bits::{AsBits, BitString};
 use crate::deadline::Deadline;
 use crate::engine::{PreparedInstance, SkeletonCache, SkeletonStore};
+use crate::frozen::PortableLabel;
 use crate::harness::{
     adversarial_proof_search_policy, check_instance_within, check_soundness_exhaustive_policy,
     CompletenessError, Soundness, SoundnessError,
@@ -234,6 +236,42 @@ where
         }
     }
 
+    /// Like [`Self::from_arc`], but the initial skeleton store comes
+    /// from `source`'s shared tiers (cache hit or mapped artifact) via
+    /// [`SkeletonStore::from_frozen`] — churn cold starts skip the BFS
+    /// whenever a frozen core is already available.
+    fn from_source(
+        cell: Arc<(S, Instance<S::Node, S::Edge>)>,
+        proof: Option<Proof>,
+        source: &ArtifactSource,
+    ) -> Self
+    where
+        S::Node: PartialEq + PortableLabel,
+        S::Edge: PartialEq + PortableLabel,
+    {
+        if matches!(source, ArtifactSource::BuildFresh) {
+            // No shared tier: build per-node buckets directly instead of
+            // freezing a flat core only to thaw it again.
+            return TypedCell::from_arc(cell, proof);
+        }
+        let inst = cell.1.clone();
+        let proof = proof.unwrap_or_else(|| {
+            cell.0
+                .prove(&inst)
+                .unwrap_or_else(|| Proof::empty(inst.n()))
+        });
+        assert_eq!(proof.n(), inst.n(), "proof must label every node");
+        let (prep, _) = source.prepare(&inst, cell.0.radius());
+        let store = SkeletonStore::from_frozen(prep.core());
+        drop(prep);
+        TypedCell {
+            cell,
+            inst,
+            proof,
+            store,
+        }
+    }
+
     fn check_node(&self, v: usize) -> Result<(), CellMutationError> {
         if v < self.inst.n() {
             Ok(())
@@ -368,9 +406,10 @@ pub struct DynScheme {
     radius: usize,
     n: usize,
     holds: bool,
-    /// Shared skeleton cache the engine-backed operations prepare
-    /// through, when attached ([`Self::with_cache`]).
-    cache: Option<Arc<SkeletonCache>>,
+    /// Where engine-backed operations get their prepared cores
+    /// ([`Self::with_source`]); [`ArtifactSource::BuildFresh`] by
+    /// default.
+    source: ArtifactSource,
     /// Wall budget the engine-backed checks poll, when attached
     /// ([`Self::with_deadline`]); unbounded by default.
     deadline: Deadline,
@@ -381,46 +420,38 @@ pub struct DynScheme {
     evaluate: Box<dyn Fn(&Proof) -> Verdict + Send + Sync>,
     until_reject: Box<dyn Fn(&Proof) -> Option<usize> + Send + Sync>,
     completeness: Box<
-        dyn Fn(Option<&SkeletonCache>, &Deadline) -> Result<Option<usize>, CompletenessError>
+        dyn Fn(&ArtifactSource, &Deadline) -> Result<Option<usize>, CompletenessError>
             + Send
             + Sync,
     >,
     soundness: Box<
-        dyn Fn(
-                usize,
-                Option<&SkeletonCache>,
-                &Deadline,
-                BatchPolicy,
-            ) -> Result<Soundness, SoundnessError>
+        dyn Fn(usize, &ArtifactSource, &Deadline, BatchPolicy) -> Result<Soundness, SoundnessError>
             + Send
             + Sync,
     >,
     adversarial: Box<
-        dyn Fn(usize, usize, u64, Option<&SkeletonCache>, &Deadline, BatchPolicy) -> Option<Proof>
+        dyn Fn(usize, usize, u64, &ArtifactSource, &Deadline, BatchPolicy) -> Option<Proof>
             + Send
             + Sync,
     >,
-    tamper: Box<dyn Fn(usize, u64, Option<&SkeletonCache>) -> Option<TamperProbe> + Send + Sync>,
-    dynamic: Box<dyn Fn() -> Box<dyn MutableCell> + Send + Sync>,
-    prepare: Box<dyn Fn(Option<&SkeletonCache>) + Send + Sync>,
-    evict: Box<dyn Fn(&SkeletonCache) -> bool + Send + Sync>,
+    tamper: Box<dyn Fn(usize, u64, &ArtifactSource) -> Option<TamperProbe> + Send + Sync>,
+    dynamic: Box<dyn Fn(&ArtifactSource) -> Box<dyn MutableCell> + Send + Sync>,
+    prepare: Box<dyn Fn(&ArtifactSource) -> CoreProvenance + Send + Sync>,
+    evict: Box<dyn Fn(&ArtifactSource) -> bool + Send + Sync>,
 }
 
-/// Prepares `inst` through `cache` when one is attached, else freshly —
-/// the single dispatch point of every engine-backed `DynScheme` op.
+/// Prepares `inst` through the attached source — the single dispatch
+/// point of every engine-backed `DynScheme` op.
 fn prep_for<'i, N, E>(
     inst: &'i Instance<N, E>,
     radius: usize,
-    cache: Option<&SkeletonCache>,
+    source: &ArtifactSource,
 ) -> PreparedInstance<'i, N, E>
 where
-    N: Clone + PartialEq + Send + Sync + 'static,
-    E: Clone + PartialEq + Send + Sync + 'static,
+    N: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+    E: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
 {
-    match cache {
-        Some(cache) => cache.prepare(inst, radius),
-        None => PreparedInstance::new(inst, radius),
-    }
+    source.prepare(inst, radius).0
 }
 
 impl fmt::Debug for DynScheme {
@@ -445,8 +476,8 @@ impl DynScheme {
     pub fn seal<S>(scheme: S, inst: Instance<S::Node, S::Edge>) -> DynScheme
     where
         S: Scheme + Send + Sync + 'static,
-        S::Node: Clone + PartialEq + Send + Sync + 'static,
-        S::Edge: Clone + PartialEq + Send + Sync + 'static,
+        S::Node: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+        S::Edge: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
     {
         let name = scheme.name();
         let radius = scheme.radius();
@@ -461,17 +492,17 @@ impl DynScheme {
         let c = Arc::clone(&cell);
         let until_reject = Box::new(move |proof: &Proof| evaluate_until_reject(&c.0, &c.1, proof));
         let c = Arc::clone(&cell);
-        let completeness = Box::new(move |cache: Option<&SkeletonCache>, deadline: &Deadline| {
-            let prep = prep_for(&c.1, c.0.radius(), cache);
+        let completeness = Box::new(move |source: &ArtifactSource, deadline: &Deadline| {
+            let prep = prep_for(&c.1, c.0.radius(), source);
             check_instance_within(&c.0, &prep, deadline)
         });
         let c = Arc::clone(&cell);
         let soundness = Box::new(
             move |max_bits: usize,
-                  cache: Option<&SkeletonCache>,
+                  source: &ArtifactSource,
                   deadline: &Deadline,
                   policy: BatchPolicy| {
-                let prep = prep_for(&c.1, c.0.radius(), cache);
+                let prep = prep_for(&c.1, c.0.radius(), source);
                 check_soundness_exhaustive_policy(&c.0, &prep, max_bits, deadline, policy)
             },
         );
@@ -480,10 +511,10 @@ impl DynScheme {
             move |budget: usize,
                   iterations: usize,
                   seed: u64,
-                  cache: Option<&SkeletonCache>,
+                  source: &ArtifactSource,
                   deadline: &Deadline,
                   policy: BatchPolicy| {
-                let prep = prep_for(&c.1, c.0.radius(), cache);
+                let prep = prep_for(&c.1, c.0.radius(), source);
                 let mut rng = StdRng::seed_from_u64(seed);
                 adversarial_proof_search_policy(
                     &c.0, &prep, budget, iterations, &mut rng, deadline, policy,
@@ -491,28 +522,24 @@ impl DynScheme {
             },
         );
         let c = Arc::clone(&cell);
-        let tamper = Box::new(
-            move |trials: usize, seed: u64, cache: Option<&SkeletonCache>| {
-                tamper_probe(&c.0, &c.1, trials, seed, cache)
-            },
-        );
-        let c = Arc::clone(&cell);
-        let dynamic = Box::new(move || {
-            Box::new(TypedCell::from_arc(Arc::clone(&c), None)) as Box<dyn MutableCell>
+        let tamper = Box::new(move |trials: usize, seed: u64, source: &ArtifactSource| {
+            tamper_probe(&c.0, &c.1, trials, seed, source)
         });
         let c = Arc::clone(&cell);
-        let prepare = Box::new(move |cache: Option<&SkeletonCache>| {
-            let _ = prep_for(&c.1, c.0.radius(), cache);
+        let dynamic = Box::new(move |source: &ArtifactSource| {
+            Box::new(TypedCell::from_source(Arc::clone(&c), None, source)) as Box<dyn MutableCell>
         });
         let c = Arc::clone(&cell);
-        let evict = Box::new(move |cache: &SkeletonCache| cache.remove(&c.1, c.0.radius()));
+        let prepare = Box::new(move |source: &ArtifactSource| source.prepare(&c.1, c.0.radius()).1);
+        let c = Arc::clone(&cell);
+        let evict = Box::new(move |source: &ArtifactSource| source.evict(&c.1, c.0.radius()));
 
         DynScheme {
             name,
             radius,
             n,
             holds,
-            cache: None,
+            source: ArtifactSource::BuildFresh,
             deadline: Deadline::none(),
             batch: BatchPolicy::default(),
             prove,
@@ -528,16 +555,27 @@ impl DynScheme {
         }
     }
 
-    /// Attaches a shared [`SkeletonCache`]: every subsequent
-    /// engine-backed operation (completeness, soundness, adversarial
-    /// search, tamper probing) prepares the sealed instance through it,
-    /// so cells sealed over equal instances share one skeleton build.
+    /// Attaches an [`ArtifactSource`]: every subsequent engine-backed
+    /// operation (completeness, soundness, adversarial search, tamper
+    /// probing, dynamic-cell cold starts) prepares the sealed instance
+    /// through it — an in-process cache, a two-tier artifact store, or
+    /// neither.
     ///
-    /// Results are identical with and without a cache (pinned by the
-    /// cache-equivalence tests) — only the preparation work is shared.
-    pub fn with_cache(mut self, cache: Arc<SkeletonCache>) -> DynScheme {
-        self.cache = Some(cache);
+    /// Results are identical across sources (pinned by the cache- and
+    /// artifact-equivalence tests) — only the preparation work is
+    /// shared.
+    pub fn with_source(mut self, source: ArtifactSource) -> DynScheme {
+        self.source = source;
         self
+    }
+
+    /// Attaches a shared [`SkeletonCache`], so cells sealed over equal
+    /// instances share one skeleton build.
+    ///
+    /// Shim kept for existing callers: equivalent to
+    /// `with_source(ArtifactSource::Cache(cache))`.
+    pub fn with_cache(self, cache: Arc<SkeletonCache>) -> DynScheme {
+        self.with_source(ArtifactSource::Cache(cache))
     }
 
     /// Attaches a wall budget: every subsequent engine-backed check
@@ -612,7 +650,7 @@ impl DynScheme {
         &self,
         deadline: &Deadline,
     ) -> Result<Option<usize>, CompletenessError> {
-        (self.completeness)(self.cache.as_deref(), deadline)
+        (self.completeness)(&self.source, deadline)
     }
 
     /// Exhaustive soundness check on the cached engine.
@@ -636,7 +674,7 @@ impl DynScheme {
         max_bits: usize,
         deadline: &Deadline,
     ) -> Result<Soundness, SoundnessError> {
-        (self.soundness)(max_bits, self.cache.as_deref(), deadline, self.batch)
+        (self.soundness)(max_bits, &self.source, deadline, self.batch)
     }
 
     /// Seeded adversarial proof search on the cached engine; `Some` is a
@@ -672,37 +710,37 @@ impl DynScheme {
             size_budget,
             iterations,
             seed,
-            self.cache.as_deref(),
+            &self.source,
             deadline,
             self.batch,
         )
     }
 
-    /// Eagerly prepares the sealed instance's skeletons, warming the
-    /// attached [`SkeletonCache`] so that later engine-backed operations
-    /// hit instead of building.
+    /// Eagerly prepares the sealed instance's skeletons through the
+    /// attached [`ArtifactSource`], warming its in-process tier so that
+    /// later engine-backed operations hit instead of building, and
+    /// reports where the core came from.
     ///
-    /// This is how a resident service front-loads the one BFS a cell ever
-    /// needs: `prepare` once at load time, then every `verify` and
+    /// This is how a resident service front-loads the one BFS a cell
+    /// ever needs: `prepare` once at load time, then every `verify` and
     /// `tamper-probe` on the resident cell reuses the cached core
-    /// (observable through [`SkeletonCache::hits`]). Without an attached
-    /// cache the preparation is built and immediately dropped.
-    pub fn prepare_skeletons(&self) {
-        (self.prepare)(self.cache.as_deref());
+    /// (observable through [`SkeletonCache::hits`] and the returned
+    /// [`CoreProvenance`]). With the default [`ArtifactSource::
+    /// BuildFresh`] the preparation is built and immediately dropped.
+    pub fn prepare_skeletons(&self) -> CoreProvenance {
+        (self.prepare)(&self.source)
     }
 
-    /// Drops this cell's skeleton core from the attached
-    /// [`SkeletonCache`], reporting whether anything was evicted.
+    /// Drops this cell's skeleton core from the attached source's
+    /// in-process tier, reporting whether anything was evicted.
     ///
     /// The counterpart of [`Self::prepare_skeletons`]: an instance table
     /// evicting this cell calls it so the shared cache does not pin the
-    /// core forever. `false` when no cache is attached or the core was
-    /// never cached (or already evicted).
+    /// core forever. `false` when the source has no in-process tier or
+    /// the core was never cached (or already evicted). Artifact *files*
+    /// are never deleted.
     pub fn evict_skeletons(&self) -> bool {
-        match self.cache.as_deref() {
-            Some(cache) => (self.evict)(cache),
-            None => false,
-        }
+        (self.evict)(&self.source)
     }
 
     /// Seeded single-bit tamper probe against the honest proof.
@@ -711,7 +749,7 @@ impl DynScheme {
     /// or the honest proof is not fully accepted (a completeness failure,
     /// reported by [`Self::check_completeness`] instead).
     pub fn tamper_probe(&self, trials: usize, seed: u64) -> Option<TamperProbe> {
-        (self.tamper)(trials, seed, self.cache.as_deref())
+        (self.tamper)(trials, seed, &self.source)
     }
 
     /// Opens a fresh [`MutableCell`] over a private copy of the sealed
@@ -719,9 +757,11 @@ impl DynScheme {
     ///
     /// The cell starts from the honest proof when the prover certifies
     /// the sealed instance, else from the empty proof; mutations to the
-    /// cell never affect this `DynScheme` or sibling cells.
+    /// cell never affect this `DynScheme` or sibling cells. The cell's
+    /// initial skeleton store thaws from the attached source's frozen
+    /// core when one is available.
     pub fn dynamic_cell(&self) -> Box<dyn MutableCell> {
-        (self.dynamic)()
+        (self.dynamic)(&self.source)
     }
 }
 
@@ -733,15 +773,15 @@ fn tamper_probe<S>(
     inst: &Instance<S::Node, S::Edge>,
     trials: usize,
     seed: u64,
-    cache: Option<&SkeletonCache>,
+    source: &ArtifactSource,
 ) -> Option<TamperProbe>
 where
     S: Scheme,
-    S::Node: Clone + PartialEq + Send + Sync + 'static,
-    S::Edge: Clone + PartialEq + Send + Sync + 'static,
+    S::Node: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
+    S::Edge: Clone + PartialEq + Send + Sync + PortableLabel + 'static,
 {
     let mut proof = scheme.prove(inst)?;
-    let prep = prep_for(inst, scheme.radius(), cache);
+    let prep = prep_for(inst, scheme.radius(), source);
     if (0..prep.n()).any(|v| !scheme.verify(&prep.bind(v, &proof))) {
         return None; // honest proof rejected — that is a completeness failure
     }
@@ -938,9 +978,9 @@ mod tests {
         let cell = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)))
             .with_cache(Arc::clone(&cache));
         assert!(!cell.evict_skeletons(), "nothing cached yet");
-        cell.prepare_skeletons();
+        assert_eq!(cell.prepare_skeletons(), CoreProvenance::Built);
         assert_eq!((cache.len(), cache.misses()), (1, 1));
-        cell.prepare_skeletons();
+        assert_eq!(cell.prepare_skeletons(), CoreProvenance::CacheHit);
         assert_eq!(cache.hits(), 1, "second preparation hits");
         assert_eq!(cell.check_completeness(), Ok(Some(1)));
         assert_eq!(cache.misses(), 1, "resident check rebuilds nothing");
@@ -949,8 +989,42 @@ mod tests {
         assert!(cache.is_empty());
         // Without a cache both calls are harmless no-ops.
         let free = DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)));
-        free.prepare_skeletons();
+        assert_eq!(free.prepare_skeletons(), CoreProvenance::Built);
         assert!(!free.evict_skeletons());
+    }
+
+    #[test]
+    fn artifact_sources_back_sealed_cells() {
+        use crate::artifact::ArtifactStore;
+        let dir = std::env::temp_dir().join(format!("lcp-dyn-artifact-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(ArtifactStore::open(&dir).unwrap());
+        let seal = || {
+            DynScheme::seal(Bipartite, Instance::unlabeled(generators::cycle(6)))
+                .with_source(ArtifactSource::MappedDir(Arc::clone(&store)))
+        };
+
+        let cell = seal();
+        assert_eq!(cell.prepare_skeletons(), CoreProvenance::Built);
+        assert_eq!(cell.prepare_skeletons(), CoreProvenance::CacheHit);
+        assert_eq!(cell.check_completeness(), Ok(Some(1)));
+        assert!(cell.evict_skeletons());
+        // Evicted from memory, but the artifact file remains: the next
+        // preparation maps it instead of re-running the BFS.
+        assert_eq!(cell.prepare_skeletons(), CoreProvenance::ArtifactLoaded);
+
+        // A dynamic cell thawed from the mapped core behaves exactly
+        // like one built fresh.
+        let mut dynamic = cell.dynamic_cell();
+        assert!((0..6).all(|v| dynamic.verify(v)));
+        let impact = dynamic.insert_edge(0, 2).unwrap();
+        assert_eq!(impact, vec![0, 1, 2]);
+        let full = dynamic.evaluate_full();
+        for v in 0..6 {
+            assert_eq!(dynamic.verify(v), full.outputs()[v], "node {v}");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,11 +13,13 @@
 //!
 //! # The skeleton / binding split
 //!
-//! A [`PreparedInstance`] precomputes, once per `(instance, radius)`:
+//! A [`PreparedInstance`] precomputes, once per `(instance, radius)`, a
+//! [`FrozenCore`]:
 //!
 //! * every node's view **skeleton** — the radius-`r` ball in CSR form
 //!   (flat adjacency + offsets), distance arrays, identifiers, labels,
-//!   and sorted edge-label slices — shared behind `Arc`s;
+//!   and sorted edge-label slices — packed into one contiguous word
+//!   image;
 //! * the flat **membership table** (`members`): which global nodes appear
 //!   in each ball, in view-local order;
 //! * the inverted **dependency table** (`dependents`): for each global
@@ -36,6 +38,17 @@
 //! `O(|ball|)` verifiers listed in [`PreparedInstance::dependents`] —
 //! zero heap allocations per candidate proof (pinned by the
 //! `alloc_probe` test).
+//!
+//! # Core provenance
+//!
+//! The frozen core is origin-agnostic: a `PreparedInstance` binds views
+//! identically whether its core was **built** in process, adopted from a
+//! [`SkeletonCache`] hit, or **mapped** from an on-disk artifact file by
+//! [`crate::artifact::ArtifactStore`] (the `docs/FORMAT.md` format). The
+//! mutable sibling is [`SkeletonStore`], a thin wrapper over
+//! [`CoreBuilder`] whose
+//! [`SkeletonStore::freeze`] / [`SkeletonStore::from_frozen`] round-trip
+//! makes dynamic churn and frozen artifacts share one invariant surface.
 //!
 //! # Parallelism
 //!
@@ -78,11 +91,12 @@
 use crate::arena::BatchArena;
 use crate::batch::BatchView;
 use crate::deadline::{Deadline, DeadlineExpired};
+use crate::frozen::{build_all, CoreBuilder, FrozenCore};
 use crate::instance::Instance;
 use crate::metrics;
 use crate::proof::Proof;
 use crate::scheme::{Scheme, Verdict};
-use crate::view::{build_skeleton, BallScratch, Skeleton, View};
+use crate::view::{SkelView, View};
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -96,146 +110,18 @@ use rayon::prelude::*;
 #[cfg(feature = "parallel")]
 const PAR_THRESHOLD: usize = 256;
 
-/// The owned, shareable half of a [`PreparedInstance`]: every node's
-/// view skeleton plus the membership / dependency tables, with no
-/// reference back to the instance they were built from.
-///
-/// Splitting this out of [`PreparedInstance`] is what makes cross-cell
-/// skeleton sharing possible: a [`SkeletonCache`] can hold one
-/// `Arc<PreparedCore>` per distinct `(instance content, radius)` and hand
-/// it to any number of borrowing `PreparedInstance`s — different schemes
-/// sweeping the same generated graph reuse one CSR build.
-#[derive(Debug)]
-pub(crate) struct PreparedCore<N = (), E = ()> {
-    radius: usize,
-    skeletons: Vec<Arc<Skeleton<N, E>>>,
-    /// CSR: global indices of node `v`'s ball members (view-local order)
-    /// are `members[member_off[v] as usize .. member_off[v+1] as usize]`.
-    member_off: Vec<u32>,
-    members: Vec<u32>,
-    /// CSR: the views containing global node `v`, as `(owner, local)`
-    /// pairs — `owner`'s view holds `v` at view-local index `local`.
-    dependent_off: Vec<u32>,
-    dependents: Vec<(u32, u32)>,
-}
-
-impl<N: Clone, E: Clone> PreparedCore<N, E> {
-    /// Builds the skeletons and locality tables for `(inst, radius)`.
-    #[cfg(not(feature = "parallel"))]
-    fn new(inst: &Instance<N, E>, radius: usize) -> Self {
-        let n = inst.n();
-        let mut scratch = BallScratch::new(inst.graph().n());
-        let built: Vec<(Skeleton<N, E>, Vec<u32>)> = (0..n)
-            .map(|v| build_skeleton(inst, v, radius, &mut scratch))
-            .collect();
-        Self::assemble(inst, radius, built)
-    }
-
-    /// Builds the skeletons and locality tables for `(inst, radius)`,
-    /// fanning the per-node BFS out across cores for large instances.
-    #[cfg(feature = "parallel")]
-    fn new(inst: &Instance<N, E>, radius: usize) -> Self
-    where
-        N: Send + Sync,
-        E: Send + Sync,
-    {
-        let n = inst.n();
-        let built: Vec<(Skeleton<N, E>, Vec<u32>)> = if n >= PAR_THRESHOLD {
-            // One contiguous node range per worker, each reusing a single
-            // O(n) scratch — not one scratch per node, which would make
-            // preparation Θ(n²) in allocation alone.
-            let workers = std::thread::available_parallelism().map_or(1, |w| w.get());
-            let chunk = n.div_ceil(workers);
-            let ranges: Vec<(usize, usize)> = (0..workers)
-                .map(|i| (i * chunk, ((i + 1) * chunk).min(n)))
-                .filter(|&(start, end)| start < end)
-                .collect();
-            ranges
-                .into_par_iter()
-                .map(|(start, end)| {
-                    let mut scratch = BallScratch::new(inst.graph().n());
-                    (start..end)
-                        .map(|v| build_skeleton(inst, v, radius, &mut scratch))
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .flatten()
-                .collect()
-        } else {
-            let mut scratch = BallScratch::new(inst.graph().n());
-            (0..n)
-                .map(|v| build_skeleton(inst, v, radius, &mut scratch))
-                .collect()
-        };
-        Self::assemble(inst, radius, built)
-    }
-
-    fn members_of(&self, v: usize) -> &[u32] {
-        &self.members[self.member_off[v] as usize..self.member_off[v + 1] as usize]
-    }
-
-    fn dependents_of(&self, v: usize) -> &[(u32, u32)] {
-        &self.dependents[self.dependent_off[v] as usize..self.dependent_off[v + 1] as usize]
-    }
-
-    fn assemble(
-        inst: &Instance<N, E>,
-        radius: usize,
-        built: Vec<(Skeleton<N, E>, Vec<u32>)>,
-    ) -> Self {
-        let n = inst.n();
-        let total: usize = built.iter().map(|(_, m)| m.len()).sum();
-        let mut skeletons = Vec::with_capacity(n);
-        let mut member_off = Vec::with_capacity(n + 1);
-        let mut members = Vec::with_capacity(total);
-        member_off.push(0u32);
-        let mut degree = vec![0u32; n];
-        for (skel, ms) in &built {
-            debug_assert_eq!(skel.n(), ms.len());
-            for &m in ms {
-                degree[m as usize] += 1;
-            }
-        }
-        let mut dependent_off = Vec::with_capacity(n + 1);
-        dependent_off.push(0u32);
-        for v in 0..n {
-            dependent_off.push(dependent_off[v] + degree[v]);
-        }
-        let mut cursor: Vec<u32> = dependent_off[..n].to_vec();
-        let mut dependents = vec![(0u32, 0u32); total];
-        for (owner, (skel, ms)) in built.into_iter().enumerate() {
-            for (local, &m) in ms.iter().enumerate() {
-                let c = &mut cursor[m as usize];
-                dependents[*c as usize] = (owner as u32, local as u32);
-                *c += 1;
-            }
-            members.extend_from_slice(&ms);
-            member_off.push(members.len() as u32);
-            skeletons.push(Arc::new(skel));
-        }
-        PreparedCore {
-            radius,
-            skeletons,
-            member_off,
-            members,
-            dependent_off,
-            dependents,
-        }
-    }
-}
-
 /// An instance with every node's radius-`r` view skeleton precomputed,
 /// ready to bind candidate proofs cheaply.
 ///
 /// Borrows the instance (skeletons reference nothing mutable, but keeping
 /// the borrow makes it impossible to evaluate against a stale graph); the
-/// skeletons themselves live in a shared `PreparedCore`, so cloning is
-/// cheap and a [`SkeletonCache`] can hand the same core to many cells.
+/// skeletons themselves live in a shared [`FrozenCore`], so cloning is
+/// cheap and a [`SkeletonCache`] or an artifact store can hand the same
+/// core to many cells.
 #[derive(Clone, Debug)]
 pub struct PreparedInstance<'i, N = (), E = ()> {
     inst: &'i Instance<N, E>,
-    core: Arc<PreparedCore<N, E>>,
+    core: Arc<FrozenCore<N, E>>,
 }
 
 impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
@@ -251,9 +137,17 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         E: Send + Sync,
     {
         let started = std::time::Instant::now();
-        let core = Arc::new(PreparedCore::new(inst, radius));
+        let core = Arc::new(FrozenCore::from_built(radius, build_all(inst, radius)));
         metrics::PREPARES.inc();
         metrics::PREPARE_NS.observe(started.elapsed().as_nanos() as u64);
+        PreparedInstance { inst, core }
+    }
+
+    /// Pairs `inst` with an already-materialized core (a cache hit or a
+    /// mapped artifact). The caller is responsible for the pairing being
+    /// right — the cache compares full instance content, the artifact
+    /// store checks the embedded fingerprint.
+    pub(crate) fn from_core(inst: &'i Instance<N, E>, core: Arc<FrozenCore<N, E>>) -> Self {
         PreparedInstance { inst, core }
     }
 
@@ -262,14 +156,19 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         self.inst
     }
 
+    /// The shared core, for callers that outlive this borrow.
+    pub(crate) fn core(&self) -> &Arc<FrozenCore<N, E>> {
+        &self.core
+    }
+
     /// The preparation radius `r`.
     pub fn radius(&self) -> usize {
-        self.core.radius
+        self.core.radius()
     }
 
     /// Number of nodes (`n(G)`).
     pub fn n(&self) -> usize {
-        self.core.skeletons.len()
+        self.core.n()
     }
 
     /// Global indices of node `v`'s ball members, in view-local order.
@@ -278,11 +177,6 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     /// outputs on the member string indices.
     pub(crate) fn members_of(&self, v: usize) -> &[u32] {
         self.core.members_of(v)
-    }
-
-    /// The `(owner, local)` pairs of views containing global node `v`.
-    fn dependents_of(&self, v: usize) -> &[(u32, u32)] {
-        self.core.dependents_of(v)
     }
 
     /// The global indices of the nodes in `v`'s radius-`r` ball — the
@@ -317,9 +211,7 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     ///
     /// Panics if `v` is out of range.
     pub fn dependents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.dependents_of(v)
-            .iter()
-            .map(|&(owner, _)| owner as usize)
+        self.core.dependents_of(v).map(|(owner, _)| owner as usize)
     }
 
     /// Binds `proof` to node `v`'s cached skeleton, producing its view.
@@ -337,7 +229,7 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     #[inline]
     pub fn bind<'s>(&'s self, v: usize, proof: &'s Proof) -> View<'s, N, E> {
         assert_eq!(proof.n(), self.n(), "proof must label every node");
-        View::bind_arena(&self.core.skeletons[v], proof.arena(), self.members_of(v))
+        View::bind_arena(self.core.skel_view(v), proof.arena(), self.members_of(v))
     }
 
     /// Binds `proof` to every node's skeleton at once.
@@ -345,10 +237,10 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
         (0..self.n()).map(|v| self.bind(v, proof)).collect()
     }
 
-    /// Node `v`'s cached skeleton — the batch layer binds it against a
-    /// transposed arena instead of a single proof.
-    pub(crate) fn skeleton_of(&self, v: usize) -> &Skeleton<N, E> {
-        &self.core.skeletons[v]
+    /// Node `v`'s cached skeleton as a flat borrow — the batch layer
+    /// binds it against a transposed arena instead of a single proof.
+    pub(crate) fn skel_view_of(&self, v: usize) -> SkelView<'_, N, E> {
+        self.core.skel_view(v)
     }
 
     /// Binds a transposed candidate [`BatchArena`] to node `v`'s cached
@@ -365,7 +257,7 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
     #[inline]
     pub fn bind_batch<'s>(&'s self, v: usize, arena: &'s BatchArena) -> BatchView<'s, N, E> {
         assert_eq!(arena.n(), self.n(), "arena must cover every node");
-        BatchView::bind(&self.core.skeletons[v], arena, self.members_of(v))
+        BatchView::bind(self.core.skel_view(v), arena, self.members_of(v))
     }
 
     /// Runs `scheme`'s batched verifier at every node against up to 64
@@ -532,7 +424,8 @@ impl<'i, N: Clone, E: Clone> PreparedInstance<'i, N, E> {
 /// core is what gets shared.
 struct CachedPrep<N, E> {
     inst: Instance<N, E>,
-    core: Arc<PreparedCore<N, E>>,
+    radius: usize,
+    core: Arc<FrozenCore<N, E>>,
 }
 
 /// A cross-instance skeleton cache: one CSR build per distinct
@@ -546,7 +439,9 @@ struct CachedPrep<N, E> {
 /// 32 balls. Graph preparation dominates cell cost on the full profile,
 /// so the campaign threads one `SkeletonCache` through all its cells
 /// ([`crate::dynamic::DynScheme::with_cache`]) and each distinct graph is
-/// prepared exactly once.
+/// prepared exactly once. [`crate::artifact::ArtifactStore`] extends the
+/// same sharing across *processes*: it wraps this cache and backfills
+/// misses from mapped artifact files before falling back to a build.
 ///
 /// # Correctness
 ///
@@ -581,7 +476,7 @@ impl std::fmt::Debug for SkeletonCache {
 /// adjacency, and edge-label keys, FNV-folded. Node/edge label *values*
 /// are deliberately left out (they carry no trait bounds here); the
 /// equality check on lookup covers them.
-fn content_key<N, E>(inst: &Instance<N, E>, radius: usize) -> u64 {
+pub(crate) fn content_key<N, E>(inst: &Instance<N, E>, radius: usize) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     let mut mix = |x: u64| {
         h = (h ^ x).wrapping_mul(0x0000_0100_0000_01b3);
@@ -625,58 +520,86 @@ impl SkeletonCache {
         N: Clone + PartialEq + Send + Sync + 'static,
         E: Clone + PartialEq + Send + Sync + 'static,
     {
-        let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
-        if let Some(core) = self.find::<N, E>(&key, inst, radius) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            metrics::SKELETON_CACHE_HITS.inc();
+        if let Some(core) = self.find_core::<N, E>(inst, radius) {
+            self.record_hit();
             return PreparedInstance { inst, core };
         }
         // Build outside the lock: concurrent preparations of *different*
         // graphs must not serialize. A racing twin may finish first; the
-        // re-scan below then adopts its copy so later hits share one
+        // insert below then adopts its copy so later hits share one
         // allocation.
         let started = std::time::Instant::now();
-        let core = Arc::new(PreparedCore::new(inst, radius));
+        let core = Arc::new(FrozenCore::from_built(radius, build_all(inst, radius)));
         metrics::PREPARES.inc();
         metrics::PREPARE_NS.observe(started.elapsed().as_nanos() as u64);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        metrics::SKELETON_CACHE_MISSES.inc();
+        self.record_miss();
+        let core = self.insert_core(inst, radius, core);
+        PreparedInstance { inst, core }
+    }
+
+    /// Looks up the cached core of exactly `(inst, radius)` — no counter
+    /// side effects, so composite stores can wrap the lookup in their
+    /// own hit/miss accounting.
+    pub(crate) fn find_core<N, E>(
+        &self,
+        inst: &Instance<N, E>,
+        radius: usize,
+    ) -> Option<Arc<FrozenCore<N, E>>>
+    where
+        N: PartialEq + Send + Sync + 'static,
+        E: PartialEq + Send + Sync + 'static,
+    {
+        let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
+        let entries = self.entries.lock().expect("cache lock");
+        let bucket = entries.get(&key)?;
+        bucket.iter().find_map(|e| {
+            e.downcast_ref::<CachedPrep<N, E>>()
+                .filter(|c| c.radius == radius && c.inst == *inst)
+                .map(|c| Arc::clone(&c.core))
+        })
+    }
+
+    /// Inserts `core` for `(inst, radius)`, adopting a racing twin's
+    /// copy if one won the insert — the returned `Arc` is the one every
+    /// later hit will share.
+    pub(crate) fn insert_core<N, E>(
+        &self,
+        inst: &Instance<N, E>,
+        radius: usize,
+        core: Arc<FrozenCore<N, E>>,
+    ) -> Arc<FrozenCore<N, E>>
+    where
+        N: Clone + PartialEq + Send + Sync + 'static,
+        E: Clone + PartialEq + Send + Sync + 'static,
+    {
+        let key = (TypeId::of::<CachedPrep<N, E>>(), content_key(inst, radius));
         let mut entries = self.entries.lock().expect("cache lock");
         let bucket = entries.entry(key).or_default();
         for e in bucket.iter() {
             if let Some(c) = e.downcast_ref::<CachedPrep<N, E>>() {
-                if c.core.radius == radius && c.inst == *inst {
-                    return PreparedInstance {
-                        inst,
-                        core: Arc::clone(&c.core),
-                    };
+                if c.radius == radius && c.inst == *inst {
+                    return Arc::clone(&c.core);
                 }
             }
         }
         bucket.push(Arc::new(CachedPrep {
             inst: inst.clone(),
+            radius,
             core: Arc::clone(&core),
         }));
-        PreparedInstance { inst, core }
+        core
     }
 
-    fn find<N, E>(
-        &self,
-        key: &(TypeId, u64),
-        inst: &Instance<N, E>,
-        radius: usize,
-    ) -> Option<Arc<PreparedCore<N, E>>>
-    where
-        N: PartialEq + Send + Sync + 'static,
-        E: PartialEq + Send + Sync + 'static,
-    {
-        let entries = self.entries.lock().expect("cache lock");
-        let bucket = entries.get(key)?;
-        bucket.iter().find_map(|e| {
-            e.downcast_ref::<CachedPrep<N, E>>()
-                .filter(|c| c.core.radius == radius && c.inst == *inst)
-                .map(|c| Arc::clone(&c.core))
-        })
+    /// Counts one lookup served from memory.
+    pub(crate) fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        metrics::SKELETON_CACHE_HITS.inc();
+    }
+
+    /// Counts one lookup that missed memory (whatever satisfied it).
+    pub(crate) fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        metrics::SKELETON_CACHE_MISSES.inc();
     }
 
     /// Cached preparations (across all instance types).
@@ -733,7 +656,7 @@ impl SkeletonCache {
         let before = bucket.len();
         bucket.retain(|e| {
             e.downcast_ref::<CachedPrep<N, E>>()
-                .is_none_or(|c| c.core.radius != radius || c.inst != *inst)
+                .is_none_or(|c| c.radius != radius || c.inst != *inst)
         });
         let removed = bucket.len() != before;
         if bucket.is_empty() {
@@ -763,22 +686,23 @@ impl SkeletonCache {
 /// scope with [`Self::edge_scope`], and hand the scope to
 /// [`Self::rebuild`]. `rebuild` reports which views *structurally*
 /// changed, which is what makes exact dirty-set tracking possible.
+///
+/// Since the builder/frozen split, the store is a thin shell over
+/// [`CoreBuilder`]: repair runs on the
+/// builder, and [`Self::freeze`] / [`Self::from_frozen`] round-trip the
+/// builder through the immutable artifact representation. A store
+/// repaired after churn and refrozen renders the same word image as a
+/// fresh preparation of the mutated instance — dynamic churn and frozen
+/// artifacts share one invariant surface (pinned by the refreeze tests).
 pub struct SkeletonStore<N = (), E = ()> {
-    radius: usize,
-    skeletons: Vec<Arc<Skeleton<N, E>>>,
-    /// Global indices of each node's ball members, in view-local order.
-    members: Vec<Vec<u32>>,
-    /// For each global node `v`, the `(owner, local)` pairs of views
-    /// containing `v`, sorted by owner.
-    dependents: Vec<Vec<(u32, u32)>>,
-    scratch: BallScratch,
+    inner: CoreBuilder<N, E>,
 }
 
 impl<N, E> std::fmt::Debug for SkeletonStore<N, E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SkeletonStore")
-            .field("n", &self.skeletons.len())
-            .field("radius", &self.radius)
+            .field("n", &self.inner.n())
+            .field("radius", &self.inner.radius())
             .finish_non_exhaustive()
     }
 }
@@ -788,38 +712,36 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     /// [`PreparedInstance::new`] (one bounded BFS per node), paid once;
     /// every later mutation repairs only its scope.
     pub fn new(inst: &Instance<N, E>, radius: usize) -> Self {
-        let n = inst.n();
-        let mut scratch = BallScratch::new(inst.graph().n());
-        let mut skeletons = Vec::with_capacity(n);
-        let mut members = Vec::with_capacity(n);
-        for v in 0..n {
-            let (skel, ms) = build_skeleton(inst, v, radius, &mut scratch);
-            skeletons.push(Arc::new(skel));
-            members.push(ms);
-        }
-        let mut dependents: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
-        for (owner, ms) in members.iter().enumerate() {
-            for (local, &m) in ms.iter().enumerate() {
-                dependents[m as usize].push((owner as u32, local as u32));
-            }
-        }
         SkeletonStore {
-            radius,
-            skeletons,
-            members,
-            dependents,
-            scratch,
+            inner: CoreBuilder::build(inst, radius),
         }
+    }
+
+    /// Reconstructs a repairable store from a frozen core (typically one
+    /// mapped from an artifact file) — the dynamic layer's cold-start
+    /// path: no BFS, just unpacking the flat sections into per-node
+    /// buckets.
+    pub fn from_frozen(core: &FrozenCore<N, E>) -> Self {
+        SkeletonStore {
+            inner: CoreBuilder::thaw(core),
+        }
+    }
+
+    /// Renders the store's current state as an immutable [`FrozenCore`]
+    /// — byte-identical to freshly preparing the mutated instance, so a
+    /// churned cell can be persisted as an artifact.
+    pub fn freeze(&self) -> FrozenCore<N, E> {
+        self.inner.freeze()
     }
 
     /// Number of nodes (`n(G)` at construction; mutations preserve it).
     pub fn n(&self) -> usize {
-        self.skeletons.len()
+        self.inner.n()
     }
 
     /// The cache radius `r`.
     pub fn radius(&self) -> usize {
-        self.radius
+        self.inner.radius()
     }
 
     /// Global indices of node `v`'s ball members, in view-local order
@@ -829,7 +751,7 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     ///
     /// Panics if `v` is out of range.
     pub fn members(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.members[v].iter().map(|&m| m as usize)
+        self.inner.members_of(v).iter().map(|&m| m as usize)
     }
 
     /// The centres whose views contain global node `v`, ascending
@@ -839,7 +761,10 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     ///
     /// Panics if `v` is out of range.
     pub fn dependents(&self, v: usize) -> impl Iterator<Item = usize> + '_ {
-        self.dependents[v].iter().map(|&(owner, _)| owner as usize)
+        self.inner
+            .dependents_of(v)
+            .iter()
+            .map(|&(owner, _)| owner as usize)
     }
 
     /// Binds `proof` to node `v`'s cached skeleton — the same zero-copy
@@ -851,7 +776,11 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     #[inline]
     pub fn bind<'s>(&'s self, v: usize, proof: &'s Proof) -> View<'s, N, E> {
         assert_eq!(proof.n(), self.n(), "proof must label every node");
-        View::bind_arena(&self.skeletons[v], proof.arena(), &self.members[v])
+        View::bind_arena(
+            self.inner.skel_view(v),
+            proof.arena(),
+            self.inner.members_of(v),
+        )
     }
 
     /// The scope of an edge mutation on `{u, v}`: the sorted union
@@ -867,7 +796,7 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     ///
     /// Panics if `u` or `v` is out of range.
     pub fn edge_scope(&mut self, inst: &Instance<N, E>, u: usize, v: usize) -> Vec<usize> {
-        self.scratch.ball_union(inst.graph(), &[u, v], self.radius)
+        self.inner.edge_scope(inst, u, v)
     }
 
     /// Rebuilds the cached skeletons of `nodes` against the instance's
@@ -885,37 +814,7 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     ///
     /// Panics if a node index is out of range.
     pub fn rebuild(&mut self, inst: &Instance<N, E>, nodes: &[usize]) -> Vec<usize> {
-        let mut changed = Vec::new();
-        for &w in nodes {
-            let (skel, ms) = build_skeleton(inst, w, self.radius, &mut self.scratch);
-            let old = &self.skeletons[w];
-            let structurally_equal = self.members[w] == ms
-                && old.adj_off == skel.adj_off
-                && old.adj == skel.adj
-                && old.dist == skel.dist;
-            if structurally_equal {
-                continue;
-            }
-            // Unlink the stale membership, then link the new one.
-            for &m in &self.members[w] {
-                let deps = &mut self.dependents[m as usize];
-                if let Ok(pos) = deps.binary_search_by_key(&(w as u32), |&(o, _)| o) {
-                    deps.remove(pos);
-                }
-            }
-            for (local, &m) in ms.iter().enumerate() {
-                let deps = &mut self.dependents[m as usize];
-                let entry = (w as u32, local as u32);
-                match deps.binary_search_by_key(&(w as u32), |&(o, _)| o) {
-                    Ok(pos) => deps[pos] = entry,
-                    Err(pos) => deps.insert(pos, entry),
-                }
-            }
-            self.skeletons[w] = Arc::new(skel);
-            self.members[w] = ms;
-            changed.push(w);
-        }
-        changed
+        self.inner.rebuild(inst, nodes)
     }
 
     /// Patches node `v`'s label through the dependency table: every view
@@ -929,13 +828,7 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     ///
     /// Panics if `v` is out of range.
     pub fn set_node_label(&mut self, v: usize, label: &N) -> Vec<usize> {
-        let mut touched = Vec::with_capacity(self.dependents[v].len());
-        for &(owner, local) in &self.dependents[v] {
-            Arc::make_mut(&mut self.skeletons[owner as usize]).node_data[local as usize] =
-                label.clone();
-            touched.push(owner as usize);
-        }
-        touched
+        self.inner.set_node_label(v, label)
     }
 
     /// Fault-injection hook: structurally corrupts node `v`'s cached
@@ -955,19 +848,7 @@ impl<N: Clone, E: Clone> SkeletonStore<N, E> {
     /// Panics if `v` is out of range.
     #[doc(hidden)]
     pub fn corrupt_skeleton_for_tests(&mut self, v: usize) -> &'static str {
-        let skel = Arc::make_mut(&mut self.skeletons[v]);
-        if skel.adj.len() >= 2 && skel.adj.first() != skel.adj.last() {
-            skel.adj.reverse();
-            if let Some(d) = skel.dist.last_mut() {
-                *d = d.wrapping_add(1);
-            }
-            "reversed CSR adjacency and bumped a cached distance"
-        } else if let Some(d) = skel.dist.last_mut() {
-            *d = d.wrapping_add(1);
-            "bumped a cached distance"
-        } else {
-            "empty skeleton: nothing to corrupt"
-        }
+        self.inner.corrupt_skeleton_for_tests(v)
     }
 
     /// Runs `scheme`'s verifier at every node against the cached
@@ -1229,6 +1110,15 @@ mod tests {
             );
         }
 
+        // A repaired store refreezes to the same word image as a fresh
+        // preparation of the mutated instance — churn and artifacts
+        // share one invariant surface.
+        assert_eq!(
+            store.freeze().words(),
+            fresh.freeze().words(),
+            "refreeze after rebuild is byte-identical to a fresh freeze"
+        );
+
         // Rebuilding an unaffected scope is a no-op and reports nothing.
         assert_eq!(store.rebuild(&inst, &scope), Vec::<usize>::new());
 
@@ -1259,6 +1149,38 @@ mod tests {
         for v in 0..inst.n() {
             assert_eq!(store.bind(v, &proof), fresh.bind(v, &proof), "view {v}");
         }
+    }
+
+    #[test]
+    fn store_round_trips_through_a_frozen_core() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let store = SkeletonStore::<(), ()>::new(&inst, 2);
+        let frozen = store.freeze();
+        let thawed = SkeletonStore::from_frozen(&frozen);
+        let proof = Proof::empty(inst.n());
+        for v in 0..inst.n() {
+            assert_eq!(thawed.bind(v, &proof), store.bind(v, &proof), "view {v}");
+            assert_eq!(
+                thawed.dependents(v).collect::<Vec<_>>(),
+                store.dependents(v).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(thawed.freeze().words(), frozen.words());
+    }
+
+    #[test]
+    fn prepared_instance_from_core_matches_new() {
+        let inst = Instance::unlabeled(generators::grid(3, 4));
+        let prep = PreparedInstance::new(&inst, 2);
+        let adopted = PreparedInstance::from_core(&inst, Arc::clone(prep.core()));
+        let proof = Proof::empty(inst.n());
+        for v in 0..inst.n() {
+            assert_eq!(adopted.bind(v, &proof), prep.bind(v, &proof), "view {v}");
+        }
+        assert_eq!(
+            adopted.evaluate(&Fingerprint, &proof),
+            prep.evaluate(&Fingerprint, &proof)
+        );
     }
 
     #[test]

@@ -64,12 +64,14 @@
 //! ```
 
 pub mod arena;
+pub mod artifact;
 pub mod batch;
 pub mod bits;
 pub mod components;
 pub mod deadline;
 pub mod dynamic;
 pub mod engine;
+pub mod frozen;
 pub mod harness;
 pub mod instance;
 pub mod json;
@@ -79,11 +81,13 @@ pub mod scheme;
 pub mod view;
 
 pub use arena::{BatchArena, ProofArena};
+pub use artifact::{ArtifactSource, ArtifactStore, CoreProvenance};
 pub use batch::{BatchPolicy, BatchView};
 pub use bits::{AsBits, BitReader, BitString, BitWriter, CodecError, ProofRef};
 pub use deadline::{Deadline, DeadlineExpired};
 pub use dynamic::{seal_mutable, CellMutationError, DynScheme, MutableCell, TamperProbe};
 pub use engine::{prepare, prepare_sweep, PreparedInstance, SkeletonCache, SkeletonStore};
+pub use frozen::{ArtifactError, CoreBuilder, FrozenCore, PortableLabel};
 pub use instance::{EdgeMap, Instance};
 pub use proof::Proof;
 pub use scheme::{evaluate, evaluate_until_reject, Scheme, Verdict};

@@ -30,6 +30,14 @@ pub static SKELETON_CACHE_HITS: Counter = Counter::new();
 /// `SkeletonCache` lookups that built (and inserted) a fresh skeleton.
 pub static SKELETON_CACHE_MISSES: Counter = Counter::new();
 
+/// Frozen cores served from on-disk artifact files (mmap or read).
+pub static ARTIFACT_LOADS: Counter = Counter::new();
+/// Frozen cores rendered and persisted as artifact files.
+pub static ARTIFACT_WRITES: Counter = Counter::new();
+/// Artifact files rejected by validation (corrupt, truncated, version-
+/// or fingerprint-skewed) and rebuilt from scratch.
+pub static ARTIFACT_REJECTS: Counter = Counter::new();
+
 /// Candidate proofs enumerated by the exhaustive odometers (scalar and
 /// block), counted at search exit.
 pub static EXHAUSTIVE_CANDIDATES: Counter = Counter::new();
@@ -107,6 +115,24 @@ pub fn register(reg: &Registry) {
         "outcome=\"miss\"",
         "SkeletonCache lookups by outcome",
         &SKELETON_CACHE_MISSES,
+    );
+    reg.counter(
+        "lcp_engine_artifact_loads_total",
+        "",
+        "frozen cores served from on-disk artifact files",
+        &ARTIFACT_LOADS,
+    );
+    reg.counter(
+        "lcp_engine_artifact_writes_total",
+        "",
+        "frozen cores persisted as artifact files",
+        &ARTIFACT_WRITES,
+    );
+    reg.counter(
+        "lcp_engine_artifact_rejects_total",
+        "",
+        "artifact files rejected by validation and rebuilt",
+        &ARTIFACT_REJECTS,
     );
     reg.counter(
         "lcp_harness_exhaustive_candidates_total",

@@ -57,7 +57,62 @@ impl<N, E> Skeleton<N, E> {
         self.ids.len()
     }
 
-    pub(crate) fn neighbors(&self, u: usize) -> &[usize] {
+    /// This skeleton as a borrow-only [`SkelView`].
+    #[inline]
+    pub(crate) fn as_view(&self) -> SkelView<'_, N, E> {
+        SkelView {
+            center: self.center,
+            radius: self.radius,
+            ids: &self.ids,
+            adj_off: &self.adj_off,
+            adj: &self.adj,
+            dist: &self.dist,
+            node_data: &self.node_data,
+            edge_labels: &self.edge_labels,
+        }
+    }
+}
+
+/// A borrowed, flat skeleton: the same data as [`Skeleton`], but every
+/// section is a slice, so the backing storage can be an owned
+/// `Skeleton`'s vectors *or* contiguous pools inside a
+/// [`crate::engine::FrozenCore`] (possibly an `mmap`ed artifact file).
+/// Everything downstream of skeleton construction — [`View`],
+/// [`crate::batch::BatchView`], the verifier loops — consumes this type
+/// and is thereby agnostic to where the skeleton came from.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct SkelView<'c, N, E> {
+    pub(crate) center: usize,
+    pub(crate) radius: usize,
+    pub(crate) ids: &'c [NodeId],
+    /// CSR offsets into `adj`; node `u`'s neighbours are
+    /// `adj[adj_off[u] as usize .. adj_off[u + 1] as usize]`.
+    pub(crate) adj_off: &'c [u32],
+    pub(crate) adj: &'c [usize],
+    pub(crate) dist: &'c [u32],
+    pub(crate) node_data: &'c [N],
+    /// Normalized-key-sorted edge labels (binary-searched on access).
+    pub(crate) edge_labels: &'c [((usize, usize), E)],
+}
+
+// Manual Copy/Clone: the derives would demand `N: Copy`/`E: Copy`, but
+// the fields are slices, copyable for any label type.
+impl<N, E> Clone for SkelView<'_, N, E> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N, E> Copy for SkelView<'_, N, E> {}
+
+impl<'c, N, E> SkelView<'c, N, E> {
+    #[inline]
+    pub(crate) fn n(&self) -> usize {
+        self.ids.len()
+    }
+
+    #[inline]
+    pub(crate) fn neighbors(&self, u: usize) -> &'c [usize] {
         &self.adj[self.adj_off[u] as usize..self.adj_off[u + 1] as usize]
     }
 }
@@ -89,18 +144,9 @@ enum Binding<'p> {
 enum SkelRef<'p, N, E> {
     /// Shared ownership (extraction, simulator, restriction).
     Shared(Arc<Skeleton<N, E>>),
-    /// Borrowed from a [`crate::engine::PreparedInstance`]'s cache.
-    Borrowed(&'p Skeleton<N, E>),
-}
-
-impl<N, E> SkelRef<'_, N, E> {
-    #[inline]
-    fn get(&self) -> &Skeleton<N, E> {
-        match self {
-            SkelRef::Shared(arc) => arc,
-            SkelRef::Borrowed(s) => s,
-        }
-    }
+    /// Borrowed from a [`crate::engine::FrozenCore`] (in-process or
+    /// mapped from an artifact file) — the engine's zero-copy path.
+    Flat(SkelView<'p, N, E>),
 }
 
 /// The radius-`r` view of one node: induced subgraph, identifiers, labels,
@@ -146,6 +192,12 @@ impl<'p, N: Clone, E: Clone> View<'p, N, E> {
             skel: SkelRef::Shared(Arc::new(skel)),
             binding: Binding::Owned(proofs),
         }
+    }
+}
+
+impl<N: PartialEq, E: PartialEq> PartialEq<Skeleton<N, E>> for SkelView<'_, N, E> {
+    fn eq(&self, other: &Skeleton<N, E>) -> bool {
+        *self == other.as_view()
     }
 }
 
@@ -298,24 +350,27 @@ pub(crate) fn build_skeleton<N: Clone, E: Clone>(
 }
 
 impl<'p, N, E> View<'p, N, E> {
-    /// Assembles a view from a shared skeleton and a borrowed arena
-    /// binding — the engine's zero-copy constructor.
+    /// Assembles a view from a borrowed flat skeleton and a borrowed
+    /// arena binding — the engine's zero-copy constructor.
     pub(crate) fn bind_arena(
-        skel: &'p Skeleton<N, E>,
+        skel: SkelView<'p, N, E>,
         arena: &'p ProofArena,
         members: &'p [u32],
     ) -> Self {
         debug_assert_eq!(skel.n(), members.len(), "one arena slot per view node");
         View {
-            skel: SkelRef::Borrowed(skel),
+            skel: SkelRef::Flat(skel),
             binding: Binding::Arena { arena, members },
         }
     }
 
-    /// The underlying skeleton, whichever way it is held.
+    /// The underlying skeleton as a flat view, whichever way it is held.
     #[inline]
-    fn skeleton(&self) -> &Skeleton<N, E> {
-        self.skel.get()
+    fn skeleton(&self) -> SkelView<'_, N, E> {
+        match &self.skel {
+            SkelRef::Shared(arc) => arc.as_view(),
+            SkelRef::Flat(sv) => *sv,
+        }
     }
 
     /// Assembles a view from raw parts — the constructor used by the
@@ -411,7 +466,7 @@ impl<'p, N, E> View<'p, N, E> {
 
     /// All identifiers in view-index order.
     pub fn ids(&self) -> &[NodeId] {
-        &self.skeleton().ids
+        self.skeleton().ids
     }
 
     /// View index of the node with identifier `id`, if visible.
@@ -582,7 +637,7 @@ impl<'p, N, E> View<'p, N, E> {
     /// replaced.
     pub fn with_proofs_cleared(&self) -> View<'_, N, E> {
         View {
-            skel: SkelRef::Borrowed(self.skeleton()),
+            skel: SkelRef::Flat(self.skeleton()),
             binding: Binding::Owned(ProofArena::empty(self.n())),
         }
     }
@@ -733,8 +788,8 @@ mod tests {
         let v = View::extract(&inst, &p, 0, 2);
         let cleared = v.with_proofs_cleared();
         assert!(
-            std::ptr::eq(v.skeleton(), cleared.skeleton()),
-            "skeleton is shared"
+            std::ptr::eq(v.skeleton().ids.as_ptr(), cleared.skeleton().ids.as_ptr()),
+            "skeleton storage is shared"
         );
         assert!(cleared.nodes().all(|u| cleared.proof(u).is_empty()));
         assert!(v.nodes().any(|u| !v.proof(u).is_empty()), "original intact");

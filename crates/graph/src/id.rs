@@ -16,6 +16,7 @@ use std::fmt;
 /// assert_eq!(format!("{v}"), "42");
 /// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)] // `&[u64]` ↔ `&[NodeId]` reinterpretation (frozen artifacts)
 pub struct NodeId(pub u64);
 
 impl NodeId {

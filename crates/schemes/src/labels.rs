@@ -1,5 +1,7 @@
 //! Shared input-label types for the labelled problems of Table 1.
 
+use lcp_core::frozen::{PortableLabel, WordReader};
+
 /// Node marks for the `s`–`t` problems of §4: the promise is exactly one
 /// `S` and one `T` node.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -36,6 +38,30 @@ impl StMark {
     }
 }
 
+// Artifact codecs: tags 100+ are reserved for scheme-crate label types
+// (`docs/FORMAT.md`). Wire values are frozen — changing them orphans
+// every artifact written with the old ones.
+impl PortableLabel for StMark {
+    const TAG: u64 = 100;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            StMark::S => 0,
+            StMark::T => 1,
+            StMark::Plain => 2,
+        });
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        match r.next()? {
+            0 => Some(StMark::S),
+            1 => Some(StMark::T),
+            2 => Some(StMark::Plain),
+            _ => None,
+        }
+    }
+}
+
 /// Orientation labels modelling a *directed* graph on the undirected
 /// substrate: each edge carries the direction(s) in which it may be
 /// traversed, expressed relative to node **identifiers** (the only
@@ -61,6 +87,27 @@ impl ArcDir {
             ArcDir::Both => true,
             ArcDir::Forward => from < to,
             ArcDir::Backward => from > to,
+        }
+    }
+}
+
+impl PortableLabel for ArcDir {
+    const TAG: u64 = 101;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(match self {
+            ArcDir::Forward => 0,
+            ArcDir::Backward => 1,
+            ArcDir::Both => 2,
+        });
+    }
+
+    fn decode(r: &mut WordReader<'_>) -> Option<Self> {
+        match r.next()? {
+            0 => Some(ArcDir::Forward),
+            1 => Some(ArcDir::Backward),
+            2 => Some(ArcDir::Both),
+            _ => None,
         }
     }
 }

@@ -140,6 +140,28 @@ pub struct WeightedEdge {
     pub matched: bool,
 }
 
+// Artifact codec (tag space 100+, see `docs/FORMAT.md`): two words per
+// edge — weight, then matched as 0/1. Any other second word is rejected
+// so a corrupted artifact can never decode to a valid-looking label.
+impl lcp_core::frozen::PortableLabel for WeightedEdge {
+    const TAG: u64 = 102;
+
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(self.weight);
+        out.push(u64::from(self.matched));
+    }
+
+    fn decode(r: &mut lcp_core::frozen::WordReader<'_>) -> Option<Self> {
+        let weight = r.next()?;
+        let matched = match r.next()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        Some(WeightedEdge { weight, matched })
+    }
+}
+
 /// Maximum-**weight** matching on bipartite graphs: `O(log W)` bits via
 /// LP duality (§2.3).
 ///

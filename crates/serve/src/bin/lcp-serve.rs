@@ -2,9 +2,15 @@
 //!
 //! ```text
 //! lcp-serve [--addr HOST:PORT] [--workers N] [--queue N] [--capacity N]
-//!           [--port-file PATH]
+//!           [--preload DIR] [--port-file PATH]
 //! lcp-serve --client-smoke ADDR
 //! ```
+//!
+//! `--preload DIR` attaches a persistent artifact directory
+//! (`docs/FORMAT.md`): skeleton cores are mapped back from disk across
+//! daemon restarts instead of being rebuilt, and fresh builds are
+//! persisted for the next process. The `stats` op reports how many
+//! resident cells were served each way.
 //!
 //! The daemon serves the protocol of `docs/PROTOCOL.md` until it
 //! receives SIGTERM/SIGINT or a `shutdown` request, then drains: the
@@ -29,7 +35,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
 const USAGE: &str = "usage: lcp-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-[--capacity N] [--port-file PATH] | lcp-serve --client-smoke ADDR";
+[--capacity N] [--preload DIR] [--port-file PATH] | lcp-serve --client-smoke ADDR";
 
 /// Process-wide signal flag: the handler may only do async-signal-safe
 /// work, so it stores one atomic and the main thread polls it.
@@ -69,6 +75,9 @@ fn main() -> ExitCode {
             "--workers" => parse_usize(&mut value, "--workers").map(|v| config.workers = v),
             "--queue" => parse_usize(&mut value, "--queue").map(|v| config.queue = v),
             "--capacity" => parse_usize(&mut value, "--capacity").map(|v| config.capacity = v),
+            "--preload" => {
+                value("--preload").map(|v| config.preload = Some(std::path::PathBuf::from(v)))
+            }
             "--port-file" => value("--port-file").map(|v| port_file = Some(v)),
             "--client-smoke" => value("--client-smoke").map(|v| client_smoke = Some(v)),
             "--help" | "-h" => {

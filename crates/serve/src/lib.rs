@@ -9,8 +9,10 @@
 //!
 //! * loads registry cells on demand into an LRU-bounded
 //!   [`InstanceTable`] whose cells share one process-wide
-//!   [`SkeletonCache`](lcp_core::SkeletonCache) — a resident `verify`
-//!   issues **zero** skeleton rebuilds;
+//!   [`ArtifactSource`](lcp_core::ArtifactSource) — a resident `verify`
+//!   issues **zero** skeleton rebuilds, and with `--preload <dir>` even
+//!   a restarted daemon maps its cores back from frozen artifact files
+//!   (`docs/FORMAT.md`) instead of re-running the skeleton BFS;
 //! * answers `prepare` / `verify` / `tamper-probe` / `stats` requests
 //!   over a length-prefixed JSON protocol on TCP
 //!   ([`protocol`], `docs/PROTOCOL.md`), with per-request

@@ -56,6 +56,10 @@ pub struct ServerConfig {
     pub queue: usize,
     /// Instance-table capacity (resident cells before LRU eviction).
     pub capacity: usize,
+    /// Artifact directory to preload skeleton cores from (and persist
+    /// fresh builds into) — `--preload <dir>` on the binary. `None`
+    /// keeps cores purely in-process.
+    pub preload: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +69,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue: 16,
             capacity: 64,
+            preload: None,
         }
     }
 }
@@ -122,9 +127,22 @@ impl Server {
     /// Propagates the bind failure.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let table = match &config.preload {
+            Some(dir) => {
+                // An unusable preload dir is a startup error, not a
+                // degraded mode: the operator asked for durable cores.
+                let store = lcp_core::ArtifactStore::open(dir)
+                    .map_err(|e| io::Error::other(format!("--preload {}: {e}", dir.display())))?;
+                InstanceTable::with_source(
+                    config.capacity,
+                    lcp_core::ArtifactSource::MappedDir(Arc::new(store)),
+                )
+            }
+            None => InstanceTable::new(config.capacity),
+        };
         Ok(Server {
             listener,
-            table: Arc::new(InstanceTable::new(config.capacity)),
+            table: Arc::new(table),
             shutdown: Arc::new(AtomicBool::new(false)),
             config,
         })
@@ -400,14 +418,18 @@ fn dispatch(
             let s = table.stats();
             Ok(format!(
                 "{{\"ok\":true,\"op\":\"stats\",\"resident\":{},\"capacity\":{},\"evictions\":{},\"loads\":{},\
-                 \"skeletons\":{{\"len\":{},\"hits\":{},\"misses\":{}}}}}",
+                 \"skeletons\":{{\"len\":{},\"hits\":{},\"misses\":{}}},\
+                 \"cores\":{{\"built\":{},\"cache_hit\":{},\"artifact_loaded\":{}}}}}",
                 s.resident,
                 s.capacity,
                 s.evictions,
                 s.loads,
                 s.skeleton_len,
                 s.skeleton_hits,
-                s.skeleton_misses
+                s.skeleton_misses,
+                s.cores_built,
+                s.cores_cache_hits,
+                s.cores_loaded
             ))
         }
         Request::Metrics => {

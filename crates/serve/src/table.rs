@@ -1,22 +1,30 @@
 //! The LRU-bounded instance table: resident cells keyed by coordinates,
-//! sharing one process-wide [`SkeletonCache`].
+//! sharing one process-wide [`ArtifactSource`].
 //!
 //! Loading a cell is the expensive part of every request — registry
 //! build, ground truth, one bounded BFS per node — so the table pays it
 //! once per coordinate and hands out `Arc<DynScheme>` clones after
-//! that. The skeleton core lives in the shared cache (attached via
-//! `DynScheme::with_cache` and warmed by `prepare_skeletons`), which is
+//! that. The skeleton core lives in the shared source (attached via
+//! `DynScheme::with_source` and warmed by `prepare_skeletons`), which is
 //! what makes a resident `verify` issue **zero** skeleton rebuilds: the
-//! completeness sweep prepares through the cache and hits.
+//! completeness sweep prepares through the source's cache tier and hits.
+//! With `--preload <dir>` the source is a two-tier
+//! [`ArtifactStore`](lcp_core::ArtifactStore), so even a *restarted*
+//! daemon skips the BFS: cores come back by `mmap` from the artifact
+//! files the previous process (or a campaign's `--warm-artifacts` pass)
+//! left behind. Every load's [`CoreProvenance`] is tallied and reported
+//! by the `stats` op.
 //!
 //! Eviction is the other half of residency: when the table exceeds its
 //! capacity the least-recently-used cell is dropped *and* its skeleton
-//! core is removed from the shared cache (`DynScheme::evict_skeletons`
-//! → `SkeletonCache::remove`), so a long-lived daemon's memory is
-//! bounded by the capacity, not by the history of cells it ever served.
+//! core is removed from the source's in-process tier
+//! (`DynScheme::evict_skeletons` → `SkeletonCache::remove`; artifact
+//! *files* are durable and never deleted), so a long-lived daemon's
+//! memory is bounded by the capacity, not by the history of cells it
+//! ever served.
 
 use crate::protocol::{CellCoord, ProtoError, ERR_INAPPLICABLE, ERR_UNKNOWN_SCHEME};
-use lcp_core::{DynScheme, SkeletonCache};
+use lcp_core::{ArtifactSource, CoreProvenance, DynScheme, SkeletonCache};
 use lcp_schemes::registry::{self, CellRequest};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -38,17 +46,27 @@ pub struct TableStats {
     pub skeleton_hits: usize,
     /// Skeleton-cache lookups that had to build.
     pub skeleton_misses: usize,
+    /// Cell loads whose skeleton core was built in-process.
+    pub cores_built: usize,
+    /// Cell loads whose core was adopted from the in-process cache.
+    pub cores_cache_hits: usize,
+    /// Cell loads whose core was mapped from an artifact file
+    /// (`--preload`).
+    pub cores_loaded: usize,
 }
 
 /// An LRU-bounded map from [`CellCoord`] to resident, skeleton-warmed
 /// [`DynScheme`] cells.
 pub struct InstanceTable {
-    cache: Arc<SkeletonCache>,
+    source: ArtifactSource,
     capacity: usize,
     /// LRU order: front = least recently used, back = most recent.
     entries: Mutex<Vec<(CellCoord, Arc<DynScheme>)>>,
     evictions: AtomicUsize,
     loads: AtomicUsize,
+    cores_built: AtomicUsize,
+    cores_cache_hits: AtomicUsize,
+    cores_loaded: AtomicUsize,
 }
 
 impl std::fmt::Debug for InstanceTable {
@@ -63,20 +81,37 @@ impl std::fmt::Debug for InstanceTable {
 }
 
 impl InstanceTable {
-    /// An empty table bounded to `capacity` resident cells (minimum 1).
+    /// An empty table bounded to `capacity` resident cells (minimum 1),
+    /// sharing cores through an in-process cache only.
     pub fn new(capacity: usize) -> Self {
+        Self::with_source(
+            capacity,
+            ArtifactSource::Cache(Arc::new(SkeletonCache::new())),
+        )
+    }
+
+    /// An empty table preparing through an explicit [`ArtifactSource`]
+    /// — the `--preload <dir>` path hands in a
+    /// [`MappedDir`](ArtifactSource::MappedDir) so cores come back by
+    /// `mmap` across daemon restarts.
+    pub fn with_source(capacity: usize, source: ArtifactSource) -> Self {
         InstanceTable {
-            cache: Arc::new(SkeletonCache::new()),
+            source,
             capacity: capacity.max(1),
             entries: Mutex::new(Vec::new()),
             evictions: AtomicUsize::new(0),
             loads: AtomicUsize::new(0),
+            cores_built: AtomicUsize::new(0),
+            cores_cache_hits: AtomicUsize::new(0),
+            cores_loaded: AtomicUsize::new(0),
         }
     }
 
-    /// The shared skeleton cache every resident cell prepares through.
-    pub fn cache(&self) -> &Arc<SkeletonCache> {
-        &self.cache
+    /// The in-process skeleton-cache tier every resident cell prepares
+    /// through (`None` only for a `BuildFresh` source, which the daemon
+    /// never configures).
+    pub fn cache(&self) -> Option<&SkeletonCache> {
+        self.source.cache()
     }
 
     /// Returns the resident cell at `coord`, loading (and LRU-evicting)
@@ -120,8 +155,13 @@ impl InstanceTable {
                     ),
                 )
             })?
-            .with_cache(Arc::clone(&self.cache));
-        cell.prepare_skeletons();
+            .with_source(self.source.clone());
+        match cell.prepare_skeletons() {
+            CoreProvenance::Built => &self.cores_built,
+            CoreProvenance::CacheHit => &self.cores_cache_hits,
+            CoreProvenance::ArtifactLoaded => &self.cores_loaded,
+        }
+        .fetch_add(1, Ordering::Relaxed);
         self.loads.fetch_add(1, Ordering::Relaxed);
         let cell = Arc::new(cell);
 
@@ -162,14 +202,18 @@ impl InstanceTable {
 
     /// Current table + skeleton-cache counters.
     pub fn stats(&self) -> TableStats {
+        let cache = self.source.cache();
         TableStats {
             resident: self.entries.lock().expect("table lock").len(),
             capacity: self.capacity,
             evictions: self.evictions.load(Ordering::Relaxed),
             loads: self.loads.load(Ordering::Relaxed),
-            skeleton_len: self.cache.len(),
-            skeleton_hits: self.cache.hits(),
-            skeleton_misses: self.cache.misses(),
+            skeleton_len: cache.map_or(0, SkeletonCache::len),
+            skeleton_hits: cache.map_or(0, SkeletonCache::hits),
+            skeleton_misses: cache.map_or(0, SkeletonCache::misses),
+            cores_built: self.cores_built.load(Ordering::Relaxed),
+            cores_cache_hits: self.cores_cache_hits.load(Ordering::Relaxed),
+            cores_loaded: self.cores_loaded.load(Ordering::Relaxed),
         }
     }
 }
@@ -225,6 +269,36 @@ mod tests {
         let stats = table.stats();
         assert_eq!(stats.loads, 4);
         assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn preloaded_tables_map_cores_instead_of_building() {
+        use lcp_core::{ArtifactSource, ArtifactStore};
+
+        let dir = std::env::temp_dir().join(format!("lcp-serve-preload-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let source =
+            || ArtifactSource::MappedDir(Arc::new(ArtifactStore::open(&dir).expect("open store")));
+
+        // First daemon lifetime: the core is built and persisted.
+        let table = InstanceTable::with_source(4, source());
+        table.get_or_load(&coord(16)).unwrap();
+        let stats = table.stats();
+        assert_eq!((stats.cores_built, stats.cores_loaded), (1, 0));
+
+        // "Restarted" daemon over the same directory: mapped, not built.
+        let table = InstanceTable::with_source(4, source());
+        let cell = table.get_or_load(&coord(16)).unwrap();
+        assert!(cell.holds());
+        assert_eq!(cell.check_completeness(), Ok(Some(1)));
+        let stats = table.stats();
+        assert_eq!((stats.cores_built, stats.cores_loaded), (0, 1));
+        assert_eq!(
+            stats.skeleton_misses, 1,
+            "a disk load still counts as one cache miss"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
